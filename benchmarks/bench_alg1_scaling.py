@@ -1,0 +1,85 @@
+"""Algorithm 1 cost profile over growing problem sizes (paper §3).
+
+Run:  pytest benchmarks/bench_alg1_scaling.py --benchmark-only -s
+
+The paper states the complexity ``O(|V|^2 + |V| * C)``: the analysis runs
+the back-end once per re-executable/passively-replicated task (plus the
+normal-state run).  The benchmark times the analysis for generated
+systems of growing size and checks the transition count scales with the
+number of hardened tasks.
+"""
+
+import random
+
+import pytest
+
+from repro.benchgen.tgff import GraphShape, TgffConfig, generate_problem
+from repro.core import MixedCriticalityAnalysis
+from repro.dse.chromosome import heuristic_chromosome
+from repro.experiments.scaling import run_scaling
+from repro.hardening.transform import harden
+
+
+def build(size, seed=7):
+    problem = generate_problem(
+        seed=seed + size,
+        critical_graphs=size,
+        droppable_graphs=size,
+        processors=max(4, size),
+        config=TgffConfig(
+            shape=GraphShape(min_tasks=4, max_tasks=6),
+            period_slack_range=(3.0, 5.0),
+        ),
+        name_prefix=f"scal{size}",
+    )
+    chromosome = heuristic_chromosome(problem, random.Random(seed))
+    design = chromosome.decode(problem)
+    hardened = harden(problem.applications, design.plan)
+    return problem, design, hardened
+
+
+@pytest.mark.parametrize("size", [1, 2, 4])
+def test_benchmark_analysis_scaling(benchmark, size):
+    problem, design, hardened = build(size)
+    analysis = MixedCriticalityAnalysis(granularity="task")
+    result = benchmark(
+        lambda: analysis.analyze(
+            hardened, problem.architecture, design.mapping, design.dropped
+        )
+    )
+    # One transition per hardened (here: re-executable critical) task.
+    hardened_tasks = len(hardened.reexec_counts) + len(hardened.passive_tasks)
+    assert result.transitions_analyzed == hardened_tasks
+
+
+@pytest.mark.parametrize("size", [4, 8])
+def test_benchmark_fast_backend_scaling(benchmark, size):
+    """The vectorised back-end pulls ahead as the job count grows."""
+    from repro.sched.fast import FastWindowAnalysisBackend
+
+    problem, design, hardened = build(size)
+    analysis = MixedCriticalityAnalysis(
+        backend=FastWindowAnalysisBackend(), granularity="task"
+    )
+    result = benchmark.pedantic(
+        lambda: analysis.analyze(
+            hardened, problem.architecture, design.mapping, design.dropped
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.transitions_analyzed > 0
+
+
+def test_transition_count_grows_linearly():
+    rows = run_scaling(sizes=(1, 2, 4), granularity="task")
+    transitions = [row.transitions for row in rows]
+    assert transitions == sorted(transitions)
+    assert transitions[-1] > transitions[0]
+    print()
+    print("Algorithm 1 scaling:")
+    for row in rows:
+        print(
+            f"  |V'| = {row.tasks:4d}  transitions = {row.transitions:4d}  "
+            f"{row.seconds * 1e3:8.1f} ms"
+        )

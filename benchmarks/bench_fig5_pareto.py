@@ -1,0 +1,66 @@
+"""Regenerates Figure 5: the power/service Pareto front for DT-med.
+
+Run:  pytest benchmarks/bench_fig5_pareto.py --benchmark-only -s
+
+Paper reference: five Pareto-optimal points over the drop-set lattice of
+``{t1, t2, t3}`` — the full drop set is the power optimum, the empty one
+the service optimum.  The reproduced shape: the front contains both
+extremes, is mutually non-dominated, and power increases with service.
+"""
+
+import pytest
+
+from repro.experiments.pareto import format_front, run_fig5
+
+GENERATIONS = 30
+POPULATION = 28
+
+
+@pytest.fixture(scope="module")
+def fig5_result():
+    return run_fig5(generations=GENERATIONS, population=POPULATION, seed=2014)
+
+
+def test_front_nonempty(fig5_result):
+    assert len(fig5_result.drop_set_front()) >= 3
+
+
+def test_exploration_covers_drop_lattice(fig5_result):
+    # Feasible designs exist for every subset of {t1, t2, t3}.
+    assert len(fig5_result.best_by_drop_set) == 8
+
+
+def test_front_is_nondominated_and_monotone(fig5_result):
+    front = fig5_result.drop_set_front()  # sorted by power
+    services = [point.service for point in front]
+    assert services == sorted(services), "service must grow with power"
+    powers = [point.power for point in front]
+    assert powers == sorted(powers)
+
+
+def test_service_optimum_is_no_drop(fig5_result):
+    front = fig5_result.drop_set_front()
+    best_service = max(front, key=lambda p: p.service)
+    assert best_service.dropped == ()
+    assert best_service.service == 10.0  # 5 + 3 + 2
+
+
+def test_dropping_everything_is_power_optimal(fig5_result):
+    # The full drop set relaxes constraints most, so its best found
+    # design costs no more than the no-dropping one.
+    full = fig5_result.best_by_drop_set[("t1", "t2", "t3")]
+    none = fig5_result.best_by_drop_set[()]
+    assert full.power <= none.power + 1e-9
+
+
+def test_print_front(fig5_result):
+    print()
+    print(format_front(fig5_result))
+
+
+def test_benchmark_fig5_exploration(benchmark):
+    benchmark.pedantic(
+        lambda: run_fig5(generations=5, population=12, seed=3),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,52 @@
+"""Simulator throughput benchmarks.
+
+Run:  pytest benchmarks/bench_sim.py --benchmark-only -s
+
+The Monte-Carlo estimator (WC-Sim) dominates the cost of the Table 2
+study, so the per-run simulation cost matters: these benchmarks track a
+single fault-free run, a run with faults and dropping, and the adhoc
+worst trace on the Cruise benchmark.
+"""
+
+import pytest
+
+from repro.experiments.table2 import TABLE2_DROPPED
+from repro.sim import Simulator, WorstCaseSampler
+from repro.sim.faults import adhoc_profile, random_profile
+from repro.suites.cruise import cruise_benchmark, cruise_sample_mappings
+
+
+@pytest.fixture(scope="module")
+def setup():
+    hardened, mappings = cruise_sample_mappings()
+    arch = cruise_benchmark().problem.architecture
+    simulator = Simulator(hardened, arch, mappings[0], dropped=TABLE2_DROPPED)
+    return hardened, simulator
+
+
+def test_benchmark_fault_free_run(benchmark, setup):
+    _hardened, simulator = setup
+    result = benchmark(lambda: simulator.run(sampler=WorstCaseSampler()))
+    assert not result.entered_critical_state
+
+
+def test_benchmark_faulty_run_with_dropping(benchmark, setup):
+    import random
+
+    hardened, simulator = setup
+    profile = random_profile(hardened, random.Random(1), max_faults=3)
+    result = benchmark(
+        lambda: simulator.run(profile=profile, sampler=WorstCaseSampler())
+    )
+    assert result.faults_observed >= 0
+
+
+def test_benchmark_adhoc_trace(benchmark, setup):
+    hardened, simulator = setup
+    profile = adhoc_profile(hardened)
+    result = benchmark(
+        lambda: simulator.run(
+            profile=profile, sampler=WorstCaseSampler(), drop_from_start=True
+        )
+    )
+    assert result.entered_critical_state

@@ -1,0 +1,45 @@
+"""Safety validation of the analyses against simulated ground truth.
+
+Run:  pytest benchmarks/bench_validation.py --benchmark-only -s
+
+Reproduces the §5.1 safety claims over random systems: ``Proposed``
+dominates every Monte-Carlo observation and ``Naive`` dominates
+``Proposed``.  The printed table shows the tightness gap per application.
+"""
+
+import pytest
+
+from repro.experiments.validation import format_validation, run_validation
+
+
+@pytest.fixture(scope="module")
+def validation_rows():
+    return run_validation(seeds=(1, 2, 3, 4, 5), profiles=60)
+
+
+def test_no_safety_violations(validation_rows):
+    violations = [row for row in validation_rows if not row.safe]
+    assert violations == []
+
+
+def test_every_system_covered(validation_rows):
+    assert {row.system for row in validation_rows} == {1, 2, 3, 4, 5}
+    assert len(validation_rows) == 15  # 3 applications per system
+
+
+def test_gaps_are_finite_and_sane(validation_rows):
+    for row in validation_rows:
+        gap = row.proposed_gap
+        if gap is not None and not row.dropped:
+            assert 1.0 - 1e-6 <= gap < 50.0
+
+
+def test_print_table(validation_rows):
+    print()
+    print(format_validation(validation_rows))
+
+
+def test_benchmark_validation_sweep(benchmark):
+    benchmark.pedantic(
+        lambda: run_validation(seeds=(1,), profiles=20), rounds=1, iterations=1
+    )

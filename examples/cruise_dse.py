@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Design-space exploration on the Cruise benchmark (paper §4 / §5.2).
+
+Runs a scaled-down version of the paper's GA (the paper uses population
+100 and 5,000 generations; pass --full for that — it takes hours) and
+prints the power/service Pareto front plus the best design in detail.
+
+Run:  python examples/cruise_dse.py [--full]
+"""
+
+import argparse
+
+from repro.dse import Explorer, ExplorerConfig
+from repro.suites import get_benchmark
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--full", action="store_true", help="paper-scale budgets")
+    parser.add_argument("--seed", type=int, default=2014)
+    parser.add_argument("--generations", type=int, default=25)
+    parser.add_argument("--population", type=int, default=32)
+    args = parser.parse_args()
+
+    benchmark = get_benchmark("cruise")
+    if args.full:
+        config = ExplorerConfig(generations=5000, seed=args.seed)
+    else:
+        config = ExplorerConfig(
+            population_size=args.population,
+            offspring_size=args.population,
+            archive_size=args.population,
+            generations=args.generations,
+            seed=args.seed,
+            track_dropping_gain=True,
+        )
+
+    explorer = Explorer(benchmark.problem, config)
+
+    def progress(generation, stats):
+        if generation % 5 == 0:
+            print(
+                f"  generation {generation:4d}: {stats.evaluations:5d} evaluations, "
+                f"{stats.feasible:4d} feasible"
+            )
+
+    print(f"Exploring {benchmark.name}: {benchmark.description}\n")
+    result = explorer.run(progress=progress)
+    stats = result.statistics
+
+    print(f"\nPareto front ({len(result.pareto)} points):")
+    print(f"{'power':>10} | {'service':>8} | dropped applications")
+    print("-" * 50)
+    for power, service, dropped in result.front_as_rows():
+        label = "{" + ", ".join(dropped) + "}" if dropped else "{}"
+        print(f"{power:10.3f} | {service:8.1f} | {label}")
+
+    if stats.dropping_checked:
+        print(
+            f"\n{stats.dropping_gain} of {stats.feasible} feasible candidates "
+            f"were feasible only thanks to task dropping "
+            f"({100 * stats.dropping_gain_among_feasible:.1f}% of feasible)."
+        )
+    print(
+        f"Hardening mix: "
+        + ", ".join(
+            f"{kind.value}: {count}"
+            for kind, count in sorted(
+                stats.hardening_histogram.items(), key=lambda kv: -kv[1]
+            )
+        )
+    )
+
+    best = result.best_power
+    if best is not None:
+        design = best.design
+        print(f"\nBest-power design ({best.power:.3f}):")
+        print(f"  allocated processors: {sorted(design.allocation)}")
+        print(f"  dropped in critical mode: {sorted(design.dropped) or 'nothing'}")
+        print(f"  hardened tasks:")
+        for task, spec in design.plan.items():
+            print(f"    {task:>10}: {spec.kind.value}"
+                  + (f" (k={spec.reexecutions})" if spec.reexecutions else "")
+                  + (f" ({spec.replicas} copies)" if spec.is_replicated else ""))
+
+
+if __name__ == "__main__":
+    main()

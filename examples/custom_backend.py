@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Plugging a custom schedulability back-end into Algorithm 1.
+
+The paper stresses that the ``sched`` function is exchangeable: "any other
+schedulability analysis can be alternatively used as a back-end as long as
+it can derive the worst-case/best-case completion/starting time of tasks"
+(§3).  This example implements a deliberately crude back-end — fully
+serialized execution per processor, no window reasoning — and compares it
+against the default window analysis.
+
+Run:  python examples/custom_backend.py
+"""
+
+from repro import (
+    ApplicationSet,
+    Channel,
+    HardeningPlan,
+    HardeningSpec,
+    Mapping,
+    MixedCriticalityAnalysis,
+    Task,
+    TaskGraph,
+    harden,
+)
+from repro.model.architecture import homogeneous_architecture
+from repro.sched.jobs import JobSet
+from repro.sched.wcrt import ScheduleBounds
+
+
+class SerializedBackend:
+    """A trivially safe back-end: every processor serialises all its jobs.
+
+    Worst-case finish of a job = its latest arrival + its WCET + the WCET
+    of *every* other job on the same processor (regardless of priority or
+    windows).  Best case matches the default (interference-free longest
+    path).  Much cheaper, much more pessimistic — a useful lower bar when
+    validating tighter analyses.
+    """
+
+    def analyze(self, jobset: JobSet) -> ScheduleBounds:
+        jobs = jobset.jobs
+        count = len(jobs)
+        order = jobset.topo_order
+
+        min_start = [0.0] * count
+        min_finish = [0.0] * count
+        max_finish = [0.0] * count
+
+        per_pe_total = {}
+        for job in jobs:
+            per_pe_total[job.processor] = per_pe_total.get(job.processor, 0.0) + job.wcet
+
+        for index in order:
+            job = jobs[index]
+            earliest = job.release
+            latest = job.release
+            for pred, comm_best, comm_worst, _on_demand in job.preds:
+                earliest = max(earliest, min_finish[pred] + comm_best)
+                latest = max(latest, max_finish[pred] + comm_worst)
+            min_start[index] = earliest
+            min_finish[index] = earliest + job.bcet
+            interference = per_pe_total[job.processor] - job.wcet
+            max_finish[index] = latest + job.wcet + interference
+
+        max_start = [max_finish[i] - jobs[i].wcet for i in range(count)]
+        return ScheduleBounds(
+            jobset, min_start, min_finish, max_start, max_finish,
+            converged=True, sweeps=1,
+        )
+
+
+def main():
+    graph = TaskGraph(
+        "app",
+        tasks=[
+            Task("a", 1.0, 2.0, detection_overhead=0.2),
+            Task("b", 2.0, 4.0),
+            Task("c", 1.0, 2.0),
+        ],
+        channels=[Channel("a", "b", 16.0), Channel("b", "c", 16.0)],
+        period=30.0,
+        reliability_target=1e-6,
+    )
+    side = TaskGraph(
+        "side",
+        tasks=[Task("s", 1.0, 3.0)],
+        channels=[],
+        period=15.0,
+        service_value=2.0,
+    )
+    apps = ApplicationSet([graph, side])
+    arch = homogeneous_architecture(2, fault_rate=1e-5)
+    hardened = harden(apps, HardeningPlan({"a": HardeningSpec.reexecution(1)}))
+    mapping = Mapping({"a": "pe0", "b": "pe0", "c": "pe1", "s": "pe0"})
+
+    default = MixedCriticalityAnalysis().analyze(
+        hardened, arch, mapping, dropped=("side",)
+    )
+    custom = MixedCriticalityAnalysis(backend=SerializedBackend()).analyze(
+        hardened, arch, mapping, dropped=("side",)
+    )
+
+    print(f"{'application':>12} | {'window backend':>14} | {'serialized backend':>18}")
+    print("-" * 52)
+    for name in apps.graph_names:
+        print(
+            f"{name:>12} | {default.wcrt_of(name):14.2f} | "
+            f"{custom.wcrt_of(name):18.2f}"
+        )
+    print(
+        "\nBoth are safe upper bounds; the window analysis is tighter "
+        "because it reasons about which jobs can actually overlap."
+    )
+    for name in apps.graph_names:
+        assert custom.wcrt_of(name) >= default.wcrt_of(name) - 1e-9
+
+
+if __name__ == "__main__":
+    main()

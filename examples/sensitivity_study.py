@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Sensitivity study of the Cruise reference design.
+
+Once a design point is feasible, two questions follow: how much timing
+headroom does each application have, and how much slower could the code
+get before a deadline breaks — with and without task dropping.
+
+Run:  python examples/sensitivity_study.py
+"""
+
+from repro.core.sensitivity import deadline_margins, wcet_scaling_margin
+from repro.suites.cruise import (
+    cruise_benchmark,
+    cruise_reference_plan,
+    cruise_sample_mappings,
+)
+
+DROPPABLE = ("info", "diag", "log", "cam")
+
+
+def main():
+    benchmark = cruise_benchmark()
+    apps = benchmark.problem.applications
+    arch = benchmark.problem.architecture
+    plan = cruise_reference_plan()
+    _hardened, mappings = cruise_sample_mappings()
+    mapping = mappings[0]  # the locality-first placement
+
+    print("Deadline margins (deadline / WCRT; > 1 means headroom):")
+    margins = deadline_margins(apps, plan, arch, mapping, dropped=DROPPABLE)
+    for name, margin in sorted(margins.items()):
+        bar = "#" * min(40, int(margin * 10))
+        print(f"  {name:>6}: {margin:6.2f}  {bar}")
+
+    print("\nUniform WCET scaling margin (binary search):")
+    with_dropping = wcet_scaling_margin(
+        apps, plan, arch, mapping, dropped=DROPPABLE, tolerance=0.02
+    )
+    without_dropping = wcet_scaling_margin(
+        apps, plan, arch, mapping, dropped=(), tolerance=0.02
+    )
+    print(f"  with dropping enabled : tasks may run {with_dropping:.2f}x slower")
+    print(f"  with dropping disabled: tasks may run {without_dropping:.2f}x slower")
+    if with_dropping > without_dropping:
+        gain = 100 * (with_dropping / max(without_dropping, 1e-9) - 1)
+        print(
+            f"\nTask dropping buys {gain:.0f}% extra timing robustness on this "
+            f"design — the §5.2 effect, seen from the sensitivity angle."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""repro — reproduction of "Static Mapping of Mixed-Critical Applications
+for Fault-Tolerant MPSoCs" (Kang et al., DAC 2014).
+
+The package provides:
+
+* :mod:`repro.model` — application (task graphs) and architecture models;
+* :mod:`repro.hardening` — re-execution and active/passive replication
+  transformations of task graphs;
+* :mod:`repro.reliability` — transient-fault model and reliability
+  constraint checking;
+* :mod:`repro.sched` — a schedulability back-end computing safe best-case
+  start / worst-case finish bounds per task (the ``sched`` function of the
+  paper's Algorithm 1);
+* :mod:`repro.core` — the mixed-criticality WCRT analysis (Algorithm 1),
+  the ``Naive``/``Adhoc`` baselines, the power model, and the design
+  evaluator;
+* :mod:`repro.sim` — a discrete-event simulator with fault injection and
+  the Monte-Carlo ``WC-Sim`` estimator;
+* :mod:`repro.dse` — the genetic-algorithm design-space exploration with
+  the Figure-4 chromosome and a from-scratch SPEA2 selector;
+* :mod:`repro.benchgen` — TGFF-style synthetic task-graph generation;
+* :mod:`repro.suites` — the Cruise, DT-med, DT-large and Synth benchmarks;
+* :mod:`repro.experiments` — harnesses regenerating every table and figure
+  of the paper's evaluation section.
+"""
+
+from repro.errors import (
+    AnalysisError,
+    HardeningError,
+    InfeasibleError,
+    MappingError,
+    ModelError,
+    ReproError,
+)
+from repro.model import (
+    ApplicationSet,
+    Architecture,
+    Channel,
+    Criticality,
+    Interconnect,
+    Mapping,
+    Processor,
+    Task,
+    TaskGraph,
+    TaskRole,
+)
+from repro.hardening import (
+    HardeningKind,
+    HardeningPlan,
+    HardeningSpec,
+    harden,
+)
+from repro.core import (
+    AdhocAnalysis,
+    DesignPoint,
+    Evaluator,
+    MixedCriticalityAnalysis,
+    NaiveAnalysis,
+    PowerModel,
+)
+from repro.sched import (
+    FastWindowAnalysisBackend,
+    HolisticAnalysisBackend,
+    SchedBackend,
+    ScheduleBounds,
+    WindowAnalysisBackend,
+)
+from repro.dse import Explorer, ExplorerConfig
+
+__all__ = [
+    "ReproError",
+    "ModelError",
+    "MappingError",
+    "HardeningError",
+    "AnalysisError",
+    "InfeasibleError",
+    "Task",
+    "TaskRole",
+    "Channel",
+    "TaskGraph",
+    "ApplicationSet",
+    "Criticality",
+    "Processor",
+    "Interconnect",
+    "Architecture",
+    "Mapping",
+    "HardeningKind",
+    "HardeningSpec",
+    "HardeningPlan",
+    "harden",
+    "SchedBackend",
+    "ScheduleBounds",
+    "WindowAnalysisBackend",
+    "FastWindowAnalysisBackend",
+    "HolisticAnalysisBackend",
+    "MixedCriticalityAnalysis",
+    "NaiveAnalysis",
+    "AdhocAnalysis",
+    "PowerModel",
+    "Evaluator",
+    "DesignPoint",
+    "Explorer",
+    "ExplorerConfig",
+]
+
+__version__ = "1.0.0"

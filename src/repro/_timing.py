@@ -1,0 +1,50 @@
+"""Internal helpers for time arithmetic.
+
+Periods and execution times are plain floats (milliseconds by convention).
+Hyperperiod computation needs an exact least common multiple, so floats are
+first converted to rationals.
+"""
+
+from fractions import Fraction
+from math import gcd
+from typing import Iterable
+
+from repro.errors import ModelError
+
+#: Denominator cap used when converting float periods to rationals.  A cap
+#: of 10**6 resolves periods down to a microsecond when times are expressed
+#: in milliseconds, which is far below any modelling granularity used here.
+_MAX_DENOMINATOR = 10**6
+
+
+def as_rational(value: float) -> Fraction:
+    """Convert a non-negative time value to an exact rational."""
+    if value < 0:
+        raise ModelError(f"time value must be non-negative, got {value!r}")
+    return Fraction(value).limit_denominator(_MAX_DENOMINATOR)
+
+
+def lcm_rational(a: Fraction, b: Fraction) -> Fraction:
+    """Least common multiple of two positive rationals."""
+    num = a.numerator * b.numerator // gcd(a.numerator, b.numerator)
+    den = gcd(a.denominator, b.denominator)
+    return Fraction(num, den)
+
+
+def hyperperiod(periods: Iterable[float]) -> float:
+    """Least common multiple of a collection of positive periods.
+
+    >>> hyperperiod([10, 15])
+    30.0
+    >>> hyperperiod([2.5, 10])
+    10.0
+    """
+    result = None
+    for period in periods:
+        if period <= 0:
+            raise ModelError(f"period must be positive, got {period!r}")
+        frac = as_rational(period)
+        result = frac if result is None else lcm_rational(result, frac)
+    if result is None:
+        raise ModelError("hyperperiod of an empty period collection")
+    return float(result)

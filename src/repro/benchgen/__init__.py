@@ -1,0 +1,26 @@
+"""TGFF-style synthetic benchmark generation.
+
+The paper evaluates on "two synthetic examples that are randomly
+generated" in addition to the real-life benchmarks.  This package
+generates layered random task graphs (in the spirit of the classic Task
+Graphs For Free generator), random heterogeneous architectures, and
+complete problem instances with mixed criticality.
+"""
+
+from repro.benchgen.tgff import (
+    GraphShape,
+    TgffConfig,
+    generate_application_set,
+    generate_architecture,
+    generate_problem,
+    generate_task_graph,
+)
+
+__all__ = [
+    "GraphShape",
+    "TgffConfig",
+    "generate_task_graph",
+    "generate_application_set",
+    "generate_architecture",
+    "generate_problem",
+]

@@ -1,0 +1,326 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Operates on JSON system files (written by
+:func:`repro.model.serialization.save_system` or ``repro export``):
+
+* ``analyze``  — WCRT analysis of a mapped system (proposed/naive/adhoc);
+* ``simulate`` — Monte-Carlo simulation campaign (WC-Sim);
+* ``explore``  — GA design-space exploration, optionally saving the
+  Pareto-optimal design points;
+* ``export``   — write a built-in benchmark suite to a system file;
+* ``generate`` — write a random TGFF-style system to a file.
+
+Examples::
+
+    python -m repro export cruise cruise.json --with-reference-mapping
+    python -m repro analyze cruise.json --dropped info,diag,log,cam
+    python -m repro simulate cruise.json --profiles 500 --dropped info
+    python -m repro explore cruise.json --generations 20 --out pareto.json
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.benchgen.tgff import generate_problem
+from repro.core import (
+    AdhocAnalysis,
+    MixedCriticalityAnalysis,
+    NaiveAnalysis,
+)
+from repro.errors import ReproError
+from repro.hardening.spec import HardeningPlan
+from repro.hardening.transform import harden
+from repro.model.serialization import load_system, save_system
+from repro.sim import BiasedSampler, MonteCarloEstimator, Simulator
+from repro.suites import benchmark_names, get_benchmark
+
+
+def _load_mapped_system(args):
+    bundle = load_system(args.system)
+    if bundle.mapping is None:
+        raise ReproError(
+            f"{args.system} carries no mapping; add one or use `repro explore`"
+        )
+    if args.plan:
+        plan = HardeningPlan.from_dict(json.loads(Path(args.plan).read_text()))
+    elif bundle.plan is not None:
+        plan = bundle.plan
+    else:
+        plan = HardeningPlan()
+    hardened = harden(bundle.applications, plan)
+    dropped = tuple(x for x in (args.dropped or "").split(",") if x)
+    return hardened, bundle.architecture, bundle.mapping, dropped
+
+
+def _cmd_analyze(args) -> int:
+    hardened, architecture, mapping, dropped = _load_mapped_system(args)
+    if args.method == "proposed":
+        backend = None
+        if args.backend == "fast":
+            from repro.sched.fast import FastWindowAnalysisBackend
+
+            backend = FastWindowAnalysisBackend()
+        elif args.backend == "holistic":
+            from repro.sched.holistic import HolisticAnalysisBackend
+
+            backend = HolisticAnalysisBackend()
+        analysis = MixedCriticalityAnalysis(
+            backend=backend,
+            granularity=args.granularity,
+            policy=args.policy,
+            bus_contention=args.bus_contention,
+        )
+    elif args.method == "naive":
+        analysis = NaiveAnalysis(
+            policy=args.policy, bus_contention=args.bus_contention
+        )
+    else:
+        analysis = AdhocAnalysis(policy=args.policy)
+    result = analysis.analyze(hardened, architecture, mapping, dropped)
+    print(f"{'application':>16} | {'wcrt':>10} | {'deadline':>9} | status")
+    print("-" * 52)
+    for name, verdict in result.verdicts.items():
+        status = "dropped" if verdict.dropped else (
+            "ok" if verdict.meets_deadline else "MISS"
+        )
+        print(
+            f"{name:>16} | {verdict.wcrt:10.2f} | {verdict.deadline:9.1f} | {status}"
+        )
+    if args.method == "proposed":
+        print(f"\ntransitions analyzed: {result.transitions_analyzed}")
+    return 0 if result.schedulable else 1
+
+
+def _cmd_simulate(args) -> int:
+    hardened, architecture, mapping, dropped = _load_mapped_system(args)
+    simulator = Simulator(
+        hardened, architecture, mapping, dropped=dropped, policy=args.policy
+    )
+    estimator = MonteCarloEstimator(
+        simulator, sampler=BiasedSampler(args.worst_bias), max_faults=args.max_faults
+    )
+    result = estimator.estimate(profiles=args.profiles, seed=args.seed)
+    print(
+        f"{'application':>16} | {'max resp':>9} | {'p99':>9} | {'mean':>9}"
+    )
+    print("-" * 54)
+    for graph, worst in sorted(result.worst_response.items()):
+        p99 = result.percentile(graph, 0.99)
+        mean = result.mean_response(graph)
+        print(f"{graph:>16} | {worst:9.2f} | {p99:9.2f} | {mean:9.2f}")
+    print(
+        f"\nprofiles: {result.profiles}, critical runs: {result.critical_runs}, "
+        f"runs with drops: {result.runs_with_drops}"
+    )
+    if result.deadline_miss_runs:
+        for graph, count in sorted(result.deadline_miss_runs.items()):
+            print(f"deadline misses observed for {graph!r} in {count} run(s)")
+    return 0
+
+
+def _cmd_explore(args) -> int:
+    from repro.core.problem import Problem
+    from repro.dse import Explorer, ExplorerConfig
+
+    bundle = load_system(args.system)
+    problem = Problem(
+        applications=bundle.applications, architecture=bundle.architecture
+    )
+    config = ExplorerConfig(
+        population_size=args.population,
+        offspring_size=args.population,
+        archive_size=args.population,
+        generations=args.generations,
+        seed=args.seed,
+    )
+    result = Explorer(problem, config).run()
+    print(f"evaluations: {result.statistics.evaluations}, "
+          f"feasible: {result.statistics.feasible}")
+    print(f"\nPareto front ({len(result.pareto)} points):")
+    print(f"{'power':>10} | {'service':>8} | dropped")
+    print("-" * 44)
+    for power, service, dropped in result.front_as_rows():
+        label = "{" + ", ".join(dropped) + "}" if dropped else "{}"
+        print(f"{power:10.3f} | {service:8.1f} | {label}")
+    if args.out:
+        payload = {
+            "pareto": [
+                {
+                    "power": point.power,
+                    "service": point.service,
+                    "design": point.design.to_dict(),
+                }
+                for point in result.pareto
+            ]
+        }
+        Path(args.out).write_text(json.dumps(payload, indent=2))
+        print(f"\nwrote {len(result.pareto)} design point(s) to {args.out}")
+    return 0 if result.pareto else 1
+
+
+def _cmd_margins(args) -> int:
+    from repro.core.sensitivity import deadline_margins, wcet_scaling_margin
+
+    bundle = load_system(args.system)
+    if bundle.mapping is None:
+        raise ReproError(f"{args.system} carries no mapping")
+    plan = bundle.plan or HardeningPlan()
+    if args.plan:
+        plan = HardeningPlan.from_dict(json.loads(Path(args.plan).read_text()))
+    dropped = tuple(x for x in (args.dropped or "").split(",") if x)
+
+    margins = deadline_margins(
+        bundle.applications, plan, bundle.architecture, bundle.mapping, dropped
+    )
+    print(f"{'application':>16} | {'deadline margin':>15}")
+    print("-" * 36)
+    for name, margin in sorted(margins.items()):
+        print(f"{name:>16} | {margin:15.2f}")
+    scaling = wcet_scaling_margin(
+        bundle.applications,
+        plan,
+        bundle.architecture,
+        bundle.mapping,
+        dropped,
+        tolerance=args.tolerance,
+    )
+    print("\nuniform WCET scaling margin: " + f"{scaling:.2f}x")
+    return 0 if scaling > 0 else 1
+
+
+def _cmd_export(args) -> int:
+    benchmark = get_benchmark(args.benchmark)
+    if args.with_reference_mapping and args.benchmark == "cruise":
+        from repro.suites.cruise import cruise_reference_plan, cruise_sample_mappings
+
+        _hardened, mappings = cruise_sample_mappings()
+        save_system(
+            args.out,
+            benchmark.problem.applications,
+            benchmark.problem.architecture,
+            mapping=mappings[0],
+            plan=cruise_reference_plan(),
+        )
+        print(
+            f"wrote {args.benchmark} with reference plan and sample "
+            f"mapping 1 to {args.out}"
+        )
+        return 0
+    save_system(
+        args.out,
+        benchmark.problem.applications,
+        benchmark.problem.architecture,
+    )
+    print(f"wrote {args.benchmark} to {args.out}")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    problem = generate_problem(
+        seed=args.seed,
+        critical_graphs=args.critical,
+        droppable_graphs=args.droppable,
+        processors=args.processors,
+    )
+    save_system(args.out, problem.applications, problem.architecture)
+    print(
+        f"wrote random system (seed {args.seed}, "
+        f"{len(problem.applications.all_tasks)} tasks, "
+        f"{len(problem.architecture)} processors) to {args.out}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Fault-tolerant mixed-criticality MPSoC mapping toolkit.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser("analyze", help="WCRT analysis of a mapped system")
+    analyze.add_argument("system", help="system JSON (applications+architecture+mapping)")
+    analyze.add_argument("--plan", help="hardening plan JSON")
+    analyze.add_argument("--dropped", help="comma-separated dropped applications")
+    analyze.add_argument(
+        "--method", choices=("proposed", "naive", "adhoc"), default="proposed"
+    )
+    analyze.add_argument("--granularity", choices=("job", "task"), default="job")
+    analyze.add_argument(
+        "--policy", choices=("fp", "edf"), default="fp",
+        help="per-processor scheduling policy",
+    )
+    analyze.add_argument(
+        "--bus-contention", action="store_true",
+        help="model the shared bus as a priority-arbitrated resource",
+    )
+    analyze.add_argument(
+        "--backend", choices=("window", "fast", "holistic"), default="window",
+        help="schedulability back-end for the proposed analysis",
+    )
+    analyze.set_defaults(handler=_cmd_analyze)
+
+    simulate = sub.add_parser("simulate", help="Monte-Carlo simulation campaign")
+    simulate.add_argument("system")
+    simulate.add_argument("--plan", help="hardening plan JSON")
+    simulate.add_argument("--dropped", help="comma-separated dropped applications")
+    simulate.add_argument("--profiles", type=int, default=500)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--max-faults", type=int, default=3)
+    simulate.add_argument("--worst-bias", type=float, default=0.5)
+    simulate.add_argument(
+        "--policy", choices=("fp", "edf"), default="fp",
+        help="per-processor scheduling policy",
+    )
+    simulate.set_defaults(handler=_cmd_simulate)
+
+    explore = sub.add_parser("explore", help="design-space exploration")
+    explore.add_argument("system")
+    explore.add_argument("--generations", type=int, default=25)
+    explore.add_argument("--population", type=int, default=32)
+    explore.add_argument("--seed", type=int, default=0)
+    explore.add_argument("--out", help="write Pareto designs to this JSON file")
+    explore.set_defaults(handler=_cmd_explore)
+
+    margins = sub.add_parser(
+        "margins", help="deadline and WCET-scaling sensitivity of a design"
+    )
+    margins.add_argument("system")
+    margins.add_argument("--plan", help="hardening plan JSON")
+    margins.add_argument("--dropped", help="comma-separated dropped applications")
+    margins.add_argument("--tolerance", type=float, default=0.05)
+    margins.set_defaults(handler=_cmd_margins)
+
+    export = sub.add_parser("export", help="write a built-in benchmark to JSON")
+    export.add_argument("benchmark", choices=benchmark_names())
+    export.add_argument("out")
+    export.add_argument(
+        "--with-reference-mapping",
+        action="store_true",
+        help="cruise only: apply the reference plan and sample mapping 1",
+    )
+    export.set_defaults(handler=_cmd_export)
+
+    generate = sub.add_parser("generate", help="write a random system to JSON")
+    generate.add_argument("out")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--critical", type=int, default=2)
+    generate.add_argument("--droppable", type=int, default=2)
+    generate.add_argument("--processors", type=int, default=4)
+    generate.set_defaults(handler=_cmd_generate)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2

@@ -1,0 +1,48 @@
+"""The paper's primary contribution: mixed-criticality WCRT analysis
+(Algorithm 1), its baselines, and design-point evaluation.
+
+* :class:`MixedCriticalityAnalysis` — the proposed analysis: enumerates
+  every possible normal-to-critical state transition and re-runs the
+  schedulability back-end with state-adjusted execution-time bounds;
+* :class:`NaiveAnalysis` — the ``Naive`` baseline (§3, §5.1): droppable
+  tasks statically get a ``[0, wcet]`` range, re-executable tasks their
+  Eq. (1) worst case, in a single analysis run;
+* :class:`AdhocAnalysis` — the ``Adhoc`` baseline (§5.1): a deterministic
+  worst-trace simulation where the system is critical from time zero;
+* :class:`PowerModel` — expected power ``sum(stat_p + dyn_p * u_p)``;
+* :class:`Evaluator` — feasibility and objectives of a design point.
+"""
+
+from repro.core.problem import DesignPoint, Problem
+from repro.core.power import PowerModel
+from repro.core.analysis import (
+    GraphVerdict,
+    MCAnalysisResult,
+    MixedCriticalityAnalysis,
+    TransitionInfo,
+)
+from repro.core.naive import NaiveAnalysis
+from repro.core.adhoc import AdhocAnalysis
+from repro.core.evaluator import EvaluationResult, Evaluator
+from repro.core.sensitivity import (
+    deadline_margins,
+    scale_execution_times,
+    wcet_scaling_margin,
+)
+
+__all__ = [
+    "Problem",
+    "DesignPoint",
+    "PowerModel",
+    "MixedCriticalityAnalysis",
+    "MCAnalysisResult",
+    "GraphVerdict",
+    "TransitionInfo",
+    "NaiveAnalysis",
+    "AdhocAnalysis",
+    "Evaluator",
+    "EvaluationResult",
+    "scale_execution_times",
+    "wcet_scaling_margin",
+    "deadline_margins",
+]

@@ -1,0 +1,436 @@
+"""The proposed mixed-criticality WCRT analysis — Algorithm 1 of the paper.
+
+The hardening techniques make worst-case analysis hard for three reasons
+(paper §3): passive replicas only run when the voter requests them,
+re-execution releases a variable number of jobs, and entering the critical
+state detaches droppable tasks from the scheduler.  Naively widening every
+execution-time range is safe but very pessimistic.
+
+Algorithm 1 instead performs one schedulability run per *possible state
+transition*: for every task ``v`` that may trigger the critical state (a
+re-executable or passively replicated task experiencing its first fault in
+the hyperperiod), all other tasks ``w`` are classified using the
+normal-state windows ``[minStart, maxFinish]``:
+
+* ``maxFinish_w < minStart_v`` — ``w`` certainly completed before the
+  fault: it keeps its normal bounds (passive copies stay ``[0, 0]``);
+* otherwise ``w`` may be affected:
+
+  * droppable ``w`` starting after ``maxFinish_v`` is certainly dropped —
+    bounds ``[0, 0]``;
+  * droppable ``w`` overlapping the transition may either run or be
+    dropped — bounds ``[0, wcet_w]``;
+  * non-droppable re-executable ``w`` gets Eq. (1) as its worst case;
+  * non-droppable passive copies get ``[0, wcet_w]`` (they may be
+    requested by a later fault).
+
+The triggering task itself takes its critical-state bounds: Eq. (1) for
+re-execution, activated replicas (``[0, wcet]``) for passive replication.
+
+The per-processor ``sched`` back-end is pluggable
+(:class:`~repro.sched.wcrt.SchedBackend`); the default is the
+window-based analysis of :class:`~repro.sched.wcrt.WindowAnalysisBackend`.
+
+Multiple faults per hyperperiod are covered even though transitions are
+enumerated one trigger at a time: whichever fault happens *first*
+anchors the timeline classification, and under that trigger every other
+re-executable task already carries its Eq. (1) worst case (it may fault
+later), passive copies may be requested, and droppables past the
+transition stay dropped regardless of further faults — so each
+enumerated transition soundly bounds all executions whose first fault is
+that trigger.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.errors import AnalysisError
+from repro.hardening.spec import HardeningKind
+from repro.hardening.transform import CriticalTrigger, HardenedSystem
+from repro.model.architecture import Architecture
+from repro.model.mapping import Mapping
+from repro.sched.comm import CommModel
+from repro.sched.jobs import JobId, JobSet, unroll
+from repro.sched.priority import assign_priorities
+from repro.sched.wcrt import ScheduleBounds, SchedBackend, WindowAnalysisBackend
+
+#: How state transitions are enumerated: one analysis per trigger *job*
+#: (faithful to "the first fault in the hyperperiod") or one per trigger
+#: *task* with anchors aggregated over its instances (coarser, strictly
+#: more conservative, and cheaper — used by the DSE inner loop).
+TRIGGER_GRANULARITIES = ("job", "task")
+
+
+@dataclass(frozen=True)
+class TransitionInfo:
+    """One analyzed normal-to-critical transition."""
+
+    trigger_primary: str
+    trigger_kind: HardeningKind
+    #: Instance index of the trigger, or ``None`` at task granularity.
+    instance: Optional[int]
+    #: ``minStart_v`` — earliest moment the first fault can occur.
+    min_start: float
+    #: ``maxFinish_v`` — moment from which droppables certainly vanished.
+    max_finish: float
+    #: Per-graph WCRT under this transition (non-dropped graphs only).
+    wcrt: Dict[str, float]
+
+
+@dataclass(frozen=True)
+class GraphVerdict:
+    """Analysis outcome for one application."""
+
+    graph: str
+    #: WCRT over the normal state and every transition the graph survives.
+    wcrt: float
+    #: WCRT in the fault-free normal state.
+    normal_wcrt: float
+    deadline: float
+    #: Whether the graph belongs to the dropped set ``T_d``.
+    dropped: bool
+    #: Transition yielding the WCRT (``None`` when the normal state does).
+    worst_transition: Optional[str]
+
+    @property
+    def meets_deadline(self) -> bool:
+        """Deadline satisfaction (dropped graphs: normal state only)."""
+        return self.wcrt <= self.deadline + 1e-9
+
+
+@dataclass(frozen=True)
+class MCAnalysisResult:
+    """Complete result of the mixed-criticality analysis."""
+
+    verdicts: Dict[str, GraphVerdict]
+    transitions: Tuple[TransitionInfo, ...]
+    #: Safe upper bound on the completion time of every task (the return
+    #: value of the paper's Algorithm 1, for every ``v_in`` at once).
+    task_completion: Dict[str, float]
+    granularity: str
+
+    @property
+    def schedulable(self) -> bool:
+        """Whether every application meets its deadline."""
+        return all(v.meets_deadline for v in self.verdicts.values())
+
+    @property
+    def transitions_analyzed(self) -> int:
+        """Number of state transitions the analysis enumerated."""
+        return len(self.transitions)
+
+    def wcrt_of(self, graph_name: str) -> float:
+        """WCRT of one application."""
+        try:
+            return self.verdicts[graph_name].wcrt
+        except KeyError:
+            raise AnalysisError(f"no verdict for graph {graph_name!r}") from None
+
+    def completion_bound(self, task_name: str) -> float:
+        """Algorithm 1's return value for ``v_in = task_name``."""
+        try:
+            return self.task_completion[task_name]
+        except KeyError:
+            raise AnalysisError(f"no completion bound for task {task_name!r}") from None
+
+
+class MixedCriticalityAnalysis:
+    """Algorithm 1: WCRT analysis under hardening and task dropping.
+
+    Parameters
+    ----------
+    backend:
+        The ``sched`` function; defaults to
+        :class:`~repro.sched.wcrt.WindowAnalysisBackend`.
+    granularity:
+        ``"job"`` (default, faithful) or ``"task"`` (conservative, cheap).
+    comm:
+        Channel-latency model override.
+    policy:
+        Per-processor scheduling policy: ``"fp"`` (default) or ``"edf"``.
+    bus_contention:
+        Model the shared bus as a priority-arbitrated resource (message
+        jobs) instead of reserved bandwidth.
+    """
+
+    def __init__(
+        self,
+        backend: Optional[SchedBackend] = None,
+        granularity: str = "job",
+        comm: Optional[CommModel] = None,
+        zero_dropped_bcet: bool = False,
+        policy: str = "fp",
+        bus_contention: bool = False,
+    ):
+        if granularity not in TRIGGER_GRANULARITIES:
+            raise AnalysisError(
+                f"granularity must be one of {TRIGGER_GRANULARITIES}, "
+                f"got {granularity!r}"
+            )
+        self._backend: SchedBackend = backend or WindowAnalysisBackend()
+        self._granularity = granularity
+        self._comm = comm
+        #: Per-processor scheduling policy ("fp" or "edf"), forwarded to
+        #: the job unrolling; the simulator accepts the same option.
+        self._policy = policy
+        #: Model cross-processor transfers as priority-arbitrated bus
+        #: jobs instead of reserved-bandwidth latencies (analysis-only).
+        self._bus_contention = bus_contention
+        # Algorithm 1's line 23 writes the transition-mode bounds as
+        # ``[0, wcet]``.  With a window back-end, zeroing the bcet *widens*
+        # the execution windows of maybe-dropped jobs and therefore
+        # inflates interference on the surviving tasks — the opposite of
+        # what dropping achieves.  Keeping the nominal bcet is sound for
+        # the transition runs: the normal-state, interference-free
+        # earliest-start bounds remain valid lower bounds in every
+        # critical-state scenario (a job that runs at all runs no earlier
+        # than its fault-free best case).  Set ``zero_dropped_bcet=True``
+        # for the literal (more pessimistic) reading of the algorithm.
+        self._zero_dropped_bcet = zero_dropped_bcet
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def analyze(
+        self,
+        hardened: HardenedSystem,
+        architecture: Architecture,
+        mapping: Mapping,
+        dropped: Iterable[str] = (),
+    ) -> MCAnalysisResult:
+        """Run Algorithm 1 for a hardened system under a drop set ``T_d``."""
+        dropped_set = hardened.source.validate_drop_set(dropped)
+        base = self._base_jobset(hardened, architecture, mapping)
+        normal = self._backend.analyze(base)
+
+        graph_wcrt: Dict[str, float] = {}
+        normal_wcrt: Dict[str, float] = {}
+        worst_transition: Dict[str, Optional[str]] = {}
+        for graph in hardened.applications.graphs:
+            wcrt = normal.graph_wcrt(graph.name)
+            graph_wcrt[graph.name] = wcrt
+            normal_wcrt[graph.name] = wcrt
+            worst_transition[graph.name] = None
+
+        task_completion: Dict[str, float] = {
+            task.name: normal.task_max_finish(task.name)
+            for task in hardened.applications.all_tasks
+        }
+
+        transitions: List[TransitionInfo] = []
+        for trigger, instance, window in self._enumerate_transitions(
+            hardened, base, normal
+        ):
+            label = (
+                trigger.primary
+                if instance is None
+                else f"{trigger.primary}@{instance}"
+            )
+            bounds = self._analyze_transition(
+                hardened,
+                architecture,
+                mapping,
+                base,
+                normal,
+                trigger,
+                instance,
+                window,
+                dropped_set,
+            )
+            transition_wcrt: Dict[str, float] = {}
+            for graph in hardened.applications.graphs:
+                if graph.name in dropped_set:
+                    continue
+                wcrt = bounds.graph_wcrt(graph.name)
+                transition_wcrt[graph.name] = wcrt
+                if wcrt > graph_wcrt[graph.name]:
+                    graph_wcrt[graph.name] = wcrt
+                    worst_transition[graph.name] = label
+            for task in hardened.applications.all_tasks:
+                if hardened.source.owner_of(
+                    hardened.derived_to_primary[task.name]
+                ).name in dropped_set:
+                    continue
+                finish = bounds.task_max_finish(task.name)
+                if finish > task_completion[task.name]:
+                    task_completion[task.name] = finish
+            transitions.append(
+                TransitionInfo(
+                    trigger_primary=trigger.primary,
+                    trigger_kind=trigger.kind,
+                    instance=instance,
+                    min_start=window[0],
+                    max_finish=window[1],
+                    wcrt=transition_wcrt,
+                )
+            )
+
+        verdicts = {
+            graph.name: GraphVerdict(
+                graph=graph.name,
+                wcrt=graph_wcrt[graph.name],
+                normal_wcrt=normal_wcrt[graph.name],
+                deadline=graph.deadline,
+                dropped=graph.name in dropped_set,
+                worst_transition=worst_transition[graph.name],
+            )
+            for graph in hardened.applications.graphs
+        }
+        return MCAnalysisResult(
+            verdicts=verdicts,
+            transitions=tuple(transitions),
+            task_completion=task_completion,
+            granularity=self._granularity,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _base_jobset(
+        self,
+        hardened: HardenedSystem,
+        architecture: Architecture,
+        mapping: Mapping,
+    ) -> JobSet:
+        """Unroll ``T'`` with normal-state bounds (Algorithm 1 lines 2–9)."""
+        bounds: Dict[str, Tuple[float, float]] = {}
+        for task in hardened.applications.all_tasks:
+            bounds[task.name] = hardened.nominal_bounds(task.name)
+        for passive in hardened.passive_tasks:
+            bounds[passive] = (0.0, 0.0)
+        comm = self._comm or CommModel(architecture.interconnect)
+        priorities = assign_priorities(hardened.applications)
+        return unroll(
+            hardened.applications,
+            mapping,
+            architecture,
+            comm=comm,
+            priorities=priorities,
+            bounds=bounds,
+            policy=self._policy,
+            bus_contention=self._bus_contention,
+        )
+
+    def _enumerate_transitions(
+        self,
+        hardened: HardenedSystem,
+        base: JobSet,
+        normal: ScheduleBounds,
+    ):
+        """Yield ``(trigger, instance, (minStart_v, maxFinish_v))`` tuples."""
+        for trigger in hardened.triggers():
+            if self._granularity == "task":
+                min_start = min(
+                    normal.task_min_start(anchor) for anchor in trigger.start_anchors
+                )
+                max_finish = normal.task_max_finish(trigger.finish_anchor)
+                yield trigger, None, (min_start, max_finish)
+            else:
+                instances = sorted(
+                    job.instance
+                    for job in base.analyzed_jobs_of_task(trigger.finish_anchor)
+                )
+                for instance in instances:
+                    min_start = min(
+                        normal.job_bounds((anchor, instance)).min_start
+                        for anchor in trigger.start_anchors
+                    )
+                    max_finish = normal.job_bounds(
+                        (trigger.finish_anchor, instance)
+                    ).max_finish
+                    yield trigger, instance, (min_start, max_finish)
+
+    def _analyze_transition(
+        self,
+        hardened: HardenedSystem,
+        architecture: Architecture,
+        mapping: Mapping,
+        base: JobSet,
+        normal: ScheduleBounds,
+        trigger: CriticalTrigger,
+        instance: Optional[int],
+        window: Tuple[float, float],
+        dropped_set: FrozenSet[str],
+    ) -> ScheduleBounds:
+        """One iteration of Algorithm 1's outer loop (lines 12–30)."""
+        min_start_v, max_finish_v = window
+        overrides: Dict[JobId, Tuple[float, float]] = {}
+
+        trigger_jobs = self._trigger_overrides(
+            hardened, architecture, mapping, base, trigger, instance, overrides
+        )
+
+        for job in base.analyzed_jobs:
+            if job.job_id in trigger_jobs:
+                continue
+            job_bounds = normal.bounds_at(job.index)
+            if job_bounds.max_finish < min_start_v:
+                # Normal state: keep nominal bounds (lines 13–17; passive
+                # copies are already [0, 0] in the base job set).
+                continue
+            if job.graph_name in dropped_set:
+                if job_bounds.min_start > max_finish_v:
+                    overrides[job.job_id] = (0.0, 0.0)  # certainly dropped
+                else:  # transition mode: may run or be dropped
+                    low = 0.0 if self._zero_dropped_bcet else job.bcet
+                    overrides[job.job_id] = (min(low, job.wcet), job.wcet)
+            else:
+                task_name = job.task_name
+                if hardened.is_time_redundant(task_name):
+                    inflation = hardened.critical_inflation(task_name)
+                    overrides[job.job_id] = (job.bcet, job.wcet * inflation)
+                elif hardened.is_passive(task_name):
+                    overrides[job.job_id] = (
+                        0.0,
+                        self._activated_wcet(hardened, architecture, mapping, task_name),
+                    )
+        jobset = base.with_bounds(overrides)
+        return self._backend.analyze(jobset)
+
+    def _trigger_overrides(
+        self,
+        hardened: HardenedSystem,
+        architecture: Architecture,
+        mapping: Mapping,
+        base: JobSet,
+        trigger: CriticalTrigger,
+        instance: Optional[int],
+        overrides: Dict[JobId, Tuple[float, float]],
+    ) -> FrozenSet[JobId]:
+        """Apply the triggering task's critical bounds; return its job ids."""
+        handled: List[JobId] = []
+        if trigger.kind is not HardeningKind.PASSIVE:  # time-redundant trigger
+            inflation = hardened.critical_inflation(trigger.primary)
+            for job in base.analyzed_jobs_of_task(trigger.primary):
+                if instance is not None and job.instance != instance:
+                    continue
+                overrides[job.job_id] = (job.bcet, job.wcet * inflation)
+                handled.append(job.job_id)
+        else:  # passive replication: the requested copies become live
+            group = hardened.replica_groups[trigger.primary]
+            for name in group:
+                if name not in hardened.passive_tasks:
+                    continue
+                for job in base.analyzed_jobs_of_task(name):
+                    if instance is not None and job.instance != instance:
+                        continue
+                    overrides[job.job_id] = (
+                        0.0,
+                        self._activated_wcet(hardened, architecture, mapping, name),
+                    )
+                    handled.append(job.job_id)
+        return frozenset(handled)
+
+    def _activated_wcet(
+        self,
+        hardened: HardenedSystem,
+        architecture: Architecture,
+        mapping: Mapping,
+        task_name: str,
+    ) -> float:
+        """Processor-scaled WCET of a passive copy when it is requested."""
+        task = hardened.applications.task(task_name)
+        processor = architecture.processor(mapping[task_name])
+        return processor.scale_time(task.wcet)

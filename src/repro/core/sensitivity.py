@@ -1,0 +1,133 @@
+"""Sensitivity analysis of a hardened, mapped design.
+
+Two classic questions a designer asks once a design point is feasible:
+
+* **how much slower can the tasks get** before a deadline breaks —
+  :func:`wcet_scaling_margin` binary-searches the largest uniform
+  execution-time scale factor that keeps every surviving application
+  schedulable under the mixed-criticality analysis;
+* **how close are the deadlines** — :func:`deadline_margins` reports the
+  per-application ``deadline / WCRT`` ratio (1.0 = critical).
+
+Both operate on the *source* applications plus a hardening plan, so the
+scaled probes re-apply hardening consistently (detection and voting
+overheads scale together with the execution times).
+"""
+
+from dataclasses import replace
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.core.analysis import MixedCriticalityAnalysis
+from repro.errors import AnalysisError
+from repro.hardening.spec import HardeningPlan
+from repro.hardening.transform import harden
+from repro.model.application import ApplicationSet
+from repro.model.architecture import Architecture
+from repro.model.mapping import Mapping
+
+
+def scale_execution_times(
+    applications: ApplicationSet, factor: float
+) -> ApplicationSet:
+    """Scale every task's bcet/wcet and overheads by ``factor``.
+
+    Periods and deadlines are untouched — this models uniformly slower
+    code (or a slower silicon corner), the standard sensitivity axis.
+    """
+    if factor <= 0:
+        raise AnalysisError(f"scale factor must be positive, got {factor}")
+    scaled_graphs = []
+    for graph in applications.graphs:
+        scaled_tasks = [
+            replace(
+                task,
+                bcet=task.bcet * factor,
+                wcet=task.wcet * factor,
+                detection_overhead=task.detection_overhead * factor,
+                voting_overhead=task.voting_overhead * factor,
+            )
+            for task in graph.tasks
+        ]
+        scaled_graphs.append(graph.derive(tasks=scaled_tasks))
+    return ApplicationSet(scaled_graphs)
+
+
+def _schedulable_at(
+    applications: ApplicationSet,
+    plan: HardeningPlan,
+    architecture: Architecture,
+    mapping: Mapping,
+    dropped: Tuple[str, ...],
+    analysis: MixedCriticalityAnalysis,
+    factor: float,
+) -> bool:
+    hardened = harden(scale_execution_times(applications, factor), plan)
+    result = analysis.analyze(hardened, architecture, mapping, dropped)
+    return result.schedulable
+
+
+def wcet_scaling_margin(
+    applications: ApplicationSet,
+    plan: HardeningPlan,
+    architecture: Architecture,
+    mapping: Mapping,
+    dropped: Iterable[str] = (),
+    analysis: Optional[MixedCriticalityAnalysis] = None,
+    upper: float = 8.0,
+    tolerance: float = 0.01,
+) -> float:
+    """Largest uniform execution-time scale factor that stays schedulable.
+
+    Returns 0.0 when the design is infeasible as given (factor 1.0).
+    The search assumes schedulability is monotone in the factor — true
+    for this analysis, whose bounds are monotone in execution times.
+    """
+    if tolerance <= 0:
+        raise AnalysisError("tolerance must be positive")
+    analysis = analysis or MixedCriticalityAnalysis(granularity="task")
+    dropped = tuple(dropped)
+
+    if not _schedulable_at(
+        applications, plan, architecture, mapping, dropped, analysis, 1.0
+    ):
+        return 0.0
+    low = 1.0
+    high = upper
+    if _schedulable_at(
+        applications, plan, architecture, mapping, dropped, analysis, high
+    ):
+        return high  # saturated: report the search ceiling
+    while high - low > tolerance:
+        mid = 0.5 * (low + high)
+        if _schedulable_at(
+            applications, plan, architecture, mapping, dropped, analysis, mid
+        ):
+            low = mid
+        else:
+            high = mid
+    return low
+
+
+def deadline_margins(
+    applications: ApplicationSet,
+    plan: HardeningPlan,
+    architecture: Architecture,
+    mapping: Mapping,
+    dropped: Iterable[str] = (),
+    analysis: Optional[MixedCriticalityAnalysis] = None,
+) -> Dict[str, float]:
+    """``deadline / WCRT`` per application (> 1 means headroom).
+
+    Dropped applications are assessed in the normal state only, like the
+    feasibility check.
+    """
+    analysis = analysis or MixedCriticalityAnalysis(granularity="task")
+    hardened = harden(applications, plan)
+    result = analysis.analyze(hardened, architecture, mapping, tuple(dropped))
+    margins: Dict[str, float] = {}
+    for name, verdict in result.verdicts.items():
+        if verdict.wcrt <= 0:
+            margins[name] = float("inf")
+        else:
+            margins[name] = verdict.deadline / verdict.wcrt
+    return margins

@@ -1,0 +1,40 @@
+"""Design-space exploration (paper §4).
+
+A genetic algorithm explores allocation, hardening, mapping and the
+dropped-application set simultaneously.  The chromosome follows Figure 4:
+
+* one binary allocation gene per processor;
+* one binary "never dropped" gene per droppable application;
+* per task: the primary mapping, the re-execution degree, the mappings of
+  active and passive replicas, and the voter mapping.
+
+Infeasible candidates are repaired by randomized heuristics
+(:mod:`repro.dse.repair`): illegally mapped tasks are reassigned to random
+allocated processors, and hardening is escalated at random until the
+reliability constraints hold.  Selection uses a from-scratch SPEA2
+implementation (:mod:`repro.dse.spea2`) over the two objectives
+``(power, -service)``.
+"""
+
+from repro.dse.chromosome import Chromosome, TaskGene, random_chromosome
+from repro.dse.operators import crossover, mutate
+from repro.dse.repair import repair
+from repro.dse.spea2 import Spea2Selector, dominates
+from repro.dse.results import ExplorationResult, ExplorationStatistics, ParetoPoint
+from repro.dse.ga import Explorer, ExplorerConfig
+
+__all__ = [
+    "Chromosome",
+    "TaskGene",
+    "random_chromosome",
+    "crossover",
+    "mutate",
+    "repair",
+    "dominates",
+    "Spea2Selector",
+    "Explorer",
+    "ExplorerConfig",
+    "ExplorationResult",
+    "ExplorationStatistics",
+    "ParetoPoint",
+]

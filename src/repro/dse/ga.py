@@ -1,0 +1,353 @@
+"""The genetic-algorithm exploration loop (paper §4).
+
+Generational multi-objective GA with SPEA2 environmental selection:
+
+1. a random initial population is repaired and evaluated;
+2. each generation, SPEA2 selects the archive from population ∪ archive,
+   parents are drawn by binary tournament on SPEA2 fitness, and offspring
+   are produced by uniform crossover + mutation + repair;
+3. evaluation results are cached by chromosome identity — the paper
+   evaluates candidates in parallel for speed, here a thread pool can be
+   enabled via ``workers``.
+
+The paper runs population = parents = offspring = 100 for 5,000
+generations; those are the defaults, scaled down in tests and benchmarks.
+"""
+
+import random
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.evaluator import EvaluationResult, Evaluator
+from repro.core.problem import Problem
+from repro.dse.chromosome import (
+    Chromosome,
+    heuristic_chromosome,
+    partition_chromosome,
+    random_chromosome,
+)
+from repro.dse.operators import crossover, mutate
+from repro.dse.repair import repair
+from repro.dse.results import (
+    ExplorationResult,
+    ExplorationStatistics,
+    ParetoPoint,
+)
+from repro.dse.spea2 import Spea2Selector, pareto_filter
+from repro.errors import ExplorationError
+
+
+@dataclass(frozen=True)
+class ExplorerConfig:
+    """Tuning knobs of the exploration.
+
+    The defaults mirror the paper's experimental setup (§4): population,
+    parents and offspring of 100, SPEA2 selection, 5,000 generations.
+    """
+
+    population_size: int = 100
+    offspring_size: int = 100
+    archive_size: int = 100
+    generations: int = 5000
+    crossover_probability: float = 0.9
+    mutation_allocation_rate: float = 0.05
+    mutation_keep_alive_rate: float = 0.1
+    mutation_gene_rate: float = 0.15
+    seed: int = 0
+    #: Evaluate each feasible dropping candidate also with ``T_d`` emptied
+    #: to collect the §5.2 "feasible only with dropping" statistic.
+    track_dropping_gain: bool = False
+    reliability_repair_rounds: int = 16
+    #: Thread-pool size for candidate evaluation (1 = serial).
+    workers: int = 1
+    #: Stop early after this many generations without archive improvement
+    #: (``None`` disables early stopping).
+    stagnation_limit: Optional[int] = None
+    #: Mix constructive seed individuals (round-robin mapping, uniform
+    #: re-execution, one per candidate drop set) into the initial
+    #: population.  Greatly speeds up small-budget runs.
+    seed_heuristics: bool = True
+    #: Force ``T_d`` empty on every candidate — the "without task
+    #: dropping" optimization of the §5.2 power comparison.
+    disable_dropping: bool = False
+
+    def __post_init__(self):
+        if self.population_size < 2:
+            raise ExplorationError("population size must be >= 2")
+        if self.offspring_size < 1:
+            raise ExplorationError("offspring size must be >= 1")
+        if self.generations < 0:
+            raise ExplorationError("generations must be >= 0")
+        if not 0.0 <= self.crossover_probability <= 1.0:
+            raise ExplorationError("crossover probability must lie in [0, 1]")
+        if self.workers < 1:
+            raise ExplorationError("workers must be >= 1")
+
+
+class Explorer:
+    """Runs the GA for a problem instance."""
+
+    def __init__(
+        self,
+        problem: Problem,
+        config: Optional[ExplorerConfig] = None,
+        evaluator: Optional[Evaluator] = None,
+    ):
+        self._problem = problem
+        self._config = config or ExplorerConfig()
+        self._evaluator = evaluator or Evaluator(problem)
+        self._cache: Dict[Tuple, EvaluationResult] = {}
+        self._without_drop_cache: Dict[Tuple, bool] = {}
+        self._stats = ExplorationStatistics()
+
+    @property
+    def statistics(self) -> ExplorationStatistics:
+        """Statistics accumulated so far (live view)."""
+        return self._stats
+
+    def run(
+        self,
+        progress: Optional[Callable[[int, ExplorationStatistics], None]] = None,
+    ) -> ExplorationResult:
+        """Execute the configured number of generations."""
+        config = self._config
+        rng = random.Random(config.seed)
+        selector = Spea2Selector(config.archive_size)
+
+        population: List[Chromosome] = []
+        if config.seed_heuristics:
+            population.extend(self._heuristic_seeds(rng))
+        while len(population) < config.population_size:
+            population.append(random_chromosome(self._problem, rng))
+        population = [
+            self._finalize(
+                repair(
+                    chromosome,
+                    self._problem,
+                    rng,
+                    reliability_rounds=config.reliability_repair_rounds,
+                )
+            )
+            for chromosome in population[: config.population_size]
+        ]
+        self._evaluate_all(population)
+
+        archive: List[Chromosome] = []
+        history: List[Tuple[int, Optional[float], int]] = []
+        best_power: Optional[float] = None
+        stagnation = 0
+        generation = 0
+
+        for generation in range(config.generations + 1):
+            pool = _unique(archive + population)
+            results = [self._cache[c.key()] for c in pool]
+            objectives = [r.objectives for r in results]
+            archive = [pool[i] for i in selector.select(objectives)]
+
+            feasible_in_archive = [
+                self._cache[c.key()]
+                for c in archive
+                if self._cache[c.key()].feasible
+            ]
+            generation_best = (
+                min(r.power for r in feasible_in_archive)
+                if feasible_in_archive
+                else None
+            )
+            history.append((generation, generation_best, len(feasible_in_archive)))
+            if progress is not None:
+                progress(generation, self._stats)
+
+            if generation_best is not None and (
+                best_power is None or generation_best < best_power - 1e-12
+            ):
+                best_power = generation_best
+                stagnation = 0
+            else:
+                stagnation += 1
+            if (
+                config.stagnation_limit is not None
+                and stagnation >= config.stagnation_limit
+            ):
+                break
+            if generation == config.generations:
+                break
+
+            archive_objectives = [self._cache[c.key()].objectives for c in archive]
+            fitness = selector.fitness(archive_objectives)
+            offspring: List[Chromosome] = []
+            for _ in range(config.offspring_size):
+                parent_a = archive[selector.tournament(fitness, rng)]
+                parent_b = archive[selector.tournament(fitness, rng)]
+                if rng.random() < config.crossover_probability:
+                    child = crossover(parent_a, parent_b, rng)
+                else:
+                    child = parent_a
+                child = mutate(
+                    child,
+                    self._problem,
+                    rng,
+                    allocation_rate=config.mutation_allocation_rate,
+                    keep_alive_rate=config.mutation_keep_alive_rate,
+                    gene_rate=config.mutation_gene_rate,
+                )
+                child = repair(
+                    child,
+                    self._problem,
+                    rng,
+                    reliability_rounds=config.reliability_repair_rounds,
+                )
+                offspring.append(self._finalize(child))
+            self._evaluate_all(offspring)
+            population = offspring
+
+        return ExplorationResult(
+            pareto=self._pareto_points(archive),
+            statistics=self._stats,
+            history=history,
+            generations_run=generation,
+            best_by_drop_set=self._best_by_drop_set(),
+        )
+
+    def _best_by_drop_set(self) -> Dict[Tuple[str, ...], ParetoPoint]:
+        """Cheapest feasible evaluated design per dropped set."""
+        best: Dict[Tuple[str, ...], ParetoPoint] = {}
+        for result in self._cache.values():
+            if not result.feasible or result.design is None:
+                continue
+            key = tuple(sorted(result.design.dropped))
+            current = best.get(key)
+            if current is None or result.power < current.power:
+                best[key] = ParetoPoint(
+                    power=result.power,
+                    service=result.service,
+                    design=result.design,
+                )
+        return best
+
+    def _finalize(self, chromosome: Chromosome) -> Chromosome:
+        """Apply global candidate constraints (e.g. dropping disabled)."""
+        if self._config.disable_dropping and not all(chromosome.keep_alive):
+            chromosome = chromosome.with_keep_alive(
+                tuple(True for _ in chromosome.keep_alive)
+            )
+        return chromosome
+
+    def _heuristic_seeds(self, rng: random.Random) -> List[Chromosome]:
+        """Constructive seeds: one per easy-to-enumerate drop set."""
+        droppable = [
+            g.name for g in self._problem.applications.droppable_graphs
+        ]
+        drop_sets: List[Tuple[str, ...]] = [tuple(droppable), ()]
+        for name in droppable:
+            drop_sets.append(tuple(n for n in droppable if n != name))
+            drop_sets.append((name,))
+        seeds = []
+        seen = set()
+        for drop_set in drop_sets:
+            key = tuple(sorted(drop_set))
+            if key in seen:
+                continue
+            seen.add(key)
+            seeds.append(
+                heuristic_chromosome(self._problem, rng, dropped=drop_set)
+            )
+            seeds.append(
+                partition_chromosome(self._problem, rng, dropped=drop_set)
+            )
+        return seeds
+
+    # ------------------------------------------------------------------
+    # Evaluation with caching and statistics
+    # ------------------------------------------------------------------
+
+    def _evaluate_all(self, chromosomes: List[Chromosome]) -> None:
+        fresh = []
+        seen = set()
+        for chromosome in chromosomes:
+            key = chromosome.key()
+            if key in self._cache:
+                self._stats.cache_hits += 1
+            elif key not in seen:
+                seen.add(key)
+                fresh.append((key, chromosome))
+        if not fresh:
+            return
+        if self._config.workers > 1:
+            with ThreadPoolExecutor(max_workers=self._config.workers) as pool:
+                results = list(
+                    pool.map(lambda item: self._evaluate_one(item[1]), fresh)
+                )
+        else:
+            results = [self._evaluate_one(c) for _key, c in fresh]
+        for (key, _chromosome), result in zip(fresh, results):
+            self._cache[key] = result
+            self._record(key, result)
+
+    def _evaluate_one(self, chromosome: Chromosome) -> EvaluationResult:
+        try:
+            design = chromosome.decode(self._problem)
+        except ExplorationError as error:
+            # Structurally undecodable even after repair: hard penalty.
+            return EvaluationResult(
+                design=None,  # type: ignore[arg-type]
+                feasible=False,
+                violations=[f"decode: {error}"],
+            )
+        return self._evaluator.evaluate(design)
+
+    def _record(self, key: Tuple, result: EvaluationResult) -> None:
+        self._stats.evaluations += 1
+        if result.feasible:
+            self._stats.feasible += 1
+            if result.hardened is not None:
+                self._stats.record_hardening(result.hardened.plan.kind_histogram())
+        else:
+            self._stats.infeasible += 1
+        if (
+            self._config.track_dropping_gain
+            and result.feasible
+            and result.design is not None
+            and result.design.dropped
+        ):
+            self._stats.dropping_checked += 1
+            counterfactual = self._evaluator.evaluate(
+                result.design.without_dropping()
+            )
+            if not counterfactual.feasible:
+                self._stats.dropping_gain += 1
+
+    def _pareto_points(self, archive: List[Chromosome]) -> List[ParetoPoint]:
+        feasible = [
+            self._cache[c.key()]
+            for c in archive
+            if self._cache[c.key()].feasible
+        ]
+        if not feasible:
+            return []
+        objectives = [r.objectives for r in feasible]
+        points = [
+            ParetoPoint(
+                power=feasible[i].power,
+                service=feasible[i].service,
+                design=feasible[i].design,
+            )
+            for i in pareto_filter(objectives)
+        ]
+        # Deduplicate identical objective vectors.
+        unique: Dict[Tuple[float, float, Tuple[str, ...]], ParetoPoint] = {}
+        for point in points:
+            unique[(point.power, point.service, point.dropped)] = point
+        return sorted(unique.values(), key=lambda p: (p.power, -p.service))
+
+
+def _unique(chromosomes: List[Chromosome]) -> List[Chromosome]:
+    seen = set()
+    result = []
+    for chromosome in chromosomes:
+        key = chromosome.key()
+        if key not in seen:
+            seen.add(key)
+            result.append(chromosome)
+    return result

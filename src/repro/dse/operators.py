@@ -1,0 +1,166 @@
+"""Genetic operators: uniform crossover and per-gene mutation (paper §4)."""
+
+import random
+from dataclasses import replace
+from typing import List
+
+from repro.core.problem import Problem
+from repro.dse.chromosome import Chromosome, TaskGene
+
+
+def crossover(
+    parent_a: Chromosome,
+    parent_b: Chromosome,
+    rng: random.Random,
+) -> Chromosome:
+    """Uniform crossover, section-wise.
+
+    Every allocation bit, keep-alive bit and task gene is inherited from a
+    uniformly chosen parent.  Task genes are inherited whole (mapping and
+    hardening of one task travel together — they are tightly coupled in
+    the phenotype, cf. Figure 4).
+    """
+    allocation = tuple(
+        a if rng.random() < 0.5 else b
+        for a, b in zip(parent_a.allocation, parent_b.allocation)
+    )
+    keep_alive = tuple(
+        a if rng.random() < 0.5 else b
+        for a, b in zip(parent_a.keep_alive, parent_b.keep_alive)
+    )
+    genes = {
+        name: (
+            parent_a.genes[name] if rng.random() < 0.5 else parent_b.genes[name]
+        )
+        for name in parent_a.genes
+    }
+    return Chromosome(allocation=allocation, keep_alive=keep_alive, genes=genes)
+
+
+def mutate(
+    chromosome: Chromosome,
+    problem: Problem,
+    rng: random.Random,
+    allocation_rate: float = 0.05,
+    keep_alive_rate: float = 0.1,
+    gene_rate: float = 0.15,
+) -> Chromosome:
+    """Mutate each section with its own per-gene probability.
+
+    Task-gene mutations pick one of: remap the task, change the
+    re-execution degree, add/remove a replica, move a replica, or move
+    the voter.  Mutations may produce invalid shapes (e.g. a replica on
+    an unallocated processor); :func:`repro.dse.repair.repair` is expected
+    to run afterwards.
+    """
+    processor_names = problem.architecture.processor_names
+
+    allocation = tuple(
+        (not bit) if rng.random() < allocation_rate else bit
+        for bit in chromosome.allocation
+    )
+    if not any(allocation):
+        forced = rng.randrange(len(allocation))
+        allocation = tuple(
+            index == forced for index in range(len(allocation))
+        )
+    keep_alive = tuple(
+        (not bit) if rng.random() < keep_alive_rate else bit
+        for bit in chromosome.keep_alive
+    )
+
+    allocated = [
+        name for name, bit in zip(processor_names, allocation) if bit
+    ]
+    genes = dict(chromosome.genes)
+    for name, gene in genes.items():
+        if rng.random() < gene_rate:
+            genes[name] = _mutate_gene(gene, allocated, rng)
+    return Chromosome(allocation=allocation, keep_alive=keep_alive, genes=genes)
+
+
+def _mutate_gene(
+    gene: TaskGene, allocated: List[str], rng: random.Random
+) -> TaskGene:
+    """Apply one random structural or mapping mutation to a task gene."""
+    moves = [
+        "remap",
+        "reexec",
+        "checkpoint",
+        "add_replica",
+        "drop_replica",
+        "move_replica",
+        "voter",
+    ]
+    move = rng.choice(moves)
+
+    if move == "remap":
+        return replace(gene, processor=rng.choice(allocated))
+
+    if move == "reexec":
+        if gene.is_replicated:
+            # Collapse replication into re-execution.
+            return TaskGene(
+                processor=gene.processor, reexecutions=rng.randint(1, 3)
+            )
+        delta = rng.choice((-1, 1))
+        new_k = max(0, gene.reexecutions + delta)
+        checkpoints = gene.checkpoints if new_k > 0 else 0
+        return replace(gene, reexecutions=new_k, checkpoints=checkpoints)
+
+    if move == "checkpoint":
+        if gene.is_replicated:
+            return gene
+        if gene.checkpoints >= 2:
+            # Toggle back to plain re-execution.
+            return replace(gene, checkpoints=0)
+        return replace(
+            gene,
+            reexecutions=max(1, gene.reexecutions),
+            checkpoints=rng.randint(2, 4),
+        )
+
+    if move == "add_replica":
+        if rng.random() < 0.5 or not gene.active_replicas:
+            actives = gene.active_replicas + (rng.choice(allocated),)
+            return replace(
+                gene,
+                reexecutions=0,
+                active_replicas=actives,
+                voter_processor=gene.voter_processor or rng.choice(allocated),
+            )
+        passives = gene.passive_replicas + (rng.choice(allocated),)
+        return replace(
+            gene,
+            reexecutions=0,
+            passive_replicas=passives,
+            voter_processor=gene.voter_processor or rng.choice(allocated),
+        )
+
+    if move == "drop_replica":
+        if gene.passive_replicas:
+            return replace(gene, passive_replicas=gene.passive_replicas[:-1])
+        if gene.active_replicas:
+            remaining = gene.active_replicas[:-1]
+            if not remaining and not gene.passive_replicas:
+                return TaskGene(processor=gene.processor)
+            return replace(gene, active_replicas=remaining)
+        return gene
+
+    if move == "move_replica":
+        if gene.active_replicas:
+            index = rng.randrange(len(gene.active_replicas))
+            actives = list(gene.active_replicas)
+            actives[index] = rng.choice(allocated)
+            return replace(gene, active_replicas=tuple(actives))
+        if gene.passive_replicas:
+            index = rng.randrange(len(gene.passive_replicas))
+            passives = list(gene.passive_replicas)
+            passives[index] = rng.choice(allocated)
+            return replace(gene, passive_replicas=tuple(passives))
+        return replace(gene, processor=rng.choice(allocated))
+
+    # move == "voter"
+    if gene.is_replicated:
+        return replace(gene, voter_processor=rng.choice(allocated))
+    return replace(gene, processor=rng.choice(allocated))

@@ -1,0 +1,142 @@
+"""Exploration results and the statistics the paper's §5.2 reports."""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.problem import DesignPoint
+from repro.hardening.spec import HardeningKind
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One non-dominated feasible design."""
+
+    power: float
+    service: float
+    design: DesignPoint
+
+    @property
+    def dropped(self) -> Tuple[str, ...]:
+        """The dropped application set of this point, sorted."""
+        return tuple(sorted(self.design.dropped))
+
+
+@dataclass
+class ExplorationStatistics:
+    """Counters collected over every candidate the DSE evaluated.
+
+    These feed the paper's §5.2 analysis: the share of solutions that are
+    feasible *only* because task dropping is enabled, and the mix of
+    hardening techniques in feasible solutions.
+    """
+
+    evaluations: int = 0
+    cache_hits: int = 0
+    feasible: int = 0
+    infeasible: int = 0
+    #: Candidates feasible with their drop set but infeasible with
+    #: ``T_d`` emptied (the §5.2 "saved by dropping" numerator).
+    dropping_gain: int = 0
+    #: Candidates for which the without-dropping counterfactual was run.
+    dropping_checked: int = 0
+    #: Hardening techniques applied across feasible candidates.
+    hardening_histogram: Dict[HardeningKind, int] = field(default_factory=dict)
+
+    @property
+    def dropping_gain_ratio(self) -> float:
+        """Share of evaluated solutions feasible only thanks to dropping.
+
+        This is the paper's §5.2 metric taken over *all* explored
+        solutions; it grows as the exploration converges ("this ratio
+        increases as the design space exploration converges to optimum"),
+        so short runs report smaller values than the paper's 5,000
+        generations.
+        """
+        if self.evaluations == 0:
+            return 0.0
+        return self.dropping_gain / self.evaluations
+
+    @property
+    def dropping_gain_among_feasible(self) -> float:
+        """Share of *feasible* solutions that need dropping to be feasible.
+
+        Budget-independent variant of :attr:`dropping_gain_ratio`: at
+        convergence (almost everything explored is feasible) the two
+        coincide, which is the regime of the paper's numbers.
+        """
+        if self.feasible == 0:
+            return 0.0
+        return self.dropping_gain / self.feasible
+
+    @property
+    def reexecution_share(self) -> float:
+        """Fraction of applied hardening techniques that are re-executions."""
+        total = sum(self.hardening_histogram.values())
+        if total == 0:
+            return 0.0
+        return self.hardening_histogram.get(HardeningKind.REEXECUTION, 0) / total
+
+    def record_hardening(self, histogram: Dict[HardeningKind, int]) -> None:
+        """Accumulate one candidate's hardening histogram."""
+        for kind, count in histogram.items():
+            self.hardening_histogram[kind] = (
+                self.hardening_histogram.get(kind, 0) + count
+            )
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of one DSE run."""
+
+    pareto: List[ParetoPoint]
+    statistics: ExplorationStatistics
+    #: Per generation: (generation, best feasible power, feasible count in
+    #: the archive); best power is ``None`` until a feasible point exists.
+    history: List[Tuple[int, Optional[float], int]]
+    generations_run: int
+    #: Best-power feasible design per dropped set, over *all* evaluated
+    #: candidates (not just archive survivors).
+    best_by_drop_set: Dict[Tuple[str, ...], ParetoPoint] = field(
+        default_factory=dict
+    )
+
+    @property
+    def best_power(self) -> Optional[ParetoPoint]:
+        """The Pareto point with minimum power, if any."""
+        if not self.pareto:
+            return None
+        return min(self.pareto, key=lambda p: p.power)
+
+    @property
+    def best_service(self) -> Optional[ParetoPoint]:
+        """The Pareto point with maximum service, if any."""
+        if not self.pareto:
+            return None
+        return max(self.pareto, key=lambda p: p.service)
+
+    def front_as_rows(self) -> List[Tuple[float, float, Tuple[str, ...]]]:
+        """``(power, service, dropped set)`` rows sorted by power."""
+        return sorted(
+            (p.power, p.service, p.dropped) for p in self.pareto
+        )
+
+    def drop_set_front(self) -> List[ParetoPoint]:
+        """Pareto front over the per-drop-set best designs.
+
+        The archive-based :attr:`pareto` can lose intermediate drop sets
+        to truncation; this variant considers the cheapest feasible design
+        *ever evaluated* for each drop set (the granularity of the paper's
+        Figure 5) and filters the non-dominated ones.
+
+        """
+        points = list(self.best_by_drop_set.values())
+        front = []
+        for point in points:
+            dominated = any(
+                (other.power <= point.power and other.service >= point.service)
+                and (other.power < point.power or other.service > point.service)
+                for other in points
+            )
+            if not dominated:
+                front.append(point)
+        return sorted(front, key=lambda p: (p.power, -p.service))

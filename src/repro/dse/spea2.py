@@ -1,0 +1,156 @@
+"""SPEA2 — Strength Pareto Evolutionary Algorithm 2 (Zitzler et al., 2001).
+
+A from-scratch implementation of the selector the paper plugs into OPT4J
+(refs [18], [19]).  Given a union of population and archive with
+minimisation objectives:
+
+* the *strength* ``S(i)`` of an individual is the number of individuals
+  it dominates;
+* the *raw fitness* ``R(i)`` sums the strengths of everyone dominating
+  ``i`` (0 means non-dominated);
+* the *density* ``D(i) = 1 / (sigma_k + 2)`` uses the distance to the
+  ``k``-th nearest neighbour in objective space, ``k = sqrt(N)``;
+* fitness ``F(i) = R(i) + D(i)``; lower is better.
+
+Environmental selection keeps all non-dominated individuals; overfull
+archives are truncated by repeatedly removing the individual with the
+smallest distance to its nearest neighbour (ties broken on the next
+nearest), underfull archives are filled with the best dominated ones.
+"""
+
+import math
+import random
+from typing import List, Sequence, Tuple
+
+from repro.errors import ExplorationError
+
+Objectives = Tuple[float, ...]
+
+
+def dominates(a: Objectives, b: Objectives) -> bool:
+    """Pareto dominance for minimisation: ``a`` no worse everywhere and
+    strictly better somewhere."""
+    if len(a) != len(b):
+        raise ExplorationError("objective vectors differ in length")
+    not_worse = all(x <= y for x, y in zip(a, b))
+    strictly_better = any(x < y for x, y in zip(a, b))
+    return not_worse and strictly_better
+
+
+class Spea2Selector:
+    """Fitness assignment and environmental selection of SPEA2."""
+
+    def __init__(self, archive_size: int):
+        if archive_size < 1:
+            raise ExplorationError("archive size must be >= 1")
+        self._archive_size = archive_size
+
+    # ------------------------------------------------------------------
+    # Fitness
+    # ------------------------------------------------------------------
+
+    def fitness(self, objectives: Sequence[Objectives]) -> List[float]:
+        """SPEA2 fitness ``F(i) = R(i) + D(i)`` for every individual."""
+        count = len(objectives)
+        if count == 0:
+            return []
+        strength = [0] * count
+        dominated_by: List[List[int]] = [[] for _ in range(count)]
+        for i in range(count):
+            for j in range(count):
+                if i != j and dominates(objectives[i], objectives[j]):
+                    strength[i] += 1
+                    dominated_by[j].append(i)
+        raw = [
+            float(sum(strength[d] for d in dominated_by[i])) for i in range(count)
+        ]
+        k = max(1, int(math.sqrt(count)))
+        densities = []
+        for i in range(count):
+            distances = sorted(
+                _distance(objectives[i], objectives[j])
+                for j in range(count)
+                if j != i
+            )
+            sigma_k = distances[min(k - 1, len(distances) - 1)] if distances else 0.0
+            densities.append(1.0 / (sigma_k + 2.0))
+        return [raw[i] + densities[i] for i in range(count)]
+
+    # ------------------------------------------------------------------
+    # Environmental selection
+    # ------------------------------------------------------------------
+
+    def select(self, objectives: Sequence[Objectives]) -> List[int]:
+        """Indices forming the next archive."""
+        count = len(objectives)
+        if count == 0:
+            return []
+        fitness = self.fitness(objectives)
+        nondominated = [i for i in range(count) if fitness[i] < 1.0]
+        if len(nondominated) > self._archive_size:
+            return self._truncate(objectives, nondominated)
+        if len(nondominated) < self._archive_size:
+            dominated = sorted(
+                (i for i in range(count) if fitness[i] >= 1.0),
+                key=lambda i: fitness[i],
+            )
+            fill = self._archive_size - len(nondominated)
+            return nondominated + dominated[:fill]
+        return nondominated
+
+    def _truncate(
+        self, objectives: Sequence[Objectives], members: List[int]
+    ) -> List[int]:
+        """Iteratively drop the most crowded member (SPEA2 truncation)."""
+        alive = list(members)
+        while len(alive) > self._archive_size:
+            distance_lists = []
+            for i in alive:
+                distances = sorted(
+                    _distance(objectives[i], objectives[j])
+                    for j in alive
+                    if j != i
+                )
+                distance_lists.append((distances, i))
+            # Remove the member whose sorted distance vector is
+            # lexicographically smallest (densest region).
+            distance_lists.sort(key=lambda item: item[0])
+            alive.remove(distance_lists[0][1])
+        return alive
+
+    # ------------------------------------------------------------------
+    # Mating selection
+    # ------------------------------------------------------------------
+
+    def tournament(
+        self,
+        fitness: Sequence[float],
+        rng: random.Random,
+        size: int = 2,
+    ) -> int:
+        """Binary (by default) tournament on SPEA2 fitness; returns an index."""
+        if not fitness:
+            raise ExplorationError("tournament over an empty pool")
+        best = rng.randrange(len(fitness))
+        for _ in range(size - 1):
+            challenger = rng.randrange(len(fitness))
+            if fitness[challenger] < fitness[best]:
+                best = challenger
+        return best
+
+
+def _distance(a: Objectives, b: Objectives) -> float:
+    return math.sqrt(sum((x - y) ** 2 for x, y in zip(a, b)))
+
+
+def pareto_filter(objectives: Sequence[Objectives]) -> List[int]:
+    """Indices of the non-dominated members of a set (minimisation)."""
+    result = []
+    for i, candidate in enumerate(objectives):
+        if not any(
+            dominates(objectives[j], candidate)
+            for j in range(len(objectives))
+            if j != i
+        ):
+            result.append(i)
+    return result

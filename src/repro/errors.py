@@ -1,0 +1,53 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by this library derive from :class:`ReproError`, so
+callers can catch a single type at API boundaries.
+"""
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by :mod:`repro`."""
+
+
+class ModelError(ReproError):
+    """An application or architecture model is ill-formed.
+
+    Raised, for example, when a task graph contains a cycle, a channel
+    references an unknown task, or a numeric attribute is out of range.
+    """
+
+
+class MappingError(ReproError):
+    """A task-to-processor mapping is invalid for the given models.
+
+    Raised when a mapping misses a task, names an unknown processor, or
+    places a task on an unallocated processor.
+    """
+
+
+class HardeningError(ReproError):
+    """A hardening specification cannot be applied to a task graph."""
+
+
+class AnalysisError(ReproError):
+    """A schedulability or reliability analysis could not be completed."""
+
+
+class InfeasibleError(ReproError):
+    """A design point violates a hard constraint.
+
+    Carries the list of human-readable violation descriptions in
+    :attr:`violations`.
+    """
+
+    def __init__(self, message, violations=()):
+        super().__init__(message)
+        self.violations = list(violations)
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class ExplorationError(ReproError):
+    """The design-space exploration was configured or driven incorrectly."""

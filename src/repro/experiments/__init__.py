@@ -1,0 +1,65 @@
+"""Experiment harnesses regenerating the paper's tables and figures.
+
+* :mod:`repro.experiments.table2` — Table 2: WCRT of the two critical
+  Cruise applications under three sample mappings, for Adhoc / WC-Sim /
+  Proposed / Naive;
+* :mod:`repro.experiments.dropping` — §5.2: optimized power with vs
+  without task dropping, and the feasible-only-with-dropping ratios;
+* :mod:`repro.experiments.pareto` — Figure 5: the power/service Pareto
+  front of DT-med;
+* :mod:`repro.experiments.scaling` — the §3 complexity profile of
+  Algorithm 1 over growing task counts;
+* :mod:`repro.experiments.validation` — the §5.1 safety cross-check on
+  random systems (analyses vs Monte-Carlo ground truth).
+
+Run from the command line::
+
+    python -m repro.experiments table2
+    python -m repro.experiments sec52-power --quick
+    python -m repro.experiments sec52-ratio
+    python -m repro.experiments fig5
+"""
+
+from repro.experiments.table2 import Table2Cell, run_table2, format_table2
+from repro.experiments.dropping import (
+    DroppingPowerRow,
+    DroppingRatioRow,
+    format_power_rows,
+    format_ratio_rows,
+    run_power_comparison,
+    run_dropping_ratios,
+)
+from repro.experiments.pareto import format_front, run_fig5
+from repro.experiments.scaling import ScalingRow, run_scaling
+from repro.experiments.validation import (
+    ValidationRow,
+    format_validation,
+    run_validation,
+)
+from repro.experiments.tradeoff import (
+    TradeoffRow,
+    format_tradeoff,
+    run_tradeoff,
+)
+
+__all__ = [
+    "Table2Cell",
+    "run_table2",
+    "format_table2",
+    "DroppingPowerRow",
+    "DroppingRatioRow",
+    "run_power_comparison",
+    "run_dropping_ratios",
+    "format_power_rows",
+    "format_ratio_rows",
+    "run_fig5",
+    "format_front",
+    "ScalingRow",
+    "run_scaling",
+    "ValidationRow",
+    "run_validation",
+    "format_validation",
+    "TradeoffRow",
+    "run_tradeoff",
+    "format_tradeoff",
+]

@@ -1,0 +1,103 @@
+"""Command-line entry point: ``python -m repro.experiments <experiment>``.
+
+Experiments: ``table2``, ``sec52-power``, ``sec52-ratio``, ``fig5``,
+``scaling``, or ``all``.  ``--quick`` shrinks the budgets for a fast
+smoke run; ``--full`` uses paper-scale budgets (slow).
+"""
+
+import argparse
+import sys
+
+from repro.experiments.dropping import (
+    format_power_rows,
+    format_ratio_rows,
+    run_power_comparison,
+    run_dropping_ratios,
+)
+from repro.experiments.pareto import format_front, run_fig5
+from repro.experiments.scaling import run_scaling
+from repro.experiments.validation import format_validation, run_validation
+from repro.experiments.tradeoff import format_tradeoff, run_tradeoff
+from repro.experiments.table2 import format_table2, run_table2
+
+EXPERIMENTS = (
+    "table2",
+    "sec52-power",
+    "sec52-ratio",
+    "fig5",
+    "scaling",
+    "validate",
+    "tradeoff",
+    "all",
+)
+
+
+def _budget(args):
+    if args.quick:
+        return {"profiles": 300, "generations": 10, "population": 16}
+    if args.full:
+        return {"profiles": 10000, "generations": 5000, "population": 100}
+    return {"profiles": 2000, "generations": 40, "population": 32}
+
+
+def main(argv=None) -> int:
+    """Run the requested experiment(s) and print the paper-style tables."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("experiment", choices=EXPERIMENTS)
+    parser.add_argument("--quick", action="store_true", help="small budgets")
+    parser.add_argument(
+        "--full", action="store_true", help="paper-scale budgets (very slow)"
+    )
+    parser.add_argument("--seed", type=int, default=2014)
+    args = parser.parse_args(argv)
+    budget = _budget(args)
+
+    chosen = (
+        ["table2", "sec52-power", "sec52-ratio", "fig5", "scaling", "validate", "tradeoff"]
+        if args.experiment == "all"
+        else [args.experiment]
+    )
+    for name in chosen:
+        if name == "table2":
+            cells = run_table2(profiles=budget["profiles"], seed=args.seed)
+            print(format_table2(cells))
+        elif name == "sec52-power":
+            rows = run_power_comparison(
+                generations=budget["generations"],
+                population=budget["population"],
+                seed=args.seed,
+            )
+            print(format_power_rows(rows))
+        elif name == "sec52-ratio":
+            rows = run_dropping_ratios(
+                generations=max(10, budget["generations"] // 2),
+                population=budget["population"],
+                seed=args.seed,
+            )
+            print(format_ratio_rows(rows))
+        elif name == "fig5":
+            result = run_fig5(
+                generations=budget["generations"],
+                population=budget["population"],
+                seed=args.seed,
+            )
+            print(format_front(result))
+        elif name == "scaling":
+            rows = run_scaling()
+            print("Algorithm 1 scaling (tasks, transitions, seconds):")
+            for row in rows:
+                print(f"  |V'|={row.tasks:4d} transitions={row.transitions:4d} {row.seconds:8.3f}s")
+        elif name == "validate":
+            rows = run_validation(profiles=max(50, budget["profiles"] // 20))
+            print(format_validation(rows))
+        elif name == "tradeoff":
+            print(format_tradeoff(run_tradeoff()))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""Complexity profile of Algorithm 1 (paper §3).
+
+The paper states the analysis costs ``O(|V|^2 + |V| * C)`` with ``C`` the
+back-end cost — every re-executable or passively replicated task adds one
+back-end run.  This harness measures wall-clock time of the proposed
+analysis over generated task sets of growing size, which the
+``bench_alg1_scaling`` benchmark turns into a regression check.
+"""
+
+import random
+import time
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.benchgen.tgff import GraphShape, TgffConfig, generate_problem
+from repro.core import MixedCriticalityAnalysis
+from repro.dse.chromosome import heuristic_chromosome
+from repro.hardening.transform import harden
+
+
+@dataclass(frozen=True)
+class ScalingRow:
+    """Measured analysis cost for one generated problem size."""
+
+    tasks: int
+    transitions: int
+    seconds: float
+
+
+def run_scaling(
+    sizes: Sequence[int] = (2, 4, 6),
+    seed: int = 7,
+    granularity: str = "job",
+) -> List[ScalingRow]:
+    """Time Algorithm 1 over problems with ``sizes`` graphs each.
+
+    Every critical task is re-executed once, so the number of analyzed
+    transitions grows linearly with the critical task count.
+    """
+    rows: List[ScalingRow] = []
+    analysis = MixedCriticalityAnalysis(granularity=granularity)
+    for size in sizes:
+        problem = generate_problem(
+            seed=seed + size,
+            critical_graphs=size,
+            droppable_graphs=size,
+            processors=max(4, size),
+            config=TgffConfig(
+                shape=GraphShape(min_tasks=4, max_tasks=6),
+                period_slack_range=(3.0, 5.0),
+            ),
+            name_prefix=f"scal{size}",
+        )
+        chromosome = heuristic_chromosome(problem, random.Random(seed))
+        design = chromosome.decode(problem)
+        hardened = harden(problem.applications, design.plan)
+        start = time.perf_counter()
+        result = analysis.analyze(
+            hardened,
+            problem.architecture,
+            design.mapping,
+            dropped=design.dropped,
+        )
+        elapsed = time.perf_counter() - start
+        rows.append(
+            ScalingRow(
+                tasks=len(hardened.applications.all_tasks),
+                transitions=result.transitions_analyzed,
+                seconds=elapsed,
+            )
+        )
+    return rows

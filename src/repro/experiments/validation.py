@@ -1,0 +1,125 @@
+"""Safety validation: the analyses vs. ground-truth simulation.
+
+Quantifies §5.1's central claim on randomly generated systems: for every
+application the Proposed bound must dominate the Monte-Carlo maximum, and
+the Naive bound must dominate Proposed.  The printed *gap* columns show
+how much head-room each bound leaves over the best simulated evidence —
+tightness, not safety, is where analyses differ.
+"""
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.benchgen.tgff import GraphShape, TgffConfig, generate_problem
+from repro.core import MixedCriticalityAnalysis, NaiveAnalysis
+from repro.dse.chromosome import random_chromosome
+from repro.dse.repair import repair
+from repro.hardening.transform import harden
+from repro.sim import MonteCarloEstimator, Simulator
+
+
+@dataclass(frozen=True)
+class ValidationRow:
+    """One application of one random system."""
+
+    system: int
+    graph: str
+    dropped: bool
+    simulated: Optional[float]
+    proposed: float
+    naive: float
+
+    @property
+    def safe(self) -> bool:
+        """Proposed >= simulated and Naive >= Proposed (the §5.1 claims)."""
+        if self.naive < self.proposed - 1e-6:
+            return False
+        if self.simulated is None or self.dropped:
+            return True
+        return self.proposed >= self.simulated - 1e-6
+
+    @property
+    def proposed_gap(self) -> Optional[float]:
+        """``proposed / simulated`` — the tightness of the safe bound."""
+        if self.simulated is None or self.simulated <= 0:
+            return None
+        return self.proposed / self.simulated
+
+
+def run_validation(
+    seeds: Sequence[int] = (1, 2, 3, 4, 5),
+    profiles: int = 100,
+) -> List[ValidationRow]:
+    """Cross-validate analyses against simulation on random systems."""
+    rows: List[ValidationRow] = []
+    for seed in seeds:
+        problem = generate_problem(
+            seed=seed,
+            critical_graphs=1,
+            droppable_graphs=2,
+            processors=3,
+            config=TgffConfig(
+                shape=GraphShape(min_tasks=2, max_tasks=4, min_layers=1, max_layers=3),
+                period_slack_range=(2.5, 4.0),
+            ),
+            name_prefix=f"val{seed}",
+        )
+        rng = random.Random(seed)
+        chromosome = repair(random_chromosome(problem, rng), problem, rng)
+        design = chromosome.decode(problem)
+        hardened = harden(problem.applications, design.plan)
+
+        proposed = MixedCriticalityAnalysis().analyze(
+            hardened, problem.architecture, design.mapping, design.dropped
+        )
+        naive = NaiveAnalysis().analyze(
+            hardened, problem.architecture, design.mapping, design.dropped
+        )
+        simulator = Simulator(
+            hardened,
+            problem.architecture,
+            design.mapping,
+            dropped=tuple(design.dropped),
+        )
+        estimate = MonteCarloEstimator(simulator, max_faults=4).estimate(
+            profiles=profiles, seed=seed
+        )
+        for graph in hardened.applications.graphs:
+            rows.append(
+                ValidationRow(
+                    system=seed,
+                    graph=graph.name,
+                    dropped=graph.name in design.dropped,
+                    simulated=estimate.worst_response.get(graph.name),
+                    proposed=proposed.wcrt_of(graph.name),
+                    naive=naive.wcrt_of(graph.name),
+                )
+            )
+    return rows
+
+
+def format_validation(rows: List[ValidationRow]) -> str:
+    """Render the validation table."""
+    lines = ["Safety validation: analyses vs Monte-Carlo simulation"]
+    lines.append(
+        f"{'sys':>4} | {'graph':>12} | {'WC-Sim':>9} | {'Proposed':>9} | "
+        f"{'Naive':>9} | {'gap':>5} | safe"
+    )
+    lines.append("-" * 68)
+    for row in rows:
+        simulated = "-" if row.simulated is None else f"{row.simulated:9.1f}"
+        gap = row.proposed_gap
+        gap_text = "-" if gap is None else f"{gap:5.2f}"
+        tag = " (dropped)" if row.dropped else ""
+        lines.append(
+            f"{row.system:>4} | {row.graph:>12} | {simulated:>9} | "
+            f"{row.proposed:9.1f} | {row.naive:9.1f} | {gap_text:>5} | "
+            f"{'yes' if row.safe else 'NO'}{tag}"
+        )
+    violations = [r for r in rows if not r.safe]
+    lines.append("")
+    lines.append(
+        f"{len(rows)} application verdicts, {len(violations)} safety violation(s)"
+    )
+    return "\n".join(lines)

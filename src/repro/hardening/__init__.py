@@ -1,0 +1,36 @@
+"""Hardening techniques against transient faults (paper §2.2).
+
+Three techniques are supported, with their classical trade-offs:
+
+* **re-execution** — roll-back and run the same task instance again, up to
+  ``k`` times; topology unchanged, WCET inflated per Eq. (1):
+  ``wcet' = (wcet + dt) * (k + 1)``;
+* **active replication** — ``n`` copies of the task run on (ideally)
+  different processors, a majority voter merges their outputs;
+* **passive replication** — only part of the copies run proactively; the
+  remaining replicas are instantiated on request of the voter when it
+  detects a mismatch.
+
+:func:`harden` applies a :class:`HardeningPlan` to an application set and
+returns the transformed applications ``T'`` plus the bookkeeping needed by
+the analyses (replica groups, voters, passive copies, re-execution depths).
+"""
+
+from repro.hardening.spec import HardeningKind, HardeningPlan, HardeningSpec
+from repro.hardening.transform import HardenedSystem, harden
+from repro.hardening.reexecution import (
+    critical_wcet,
+    nominal_bounds,
+    reexecution_wcet,
+)
+
+__all__ = [
+    "HardeningKind",
+    "HardeningSpec",
+    "HardeningPlan",
+    "HardenedSystem",
+    "harden",
+    "reexecution_wcet",
+    "critical_wcet",
+    "nominal_bounds",
+]

@@ -1,0 +1,100 @@
+"""Re-execution timing arithmetic — Eq. (1) of the paper.
+
+A task hardened by re-execution detects faults locally at the end of each
+execution (overhead ``dt``), rolls back, and runs again — up to ``k``
+times.  The critical-state worst case is therefore
+
+    ``wcet' = (wcet + dt) * (k + 1)``.
+
+The nominal case (``k = 0``, no fault) still pays the detection overhead
+once: ``wcet + dt``.
+"""
+
+from typing import Tuple
+
+from repro.errors import HardeningError
+from repro.hardening.spec import HardeningKind, HardeningSpec
+from repro.model.task import Task
+
+
+def reexecution_wcet(wcet: float, detection_overhead: float, k: int) -> float:
+    """Eq. (1): worst-case execution time with up to ``k`` re-executions."""
+    if k < 0:
+        raise HardeningError(f"re-execution count must be >= 0, got {k}")
+    return (wcet + detection_overhead) * (k + 1)
+
+
+def checkpoint_wcet(
+    wcet: float, detection_overhead: float, segments: int, k: int
+) -> float:
+    """Checkpointing worst case (extension of Eq. (1), cf. ref [2]).
+
+    Detection + state saving cost one ``dt`` per segment; each of the
+    ``k`` recoveries re-executes at most one segment plus its detection:
+
+        ``wcet' = (wcet + n*dt) + k * (wcet/n + dt)``
+
+    With ``n = 1`` this degenerates to Eq. (1) exactly.
+    """
+    if segments < 1:
+        raise HardeningError(f"segment count must be >= 1, got {segments}")
+    if k < 0:
+        raise HardeningError(f"recovery count must be >= 0, got {k}")
+    nominal = wcet + segments * detection_overhead
+    recovery = wcet / segments + detection_overhead
+    return nominal + k * recovery
+
+
+def nominal_bounds(task: Task, spec: HardeningSpec) -> Tuple[float, float]:
+    """``[bcet, wcet]`` of a task in the fault-free (normal) state.
+
+    Time-redundant tasks pay the detection overhead on every execution
+    (once per segment for checkpointing), so it is included even when no
+    fault occurs.  Other kinds leave the bounds untouched (replication
+    overheads materialise as voter tasks).
+    """
+    if spec.kind is HardeningKind.REEXECUTION:
+        return (
+            task.bcet + task.detection_overhead,
+            task.wcet + task.detection_overhead,
+        )
+    if spec.kind is HardeningKind.CHECKPOINT:
+        overhead = spec.checkpoints * task.detection_overhead
+        return (task.bcet + overhead, task.wcet + overhead)
+    return (task.bcet, task.wcet)
+
+
+def recovery_bounds(task: Task, spec: HardeningSpec) -> Tuple[float, float]:
+    """``[bcet, wcet]`` of a single fault recovery.
+
+    Re-execution re-runs the whole task (plus detection); checkpointing
+    only the current segment.  Only meaningful for time-redundant specs.
+    """
+    if spec.kind is HardeningKind.REEXECUTION:
+        return (
+            task.bcet + task.detection_overhead,
+            task.wcet + task.detection_overhead,
+        )
+    if spec.kind is HardeningKind.CHECKPOINT:
+        n = spec.checkpoints
+        return (
+            task.bcet / n + task.detection_overhead,
+            task.wcet / n + task.detection_overhead,
+        )
+    raise HardeningError(f"{spec.kind.value} spec has no recovery phase")
+
+
+def critical_wcet(task: Task, spec: HardeningSpec) -> float:
+    """Worst-case execution time of a task in the critical state.
+
+    For re-executable tasks this is Eq. (1), for checkpointed tasks its
+    segment-wise generalisation; for every other kind the critical-state
+    worst case equals the nominal one.
+    """
+    if spec.kind is HardeningKind.REEXECUTION:
+        return reexecution_wcet(task.wcet, task.detection_overhead, spec.reexecutions)
+    if spec.kind is HardeningKind.CHECKPOINT:
+        return checkpoint_wcet(
+            task.wcet, task.detection_overhead, spec.checkpoints, spec.reexecutions
+        )
+    return nominal_bounds(task, spec)[1]

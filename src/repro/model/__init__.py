@@ -1,0 +1,50 @@
+"""Application and architecture models (paper §2.1).
+
+An application is a set of periodic task graphs with mixed criticality:
+non-droppable graphs carry a reliability constraint ``f_t`` and droppable
+graphs carry a service value ``sv_t``.  The architecture is a set of
+(heterogeneous) processors connected by an on-chip interconnect.
+"""
+
+from repro.model.task import Channel, Task, TaskRole
+from repro.model.taskgraph import Criticality, TaskGraph
+from repro.model.application import ApplicationSet
+from repro.model.architecture import Architecture, Interconnect, Processor
+from repro.model.mapping import Mapping
+from repro.model.serialization import (
+    application_set_from_dict,
+    application_set_to_dict,
+    architecture_from_dict,
+    architecture_to_dict,
+    load_system,
+    SystemBundle,
+    mapping_from_dict,
+    mapping_to_dict,
+    save_system,
+    task_graph_from_dict,
+    task_graph_to_dict,
+)
+
+__all__ = [
+    "Task",
+    "TaskRole",
+    "Channel",
+    "TaskGraph",
+    "Criticality",
+    "ApplicationSet",
+    "Processor",
+    "Interconnect",
+    "Architecture",
+    "Mapping",
+    "task_graph_to_dict",
+    "task_graph_from_dict",
+    "application_set_to_dict",
+    "application_set_from_dict",
+    "architecture_to_dict",
+    "architecture_from_dict",
+    "mapping_to_dict",
+    "mapping_from_dict",
+    "save_system",
+    "load_system",
+    "SystemBundle",
+]

@@ -1,0 +1,39 @@
+"""Transient-fault model and reliability analysis (paper §2.1, §2.3, ref [6]).
+
+Each processor has a constant fault rate ``lambda_p`` per time unit; the
+probability that a task execution of duration ``c`` on processor ``p`` is
+hit by at least one transient fault is ``1 - exp(-lambda_p * c)``.
+
+A non-droppable application ``t`` carries a reliability constraint
+``f_t in (0, 1]``: the expected number of *unsafe* (undetected-faulty)
+executions per unit time must not exceed ``f_t``.
+"""
+
+from repro.reliability.faults import execution_fault_probability, poisson_fault_count
+from repro.reliability.analysis import (
+    graph_failure_rate,
+    graph_unsafe_probability,
+    system_reliability_report,
+    task_unsafe_probability,
+)
+from repro.reliability.constraints import (
+    ReliabilityViolation,
+    check_reliability,
+    minimal_reexecutions,
+    minimal_replicas,
+    strengthen_spec,
+)
+
+__all__ = [
+    "execution_fault_probability",
+    "poisson_fault_count",
+    "task_unsafe_probability",
+    "graph_unsafe_probability",
+    "graph_failure_rate",
+    "system_reliability_report",
+    "ReliabilityViolation",
+    "check_reliability",
+    "minimal_reexecutions",
+    "minimal_replicas",
+    "strengthen_spec",
+]

@@ -1,0 +1,32 @@
+"""Transient-fault primitives.
+
+Transient faults are modelled as a Poisson process with a constant rate
+``lambda_p`` per processor (paper §2.1, following refs [11], [12]).
+"""
+
+import math
+
+from repro.errors import ModelError
+
+
+def execution_fault_probability(fault_rate: float, duration: float) -> float:
+    """Probability that at least one fault hits an execution.
+
+    ``P[fault] = 1 - exp(-lambda * c)`` for an execution of duration ``c``
+    on a processor with fault rate ``lambda``.
+    """
+    if fault_rate < 0:
+        raise ModelError(f"fault rate must be >= 0, got {fault_rate}")
+    if duration < 0:
+        raise ModelError(f"duration must be >= 0, got {duration}")
+    return -math.expm1(-fault_rate * duration)
+
+
+def poisson_fault_count(fault_rate: float, duration: float, count: int) -> float:
+    """Probability of exactly ``count`` faults during an execution."""
+    if count < 0:
+        raise ModelError(f"fault count must be >= 0, got {count}")
+    mean = fault_rate * duration
+    if mean < 0:
+        raise ModelError("fault rate and duration must be >= 0")
+    return math.exp(-mean) * mean**count / math.factorial(count)

@@ -1,0 +1,58 @@
+"""Communication timing model for the on-chip interconnect.
+
+Channels between tasks mapped on the same processor cost nothing.  Between
+processors, a transfer of ``s_e`` bytes takes ``base_latency + s_e / bw``
+on the fabric (paper §2.1 gives the fabric a maximum bandwidth ``bw_nw``).
+
+Two worst-case regimes are supported:
+
+* ``contention_factor = 1`` (default) — the fabric guarantees its
+  bandwidth to each transfer (e.g. a TDMA bus or a crossbar without
+  endpoint conflicts);
+* ``contention_factor > 1`` — worst-case transfers are stretched by the
+  given factor to cover arbitration losses on a shared medium.
+
+Best-case transfers always use the uncontended time, which keeps the
+best-case bounds safe lower bounds.
+"""
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+from repro.model.architecture import Interconnect
+
+
+@dataclass(frozen=True)
+class CommModel:
+    """Best-/worst-case channel latency computation.
+
+    Parameters
+    ----------
+    interconnect:
+        The platform fabric.
+    contention_factor:
+        Multiplier (>= 1) applied to worst-case transfer times.
+    """
+
+    interconnect: Interconnect
+    contention_factor: float = 1.0
+
+    def __post_init__(self):
+        if self.contention_factor < 1.0:
+            raise ModelError(
+                f"contention factor must be >= 1, got {self.contention_factor}"
+            )
+
+    def best_case(self, size: float, same_processor: bool) -> float:
+        """Safe lower bound on the channel latency."""
+        if same_processor or size <= 0:
+            return 0.0
+        return self.interconnect.transfer_time(size)
+
+    def worst_case(self, size: float, same_processor: bool) -> float:
+        """Safe upper bound on the channel latency."""
+        if same_processor:
+            return 0.0
+        if size <= 0:
+            return self.interconnect.base_latency * self.contention_factor
+        return self.interconnect.transfer_time(size) * self.contention_factor

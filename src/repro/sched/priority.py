@@ -1,0 +1,41 @@
+"""Fixed-priority assignment for the per-processor schedulers.
+
+The paper fixes no particular local policy ("tasks mapped on each PE are
+locally scheduled according to the scheduling policy of that PE"); this
+implementation uses fixed-priority preemptive scheduling with a
+deterministic rate-monotonic assignment:
+
+1. rate — tasks of shorter-period graphs beat longer-period ones;
+2. criticality — on equal periods, non-droppable tasks win;
+3. topological depth — upstream tasks beat downstream tasks of the same
+   graph, which lets pipelines drain in order;
+4. name — a total order tie-breaker so the assignment is reproducible.
+
+Priorities are deliberately *not* stratified by criticality: in a
+mixed-criticality system, short-period low-criticality tasks legitimately
+preempt long-period critical ones — which is exactly why dropping them in
+the critical state recovers schedulability for the critical applications
+(the paper's Figure 1 and §5.2).  Smaller numbers mean higher priority.
+"""
+
+from typing import Dict
+
+from repro.model.application import ApplicationSet
+
+
+def assign_priorities(applications: ApplicationSet) -> Dict[str, int]:
+    """Map every task name to a unique priority (0 = highest)."""
+    keys = []
+    for graph in applications.graphs:
+        for task in graph.tasks:
+            keys.append(
+                (
+                    graph.period,
+                    1 if graph.droppable else 0,
+                    graph.depth(task.name),
+                    task.name,
+                )
+            )
+    keys.sort()
+    order = {key[3]: index for index, key in enumerate(keys)}
+    return order

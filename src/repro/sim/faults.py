@@ -1,0 +1,118 @@
+"""Failure profiles: which executions are hit by transient faults.
+
+A :class:`FaultProfile` answers, for every execution attempt of every job,
+whether a transient fault corrupts it.  Profiles are the unit of
+Monte-Carlo repetition: the paper's ``WC-Sim`` column records the maximum
+response time over 10,000 different failure profiles (§5.1).
+"""
+
+import random
+from typing import FrozenSet, Iterable, List, Set, Tuple
+
+from repro.errors import SimulationError
+from repro.hardening.spec import HardeningKind
+from repro.hardening.transform import HardenedSystem
+
+#: One faulty execution: ``(task name, graph instance, attempt index)``.
+FaultKey = Tuple[str, int, int]
+
+
+class FaultProfile:
+    """An explicit set of faulty execution attempts."""
+
+    def __init__(self, faults: Iterable[FaultKey] = (), label: str = ""):
+        self._faults: FrozenSet[FaultKey] = frozenset(faults)
+        self.label = label
+
+    def is_faulty(self, task_name: str, instance: int, attempt: int) -> bool:
+        """Whether the given execution attempt is corrupted."""
+        return (task_name, instance, attempt) in self._faults
+
+    def __len__(self) -> int:
+        return len(self._faults)
+
+    def __iter__(self):
+        return iter(sorted(self._faults))
+
+    def __repr__(self) -> str:
+        tag = f" {self.label!r}" if self.label else ""
+        return f"FaultProfile({len(self._faults)} faults{tag})"
+
+
+def no_fault_profile() -> FaultProfile:
+    """The fault-free profile (normal-state trace)."""
+    return FaultProfile((), label="no-fault")
+
+
+def adhoc_profile(hardened: HardenedSystem, hyperperiods: int = 1) -> FaultProfile:
+    """The ``Adhoc`` worst-trace profile of the paper's §5.1.
+
+    Every time-redundant task is maximally recovered (its first ``k``
+    attempts fault, the last succeeds) and every passively replicated
+    group is triggered (its first active copy faults) — in every instance.
+    The system is additionally forced critical from time zero by the
+    caller (see :meth:`repro.sim.engine.Simulator.run`).
+    """
+    faults: List[FaultKey] = []
+    for graph in hardened.applications.graphs:
+        period = graph.period
+        instances = round(hyperperiods * hardened.applications.hyperperiod / period)
+        for task in graph.tasks:
+            if hardened.is_time_redundant(task.name):
+                k = hardened.time_redundancy[task.name].reexecutions
+                for instance in range(instances):
+                    faults.extend(
+                        (task.name, instance, attempt) for attempt in range(k)
+                    )
+    for primary, spec in hardened.plan.items():
+        if spec.kind is not HardeningKind.PASSIVE:
+            continue
+        graph = hardened.source.owner_of(primary)
+        instances = round(
+            hyperperiods * hardened.applications.hyperperiod / graph.period
+        )
+        first_active = hardened.replica_groups[primary][0]
+        faults.extend((first_active, instance, 0) for instance in range(instances))
+    return FaultProfile(faults, label="adhoc")
+
+
+def random_profile(
+    hardened: HardenedSystem,
+    rng: random.Random,
+    max_faults: int = 3,
+    hyperperiods: int = 1,
+) -> FaultProfile:
+    """A random failure profile for Monte-Carlo estimation.
+
+    Between 1 and ``max_faults`` faults are injected, each hitting a
+    uniformly chosen hardened execution (re-executable task attempt or
+    replica copy).  Profiles concentrate faults on hardened tasks because
+    faults elsewhere neither change timing nor trigger state transitions.
+    """
+    if max_faults < 1:
+        raise SimulationError(f"max_faults must be >= 1, got {max_faults}")
+    candidates: List[FaultKey] = []
+    hyperperiod = hardened.applications.hyperperiod
+    for graph in hardened.applications.graphs:
+        instances = round(hyperperiods * hyperperiod / graph.period)
+        for task in graph.tasks:
+            if hardened.is_time_redundant(task.name):
+                k = hardened.time_redundancy[task.name].reexecutions
+                for instance in range(instances):
+                    for attempt in range(k + 1):
+                        candidates.append((task.name, instance, attempt))
+    for primary, spec in hardened.plan.items():
+        if not spec.is_replicated:
+            continue
+        graph = hardened.source.owner_of(primary)
+        instances = round(hyperperiods * hyperperiod / graph.period)
+        for copy in hardened.replica_groups[primary]:
+            for instance in range(instances):
+                candidates.append((copy, instance, 0))
+    if not candidates:
+        return FaultProfile((), label="random-empty")
+    count = rng.randint(1, max_faults)
+    chosen: Set[FaultKey] = set(
+        rng.choice(candidates) for _ in range(count)
+    )
+    return FaultProfile(chosen, label="random")

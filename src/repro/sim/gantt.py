@@ -1,0 +1,107 @@
+"""Text Gantt rendering of simulation traces.
+
+Turns a trace-enabled :class:`~repro.sim.trace.SimulationResult` into a
+per-processor ASCII chart — handy for debugging mappings and for the
+examples.  Requires the simulation to have been run with
+``collect_trace=True``.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.trace import SimulationResult, TraceEvent
+
+
+@dataclass(frozen=True)
+class ExecutionSegment:
+    """One contiguous execution of a job on a processor."""
+
+    task: str
+    instance: int
+    processor: str
+    start: float
+    end: float
+
+
+def execution_segments(result: SimulationResult) -> List[ExecutionSegment]:
+    """Reconstruct execution segments from a collected trace.
+
+    A segment opens on a ``start`` event and closes on the next
+    ``preempt``/``finish``/``fault``/``reexecute``/``drop`` event of the
+    same job.
+    """
+    if not result.trace:
+        raise SimulationError(
+            "no trace events — run the simulator with collect_trace=True"
+        )
+    open_segments: Dict[Tuple[str, int], TraceEvent] = {}
+    segments: List[ExecutionSegment] = []
+    closing = {"preempt", "finish", "drop", "fault", "reexecute"}
+    for event in result.trace:
+        key = (event.task, event.instance)
+        if event.kind == "start":
+            open_segments[key] = event
+        elif event.kind in closing and key in open_segments:
+            begin = open_segments.pop(key)
+            if event.time > begin.time:
+                segments.append(
+                    ExecutionSegment(
+                        task=event.task,
+                        instance=event.instance,
+                        processor=begin.processor,
+                        start=begin.time,
+                        end=event.time,
+                    )
+                )
+            # A fault is followed by a re-execution start of the same job;
+            # the next `start` event reopens the segment.
+    return segments
+
+
+def render_gantt(
+    result: SimulationResult,
+    width: int = 72,
+    until: Optional[float] = None,
+) -> str:
+    """Render the trace as one ASCII row per processor.
+
+    Each row shows ``width`` time slots; a slot is filled with the first
+    letter of the task occupying it (``.`` = idle, ``*`` = more than one
+    segment boundary in the slot).
+    """
+    segments = execution_segments(result)
+    if not segments:
+        return "(no executions recorded)"
+    horizon = until if until is not None else max(s.end for s in segments)
+    if horizon <= 0:
+        raise SimulationError("render horizon must be positive")
+    scale = width / horizon
+
+    processors = sorted({s.processor for s in segments})
+    label_width = max(len(p) for p in processors)
+    lines = [
+        f"gantt  0 {'.' * (width - len(str(round(horizon))) - 4)} {round(horizon)}"
+    ]
+    for processor in processors:
+        slots = ["."] * width
+        for segment in segments:
+            if segment.processor != processor:
+                continue
+            first = min(width - 1, int(segment.start * scale))
+            last = min(width - 1, max(first, int(segment.end * scale) - 1))
+            for slot in range(first, last + 1):
+                glyph = segment.task[0].upper() if segment.task else "?"
+                slots[slot] = glyph if slots[slot] in (".", glyph) else "*"
+        lines.append(f"{processor:>{label_width}} |{''.join(slots)}|")
+    return "\n".join(lines)
+
+
+def busy_times(result: SimulationResult) -> Dict[str, float]:
+    """Total busy time per processor, from the trace."""
+    totals: Dict[str, float] = {}
+    for segment in execution_segments(result):
+        totals[segment.processor] = (
+            totals.get(segment.processor, 0.0) + segment.end - segment.start
+        )
+    return totals

@@ -1,0 +1,68 @@
+"""Execution-time sampling strategies for the simulator.
+
+Every sampler draws one execution duration from a job's ``[bcet, wcet]``
+interval.  ``WorstCaseSampler`` makes simulations deterministic traces;
+``BiasedSampler`` is the Monte-Carlo default — it lands on the exact WCET
+with a configurable probability, which probes worst-case behaviour much
+more effectively than uniform sampling.
+"""
+
+import random
+from typing import Protocol
+
+from repro.errors import SimulationError
+
+
+class ExecutionSampler(Protocol):
+    """Strategy drawing an execution time from ``[bcet, wcet]``."""
+
+    def sample(self, bcet: float, wcet: float, rng: random.Random) -> float:
+        """Return a duration in ``[bcet, wcet]``."""
+        ...
+
+
+class WorstCaseSampler:
+    """Always the WCET — turns a simulation into a deterministic trace."""
+
+    def sample(self, bcet: float, wcet: float, rng: random.Random) -> float:
+        """Return ``wcet``."""
+        return wcet
+
+
+class BestCaseSampler:
+    """Always the BCET."""
+
+    def sample(self, bcet: float, wcet: float, rng: random.Random) -> float:
+        """Return ``bcet``."""
+        return bcet
+
+
+class UniformSampler:
+    """Uniform draw over ``[bcet, wcet]``."""
+
+    def sample(self, bcet: float, wcet: float, rng: random.Random) -> float:
+        """Return a uniform sample."""
+        if wcet <= bcet:
+            return wcet
+        return rng.uniform(bcet, wcet)
+
+
+class BiasedSampler:
+    """WCET with probability ``worst_probability``, else uniform.
+
+    This mimics how worst-case-hunting simulation campaigns steer
+    execution times toward the upper bound.
+    """
+
+    def __init__(self, worst_probability: float = 0.5):
+        if not 0.0 <= worst_probability <= 1.0:
+            raise SimulationError(
+                f"worst probability must lie in [0, 1], got {worst_probability}"
+            )
+        self._worst_probability = worst_probability
+
+    def sample(self, bcet: float, wcet: float, rng: random.Random) -> float:
+        """Return WCET with the configured probability, else uniform."""
+        if wcet <= bcet or rng.random() < self._worst_probability:
+            return wcet
+        return rng.uniform(bcet, wcet)

@@ -1,0 +1,96 @@
+"""Simulation trace records and result aggregation."""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped scheduler event.
+
+    ``kind`` is one of ``release``, ``start``, ``preempt``, ``finish``,
+    ``fault``, ``reexecute``, ``activate``, ``drop``, ``critical``,
+    ``restore``, ``unsafe``.
+    """
+
+    time: float
+    kind: str
+    task: str = ""
+    instance: int = -1
+    processor: str = ""
+    detail: str = ""
+
+
+@dataclass
+class InstanceOutcome:
+    """Outcome of one application instance."""
+
+    graph: str
+    instance: int
+    release: float
+    #: Completion time of the whole instance; ``None`` if dropped.
+    finish: Optional[float] = None
+    dropped: bool = False
+    deadline: float = 0.0
+
+    @property
+    def response_time(self) -> Optional[float]:
+        """Completion relative to release, or ``None`` when dropped."""
+        if self.finish is None:
+            return None
+        return self.finish - self.release
+
+    @property
+    def met_deadline(self) -> Optional[bool]:
+        """Deadline satisfaction, or ``None`` when dropped."""
+        response = self.response_time
+        if response is None:
+            return None
+        return response <= self.deadline + 1e-9
+
+
+@dataclass
+class SimulationResult:
+    """Aggregated outcome of one simulation run."""
+
+    outcomes: List[InstanceOutcome] = field(default_factory=list)
+    trace: List[TraceEvent] = field(default_factory=list)
+    #: ``(time, trigger task)`` of each normal-to-critical transition.
+    transitions: List[Tuple[float, str]] = field(default_factory=list)
+    #: Executions that completed with an undetected-faulty result.
+    unsafe_events: List[Tuple[str, int]] = field(default_factory=list)
+    #: Total number of injected faults that materialised.
+    faults_observed: int = 0
+
+    def graph_response_time(self, graph_name: str) -> Optional[float]:
+        """Maximum observed response time of an application.
+
+        Dropped instances do not contribute; returns ``None`` when no
+        instance of the graph completed.
+        """
+        responses = [
+            outcome.response_time
+            for outcome in self.outcomes
+            if outcome.graph == graph_name and outcome.response_time is not None
+        ]
+        if not responses:
+            return None
+        return max(responses)
+
+    def response_times(self) -> Dict[str, Optional[float]]:
+        """Maximum observed response time per application."""
+        graphs = {outcome.graph for outcome in self.outcomes}
+        return {graph: self.graph_response_time(graph) for graph in sorted(graphs)}
+
+    def deadline_misses(self) -> List[InstanceOutcome]:
+        """Instances that completed after their deadline."""
+        return [o for o in self.outcomes if o.met_deadline is False]
+
+    def dropped_instances(self) -> List[InstanceOutcome]:
+        """Instances that were dropped in the critical state."""
+        return [o for o in self.outcomes if o.dropped]
+
+    @property
+    def entered_critical_state(self) -> bool:
+        """Whether any transition to the critical state happened."""
+        return bool(self.transitions)

@@ -1,0 +1,64 @@
+"""Benchmark suites of the paper's evaluation (§5).
+
+* :mod:`repro.suites.cruise` — the cruise-control application of
+  Kandasamy et al. [20] plus three synthetic applications, with the
+  reference hardening plan and the three sample mappings of Table 2;
+* :mod:`repro.suites.dtbench` — *DT-med* and *DT-large*, the
+  medium/large distributed real-time CORBA control benchmarks inspired
+  by the DREAM tool [21], with periods and execution times scaled by 20;
+* :mod:`repro.suites.synth` — *Synth-1* and *Synth-2*, randomly generated
+  with fixed seeds via :mod:`repro.benchgen`.
+
+Exact task parameters of the original benchmarks were never published;
+the suites reconstruct workloads with the documented *shape* (task
+counts, criticality mix, deadline tightness) — see DESIGN.md §3.
+"""
+
+from repro.suites.common import Benchmark
+from repro.suites.cruise import (
+    cruise_benchmark,
+    cruise_reference_plan,
+    cruise_sample_mappings,
+)
+from repro.suites.dtbench import dt_large_benchmark, dt_med_benchmark
+from repro.suites.synth import synth1_benchmark, synth2_benchmark
+
+from repro.errors import ModelError
+
+_REGISTRY = {
+    "cruise": cruise_benchmark,
+    "dt-med": dt_med_benchmark,
+    "dt-large": dt_large_benchmark,
+    "synth-1": synth1_benchmark,
+    "synth-2": synth2_benchmark,
+}
+
+
+def benchmark_names():
+    """Names accepted by :func:`get_benchmark`."""
+    return tuple(_REGISTRY)
+
+
+def get_benchmark(name: str) -> Benchmark:
+    """Build a benchmark by name (fresh instance each call)."""
+    try:
+        builder = _REGISTRY[name]
+    except KeyError:
+        raise ModelError(
+            f"unknown benchmark {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return builder()
+
+
+__all__ = [
+    "Benchmark",
+    "benchmark_names",
+    "get_benchmark",
+    "cruise_benchmark",
+    "cruise_reference_plan",
+    "cruise_sample_mappings",
+    "dt_med_benchmark",
+    "dt_large_benchmark",
+    "synth1_benchmark",
+    "synth2_benchmark",
+]

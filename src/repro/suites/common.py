@@ -1,0 +1,61 @@
+"""Shared helpers for the benchmark suites."""
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.core.problem import Problem
+from repro.hardening.transform import HardenedSystem
+from repro.model.mapping import Mapping
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """A named problem instance plus metadata.
+
+    Attributes
+    ----------
+    name:
+        Registry name (e.g. ``"cruise"``).
+    problem:
+        Applications + architecture.
+    description:
+        One-paragraph provenance note.
+    critical_apps:
+        Names of the non-droppable applications (reported in tables).
+    """
+
+    name: str
+    problem: Problem
+    description: str
+    critical_apps: Tuple[str, ...] = ()
+
+
+def round_robin_mapping(
+    hardened: HardenedSystem,
+    processors: Tuple[str, ...],
+    offset: int = 0,
+) -> Mapping:
+    """Deterministic round-robin placement of all ``T'`` tasks.
+
+    Replica co-location is avoided greedily: when the next processor in
+    rotation already hosts a copy of the same primary task, the following
+    ones are tried first.
+    """
+    assignment: Dict[str, str] = {}
+    copies_of: Dict[str, set] = {}
+    index = offset
+    for task in hardened.applications.all_tasks:
+        primary = hardened.derived_to_primary[task.name]
+        used = copies_of.setdefault(primary, set())
+        chosen = None
+        for step in range(len(processors)):
+            candidate = processors[(index + step) % len(processors)]
+            if candidate not in used:
+                chosen = candidate
+                break
+        if chosen is None:
+            chosen = processors[index % len(processors)]
+        assignment[task.name] = chosen
+        used.add(chosen)
+        index += 1
+    return Mapping(assignment)

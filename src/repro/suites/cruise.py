@@ -1,0 +1,356 @@
+"""The *Cruise* benchmark (paper §5, refs [20], [6]).
+
+A reconstruction of the cruise-control application of Kandasamy et al.
+("Dependable communication synthesis for distributed embedded systems",
+SAFECOMP 2003) with, as in the paper, three added synthetic applications
+"to increase the benchmark complexity".
+
+Two applications are safety-critical (non-droppable) — these are the "two
+critical applications" whose WCRTs Table 2 reports:
+
+* ``cc`` — the cruise controller proper: wheel/speed sensing, setpoint
+  management, the control law, and throttle actuation;
+* ``mon`` — the vehicle monitor: radar acquisition, object detection,
+  decision logic, and the brake command.
+
+Four droppable applications share the platform: infotainment (``info``),
+a rear-camera stream (``cam``), on-board diagnostics (``diag``) and trip
+logging (``log``).
+
+Time unit: milliseconds.  The platform has two lock-step hardened cores
+(low fault rate, expensive) and three performance cores (cheap, much
+higher transient-fault rate), connected by a CAN-like shared bus.
+"""
+
+from typing import List, Tuple
+
+from repro.core.problem import Problem
+from repro.hardening.spec import HardeningPlan, HardeningSpec
+from repro.hardening.transform import HardenedSystem, harden
+from repro.model.application import ApplicationSet
+from repro.model.architecture import (
+    Architecture,
+    Interconnect,
+    InterconnectKind,
+    Processor,
+)
+from repro.model.mapping import Mapping
+from repro.model.task import Channel, Task
+from repro.model.taskgraph import TaskGraph
+from repro.suites.common import Benchmark
+
+#: Names of the two critical applications reported in Table 2.
+CRITICAL_APPS: Tuple[str, str] = ("cc", "mon")
+
+
+def cruise_applications() -> ApplicationSet:
+    """The five applications of the Cruise benchmark."""
+    cc = TaskGraph(
+        "cc",
+        tasks=[
+            Task("cc_whl", 30.0, 55.0, voting_overhead=8.0, detection_overhead=5.0),
+            Task("cc_spd", 35.0, 60.0, voting_overhead=8.0, detection_overhead=5.0),
+            Task("cc_ref", 20.0, 45.0, voting_overhead=6.0, detection_overhead=4.0),
+            Task("cc_ctl", 60.0, 110.0, voting_overhead=10.0, detection_overhead=8.0),
+            Task("cc_thr", 40.0, 75.0, voting_overhead=8.0, detection_overhead=6.0),
+            Task("cc_act", 25.0, 50.0, voting_overhead=6.0, detection_overhead=4.0),
+        ],
+        channels=[
+            Channel("cc_whl", "cc_spd", 64.0),
+            Channel("cc_spd", "cc_ctl", 96.0),
+            Channel("cc_ref", "cc_ctl", 48.0),
+            Channel("cc_ctl", "cc_thr", 96.0),
+            Channel("cc_thr", "cc_act", 64.0),
+        ],
+        period=2000.0,
+        reliability_target=1e-9,
+    )
+    mon = TaskGraph(
+        "mon",
+        tasks=[
+            Task("mon_rad", 45.0, 80.0, voting_overhead=8.0, detection_overhead=6.0),
+            Task("mon_obj", 55.0, 100.0, voting_overhead=10.0, detection_overhead=8.0),
+            Task("mon_dec", 35.0, 65.0, voting_overhead=8.0, detection_overhead=5.0),
+            Task("mon_brk", 30.0, 55.0, voting_overhead=6.0, detection_overhead=4.0),
+        ],
+        channels=[
+            Channel("mon_rad", "mon_obj", 128.0),
+            Channel("mon_obj", "mon_dec", 96.0),
+            Channel("mon_dec", "mon_brk", 48.0),
+        ],
+        period=2000.0,
+        reliability_target=1e-9,
+    )
+    info = TaskGraph(
+        "info",
+        tasks=[
+            Task("info_src", 55.0, 120.0),
+            Task("info_dec", 80.0, 170.0),
+            Task("info_mix", 40.0, 95.0),
+            Task("info_out", 35.0, 75.0),
+        ],
+        channels=[
+            Channel("info_src", "info_dec", 256.0),
+            Channel("info_dec", "info_mix", 128.0),
+            Channel("info_mix", "info_out", 128.0),
+        ],
+        period=1000.0,
+        service_value=10.0,
+    )
+    diag = TaskGraph(
+        "diag",
+        tasks=[
+            Task("diag_poll", 35.0, 70.0),
+            Task("diag_chk", 45.0, 95.0),
+            Task("diag_rep", 20.0, 45.0),
+        ],
+        channels=[
+            Channel("diag_poll", "diag_chk", 96.0),
+            Channel("diag_chk", "diag_rep", 64.0),
+        ],
+        period=2000.0,
+        service_value=6.0,
+    )
+    log = TaskGraph(
+        "log",
+        tasks=[
+            Task("log_smp", 12.0, 28.0),
+            Task("log_fmt", 15.0, 32.0),
+            Task("log_wrt", 10.0, 25.0),
+        ],
+        channels=[
+            Channel("log_smp", "log_fmt", 64.0),
+            Channel("log_fmt", "log_wrt", 96.0),
+        ],
+        period=500.0,
+        service_value=3.0,
+    )
+    cam = TaskGraph(
+        "cam",
+        tasks=[
+            Task("cam_cap", 45.0, 95.0),
+            Task("cam_enc", 70.0, 150.0),
+            Task("cam_ovl", 35.0, 80.0),
+            Task("cam_out", 30.0, 65.0),
+        ],
+        channels=[
+            Channel("cam_cap", "cam_enc", 256.0),
+            Channel("cam_enc", "cam_ovl", 192.0),
+            Channel("cam_ovl", "cam_out", 128.0),
+        ],
+        period=1000.0,
+        service_value=8.0,
+    )
+    return ApplicationSet([cc, mon, info, diag, log, cam])
+
+
+def cruise_architecture() -> Architecture:
+    """Two lock-step cores + three performance cores on a shared bus."""
+    processors = [
+        Processor(
+            name="lock0",
+            ptype="lockstep",
+            static_power=2.0,
+            dynamic_power=5.0,
+            fault_rate=1e-7,
+        ),
+        Processor(
+            name="lock1",
+            ptype="lockstep",
+            static_power=2.0,
+            dynamic_power=5.0,
+            fault_rate=1e-7,
+        ),
+        Processor(
+            name="perf0",
+            ptype="performance",
+            static_power=1.0,
+            dynamic_power=3.0,
+            fault_rate=3e-6,
+        ),
+        Processor(
+            name="perf1",
+            ptype="performance",
+            static_power=1.0,
+            dynamic_power=3.0,
+            fault_rate=3e-6,
+        ),
+        Processor(
+            name="perf2",
+            ptype="performance",
+            static_power=1.0,
+            dynamic_power=3.0,
+            fault_rate=3e-6,
+        ),
+    ]
+    interconnect = Interconnect(
+        bandwidth=8.0,  # bytes per ms — a CAN-class control bus
+        base_latency=1.0,
+        kind=InterconnectKind.SHARED_BUS,
+    )
+    return Architecture(processors, interconnect)
+
+
+def cruise_benchmark() -> Benchmark:
+    """The complete Cruise problem instance."""
+    return Benchmark(
+        name="cruise",
+        problem=Problem(
+            applications=cruise_applications(),
+            architecture=cruise_architecture(),
+        ),
+        description=(
+            "Cruise-control application reconstructed from Kandasamy et al. "
+            "(2003) plus three synthetic applications, on a 5-core platform "
+            "with two lock-step and two performance cores."
+        ),
+        critical_apps=CRITICAL_APPS,
+    )
+
+
+def cruise_reference_plan() -> HardeningPlan:
+    """The fixed hardening used by the Table 2 scheduling-analysis study.
+
+    A mix of the three techniques, mirroring the motivational example
+    (Figure 1: A re-executed, B replicated): the control law is passively
+    replicated, the object detector actively triplicated, the remaining
+    critical tasks re-executed.
+    """
+    return HardeningPlan(
+        {
+            "cc_whl": HardeningSpec.reexecution(1),
+            "cc_spd": HardeningSpec.reexecution(1),
+            "cc_ref": HardeningSpec.reexecution(1),
+            "cc_ctl": HardeningSpec.passive(3, active=2),
+            "cc_thr": HardeningSpec.reexecution(1),
+            "cc_act": HardeningSpec.reexecution(1),
+            "mon_rad": HardeningSpec.reexecution(1),
+            "mon_obj": HardeningSpec.active(3),
+            "mon_dec": HardeningSpec.reexecution(1),
+            "mon_brk": HardeningSpec.reexecution(1),
+        }
+    )
+
+
+def cruise_sample_mappings() -> Tuple[HardenedSystem, List[Mapping]]:
+    """The three sample mappings analysed in Table 2.
+
+    Returns the hardened system (reference plan applied) and three
+    hand-picked mappings over its tasks:
+
+    * **Mapping 1** — locality first: each application owns a core, the
+      replicas spill onto the spare performance core;
+    * **Mapping 2** — critical work spread over four cores (more bus
+      traffic, more cross-interference between the critical chains);
+    * **Mapping 3** — droppable applications share cores with the
+      critical pipelines, which is where dropping pays off most (and
+      where the ``Naive`` bound is most pessimistic).
+    """
+    hardened = harden(cruise_applications(), cruise_reference_plan())
+
+    mapping1 = Mapping(
+        {
+            "cc_whl": "lock0",
+            "cc_spd": "lock0",
+            "cc_ref": "lock0",
+            "cc_ctl": "lock0",
+            "cc_ctl#r1": "lock1",
+            "cc_ctl#p0": "perf2",
+            "cc_ctl#vote": "lock0",
+            "cc_thr": "lock0",
+            "cc_act": "lock0",
+            "mon_rad": "lock1",
+            "mon_obj": "lock1",
+            "mon_obj#r1": "lock0",
+            "mon_obj#r2": "perf2",
+            "mon_obj#vote": "lock1",
+            "mon_dec": "lock1",
+            "mon_brk": "lock1",
+            "info_src": "perf0",
+            "info_dec": "perf0",
+            "info_mix": "perf0",
+            "info_out": "perf0",
+            "cam_cap": "perf1",
+            "cam_enc": "perf1",
+            "cam_ovl": "perf1",
+            "cam_out": "perf1",
+            "diag_poll": "perf2",
+            "diag_chk": "perf2",
+            "diag_rep": "perf2",
+            "log_smp": "perf2",
+            "log_fmt": "perf2",
+            "log_wrt": "perf2",
+        }
+    )
+
+    mapping2 = Mapping(
+        {
+            "cc_whl": "lock0",
+            "cc_spd": "lock1",
+            "cc_ref": "perf2",
+            "cc_ctl": "lock0",
+            "cc_ctl#r1": "lock1",
+            "cc_ctl#p0": "perf2",
+            "cc_ctl#vote": "lock0",
+            "cc_thr": "lock1",
+            "cc_act": "lock0",
+            "mon_rad": "perf2",
+            "mon_obj": "lock1",
+            "mon_obj#r1": "lock0",
+            "mon_obj#r2": "perf2",
+            "mon_obj#vote": "lock1",
+            "mon_dec": "lock0",
+            "mon_brk": "lock1",
+            "info_src": "perf0",
+            "info_dec": "perf0",
+            "info_mix": "perf1",
+            "info_out": "perf0",
+            "cam_cap": "perf1",
+            "cam_enc": "perf1",
+            "cam_ovl": "perf0",
+            "cam_out": "perf1",
+            "diag_poll": "perf0",
+            "diag_chk": "perf1",
+            "diag_rep": "perf0",
+            "log_smp": "perf1",
+            "log_fmt": "perf0",
+            "log_wrt": "perf1",
+        }
+    )
+
+    mapping3 = Mapping(
+        {
+            "cc_whl": "lock0",
+            "cc_spd": "lock0",
+            "cc_ref": "lock0",
+            "cc_ctl": "lock0",
+            "cc_ctl#r1": "lock1",
+            "cc_ctl#p0": "perf2",
+            "cc_ctl#vote": "lock0",
+            "cc_thr": "lock0",
+            "cc_act": "lock0",
+            "mon_rad": "lock1",
+            "mon_obj": "lock1",
+            "mon_obj#r1": "lock0",
+            "mon_obj#r2": "perf2",
+            "mon_obj#vote": "lock1",
+            "mon_dec": "lock1",
+            "mon_brk": "lock1",
+            "info_src": "perf0",
+            "info_dec": "perf0",
+            "info_mix": "perf0",
+            "info_out": "perf0",
+            "cam_cap": "perf1",
+            "cam_enc": "perf1",
+            "cam_ovl": "perf1",
+            "cam_out": "perf1",
+            "diag_poll": "lock1",
+            "diag_chk": "lock1",
+            "diag_rep": "lock1",
+            "log_smp": "lock0",
+            "log_fmt": "lock0",
+            "log_wrt": "lock0",
+        }
+    )
+
+    return hardened, [mapping1, mapping2, mapping3]

@@ -1,0 +1,235 @@
+"""*DT-med* and *DT-large* (paper §5, ref [21]).
+
+Two distributed non-preemptive real-time CORBA control benchmarks
+inspired by the open-source DREAM tool tutorial (Madl et al.).  As in the
+paper, "we add complexity and uncertainty by multiplying the invocation
+period and execution time of the original tasks by 20 times" — the task
+chains here carry timing in that scaled regime (tens-of-milliseconds
+execution times, 500–1000 ms periods).
+
+Both benchmarks mix critical control chains with droppable best-effort
+chains; DT-med carries exactly three droppable applications ``t1``,
+``t2``, ``t3`` — the drop-set universe of the paper's Figure 5.
+"""
+
+from typing import List, Tuple
+
+from repro.core.problem import Problem
+from repro.model.application import ApplicationSet
+from repro.model.architecture import (
+    Architecture,
+    Interconnect,
+    InterconnectKind,
+    Processor,
+)
+from repro.model.task import Channel, Task
+from repro.model.taskgraph import TaskGraph
+from repro.suites.common import Benchmark
+
+#: Scale factor the paper applies to the original DREAM timings.
+DREAM_SCALE = 20.0
+
+
+def _chain(
+    name: str,
+    stage_times: List[Tuple[float, float]],
+    message_size: float,
+    period: float,
+    reliability_target: float = None,
+    service_value: float = None,
+    detection_factor: float = 0.08,
+    voting_factor: float = 0.08,
+) -> TaskGraph:
+    """A CORBA-style processing chain: stage_i -> stage_i+1."""
+    tasks = []
+    channels = []
+    for index, (bcet, wcet) in enumerate(stage_times):
+        tasks.append(
+            Task(
+                name=f"{name}_s{index}",
+                bcet=bcet,
+                wcet=wcet,
+                detection_overhead=round(wcet * detection_factor, 3),
+                voting_overhead=round(wcet * voting_factor, 3),
+            )
+        )
+        if index:
+            channels.append(
+                Channel(f"{name}_s{index - 1}", f"{name}_s{index}", message_size)
+            )
+    return TaskGraph(
+        name,
+        tasks=tasks,
+        channels=channels,
+        period=period,
+        reliability_target=reliability_target,
+        service_value=service_value,
+    )
+
+
+def _dt_architecture(processors: int) -> Architecture:
+    """A heterogeneous distributed platform with a shared backbone.
+
+    Nodes get faster and hungrier with the index (speed and power grow
+    together), which is what gives the Figure 5 front its intermediate
+    points: every application kept alive in the critical mode demands
+    more capacity, and each additional dropped application lets the
+    allocation retreat to slower, cheaper node subsets.
+    """
+    pes = [
+        Processor(
+            name=f"node{index}",
+            ptype="corba-node",
+            static_power=round(0.8 + 0.5 * index, 3),
+            dynamic_power=round(3.0 + 1.0 * index, 3),
+            fault_rate=2e-6,
+            speed=round(1.0 + 0.25 * index, 3),
+        )
+        for index in range(processors)
+    ]
+    interconnect = Interconnect(
+        bandwidth=50.0,  # bytes per ms
+        base_latency=0.5,
+        kind=InterconnectKind.SHARED_BUS,
+    )
+    return Architecture(pes, interconnect)
+
+
+def dt_med_applications() -> ApplicationSet:
+    """Two critical chains plus the droppable ``t1``/``t2``/``t3``."""
+    # Original DREAM-style stage times (ms) x 20 -> the values below.
+    c1 = _chain(
+        "dtm_c1",
+        stage_times=[(18.0, 36.0), (24.0, 50.0), (30.0, 64.0), (20.0, 44.0), (16.0, 34.0)],
+        message_size=120.0,
+        period=1000.0,
+        reliability_target=1e-9,
+    )
+    c2 = _chain(
+        "dtm_c2",
+        stage_times=[(22.0, 46.0), (28.0, 60.0), (26.0, 52.0), (18.0, 40.0)],
+        message_size=160.0,
+        period=1000.0,
+        reliability_target=1e-9,
+    )
+    t1 = _chain(
+        "t1",
+        stage_times=[(40.0, 95.0), (50.0, 115.0), (42.0, 95.0), (30.0, 70.0)],
+        message_size=200.0,
+        period=1000.0,
+        service_value=5.0,
+    )
+    t2 = _chain(
+        "t2",
+        stage_times=[(30.0, 80.0), (55.0, 120.0), (35.0, 80.0)],
+        message_size=140.0,
+        period=1000.0,
+        service_value=3.0,
+    )
+    t3 = _chain(
+        "t3",
+        stage_times=[(25.0, 60.0), (40.0, 95.0), (30.0, 70.0)],
+        message_size=100.0,
+        period=1000.0,
+        service_value=2.0,
+    )
+    return ApplicationSet([c1, c2, t1, t2, t3])
+
+
+def dt_med_benchmark() -> Benchmark:
+    """The DT-med problem instance (4 processing nodes)."""
+    return Benchmark(
+        name="dt-med",
+        problem=Problem(
+            applications=dt_med_applications(),
+            architecture=_dt_architecture(4),
+        ),
+        description=(
+            "Medium distributed non-preemptive real-time CORBA benchmark "
+            "inspired by the DREAM tool tutorial; periods and execution "
+            "times x20 as in the paper. Two critical control chains plus "
+            "the droppable applications t1, t2, t3 of Figure 5."
+        ),
+        critical_apps=("dtm_c1", "dtm_c2"),
+    )
+
+
+def dt_large_applications() -> ApplicationSet:
+    """Four critical chains plus four droppable ones."""
+    graphs = [
+        _chain(
+            "dtl_c1",
+            stage_times=[(18.0, 38.0), (26.0, 56.0), (32.0, 68.0), (22.0, 46.0), (16.0, 36.0)],
+            message_size=140.0,
+            period=500.0,
+            reliability_target=1e-9,
+        ),
+        _chain(
+            "dtl_c2",
+            stage_times=[(24.0, 50.0), (30.0, 62.0), (26.0, 54.0), (20.0, 42.0)],
+            message_size=180.0,
+            period=500.0,
+            reliability_target=1e-9,
+        ),
+        _chain(
+            "dtl_c3",
+            stage_times=[(20.0, 44.0), (28.0, 58.0), (24.0, 50.0), (18.0, 38.0), (14.0, 30.0)],
+            message_size=120.0,
+            period=1000.0,
+            reliability_target=1e-9,
+        ),
+        _chain(
+            "dtl_c4",
+            stage_times=[(26.0, 54.0), (34.0, 70.0), (22.0, 48.0)],
+            message_size=160.0,
+            period=1000.0,
+            reliability_target=1e-9,
+        ),
+        _chain(
+            "dtl_t1",
+            stage_times=[(22.0, 50.0), (28.0, 62.0), (24.0, 52.0), (16.0, 36.0)],
+            message_size=220.0,
+            period=500.0,
+            service_value=6.0,
+        ),
+        _chain(
+            "dtl_t2",
+            stage_times=[(18.0, 44.0), (32.0, 68.0), (20.0, 44.0)],
+            message_size=160.0,
+            period=1000.0,
+            service_value=4.0,
+        ),
+        _chain(
+            "dtl_t3",
+            stage_times=[(14.0, 34.0), (24.0, 54.0), (18.0, 40.0)],
+            message_size=120.0,
+            period=500.0,
+            service_value=3.0,
+        ),
+        _chain(
+            "dtl_t4",
+            stage_times=[(12.0, 30.0), (20.0, 46.0), (14.0, 32.0)],
+            message_size=100.0,
+            period=1000.0,
+            service_value=2.0,
+        ),
+    ]
+    return ApplicationSet(graphs)
+
+
+def dt_large_benchmark() -> Benchmark:
+    """The DT-large problem instance (6 processing nodes)."""
+    return Benchmark(
+        name="dt-large",
+        problem=Problem(
+            applications=dt_large_applications(),
+            architecture=_dt_architecture(6),
+        ),
+        description=(
+            "Large distributed non-preemptive real-time CORBA benchmark "
+            "inspired by the DREAM tool tutorial; periods and execution "
+            "times x20. Four critical control chains and four droppable "
+            "best-effort chains."
+        ),
+        critical_apps=("dtl_c1", "dtl_c2", "dtl_c3", "dtl_c4"),
+    )

@@ -1,0 +1,138 @@
+"""Unit tests for the TGFF-style benchmark generator."""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.benchgen.tgff import (
+    GraphShape,
+    TgffConfig,
+    generate_application_set,
+    generate_architecture,
+    generate_problem,
+    generate_task_graph,
+)
+from repro.errors import ModelError
+
+
+class TestConfigValidation:
+    def test_bad_task_range(self):
+        with pytest.raises(ModelError):
+            GraphShape(min_tasks=5, max_tasks=2)
+
+    def test_bad_edge_probability(self):
+        with pytest.raises(ModelError):
+            GraphShape(extra_edge_probability=1.5)
+
+    def test_bad_wcet_range(self):
+        with pytest.raises(ModelError):
+            TgffConfig(wcet_range=(10.0, 5.0))
+
+    def test_bad_bcet_factors(self):
+        with pytest.raises(ModelError):
+            TgffConfig(bcet_factor_range=(0.9, 0.4))
+
+    def test_bad_quantum(self):
+        with pytest.raises(ModelError):
+            TgffConfig(period_quantum=0.0)
+
+
+class TestGraphGeneration:
+    def test_deterministic_per_seed(self):
+        a = generate_task_graph("g", random.Random(42))
+        b = generate_task_graph("g", random.Random(42))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generate_task_graph("g", random.Random(1))
+        b = generate_task_graph("g", random.Random(2))
+        assert a != b
+
+    def test_connectivity(self):
+        for seed in range(10):
+            graph = generate_task_graph("g", random.Random(seed))
+            if len(graph) == 1:
+                continue
+            undirected = graph.to_networkx().to_undirected()
+            assert nx.is_connected(undirected)
+
+    def test_every_nonsource_has_predecessor(self):
+        for seed in range(10):
+            graph = generate_task_graph("g", random.Random(seed))
+            sources = set(graph.sources)
+            for name in graph.task_names:
+                if name not in sources:
+                    assert graph.predecessors(name)
+
+    def test_period_is_power_of_two_quantum(self):
+        config = TgffConfig(period_quantum=50.0)
+        for seed in range(10):
+            graph = generate_task_graph("g", random.Random(seed), config)
+            ratio = graph.period / 50.0
+            assert ratio == 2 ** round(__import__("math").log2(ratio))
+
+    def test_period_has_slack(self):
+        config = TgffConfig(period_slack_range=(2.0, 4.0))
+        for seed in range(10):
+            graph = generate_task_graph("g", random.Random(seed), config)
+            assert graph.period >= graph.critical_path_wcet() * 2.0
+
+    def test_droppable_flag(self):
+        droppable = generate_task_graph("g", random.Random(0), droppable=True)
+        critical = generate_task_graph("g", random.Random(0), droppable=False)
+        assert droppable.droppable
+        assert not critical.droppable
+        assert critical.reliability_target == TgffConfig().reliability_target
+
+    def test_task_prefix(self):
+        graph = generate_task_graph("g", random.Random(0), task_prefix="pfx")
+        assert all(t.name.startswith("pfx_") for t in graph.tasks)
+
+
+class TestSetGeneration:
+    def test_application_set_mix(self):
+        apps = generate_application_set(
+            random.Random(5), critical_graphs=2, droppable_graphs=3
+        )
+        assert len(apps.critical_graphs) == 2
+        assert len(apps.droppable_graphs) == 3
+
+    def test_rejects_empty(self):
+        with pytest.raises(ModelError):
+            generate_application_set(random.Random(0), 0, 0)
+
+    def test_architecture_generation(self):
+        arch = generate_architecture(random.Random(0), processors=5, types=2)
+        assert len(arch) == 5
+        assert {p.ptype for p in arch} == {"type0", "type1"}
+        for p in arch:
+            assert p.fault_rate > 0
+
+    def test_architecture_rejects_bad_counts(self):
+        with pytest.raises(ModelError):
+            generate_architecture(random.Random(0), processors=0)
+        with pytest.raises(ModelError):
+            generate_architecture(random.Random(0), processors=2, types=0)
+
+    def test_problem_generation(self):
+        problem = generate_problem(seed=9, critical_graphs=1, droppable_graphs=1)
+        assert len(problem.applications) == 2
+        assert len(problem.architecture) == 4
+        # hyperperiod stays bounded thanks to power-of-two periods
+        periods = [g.period for g in problem.applications.graphs]
+        assert problem.applications.hyperperiod == max(periods)
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=25, deadline=None)
+def test_generated_problems_are_always_valid(seed):
+    problem = generate_problem(
+        seed=seed, critical_graphs=1, droppable_graphs=1, processors=3
+    )
+    apps = problem.applications
+    assert apps.hyperperiod == max(g.period for g in apps.graphs)
+    for graph in apps.graphs:
+        assert graph.critical_path_wcet() <= graph.period

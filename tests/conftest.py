@@ -1,0 +1,110 @@
+"""Shared fixtures: a small two-application system used across the suite."""
+
+import pytest
+
+from repro.core.problem import Problem
+from repro.hardening.spec import HardeningPlan, HardeningSpec
+from repro.hardening.transform import harden
+from repro.model.application import ApplicationSet
+from repro.model.architecture import (
+    Architecture,
+    Interconnect,
+    InterconnectKind,
+    Processor,
+)
+from repro.model.mapping import Mapping
+from repro.model.task import Channel, Task
+from repro.model.taskgraph import TaskGraph
+
+
+@pytest.fixture
+def critical_graph():
+    """A non-droppable three-task pipeline a -> b -> c."""
+    return TaskGraph(
+        "hi",
+        tasks=[
+            Task("a", 1.0, 2.0, voting_overhead=0.5, detection_overhead=0.2),
+            Task("b", 2.0, 4.0, voting_overhead=0.5, detection_overhead=0.4),
+            Task("c", 1.0, 1.5, voting_overhead=0.5, detection_overhead=0.1),
+        ],
+        channels=[Channel("a", "b", 10.0), Channel("b", "c", 5.0)],
+        period=20.0,
+        reliability_target=1e-6,
+    )
+
+
+@pytest.fixture
+def droppable_graph():
+    """A droppable two-task pipeline x -> y."""
+    return TaskGraph(
+        "lo",
+        tasks=[Task("x", 1.0, 3.0), Task("y", 1.0, 2.0)],
+        channels=[Channel("x", "y", 8.0)],
+        period=10.0,
+        service_value=5.0,
+    )
+
+
+@pytest.fixture
+def apps(critical_graph, droppable_graph):
+    """The two applications combined."""
+    return ApplicationSet([critical_graph, droppable_graph])
+
+
+@pytest.fixture
+def architecture():
+    """Three identical processors on a fast bus."""
+    processors = [
+        Processor(
+            name=f"pe{i}",
+            ptype="generic",
+            static_power=1.0,
+            dynamic_power=2.0,
+            fault_rate=1e-5,
+        )
+        for i in range(3)
+    ]
+    return Architecture(
+        processors,
+        Interconnect(bandwidth=1000.0, base_latency=0.0, kind=InterconnectKind.SHARED_BUS),
+    )
+
+
+@pytest.fixture
+def plan():
+    """Re-execute a, passively replicate b."""
+    return HardeningPlan(
+        {
+            "a": HardeningSpec.reexecution(2),
+            "b": HardeningSpec.passive(3, active=2),
+        }
+    )
+
+
+@pytest.fixture
+def hardened(apps, plan):
+    """The hardened system T'."""
+    return harden(apps, plan)
+
+
+@pytest.fixture
+def mapping(hardened):
+    """A fixed valid mapping of T' onto the three processors."""
+    return Mapping(
+        {
+            "a": "pe0",
+            "b": "pe0",
+            "b#r1": "pe1",
+            "b#p0": "pe2",
+            "b#vote": "pe0",
+            "c": "pe1",
+            "x": "pe2",
+            "y": "pe2",
+        }
+    )
+
+
+@pytest.fixture
+def problem(apps, architecture):
+    """The toy optimization problem."""
+    return Problem(applications=apps, architecture=architecture)

@@ -1,0 +1,66 @@
+"""Unit tests for the Naive and Adhoc baseline analyses."""
+
+import pytest
+
+from repro.core.adhoc import AdhocAnalysis
+from repro.core.analysis import MixedCriticalityAnalysis
+from repro.core.naive import NaiveAnalysis
+from repro.sim.engine import Simulator
+from repro.sim.faults import adhoc_profile
+from repro.sim.sampler import WorstCaseSampler
+
+
+class TestNaive:
+    def test_upper_bounds_proposed(self, hardened, architecture, mapping):
+        dropped = ("lo",)
+        proposed = MixedCriticalityAnalysis().analyze(
+            hardened, architecture, mapping, dropped
+        )
+        naive = NaiveAnalysis().analyze(hardened, architecture, mapping, dropped)
+        for graph in hardened.applications.graph_names:
+            if graph in dropped:
+                continue
+            assert naive.wcrt_of(graph) >= proposed.wcrt_of(graph) - 1e-9
+
+    def test_no_transitions_recorded(self, hardened, architecture, mapping):
+        naive = NaiveAnalysis().analyze(hardened, architecture, mapping)
+        assert naive.transitions_analyzed == 0
+        assert naive.granularity == "static"
+
+    def test_naive_at_least_normal_state(self, hardened, architecture, mapping):
+        proposed = MixedCriticalityAnalysis().analyze(hardened, architecture, mapping)
+        naive = NaiveAnalysis().analyze(hardened, architecture, mapping)
+        for graph, verdict in proposed.verdicts.items():
+            assert naive.wcrt_of(graph) >= verdict.normal_wcrt - 1e-9
+
+
+class TestAdhoc:
+    def test_matches_forced_worst_trace(self, hardened, architecture, mapping):
+        dropped = ("lo",)
+        adhoc = AdhocAnalysis().analyze(hardened, architecture, mapping, dropped)
+        simulator = Simulator(hardened, architecture, mapping, dropped=dropped)
+        trace = simulator.run(
+            profile=adhoc_profile(hardened),
+            sampler=WorstCaseSampler(),
+            drop_from_start=True,
+        )
+        for graph in hardened.applications.graph_names:
+            observed = trace.graph_response_time(graph)
+            expected = 0.0 if observed is None else observed
+            assert adhoc.wcrt_of(graph) == pytest.approx(expected)
+
+    def test_dropped_graph_reports_zero(self, hardened, architecture, mapping):
+        adhoc = AdhocAnalysis().analyze(hardened, architecture, mapping, ("lo",))
+        assert adhoc.wcrt_of("lo") == 0.0
+        assert adhoc.verdicts["lo"].dropped
+
+    def test_proposed_upper_bounds_adhoc(self, hardened, architecture, mapping):
+        dropped = ("lo",)
+        proposed = MixedCriticalityAnalysis().analyze(
+            hardened, architecture, mapping, dropped
+        )
+        adhoc = AdhocAnalysis().analyze(hardened, architecture, mapping, dropped)
+        for graph in hardened.applications.graph_names:
+            if graph in dropped:
+                continue
+            assert proposed.wcrt_of(graph) >= adhoc.wcrt_of(graph) - 1e-9

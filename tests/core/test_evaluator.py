@@ -1,0 +1,106 @@
+"""Unit tests for design-point evaluation."""
+
+import pytest
+
+from repro.core.evaluator import Evaluator
+from repro.core.problem import DesignPoint, Problem
+from repro.errors import ModelError
+from repro.hardening.spec import HardeningPlan, HardeningSpec
+from repro.model.mapping import Mapping
+
+
+@pytest.fixture
+def evaluator(problem):
+    return Evaluator(problem)
+
+
+def design(plan, mapping, allocation=("pe0", "pe1", "pe2"), dropped=()):
+    return DesignPoint(
+        allocation=frozenset(allocation),
+        dropped=frozenset(dropped),
+        plan=plan,
+        mapping=mapping,
+    )
+
+
+@pytest.fixture
+def good_design(plan, mapping):
+    return design(plan, mapping, dropped=("lo",))
+
+
+class TestFeasibleDesign:
+    def test_evaluates_feasible(self, evaluator, good_design):
+        result = evaluator.evaluate(good_design)
+        assert result.feasible, result.violations
+        assert result.power > 0
+        assert result.service == 0.0  # lo dropped
+        assert result.analysis is not None
+        assert result.severity == 0.0
+
+    def test_objectives_vector(self, evaluator, good_design):
+        result = evaluator.evaluate(good_design)
+        assert result.objectives == (result.power, -result.service)
+
+    def test_keeping_droppable_raises_service(self, evaluator, plan, mapping):
+        result = evaluator.evaluate(design(plan, mapping, dropped=()))
+        assert result.service == 5.0
+
+
+class TestViolations:
+    def test_missing_mapping(self, evaluator, plan, mapping):
+        partial = Mapping({"a": "pe0"})
+        result = evaluator.evaluate(design(plan, partial))
+        assert not result.feasible
+        assert any("mapping" in v for v in result.violations)
+        assert result.power is None
+
+    def test_unallocated_processor(self, evaluator, plan, mapping):
+        result = evaluator.evaluate(design(plan, mapping, allocation=("pe0", "pe1")))
+        assert not result.feasible
+        assert any("mapping" in v for v in result.violations)
+
+    def test_colocated_replicas(self, evaluator, plan, mapping):
+        bad = mapping.with_assignment("b#r1", "pe0")  # b is also on pe0
+        result = evaluator.evaluate(design(plan, bad))
+        assert any("replication" in v for v in result.violations)
+        assert result.severity > 0
+
+    def test_reliability_violation(self, evaluator, mapping):
+        # No hardening at all: the 1e-6 target of "hi" cannot hold.
+        result = evaluator.evaluate(design(HardeningPlan(), mapping))
+        assert any("reliability" in v for v in result.violations)
+
+    def test_empty_allocation_rejected(self, plan, mapping):
+        with pytest.raises(ModelError):
+            DesignPoint(
+                allocation=frozenset(),
+                dropped=frozenset(),
+                plan=plan,
+                mapping=mapping,
+            )
+
+    def test_penalty_dominates_feasible(self, evaluator, plan, mapping, good_design):
+        feasible = evaluator.evaluate(good_design)
+        infeasible = evaluator.evaluate(design(HardeningPlan(), mapping))
+        assert infeasible.objectives[0] > feasible.objectives[0]
+        assert infeasible.objectives[1] > feasible.objectives[1]
+
+    def test_severity_grades_penalty(self, evaluator, plan, mapping):
+        # A mild reliability miss is penalised less than a co-located
+        # replica group (severity 10 per placement violation).
+        mild = evaluator.evaluate(design(HardeningPlan(), mapping))
+        bad_mapping = mapping.with_assignment("b#r1", "pe0")
+        severe = evaluator.evaluate(design(plan, bad_mapping))
+        assert severe.objectives[0] > mild.objectives[0]
+
+
+class TestWithoutDropping:
+    def test_counterfactual_design(self, good_design):
+        counterfactual = good_design.without_dropping()
+        assert counterfactual.dropped == frozenset()
+        assert counterfactual.plan is good_design.plan
+        assert good_design.dropped == frozenset({"lo"})
+
+    def test_without_dropping_identity_when_empty(self, plan, mapping):
+        point = design(plan, mapping, dropped=())
+        assert point.without_dropping() is point

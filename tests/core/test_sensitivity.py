@@ -1,0 +1,110 @@
+"""Unit tests for the sensitivity analysis utilities."""
+
+import pytest
+
+from repro.core.analysis import MixedCriticalityAnalysis
+from repro.core.sensitivity import (
+    deadline_margins,
+    scale_execution_times,
+    wcet_scaling_margin,
+)
+from repro.errors import AnalysisError
+from repro.hardening.spec import HardeningPlan
+from repro.hardening.transform import harden
+
+
+class TestScaling:
+    def test_scales_all_timing_fields(self, apps):
+        scaled = scale_execution_times(apps, 2.0)
+        original = apps.task("a")
+        task = scaled.task("a")
+        assert task.wcet == 2 * original.wcet
+        assert task.bcet == 2 * original.bcet
+        assert task.detection_overhead == 2 * original.detection_overhead
+        assert task.voting_overhead == 2 * original.voting_overhead
+
+    def test_periods_untouched(self, apps):
+        scaled = scale_execution_times(apps, 3.0)
+        assert scaled.graph("hi").period == apps.graph("hi").period
+        assert scaled.graph("hi").deadline == apps.graph("hi").deadline
+
+    def test_invalid_factor_rejected(self, apps):
+        with pytest.raises(AnalysisError):
+            scale_execution_times(apps, 0.0)
+
+    def test_identity(self, apps):
+        scaled = scale_execution_times(apps, 1.0)
+        assert scaled.graph("hi") == apps.graph("hi")
+
+
+class TestWcetMargin:
+    def test_margin_is_schedulable_boundary(self, apps, plan, architecture, mapping):
+        margin = wcet_scaling_margin(
+            apps, plan, architecture, mapping, dropped=("lo",), tolerance=0.05
+        )
+        assert margin > 1.0  # the toy system has headroom
+
+        analysis = MixedCriticalityAnalysis(granularity="task")
+        hardened_at = harden(scale_execution_times(apps, margin), plan)
+        assert analysis.analyze(
+            hardened_at, architecture, mapping, ("lo",)
+        ).schedulable
+        hardened_beyond = harden(
+            scale_execution_times(apps, margin + 0.11), plan
+        )
+        assert not analysis.analyze(
+            hardened_beyond, architecture, mapping, ("lo",)
+        ).schedulable
+
+    def test_infeasible_design_has_zero_margin(self, apps, plan, architecture, mapping):
+        tight = scale_execution_times(apps, 10.0)
+        margin = wcet_scaling_margin(
+            tight, plan, architecture, mapping, dropped=("lo",)
+        )
+        assert margin == 0.0
+
+    def test_saturates_at_upper(self, apps, plan, architecture, mapping):
+        loose = scale_execution_times(apps, 0.01)
+        margin = wcet_scaling_margin(
+            loose, plan, architecture, mapping, dropped=("lo",), upper=2.0
+        )
+        assert margin == 2.0
+
+    def test_dropping_increases_margin(self, apps, plan, architecture, mapping):
+        kept = wcet_scaling_margin(
+            apps, plan, architecture, mapping, dropped=(), tolerance=0.05
+        )
+        dropped = wcet_scaling_margin(
+            apps, plan, architecture, mapping, dropped=("lo",), tolerance=0.05
+        )
+        assert dropped >= kept - 0.06
+
+    def test_invalid_tolerance(self, apps, plan, architecture, mapping):
+        with pytest.raises(AnalysisError):
+            wcet_scaling_margin(
+                apps, plan, architecture, mapping, tolerance=0.0
+            )
+
+
+class TestDeadlineMargins:
+    def test_margins_match_analysis(self, apps, plan, architecture, mapping):
+        margins = deadline_margins(
+            apps, plan, architecture, mapping, dropped=("lo",)
+        )
+        analysis = MixedCriticalityAnalysis(granularity="task")
+        hardened = harden(apps, plan)
+        result = analysis.analyze(hardened, architecture, mapping, ("lo",))
+        for name, margin in margins.items():
+            verdict = result.verdicts[name]
+            assert margin == pytest.approx(verdict.deadline / verdict.wcrt)
+
+    def test_headroom_iff_schedulable(self, apps, plan, architecture, mapping):
+        margins = deadline_margins(
+            apps, plan, architecture, mapping, dropped=("lo",)
+        )
+        hardened = harden(apps, plan)
+        result = MixedCriticalityAnalysis(granularity="task").analyze(
+            hardened, architecture, mapping, ("lo",)
+        )
+        for name, verdict in result.verdicts.items():
+            assert (margins[name] >= 1.0) == verdict.meets_deadline

@@ -1,0 +1,179 @@
+"""Unit tests for the Figure-4 chromosome."""
+
+import random
+
+import pytest
+
+from repro.dse.chromosome import (
+    Chromosome,
+    TaskGene,
+    heuristic_chromosome,
+    partition_chromosome,
+    random_chromosome,
+)
+from repro.errors import ExplorationError
+from repro.hardening.spec import HardeningKind
+
+
+class TestTaskGene:
+    def test_plain_gene(self):
+        gene = TaskGene(processor="pe0")
+        assert gene.spec().kind is HardeningKind.NONE
+        assert not gene.is_replicated
+
+    def test_reexecution_gene(self):
+        gene = TaskGene(processor="pe0", reexecutions=2)
+        assert gene.spec().reexecutions == 2
+
+    def test_active_gene(self):
+        gene = TaskGene(
+            processor="pe0", active_replicas=("pe1", "pe2"), voter_processor="pe0"
+        )
+        spec = gene.spec()
+        assert spec.kind is HardeningKind.ACTIVE
+        assert spec.replicas == 3
+
+    def test_passive_gene(self):
+        gene = TaskGene(
+            processor="pe0",
+            active_replicas=("pe1",),
+            passive_replicas=("pe2",),
+            voter_processor="pe0",
+        )
+        spec = gene.spec()
+        assert spec.kind is HardeningKind.PASSIVE
+        assert spec.effective_active_replicas == 2
+        assert spec.passive_replicas == 1
+
+    def test_replication_overrides_reexecution(self):
+        gene = TaskGene(processor="pe0", reexecutions=3, active_replicas=("pe1",))
+        assert gene.spec().kind is HardeningKind.ACTIVE
+
+    def test_passive_without_active_partner_rejected(self):
+        gene = TaskGene(processor="pe0", passive_replicas=("pe2",))
+        with pytest.raises(ExplorationError):
+            gene.spec()
+
+    def test_checkpoint_gene(self):
+        gene = TaskGene(processor="pe0", reexecutions=2, checkpoints=3)
+        spec = gene.spec()
+        assert spec.kind is HardeningKind.CHECKPOINT
+        assert spec.checkpoints == 3
+        assert spec.reexecutions == 2
+
+    def test_checkpoint_needs_recoveries(self):
+        gene = TaskGene(processor="pe0", reexecutions=0, checkpoints=3)
+        assert gene.spec().kind is HardeningKind.NONE
+
+    def test_replication_overrides_checkpoints(self):
+        gene = TaskGene(
+            processor="pe0", reexecutions=1, checkpoints=2,
+            active_replicas=("pe1",),
+        )
+        assert gene.spec().kind is HardeningKind.ACTIVE
+
+
+class TestDecode:
+    def make_chromosome(self, problem):
+        return heuristic_chromosome(problem, random.Random(0), dropped=("lo",))
+
+    def test_decode_produces_valid_design(self, problem):
+        design = self.make_chromosome(problem).decode(problem)
+        assert design.dropped == frozenset({"lo"})
+        design.mapping.validate(
+            # hardened T' has only primaries here (re-exec hardening)
+            problem.applications,
+            problem.architecture,
+            allocated=design.allocation,
+        )
+
+    def test_decode_maps_replicas_and_voter(self, problem):
+        chromosome = self.make_chromosome(problem)
+        gene = TaskGene(
+            processor="pe0",
+            active_replicas=("pe1",),
+            passive_replicas=("pe2",),
+            voter_processor="pe1",
+        )
+        chromosome = chromosome.with_gene("b", gene)
+        design = chromosome.decode(problem)
+        assert design.mapping["b#r1"] == "pe1"
+        assert design.mapping["b#p0"] == "pe2"
+        assert design.mapping["b#vote"] == "pe1"
+
+    def test_decode_requires_gene_per_task(self, problem):
+        chromosome = self.make_chromosome(problem)
+        genes = dict(chromosome.genes)
+        del genes["a"]
+        broken = Chromosome(
+            allocation=chromosome.allocation,
+            keep_alive=chromosome.keep_alive,
+            genes=genes,
+        )
+        with pytest.raises(ExplorationError, match="no gene"):
+            broken.decode(problem)
+
+    def test_decode_rejects_wrong_section_sizes(self, problem):
+        chromosome = self.make_chromosome(problem)
+        with pytest.raises(ExplorationError):
+            chromosome.with_allocation((True,)).decode(problem)
+        with pytest.raises(ExplorationError):
+            chromosome.with_keep_alive(()).decode(problem)
+
+    def test_decode_rejects_empty_allocation(self, problem):
+        chromosome = self.make_chromosome(problem)
+        empty = chromosome.with_allocation((False, False, False))
+        with pytest.raises(ExplorationError):
+            empty.decode(problem)
+
+    def test_key_is_stable_identity(self, problem):
+        a = self.make_chromosome(problem)
+        b = heuristic_chromosome(problem, random.Random(99), dropped=("lo",))
+        # heuristic layout differs only in rotation offset; keys compare
+        # structure, so identical layouts share a key.
+        assert a.key() == Chromosome(
+            allocation=a.allocation, keep_alive=a.keep_alive, genes=dict(a.genes)
+        ).key()
+        assert isinstance(hash(a.key()), int)
+
+
+class TestGenerators:
+    def test_random_chromosome_shape(self, problem):
+        rng = random.Random(1)
+        chromosome = random_chromosome(problem, rng)
+        assert len(chromosome.allocation) == 3
+        assert len(chromosome.keep_alive) == 1
+        assert set(chromosome.genes) == set(problem.applications.all_task_names)
+        assert any(chromosome.allocation)
+
+    def test_random_respects_allocation(self, problem):
+        rng = random.Random(2)
+        for _ in range(10):
+            chromosome = random_chromosome(problem, rng)
+            allocated = set(chromosome.allocated_processors(problem))
+            for gene in chromosome.genes.values():
+                assert gene.processor in allocated
+
+    def test_partition_chromosome_colocates_graphs(self, problem):
+        chromosome = partition_chromosome(problem, random.Random(0))
+        for graph in problem.applications.graphs:
+            processors = {
+                chromosome.genes[t.name].processor for t in graph.tasks
+            }
+            assert len(processors) == 1
+
+    def test_heuristic_chromosome_drop_set(self, problem):
+        chromosome = heuristic_chromosome(problem, random.Random(0), dropped=("lo",))
+        assert chromosome.dropped_graphs(problem) == ("lo",)
+        alive = heuristic_chromosome(problem, random.Random(0), dropped=())
+        assert alive.dropped_graphs(problem) == ()
+
+    def test_heuristic_hardens_critical_only(self, problem):
+        chromosome = heuristic_chromosome(problem, random.Random(0))
+        for graph in problem.applications.graphs:
+            for task in graph.tasks:
+                gene = chromosome.genes[task.name]
+                if graph.droppable:
+                    assert gene.reexecutions == 0
+                else:
+                    assert gene.reexecutions == 1

@@ -1,0 +1,95 @@
+"""Unit tests for the per-drop-set Pareto view and Monte-Carlo stats."""
+
+import pytest
+
+from repro.core.problem import DesignPoint
+from repro.dse.results import (
+    ExplorationResult,
+    ExplorationStatistics,
+    ParetoPoint,
+)
+from repro.hardening.spec import HardeningPlan
+from repro.model.mapping import Mapping
+
+
+def point(power, service, dropped):
+    design = DesignPoint(
+        allocation=frozenset({"pe0"}),
+        dropped=frozenset(dropped),
+        plan=HardeningPlan(),
+        mapping=Mapping({"t": "pe0"}),
+    )
+    return ParetoPoint(power=power, service=service, design=design)
+
+
+def result_with(best_by_drop_set):
+    return ExplorationResult(
+        pareto=[],
+        statistics=ExplorationStatistics(),
+        history=[],
+        generations_run=0,
+        best_by_drop_set=best_by_drop_set,
+    )
+
+
+class TestDropSetFront:
+    def test_dominated_sets_filtered(self):
+        result = result_with(
+            {
+                ("a", "b"): point(1.0, 0.0, ("a", "b")),
+                ("a",): point(2.0, 3.0, ("a",)),
+                (): point(3.0, 5.0, ()),
+                ("b",): point(3.5, 2.0, ("b",)),  # dominated by ("a",) and ()
+            }
+        )
+        front = result.drop_set_front()
+        assert [p.dropped for p in front] == [("a", "b"), ("a",), ()]
+
+    def test_sorted_by_power(self):
+        result = result_with(
+            {
+                (): point(5.0, 5.0, ()),
+                ("a",): point(1.0, 2.0, ("a",)),
+            }
+        )
+        front = result.drop_set_front()
+        assert [p.power for p in front] == [1.0, 5.0]
+
+    def test_empty(self):
+        assert result_with({}).drop_set_front() == []
+
+    def test_equal_points_both_survive(self):
+        result = result_with(
+            {
+                ("a",): point(1.0, 2.0, ("a",)),
+                ("b",): point(1.0, 2.0, ("b",)),
+            }
+        )
+        assert len(result.drop_set_front()) == 2
+
+
+class TestMonteCarloStats:
+    def make(self):
+        from repro.sim.montecarlo import MonteCarloResult
+
+        result = MonteCarloResult()
+        result.samples = {"g": [5.0, 1.0, 3.0, 2.0, 4.0]}
+        result.worst_response = {"g": 5.0}
+        return result
+
+    def test_percentiles(self):
+        result = self.make()
+        assert result.percentile("g", 0.0) == 1.0
+        assert result.percentile("g", 1.0) == 5.0
+        assert result.percentile("g", 0.5) == 3.0
+
+    def test_percentile_unknown_graph(self):
+        assert self.make().percentile("nope", 0.5) is None
+
+    def test_percentile_validates_quantile(self):
+        with pytest.raises(ValueError):
+            self.make().percentile("g", 1.5)
+
+    def test_mean(self):
+        assert self.make().mean_response("g") == pytest.approx(3.0)
+        assert self.make().mean_response("nope") is None

@@ -1,0 +1,111 @@
+"""Unit tests for the exploration loop."""
+
+import pytest
+
+from repro.dse.ga import Explorer, ExplorerConfig
+from repro.errors import ExplorationError
+
+
+def small_config(**overrides):
+    defaults = dict(
+        population_size=12,
+        offspring_size=12,
+        archive_size=12,
+        generations=4,
+        seed=7,
+    )
+    defaults.update(overrides)
+    return ExplorerConfig(**defaults)
+
+
+class TestConfigValidation:
+    def test_population_too_small(self):
+        with pytest.raises(ExplorationError):
+            ExplorerConfig(population_size=1)
+
+    def test_bad_crossover_probability(self):
+        with pytest.raises(ExplorationError):
+            ExplorerConfig(crossover_probability=1.5)
+
+    def test_bad_workers(self):
+        with pytest.raises(ExplorationError):
+            ExplorerConfig(workers=0)
+
+    def test_paper_defaults(self):
+        config = ExplorerConfig()
+        assert config.population_size == 100
+        assert config.offspring_size == 100
+        assert config.generations == 5000
+
+
+class TestExploration:
+    def test_finds_feasible_solutions(self, problem):
+        result = Explorer(problem, small_config()).run()
+        assert result.statistics.feasible > 0
+        assert result.pareto, "expected at least one Pareto point"
+
+    def test_front_is_mutually_nondominated(self, problem):
+        result = Explorer(problem, small_config()).run()
+        rows = result.front_as_rows()
+        for i, (power_i, service_i, _d) in enumerate(rows):
+            for j, (power_j, service_j, _d2) in enumerate(rows):
+                if i == j:
+                    continue
+                assert not (
+                    power_j <= power_i
+                    and service_j >= service_i
+                    and (power_j < power_i or service_j > service_i)
+                )
+
+    def test_deterministic_per_seed(self, problem):
+        a = Explorer(problem, small_config()).run()
+        b = Explorer(problem, small_config()).run()
+        assert a.front_as_rows() == b.front_as_rows()
+        assert a.statistics.evaluations == b.statistics.evaluations
+
+    def test_history_shape(self, problem):
+        result = Explorer(problem, small_config(generations=3)).run()
+        assert len(result.history) == 4  # generations 0..3
+        generations = [g for g, _power, _count in result.history]
+        assert generations == [0, 1, 2, 3]
+
+    def test_caching_avoids_reevaluation(self, problem):
+        explorer = Explorer(problem, small_config())
+        result = explorer.run()
+        stats = result.statistics
+        # Heuristic seeds + offspring overlap across generations.
+        assert stats.cache_hits > 0
+
+    def test_stagnation_stops_early(self, problem):
+        config = small_config(generations=50, stagnation_limit=2)
+        result = Explorer(problem, config).run()
+        assert result.generations_run < 50
+
+    def test_disable_dropping(self, problem):
+        config = small_config(disable_dropping=True)
+        result = Explorer(problem, config).run()
+        for point in result.pareto:
+            assert point.design.dropped == frozenset()
+
+    def test_track_dropping_gain(self, problem):
+        config = small_config(track_dropping_gain=True)
+        result = Explorer(problem, config).run()
+        stats = result.statistics
+        assert stats.dropping_gain <= stats.dropping_checked <= stats.feasible
+
+    def test_worker_pool_matches_serial(self, problem):
+        serial = Explorer(problem, small_config(workers=1)).run()
+        threaded = Explorer(problem, small_config(workers=4)).run()
+        assert serial.front_as_rows() == threaded.front_as_rows()
+
+    def test_hardening_histogram_collected(self, problem):
+        result = Explorer(problem, small_config()).run()
+        assert sum(result.statistics.hardening_histogram.values()) > 0
+
+    def test_best_power_and_service_accessors(self, problem):
+        result = Explorer(problem, small_config()).run()
+        best_power = result.best_power
+        best_service = result.best_service
+        assert best_power is not None and best_service is not None
+        assert best_power.power <= best_service.power + 1e-9
+        assert best_service.service >= best_power.service - 1e-9

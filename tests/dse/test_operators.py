@@ -1,0 +1,112 @@
+"""Unit tests for crossover and mutation."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dse.chromosome import random_chromosome
+from repro.dse.operators import crossover, mutate
+
+
+class TestCrossover:
+    def test_genes_come_from_parents(self, problem):
+        rng = random.Random(0)
+        a = random_chromosome(problem, rng)
+        b = random_chromosome(problem, rng)
+        child = crossover(a, b, rng)
+        for name, gene in child.genes.items():
+            assert gene in (a.genes[name], b.genes[name])
+        for i, bit in enumerate(child.allocation):
+            assert bit in (a.allocation[i], b.allocation[i])
+        for i, bit in enumerate(child.keep_alive):
+            assert bit in (a.keep_alive[i], b.keep_alive[i])
+
+    def test_identical_parents_produce_clone(self, problem):
+        rng = random.Random(1)
+        a = random_chromosome(problem, rng)
+        child = crossover(a, a, rng)
+        assert child.key() == a.key()
+
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=20, deadline=None)
+    def test_sections_keep_sizes(self, seed):
+        from repro.benchgen.tgff import generate_problem
+
+        problem = generate_problem(seed=3, critical_graphs=1, droppable_graphs=1, processors=3)
+        rng = random.Random(seed)
+        a = random_chromosome(problem, rng)
+        b = random_chromosome(problem, rng)
+        child = crossover(a, b, rng)
+        assert len(child.allocation) == len(a.allocation)
+        assert len(child.keep_alive) == len(a.keep_alive)
+        assert set(child.genes) == set(a.genes)
+
+
+class TestMutation:
+    def test_mutation_keeps_structure(self, problem):
+        rng = random.Random(2)
+        chromosome = random_chromosome(problem, rng)
+        mutant = mutate(chromosome, problem, rng, gene_rate=1.0)
+        assert len(mutant.allocation) == len(chromosome.allocation)
+        assert set(mutant.genes) == set(chromosome.genes)
+        assert any(mutant.allocation)  # never all-off
+
+    def test_zero_rates_are_identity(self, problem):
+        rng = random.Random(3)
+        chromosome = random_chromosome(problem, rng)
+        clone = mutate(
+            chromosome,
+            problem,
+            rng,
+            allocation_rate=0.0,
+            keep_alive_rate=0.0,
+            gene_rate=0.0,
+        )
+        assert clone.key() == chromosome.key()
+
+    def test_high_rate_changes_something(self, problem):
+        rng = random.Random(4)
+        chromosome = random_chromosome(problem, rng)
+        changed = False
+        for _ in range(10):
+            mutant = mutate(chromosome, problem, rng, gene_rate=1.0)
+            if mutant.key() != chromosome.key():
+                changed = True
+                break
+        assert changed
+
+    def test_checkpoint_move_reachable(self, problem):
+        from repro.dse.chromosome import TaskGene
+        from repro.dse.operators import _mutate_gene
+        from repro.hardening.spec import HardeningKind
+
+        rng = random.Random(11)
+        gene = TaskGene(processor="pe0", reexecutions=1)
+        kinds = set()
+        for _ in range(200):
+            kinds.add(_mutate_gene(gene, ["pe0", "pe1", "pe2"], rng).spec().kind)
+        assert HardeningKind.CHECKPOINT in kinds
+
+    def test_checkpoint_toggles_back(self, problem):
+        from repro.dse.chromosome import TaskGene
+        from repro.dse.operators import _mutate_gene
+        from repro.hardening.spec import HardeningKind
+
+        rng = random.Random(12)
+        gene = TaskGene(processor="pe0", reexecutions=1, checkpoints=3)
+        kinds = set()
+        for _ in range(200):
+            kinds.add(_mutate_gene(gene, ["pe0", "pe1"], rng).spec().kind)
+        assert HardeningKind.REEXECUTION in kinds
+
+    def test_mutated_genes_use_known_processors(self, problem):
+        rng = random.Random(5)
+        names = set(problem.architecture.processor_names)
+        for _ in range(20):
+            chromosome = random_chromosome(problem, rng)
+            mutant = mutate(chromosome, problem, rng, gene_rate=1.0)
+            for gene in mutant.genes.values():
+                assert gene.processor in names
+                for replica in gene.active_replicas + gene.passive_replicas:
+                    assert replica in names

@@ -1,0 +1,29 @@
+"""Unit tests for exploration results and statistics."""
+
+from repro.dse.results import ExplorationStatistics
+from repro.hardening.spec import HardeningKind
+
+
+class TestStatistics:
+    def test_ratios_on_empty(self):
+        stats = ExplorationStatistics()
+        assert stats.dropping_gain_ratio == 0.0
+        assert stats.dropping_gain_among_feasible == 0.0
+        assert stats.reexecution_share == 0.0
+
+    def test_ratios(self):
+        stats = ExplorationStatistics(
+            evaluations=200, feasible=50, dropping_gain=10
+        )
+        assert stats.dropping_gain_ratio == 0.05
+        assert stats.dropping_gain_among_feasible == 0.2
+
+    def test_hardening_accumulation(self):
+        stats = ExplorationStatistics()
+        stats.record_hardening({HardeningKind.REEXECUTION: 3})
+        stats.record_hardening(
+            {HardeningKind.REEXECUTION: 1, HardeningKind.ACTIVE: 2}
+        )
+        assert stats.hardening_histogram[HardeningKind.REEXECUTION] == 4
+        assert stats.hardening_histogram[HardeningKind.ACTIVE] == 2
+        assert stats.reexecution_share == 4 / 6

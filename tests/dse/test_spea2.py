@@ -1,0 +1,102 @@
+"""Unit tests for the SPEA2 selector."""
+
+import random
+
+import pytest
+
+from repro.dse.spea2 import Spea2Selector, dominates, pareto_filter
+from repro.errors import ExplorationError
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        assert dominates((1.0, 1.0), (2.0, 2.0))
+        assert dominates((1.0, 2.0), (2.0, 2.0))
+
+    def test_no_self_dominance(self):
+        assert not dominates((1.0, 1.0), (1.0, 1.0))
+
+    def test_incomparable(self):
+        assert not dominates((1.0, 3.0), (2.0, 2.0))
+        assert not dominates((2.0, 2.0), (1.0, 3.0))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ExplorationError):
+            dominates((1.0,), (1.0, 2.0))
+
+
+class TestFitness:
+    def test_nondominated_below_one(self):
+        selector = Spea2Selector(archive_size=4)
+        objectives = [(1.0, 4.0), (2.0, 2.0), (4.0, 1.0), (5.0, 5.0)]
+        fitness = selector.fitness(objectives)
+        # The first three are mutually non-dominated: raw fitness 0.
+        assert all(f < 1.0 for f in fitness[:3])
+        # The last is dominated by (2,2): raw fitness >= strength of it.
+        assert fitness[3] >= 1.0
+
+    def test_more_dominators_means_worse(self):
+        selector = Spea2Selector(archive_size=4)
+        objectives = [(1.0, 1.0), (2.0, 2.0), (3.0, 3.0)]
+        fitness = selector.fitness(objectives)
+        assert fitness[0] < fitness[1] < fitness[2]
+
+    def test_empty(self):
+        assert Spea2Selector(archive_size=1).fitness([]) == []
+
+
+class TestEnvironmentalSelection:
+    def test_keeps_all_nondominated_when_fit(self):
+        selector = Spea2Selector(archive_size=3)
+        objectives = [(1.0, 4.0), (2.0, 2.0), (4.0, 1.0), (5.0, 5.0)]
+        chosen = selector.select(objectives)
+        assert sorted(chosen) == [0, 1, 2]
+
+    def test_fills_with_best_dominated(self):
+        selector = Spea2Selector(archive_size=3)
+        objectives = [(1.0, 1.0), (2.0, 2.0), (3.0, 3.0), (4.0, 4.0)]
+        chosen = selector.select(objectives)
+        assert len(chosen) == 3
+        assert 0 in chosen and 1 in chosen and 2 in chosen
+
+    def test_truncates_densest_region(self):
+        selector = Spea2Selector(archive_size=3)
+        # Four non-dominated points; (2.0, 2.9) and (2.1, 2.8) crowd.
+        objectives = [(1.0, 4.0), (2.0, 2.9), (2.1, 2.8), (4.0, 1.0)]
+        chosen = selector.select(objectives)
+        assert len(chosen) == 3
+        assert 0 in chosen and 3 in chosen  # extremes survive truncation
+
+    def test_invalid_archive_size(self):
+        with pytest.raises(ExplorationError):
+            Spea2Selector(archive_size=0)
+
+
+class TestTournament:
+    def test_prefers_better_fitness(self):
+        selector = Spea2Selector(archive_size=4)
+        fitness = [0.1, 5.0, 9.0, 12.0]
+        rng = random.Random(0)
+        wins = [0] * 4
+        for _ in range(300):
+            wins[selector.tournament(fitness, rng)] += 1
+        assert wins[0] > wins[3]
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ExplorationError):
+            Spea2Selector(archive_size=1).tournament([], random.Random(0))
+
+
+class TestParetoFilter:
+    def test_filters_dominated(self):
+        objectives = [(1.0, 4.0), (2.0, 2.0), (3.0, 3.0), (4.0, 1.0)]
+        assert pareto_filter(objectives) == [0, 1, 3]
+
+    def test_all_nondominated(self):
+        objectives = [(1.0, 3.0), (2.0, 2.0), (3.0, 1.0)]
+        assert pareto_filter(objectives) == [0, 1, 2]
+
+    def test_duplicates_survive(self):
+        # Identical points do not dominate each other.
+        objectives = [(1.0, 1.0), (1.0, 1.0)]
+        assert pareto_filter(objectives) == [0, 1]

@@ -1,0 +1,158 @@
+"""Smoke/shape tests for the experiment harnesses (tiny budgets)."""
+
+import pytest
+
+from repro.experiments.dropping import (
+    DroppingPowerRow,
+    format_power_rows,
+    format_ratio_rows,
+    run_dropping_ratios,
+    run_power_comparison,
+)
+from repro.experiments.pareto import format_front, run_fig5
+from repro.experiments.scaling import run_scaling
+from repro.experiments.table2 import format_table2, run_table2
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def cells(self):
+        return run_table2(profiles=40, seed=1)
+
+    def test_complete_grid(self, cells):
+        keys = {(c.method, c.mapping, c.app) for c in cells}
+        assert len(keys) == 4 * 3 * 2
+
+    def test_orderings(self, cells):
+        by_key = {(c.method, c.mapping, c.app): c.wcrt for c in cells}
+        for mapping in (1, 2, 3):
+            for app in ("cc", "mon"):
+                assert by_key[("Proposed", mapping, app)] >= by_key[
+                    ("WC-Sim", mapping, app)
+                ] - 1e-6
+                assert by_key[("Proposed", mapping, app)] >= by_key[
+                    ("Adhoc", mapping, app)
+                ] - 1e-6
+                assert by_key[("Naive", mapping, app)] >= by_key[
+                    ("Proposed", mapping, app)
+                ] - 1e-6
+
+    def test_formatting(self, cells):
+        text = format_table2(cells)
+        assert "Proposed" in text and "Mapping 3" in text
+
+
+class TestDroppingHarnesses:
+    def test_power_comparison_shape(self):
+        rows = run_power_comparison(
+            benchmarks=("dt-med",), generations=4, population=12, seed=1
+        )
+        (row,) = rows
+        assert row.benchmark == "dt-med"
+        if row.power_with_dropping and row.power_without_dropping:
+            assert row.power_without_dropping >= row.power_with_dropping - 1e-9
+            assert row.extra_power_percent >= -1e-9
+        assert "dt-med" in format_power_rows(rows)
+
+    def test_extra_power_handles_missing(self):
+        row = DroppingPowerRow("x", None, 5.0)
+        assert row.extra_power_percent is None
+        assert "x" in format_power_rows([row])
+
+    def test_ratio_harness_shape(self):
+        rows = run_dropping_ratios(
+            benchmarks=("synth-1",), generations=3, population=10, seed=1
+        )
+        (row,) = rows
+        assert row.evaluations > 0
+        assert 0.0 <= row.ratio_over_all <= 1.0
+        assert 0.0 <= row.ratio_over_feasible <= 1.0
+        assert 0.0 <= row.reexecution_share <= 1.0
+        assert "synth-1" in format_ratio_rows(rows)
+
+
+class TestFig5:
+    def test_harness_runs(self):
+        result = run_fig5(generations=3, population=10, seed=1)
+        text = format_front(result)
+        assert "Pareto front" in text
+        front = result.drop_set_front()
+        for point in front:
+            assert point.power > 0
+
+    def test_other_benchmark_supported(self):
+        result = run_fig5(generations=2, population=8, seed=1, benchmark="synth-1")
+        assert result.statistics.evaluations > 0
+
+
+class TestScaling:
+    def test_rows_shape(self):
+        rows = run_scaling(sizes=(1, 2), granularity="task")
+        assert len(rows) == 2
+        assert rows[0].tasks < rows[1].tasks
+        assert all(row.seconds >= 0 for row in rows)
+
+
+class TestValidation:
+    def test_rows_and_formatting(self):
+        from repro.experiments.validation import format_validation, run_validation
+
+        rows = run_validation(seeds=(1,), profiles=15)
+        assert len(rows) == 3
+        assert all(row.safe for row in rows)
+        text = format_validation(rows)
+        assert "safety violation" in text
+
+    def test_cli_dispatch(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["validate", "--quick"]) == 0
+        assert "Safety validation" in capsys.readouterr().out
+
+
+class TestTradeoff:
+    def test_shape(self):
+        from repro.experiments.tradeoff import format_tradeoff, run_tradeoff
+        from repro.hardening.spec import HardeningKind
+
+        rows = run_tradeoff()
+        by_label = {row.label: row for row in rows}
+        none = by_label["none"]
+        reexec = by_label["re-exec k=1"]
+        checkpoint = by_label["checkpoint 4seg k=2"]
+        active3 = by_label["active x3"]
+        passive = by_label["passive 2+1"]
+        # time redundancy: space-free, critical-time expensive
+        assert reexec.processors_used == 1
+        assert reexec.critical_wcet > none.critical_wcet
+        assert checkpoint.critical_wcet < by_label["re-exec k=2"].critical_wcet
+        # space redundancy: critical-time free, average-power expensive
+        assert active3.critical_wcet == none.critical_wcet
+        assert active3.expected_time > 2 * none.expected_time
+        assert passive.expected_time < active3.expected_time
+        # everything hardened is safer than nothing
+        for row in rows:
+            if row.label != "none":
+                assert row.unsafe_probability < none.unsafe_probability
+        assert "technique" in format_tradeoff(rows)
+
+    def test_cli_dispatch(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["tradeoff", "--quick"]) == 0
+        assert "Hardening trade-offs" in capsys.readouterr().out
+
+
+class TestCli:
+    def test_main_quick_scaling(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["scaling", "--quick"]) == 0
+        output = capsys.readouterr().out
+        assert "Algorithm 1 scaling" in output
+
+    def test_main_rejects_unknown(self):
+        from repro.experiments.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["bogus"])

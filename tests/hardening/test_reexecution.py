@@ -1,0 +1,54 @@
+"""Unit tests for Eq. (1) timing arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import HardeningError
+from repro.hardening.reexecution import (
+    critical_wcet,
+    nominal_bounds,
+    reexecution_wcet,
+)
+from repro.hardening.spec import HardeningSpec
+from repro.model.task import Task
+
+
+class TestEquationOne:
+    def test_formula(self):
+        # wcet' = (wcet + dt) * (k + 1)
+        assert reexecution_wcet(10.0, 2.0, 0) == 12.0
+        assert reexecution_wcet(10.0, 2.0, 1) == 24.0
+        assert reexecution_wcet(10.0, 2.0, 3) == 48.0
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(HardeningError):
+            reexecution_wcet(10.0, 2.0, -1)
+
+    @given(
+        st.floats(min_value=0.1, max_value=1e3),
+        st.floats(min_value=0.0, max_value=100.0),
+        st.integers(min_value=0, max_value=10),
+    )
+    def test_monotone_in_k(self, wcet, dt, k):
+        assert reexecution_wcet(wcet, dt, k + 1) > reexecution_wcet(wcet, dt, k)
+
+
+class TestBounds:
+    def test_nominal_includes_detection_for_reexec(self):
+        task = Task("t", 1.0, 3.0, detection_overhead=0.5)
+        assert nominal_bounds(task, HardeningSpec.reexecution(2)) == (1.5, 3.5)
+
+    def test_nominal_unchanged_otherwise(self):
+        task = Task("t", 1.0, 3.0, detection_overhead=0.5)
+        assert nominal_bounds(task, HardeningSpec.none()) == (1.0, 3.0)
+        assert nominal_bounds(task, HardeningSpec.active(3)) == (1.0, 3.0)
+
+    def test_critical_wcet_reexec(self):
+        task = Task("t", 1.0, 3.0, detection_overhead=0.5)
+        assert critical_wcet(task, HardeningSpec.reexecution(2)) == pytest.approx(10.5)
+
+    def test_critical_wcet_other_kinds_equal_nominal(self):
+        task = Task("t", 1.0, 3.0, detection_overhead=0.5)
+        assert critical_wcet(task, HardeningSpec.none()) == 3.0
+        assert critical_wcet(task, HardeningSpec.passive(3, active=2)) == 3.0

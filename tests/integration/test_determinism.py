@@ -1,0 +1,93 @@
+"""Determinism and cross-component consistency checks."""
+
+import random
+
+import pytest
+
+from repro.core.analysis import MixedCriticalityAnalysis
+from repro.sched.fast import FastWindowAnalysisBackend
+from repro.sim.engine import Simulator
+from repro.sim.faults import random_profile
+from repro.sim.sampler import UniformSampler
+
+
+class TestSimulationDeterminism:
+    def test_same_seed_same_trace(self, hardened, architecture, mapping):
+        sim = Simulator(hardened, architecture, mapping, dropped=("lo",))
+        profile = random_profile(hardened, random.Random(3))
+
+        def run():
+            return sim.run(
+                profile=profile,
+                sampler=UniformSampler(),
+                rng=random.Random(42),
+            )
+
+        a, b = run(), run()
+        assert a.response_times() == b.response_times()
+        assert a.transitions == b.transitions
+        assert a.unsafe_events == b.unsafe_events
+
+    def test_different_seed_can_differ(self, hardened, architecture, mapping):
+        sim = Simulator(hardened, architecture, mapping)
+        results = {
+            tuple(
+                sorted(
+                    (k, round(v, 6))
+                    for k, v in sim.run(
+                        sampler=UniformSampler(), rng=random.Random(seed)
+                    )
+                    .response_times()
+                    .items()
+                    if v is not None
+                )
+            )
+            for seed in range(5)
+        }
+        assert len(results) > 1  # uniform sampling actually varies
+
+
+class TestAnalysisDeterminism:
+    def test_repeated_analysis_identical(self, hardened, architecture, mapping):
+        analysis = MixedCriticalityAnalysis()
+        a = analysis.analyze(hardened, architecture, mapping, ("lo",))
+        b = analysis.analyze(hardened, architecture, mapping, ("lo",))
+        assert a.task_completion == b.task_completion
+
+    def test_backends_agree_after_many_calls(self, hardened, architecture, mapping):
+        # The fast backend's structural cache must not leak across calls.
+        fast = MixedCriticalityAnalysis(backend=FastWindowAnalysisBackend())
+        reference = MixedCriticalityAnalysis()
+        for dropped in ((), ("lo",), (), ("lo",)):
+            f = fast.analyze(hardened, architecture, mapping, dropped)
+            r = reference.analyze(hardened, architecture, mapping, dropped)
+            for graph in hardened.applications.graph_names:
+                assert f.wcrt_of(graph) == pytest.approx(
+                    r.wcrt_of(graph), abs=1e-6
+                )
+
+
+class TestJsonRoundtripConsistency:
+    def test_analysis_survives_serialization(
+        self, tmp_path, apps, plan, architecture, mapping
+    ):
+        from repro.hardening.transform import harden
+        from repro.model.serialization import load_system, save_system
+
+        path = tmp_path / "system.json"
+        save_system(path, apps, architecture, mapping=mapping, plan=plan)
+        bundle = load_system(path)
+
+        original = MixedCriticalityAnalysis().analyze(
+            harden(apps, plan), architecture, mapping, ("lo",)
+        )
+        restored = MixedCriticalityAnalysis().analyze(
+            harden(bundle.applications, bundle.plan),
+            bundle.architecture,
+            bundle.mapping,
+            ("lo",),
+        )
+        for graph in apps.graph_names:
+            assert restored.wcrt_of(graph) == pytest.approx(
+                original.wcrt_of(graph)
+            )

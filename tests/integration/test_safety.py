@@ -1,0 +1,120 @@
+"""Cross-validation: the analyses must upper-bound every simulation.
+
+This is the load-bearing claim of the paper ("the proposed analysis
+always upper-bounds the simulation and ad-hoc worst-case results", §5.1).
+Random systems are generated, hardened and mapped; the Monte-Carlo
+simulator then tries to break the bounds with random failure profiles
+and worst-case-biased execution times.
+"""
+
+import random
+
+import pytest
+
+from repro.benchgen.tgff import GraphShape, TgffConfig, generate_problem
+from repro.core.adhoc import AdhocAnalysis
+from repro.core.analysis import MixedCriticalityAnalysis
+from repro.core.naive import NaiveAnalysis
+from repro.dse.chromosome import random_chromosome
+from repro.dse.repair import repair
+from repro.hardening.transform import harden
+from repro.sim.engine import Simulator
+from repro.sim.montecarlo import MonteCarloEstimator
+
+
+def build_system(seed):
+    """A random problem + repaired random design point."""
+    problem = generate_problem(
+        seed=seed,
+        critical_graphs=1,
+        droppable_graphs=2,
+        processors=3,
+        config=TgffConfig(
+            shape=GraphShape(min_tasks=2, max_tasks=4, min_layers=1, max_layers=3),
+            period_slack_range=(2.5, 4.0),
+        ),
+        name_prefix=f"sys{seed}",
+    )
+    rng = random.Random(seed)
+    chromosome = repair(random_chromosome(problem, rng), problem, rng)
+    design = chromosome.decode(problem)
+    hardened = harden(problem.applications, design.plan)
+    return problem, design, hardened
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3, 4, 5, 6])
+@pytest.mark.parametrize("policy", ["fp", "edf"])
+def test_proposed_upper_bounds_simulation(seed, policy):
+    problem, design, hardened = build_system(seed)
+    analysis = MixedCriticalityAnalysis(policy=policy).analyze(
+        hardened, problem.architecture, design.mapping, dropped=design.dropped
+    )
+    simulator = Simulator(
+        hardened,
+        problem.architecture,
+        design.mapping,
+        dropped=tuple(design.dropped),
+        policy=policy,
+    )
+    estimate = MonteCarloEstimator(simulator, max_faults=4).estimate(
+        profiles=60, seed=seed
+    )
+    for graph in hardened.applications.graphs:
+        observed = estimate.worst_response.get(graph.name)
+        if observed is None:
+            continue
+        if graph.name in design.dropped:
+            continue  # dropped graphs are only bounded in the normal state
+        assert analysis.wcrt_of(graph.name) >= observed - 1e-6, (
+            f"seed {seed}: analysis {analysis.wcrt_of(graph.name):.3f} < "
+            f"simulated {observed:.3f} for graph {graph.name}"
+        )
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_naive_upper_bounds_proposed(seed):
+    problem, design, hardened = build_system(seed)
+    proposed = MixedCriticalityAnalysis().analyze(
+        hardened, problem.architecture, design.mapping, dropped=design.dropped
+    )
+    naive = NaiveAnalysis().analyze(
+        hardened, problem.architecture, design.mapping, dropped=design.dropped
+    )
+    for graph in hardened.applications.graphs:
+        if graph.name in design.dropped:
+            continue
+        assert naive.wcrt_of(graph.name) >= proposed.wcrt_of(graph.name) - 1e-6
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_proposed_upper_bounds_adhoc_trace(seed):
+    problem, design, hardened = build_system(seed)
+    proposed = MixedCriticalityAnalysis().analyze(
+        hardened, problem.architecture, design.mapping, dropped=design.dropped
+    )
+    adhoc = AdhocAnalysis().analyze(
+        hardened, problem.architecture, design.mapping, dropped=design.dropped
+    )
+    for graph in hardened.applications.graphs:
+        if graph.name in design.dropped:
+            continue
+        assert proposed.wcrt_of(graph.name) >= adhoc.wcrt_of(graph.name) - 1e-6
+
+
+@pytest.mark.parametrize("seed", [11, 12])
+def test_normal_state_bounds_fault_free_simulation(seed):
+    problem, design, hardened = build_system(seed)
+    analysis = MixedCriticalityAnalysis().analyze(
+        hardened, problem.architecture, design.mapping, dropped=design.dropped
+    )
+    simulator = Simulator(
+        hardened, problem.architecture, design.mapping, dropped=tuple(design.dropped)
+    )
+    from repro.sim.sampler import WorstCaseSampler
+
+    trace = simulator.run(sampler=WorstCaseSampler())
+    for graph in hardened.applications.graphs:
+        observed = trace.graph_response_time(graph.name)
+        if observed is None:
+            continue
+        assert analysis.verdicts[graph.name].normal_wcrt >= observed - 1e-6

@@ -1,0 +1,72 @@
+"""Safety cross-validation on the built-in suites (heterogeneous speeds).
+
+The DT platforms mix node speeds — the scaling path through unrolling,
+analysis and the simulator must stay consistent, and the analysis bound
+must still dominate every simulated response.
+"""
+
+import random
+
+import pytest
+
+from repro.core.analysis import MixedCriticalityAnalysis
+from repro.dse.chromosome import heuristic_chromosome, partition_chromosome
+from repro.hardening.transform import harden
+from repro.sim.engine import Simulator
+from repro.sim.montecarlo import MonteCarloEstimator
+from repro.suites import get_benchmark
+
+
+@pytest.mark.parametrize("benchmark_name", ["dt-med", "dt-large", "synth-2"])
+@pytest.mark.parametrize("seed_style", ["partition", "roundrobin"])
+def test_analysis_bounds_simulation_on_suites(benchmark_name, seed_style):
+    problem = get_benchmark(benchmark_name).problem
+    rng = random.Random(7)
+    droppable = tuple(g.name for g in problem.applications.droppable_graphs)
+    if seed_style == "partition":
+        chromosome = partition_chromosome(problem, rng, dropped=droppable)
+    else:
+        chromosome = heuristic_chromosome(problem, rng, dropped=droppable)
+    design = chromosome.decode(problem)
+    hardened = harden(problem.applications, design.plan)
+
+    analysis = MixedCriticalityAnalysis(granularity="task").analyze(
+        hardened, problem.architecture, design.mapping, design.dropped
+    )
+    simulator = Simulator(
+        hardened,
+        problem.architecture,
+        design.mapping,
+        dropped=tuple(design.dropped),
+    )
+    estimate = MonteCarloEstimator(simulator).estimate(profiles=25, seed=3)
+    for graph, observed in estimate.worst_response.items():
+        if graph in design.dropped:
+            continue
+        assert analysis.wcrt_of(graph) >= observed - 1e-6, (
+            benchmark_name,
+            seed_style,
+            graph,
+        )
+
+
+def test_speed_scaling_consistency_dt():
+    """A task on a 1.5x node runs 1.5x faster in both analysis and sim."""
+    problem = get_benchmark("dt-med").problem
+    speeds = {p.name: p.speed for p in problem.architecture.processors}
+    assert len(set(speeds.values())) > 1, "dt-med must be speed-heterogeneous"
+
+    from repro.model.mapping import Mapping
+    from repro.sched.jobs import unroll
+    from repro.hardening.spec import HardeningPlan
+
+    hardened = harden(problem.applications, HardeningPlan())
+    slow_node = min(speeds, key=speeds.get)
+    fast_node = max(speeds, key=speeds.get)
+    slow_map = Mapping({t: slow_node for t in problem.applications.all_task_names})
+    fast_map = Mapping({t: fast_node for t in problem.applications.all_task_names})
+    slow_jobs = unroll(hardened.applications, slow_map, problem.architecture)
+    fast_jobs = unroll(hardened.applications, fast_map, problem.architecture)
+    ratio = speeds[fast_node] / speeds[slow_node]
+    for slow_job, fast_job in zip(slow_jobs.jobs, fast_jobs.jobs):
+        assert slow_job.wcet == pytest.approx(fast_job.wcet * ratio)

@@ -1,0 +1,96 @@
+"""Property-based tests on the core model invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._timing import hyperperiod
+from repro.model.serialization import task_graph_from_dict, task_graph_to_dict
+from repro.model.task import Channel, Task
+from repro.model.taskgraph import TaskGraph
+
+periods = st.lists(
+    st.integers(min_value=1, max_value=200).map(float), min_size=1, max_size=5
+)
+
+
+@given(periods)
+def test_hyperperiod_is_multiple_of_every_period(values):
+    hp = hyperperiod(values)
+    for period in values:
+        ratio = hp / period
+        assert abs(ratio - round(ratio)) < 1e-6
+        assert hp >= period
+
+
+@given(periods)
+def test_hyperperiod_is_order_independent(values):
+    assert hyperperiod(values) == hyperperiod(list(reversed(values)))
+
+
+@st.composite
+def chain_graphs(draw):
+    """Random chain-shaped task graphs with valid timing."""
+    length = draw(st.integers(min_value=1, max_value=6))
+    tasks = []
+    channels = []
+    for index in range(length):
+        wcet = draw(st.floats(min_value=0.1, max_value=50.0, allow_nan=False))
+        bcet_factor = draw(st.floats(min_value=0.0, max_value=1.0))
+        tasks.append(
+            Task(
+                f"t{index}",
+                bcet=round(wcet * bcet_factor, 6),
+                wcet=round(wcet, 6),
+                detection_overhead=round(
+                    draw(st.floats(min_value=0.0, max_value=5.0)), 6
+                ),
+            )
+        )
+        if index:
+            channels.append(Channel(f"t{index-1}", f"t{index}", 8.0))
+    droppable = draw(st.booleans())
+    period = draw(st.floats(min_value=1.0, max_value=1000.0))
+    if droppable:
+        return TaskGraph(
+            "g",
+            tasks,
+            channels,
+            period=period,
+            service_value=draw(st.floats(min_value=0.0, max_value=100.0)),
+        )
+    return TaskGraph(
+        "g",
+        tasks,
+        channels,
+        period=period,
+        reliability_target=draw(
+            st.floats(min_value=1e-12, max_value=1.0, exclude_min=True)
+        ),
+    )
+
+
+@given(chain_graphs())
+@settings(max_examples=50)
+def test_serialization_roundtrip(graph):
+    assert task_graph_from_dict(task_graph_to_dict(graph)) == graph
+
+
+@given(chain_graphs())
+@settings(max_examples=50)
+def test_critical_path_bounds(graph):
+    cp = graph.critical_path_wcet()
+    assert cp <= graph.total_wcet() + 1e-9
+    assert cp >= max(t.wcet for t in graph.tasks) - 1e-9
+
+
+@given(chain_graphs())
+@settings(max_examples=50)
+def test_droppability_is_consistent(graph):
+    if graph.droppable:
+        assert math.isfinite(graph.service_value)
+        assert graph.reliability_target is None
+    else:
+        assert graph.service_value == math.inf
+        assert 0 < graph.reliability_target <= 1

@@ -1,0 +1,65 @@
+"""Unit tests for the transient-fault primitives."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.reliability.faults import execution_fault_probability, poisson_fault_count
+
+
+class TestExecutionFaultProbability:
+    def test_zero_rate(self):
+        assert execution_fault_probability(0.0, 100.0) == 0.0
+
+    def test_zero_duration(self):
+        assert execution_fault_probability(1e-3, 0.0) == 0.0
+
+    def test_known_value(self):
+        assert execution_fault_probability(1e-3, 100.0) == pytest.approx(
+            1 - math.exp(-0.1)
+        )
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ModelError):
+            execution_fault_probability(-1.0, 1.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ModelError):
+            execution_fault_probability(1.0, -1.0)
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1e4),
+    )
+    def test_is_probability(self, rate, duration):
+        p = execution_fault_probability(rate, duration)
+        assert 0.0 <= p <= 1.0
+
+    @given(st.floats(min_value=1e-9, max_value=1e-3))
+    def test_monotone_in_duration(self, rate):
+        assert execution_fault_probability(rate, 10.0) < execution_fault_probability(
+            rate, 20.0
+        )
+
+
+class TestPoisson:
+    def test_zero_faults_dominates_at_low_rate(self):
+        assert poisson_fault_count(1e-6, 1.0, 0) == pytest.approx(1.0, abs=1e-5)
+
+    def test_distribution_sums_to_one(self):
+        total = sum(poisson_fault_count(0.5, 2.0, k) for k in range(60))
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ModelError):
+            poisson_fault_count(1.0, 1.0, -1)
+
+    def test_matches_fault_probability(self):
+        rate, duration = 2e-4, 50.0
+        p_none = poisson_fault_count(rate, duration, 0)
+        assert 1 - p_none == pytest.approx(
+            execution_fault_probability(rate, duration)
+        )

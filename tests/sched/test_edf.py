@@ -1,0 +1,108 @@
+"""Tests for the EDF local scheduling policy."""
+
+import random
+
+import pytest
+
+from repro.core.analysis import MixedCriticalityAnalysis
+from repro.errors import AnalysisError
+from repro.hardening.spec import HardeningPlan
+from repro.hardening.transform import harden
+from repro.model.application import ApplicationSet
+from repro.model.architecture import homogeneous_architecture
+from repro.model.mapping import Mapping
+from repro.model.task import Channel, Task
+from repro.model.taskgraph import TaskGraph
+from repro.sched.jobs import unroll
+from repro.sim.engine import Simulator
+from repro.sim.montecarlo import MonteCarloEstimator
+from repro.sim.sampler import WorstCaseSampler
+
+
+def two_tasks(deadline_a=6.0, deadline_b=20.0):
+    a = TaskGraph(
+        "ga", [Task("ta", 3.0, 3.0)], [], period=20.0, deadline=deadline_a,
+        reliability_target=1e-6,
+    )
+    b = TaskGraph(
+        "gb", [Task("tb", 4.0, 4.0)], [], period=20.0, deadline=deadline_b,
+        service_value=1.0,
+    )
+    return ApplicationSet([a, b])
+
+
+class TestUnrollPolicy:
+    def test_invalid_policy_rejected(self, apps, architecture):
+        flat = Mapping({t: "pe0" for t in apps.all_task_names})
+        with pytest.raises(AnalysisError):
+            unroll(apps, flat, architecture, policy="round-robin")
+
+    def test_edf_ranks_by_absolute_deadline(self):
+        apps = two_tasks(deadline_a=6.0, deadline_b=20.0)
+        arch = homogeneous_architecture(1)
+        flat = Mapping({"ta": "pe0", "tb": "pe0"})
+        jobset = unroll(apps, flat, arch, policy="edf")
+        job_a = jobset.job(("ta", 0))
+        job_b = jobset.job(("tb", 0))
+        assert job_a.priority < job_b.priority  # deadline 6 beats 20
+
+    def test_fp_ignores_deadlines(self):
+        # Under FP the rate-monotonic keys tie (same period); criticality
+        # breaks the tie in favour of the critical graph regardless of
+        # its deadline.
+        apps = two_tasks(deadline_a=20.0, deadline_b=6.0)
+        arch = homogeneous_architecture(1)
+        flat = Mapping({"ta": "pe0", "tb": "pe0"})
+        jobset = unroll(apps, flat, arch, policy="fp")
+        assert jobset.job(("ta", 0)).priority < jobset.job(("tb", 0)).priority
+
+    def test_edf_can_flip_the_order(self):
+        apps = two_tasks(deadline_a=20.0, deadline_b=6.0)
+        arch = homogeneous_architecture(1)
+        flat = Mapping({"ta": "pe0", "tb": "pe0"})
+        jobset = unroll(apps, flat, arch, policy="edf")
+        assert jobset.job(("tb", 0)).priority < jobset.job(("ta", 0)).priority
+
+
+class TestEdfEndToEnd:
+    def test_edf_rescues_a_tight_deadline(self):
+        # Under FP the critical task runs first (criticality tie-break)
+        # and the droppable one with the 6 ms deadline misses; EDF runs
+        # the urgent job first and both meet their deadlines.
+        apps = two_tasks(deadline_a=20.0, deadline_b=6.0)
+        arch = homogeneous_architecture(1)
+        flat = Mapping({"ta": "pe0", "tb": "pe0"})
+        hardened = harden(apps, HardeningPlan())
+
+        fp = Simulator(hardened, arch, flat, policy="fp").run(
+            sampler=WorstCaseSampler()
+        )
+        edf = Simulator(hardened, arch, flat, policy="edf").run(
+            sampler=WorstCaseSampler()
+        )
+        assert fp.graph_response_time("gb") == pytest.approx(7.0)  # misses 6
+        assert edf.graph_response_time("gb") == pytest.approx(4.0)
+        assert edf.graph_response_time("ga") == pytest.approx(7.0)
+
+    def test_analysis_matches_policy(self):
+        apps = two_tasks(deadline_a=20.0, deadline_b=6.0)
+        arch = homogeneous_architecture(1)
+        flat = Mapping({"ta": "pe0", "tb": "pe0"})
+        hardened = harden(apps, HardeningPlan())
+        fp = MixedCriticalityAnalysis(policy="fp").analyze(hardened, arch, flat)
+        edf = MixedCriticalityAnalysis(policy="edf").analyze(hardened, arch, flat)
+        assert not fp.verdicts["gb"].meets_deadline
+        assert edf.schedulable
+
+    def test_edf_analysis_bounds_edf_simulation(self, hardened, architecture, mapping):
+        analysis = MixedCriticalityAnalysis(policy="edf").analyze(
+            hardened, architecture, mapping, dropped=("lo",)
+        )
+        simulator = Simulator(
+            hardened, architecture, mapping, dropped=("lo",), policy="edf"
+        )
+        estimate = MonteCarloEstimator(simulator).estimate(profiles=40, seed=9)
+        for graph, observed in estimate.worst_response.items():
+            if graph == "lo":
+                continue
+            assert analysis.wcrt_of(graph) >= observed - 1e-6

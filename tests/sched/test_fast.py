@@ -1,0 +1,114 @@
+"""Equivalence tests: the numpy backend must match the reference backend."""
+
+import random
+import time
+
+import pytest
+
+from repro.benchgen.tgff import GraphShape, TgffConfig, generate_problem
+from repro.core.analysis import MixedCriticalityAnalysis
+from repro.dse.chromosome import random_chromosome
+from repro.dse.repair import repair
+from repro.hardening.transform import harden
+from repro.sched.fast import FastWindowAnalysisBackend
+from repro.sched.jobs import unroll
+from repro.sched.wcrt import WindowAnalysisBackend
+
+
+def random_jobset(seed):
+    problem = generate_problem(
+        seed=seed,
+        critical_graphs=1,
+        droppable_graphs=2,
+        processors=3,
+        config=TgffConfig(
+            shape=GraphShape(min_tasks=2, max_tasks=5, min_layers=1, max_layers=3),
+        ),
+        name_prefix=f"fast{seed}",
+    )
+    rng = random.Random(seed)
+    chromosome = repair(random_chromosome(problem, rng), problem, rng)
+    design = chromosome.decode(problem)
+    hardened = harden(problem.applications, design.plan)
+    bounds = {
+        task.name: hardened.nominal_bounds(task.name)
+        for task in hardened.applications.all_tasks
+    }
+    for passive in hardened.passive_tasks:
+        bounds[passive] = (0.0, 0.0)
+    return unroll(
+        hardened.applications, design.mapping, problem.architecture, bounds=bounds
+    )
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_reference_backend(self, seed):
+        jobset = random_jobset(seed)
+        reference = WindowAnalysisBackend().analyze(jobset)
+        fast = FastWindowAnalysisBackend().analyze(jobset)
+        for job in jobset.jobs:
+            ref = reference.bounds_at(job.index)
+            got = fast.bounds_at(job.index)
+            assert got.min_start == pytest.approx(ref.min_start, abs=1e-9)
+            assert got.min_finish == pytest.approx(ref.min_finish, abs=1e-9)
+            assert got.max_finish == pytest.approx(ref.max_finish, abs=1e-6), (
+                f"seed {seed}, job {job.job_id}"
+            )
+
+    def test_matches_on_bound_overrides(self):
+        jobset = random_jobset(3)
+        target = jobset.analyzed_jobs[0]
+        clone = jobset.with_bounds({target.job_id: (0.0, target.wcet * 3)})
+        reference = WindowAnalysisBackend().analyze(clone)
+        backend = FastWindowAnalysisBackend()
+        backend.analyze(jobset)  # warm the structural cache
+        fast = backend.analyze(clone)  # reuses structure, new bounds
+        for job in clone.jobs:
+            assert fast.bounds_at(job.index).max_finish == pytest.approx(
+                reference.bounds_at(job.index).max_finish, abs=1e-6
+            )
+
+    def test_structural_cache_resets_between_jobsets(self):
+        backend = FastWindowAnalysisBackend()
+        a = random_jobset(4)
+        b = random_jobset(5)
+        result_a = backend.analyze(a)
+        result_b = backend.analyze(b)
+        reference_b = WindowAnalysisBackend().analyze(b)
+        for job in b.jobs:
+            assert result_b.bounds_at(job.index).max_finish == pytest.approx(
+                reference_b.bounds_at(job.index).max_finish, abs=1e-6
+            )
+        assert result_a.jobset is a and result_b.jobset is b
+
+
+class TestWithinAlgorithmOne:
+    def test_same_wcrt_through_algorithm1(self, hardened, architecture, mapping):
+        reference = MixedCriticalityAnalysis().analyze(
+            hardened, architecture, mapping, dropped=("lo",)
+        )
+        fast = MixedCriticalityAnalysis(
+            backend=FastWindowAnalysisBackend()
+        ).analyze(hardened, architecture, mapping, dropped=("lo",))
+        for graph in hardened.applications.graph_names:
+            assert fast.wcrt_of(graph) == pytest.approx(
+                reference.wcrt_of(graph), abs=1e-6
+            )
+
+    def test_cruise_agreement(self):
+        from repro.experiments.table2 import TABLE2_DROPPED
+        from repro.suites.cruise import cruise_benchmark, cruise_sample_mappings
+
+        hardened, mappings = cruise_sample_mappings()
+        arch = cruise_benchmark().problem.architecture
+        reference = MixedCriticalityAnalysis().analyze(
+            hardened, arch, mappings[0], TABLE2_DROPPED
+        )
+        fast = MixedCriticalityAnalysis(
+            backend=FastWindowAnalysisBackend()
+        ).analyze(hardened, arch, mappings[0], TABLE2_DROPPED)
+        for app in ("cc", "mon"):
+            assert fast.wcrt_of(app) == pytest.approx(
+                reference.wcrt_of(app), abs=1e-6
+            )

@@ -1,0 +1,57 @@
+"""Unit tests for the rate-monotonic priority assignment."""
+
+from repro.model.application import ApplicationSet
+from repro.model.task import Channel, Task
+from repro.model.taskgraph import TaskGraph
+from repro.sched.priority import assign_priorities
+
+
+def make_apps():
+    fast_low = TaskGraph(
+        "fast_low",
+        tasks=[Task("fl0", 1, 2), Task("fl1", 1, 2)],
+        channels=[Channel("fl0", "fl1", 1.0)],
+        period=10.0,
+        service_value=1.0,
+    )
+    slow_high = TaskGraph(
+        "slow_high",
+        tasks=[Task("sh0", 1, 2), Task("sh1", 1, 2)],
+        channels=[Channel("sh0", "sh1", 1.0)],
+        period=20.0,
+        reliability_target=1e-6,
+    )
+    slow_low = TaskGraph(
+        "slow_low",
+        tasks=[Task("sl0", 1, 2)],
+        channels=[],
+        period=20.0,
+        service_value=1.0,
+    )
+    return ApplicationSet([fast_low, slow_high, slow_low])
+
+
+class TestPriorities:
+    def test_unique_and_dense(self):
+        priorities = assign_priorities(make_apps())
+        values = sorted(priorities.values())
+        assert values == list(range(len(priorities)))
+
+    def test_rate_beats_criticality(self):
+        # Short-period droppable tasks outrank long-period critical ones:
+        # this is what makes task dropping useful (paper Figure 1).
+        priorities = assign_priorities(make_apps())
+        assert priorities["fl0"] < priorities["sh0"]
+
+    def test_criticality_breaks_period_ties(self):
+        priorities = assign_priorities(make_apps())
+        assert priorities["sh0"] < priorities["sl0"]
+
+    def test_depth_orders_within_graph(self):
+        priorities = assign_priorities(make_apps())
+        assert priorities["sh0"] < priorities["sh1"]
+        assert priorities["fl0"] < priorities["fl1"]
+
+    def test_deterministic(self):
+        apps = make_apps()
+        assert assign_priorities(apps) == assign_priorities(apps)

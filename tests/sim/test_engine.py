@@ -1,0 +1,282 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.hardening.spec import HardeningPlan, HardeningSpec
+from repro.hardening.transform import harden
+from repro.model.application import ApplicationSet
+from repro.model.architecture import Architecture, Interconnect, Processor
+from repro.model.mapping import Mapping
+from repro.model.task import Channel, Task
+from repro.model.taskgraph import TaskGraph
+from repro.sim.engine import Simulator
+from repro.sim.faults import FaultProfile, no_fault_profile
+from repro.sim.sampler import BestCaseSampler, WorstCaseSampler
+
+
+def simple_arch(n=2):
+    return Architecture(
+        [Processor(f"pe{i}") for i in range(n)],
+        Interconnect(bandwidth=10.0, base_latency=0.0),
+    )
+
+
+def chain_apps():
+    graph = TaskGraph(
+        "g",
+        tasks=[Task("a", 1.0, 2.0, detection_overhead=0.5), Task("b", 2.0, 3.0)],
+        channels=[Channel("a", "b", 0.0)],
+        period=20.0,
+        reliability_target=1e-6,
+    )
+    return ApplicationSet([graph])
+
+
+class TestFaultFreeExecution:
+    def test_chain_timing_exact(self):
+        hardened = harden(chain_apps(), HardeningPlan())
+        sim = Simulator(hardened, simple_arch(), Mapping({"a": "pe0", "b": "pe0"}))
+        result = sim.run(sampler=WorstCaseSampler())
+        assert result.graph_response_time("g") == pytest.approx(5.0)
+        assert not result.entered_critical_state
+        assert result.faults_observed == 0
+
+    def test_best_case_sampling(self):
+        hardened = harden(chain_apps(), HardeningPlan())
+        sim = Simulator(hardened, simple_arch(), Mapping({"a": "pe0", "b": "pe0"}))
+        result = sim.run(sampler=BestCaseSampler())
+        assert result.graph_response_time("g") == pytest.approx(3.0)
+
+    def test_cross_pe_communication_delay(self):
+        graph = TaskGraph(
+            "g",
+            tasks=[Task("a", 1.0, 2.0), Task("b", 2.0, 3.0)],
+            channels=[Channel("a", "b", 20.0)],  # 2 ms on the bus
+            period=20.0,
+            reliability_target=1e-6,
+        )
+        hardened = harden(ApplicationSet([graph]), HardeningPlan())
+        sim = Simulator(hardened, simple_arch(), Mapping({"a": "pe0", "b": "pe1"}))
+        result = sim.run(sampler=WorstCaseSampler())
+        assert result.graph_response_time("g") == pytest.approx(7.0)
+
+    def test_preemption_by_higher_priority(self):
+        fast = TaskGraph(
+            "fast", [Task("f", 2.0, 2.0)], [], period=10.0, service_value=1.0
+        )
+        slow = TaskGraph(
+            "slow", [Task("s", 6.0, 6.0)], [], period=20.0, reliability_target=1e-6
+        )
+        hardened = harden(ApplicationSet([fast, slow]), HardeningPlan())
+        sim = Simulator(hardened, simple_arch(1), Mapping({"f": "pe0", "s": "pe0"}))
+        result = sim.run(sampler=WorstCaseSampler())
+        # s starts at 0... f (higher priority, released at 0) runs first:
+        # f [0,2], s [2,8]; second f instance at 10 does not affect s.
+        assert result.graph_response_time("slow") == pytest.approx(8.0)
+        assert result.graph_response_time("fast") == pytest.approx(2.0)
+
+    def test_multi_hyperperiod_run(self):
+        hardened = harden(chain_apps(), HardeningPlan())
+        sim = Simulator(hardened, simple_arch(), Mapping({"a": "pe0", "b": "pe0"}))
+        result = sim.run(sampler=WorstCaseSampler(), hyperperiods=3)
+        instances = [o for o in result.outcomes if o.graph == "g"]
+        assert len(instances) == 3
+        assert all(o.response_time == pytest.approx(5.0) for o in instances)
+
+
+class TestReexecution:
+    def make(self, k=1):
+        hardened = harden(chain_apps(), HardeningPlan({"a": HardeningSpec.reexecution(k)}))
+        sim = Simulator(hardened, simple_arch(), Mapping({"a": "pe0", "b": "pe0"}))
+        return sim
+
+    def test_fault_free_includes_detection_overhead(self):
+        result = self.make().run(sampler=WorstCaseSampler())
+        # a runs 2 + 0.5 detection, then b 3.
+        assert result.graph_response_time("g") == pytest.approx(5.5)
+
+    def test_single_fault_reexecutes(self):
+        result = self.make().run(
+            profile=FaultProfile([("a", 0, 0)]), sampler=WorstCaseSampler()
+        )
+        # a runs twice: 2 * 2.5, then b 3.
+        assert result.graph_response_time("g") == pytest.approx(8.0)
+        assert result.entered_critical_state
+        assert result.faults_observed == 1
+        assert result.unsafe_events == []
+
+    def test_exhausted_retries_are_unsafe(self):
+        result = self.make(k=1).run(
+            profile=FaultProfile([("a", 0, 0), ("a", 0, 1)]),
+            sampler=WorstCaseSampler(),
+        )
+        assert ("a", 0) in result.unsafe_events
+        # timing still completes: two attempts then b
+        assert result.graph_response_time("g") == pytest.approx(8.0)
+
+
+class TestReplication:
+    def test_active_replication_masks_without_transition(self):
+        graph = TaskGraph(
+            "g",
+            tasks=[Task("v", 2.0, 2.0, voting_overhead=0.5), Task("w", 1.0, 1.0)],
+            channels=[Channel("v", "w", 0.0)],
+            period=20.0,
+            reliability_target=1e-6,
+        )
+        hardened = harden(
+            ApplicationSet([graph]), HardeningPlan({"v": HardeningSpec.active(3)})
+        )
+        mapping = Mapping(
+            {"v": "pe0", "v#r1": "pe1", "v#r2": "pe2", "v#vote": "pe0", "w": "pe0"}
+        )
+        sim = Simulator(hardened, simple_arch(3), mapping)
+        result = sim.run(
+            profile=FaultProfile([("v#r1", 0, 0)]), sampler=WorstCaseSampler()
+        )
+        assert not result.entered_critical_state
+        assert result.unsafe_events == []
+        # v copies in parallel [0,2], vote [2,2.5], w [2.5,3.5]
+        assert result.graph_response_time("g") == pytest.approx(3.5)
+
+    def test_majority_of_faulty_copies_is_unsafe(self):
+        graph = TaskGraph(
+            "g",
+            tasks=[Task("v", 2.0, 2.0, voting_overhead=0.5)],
+            channels=[],
+            period=20.0,
+            reliability_target=1e-6,
+        )
+        hardened = harden(
+            ApplicationSet([graph]), HardeningPlan({"v": HardeningSpec.active(3)})
+        )
+        mapping = Mapping({"v": "pe0", "v#r1": "pe1", "v#r2": "pe2", "v#vote": "pe0"})
+        sim = Simulator(hardened, simple_arch(3), mapping)
+        result = sim.run(
+            profile=FaultProfile([("v", 0, 0), ("v#r2", 0, 0)]),
+            sampler=WorstCaseSampler(),
+        )
+        assert ("v#vote", 0) in result.unsafe_events
+
+
+class TestPassiveReplication:
+    def make(self):
+        graph = TaskGraph(
+            "g",
+            tasks=[Task("v", 2.0, 2.0, voting_overhead=0.5), Task("w", 1.0, 1.0)],
+            channels=[Channel("v", "w", 0.0)],
+            period=20.0,
+            reliability_target=1e-6,
+        )
+        hardened = harden(
+            ApplicationSet([graph]),
+            HardeningPlan({"v": HardeningSpec.passive(3, active=2)}),
+        )
+        mapping = Mapping(
+            {"v": "pe0", "v#r1": "pe1", "v#p0": "pe2", "v#vote": "pe0", "w": "pe0"}
+        )
+        return Simulator(hardened, simple_arch(3), mapping)
+
+    def test_fault_free_passive_never_runs(self):
+        result = self.make().run(sampler=WorstCaseSampler())
+        assert not result.entered_critical_state
+        # actives [0,2], vote [2,2.5], w [2.5,3.5]
+        assert result.graph_response_time("g") == pytest.approx(3.5)
+
+    def test_fault_activates_passive_copy(self):
+        result = self.make().run(
+            profile=FaultProfile([("v", 0, 0)]), sampler=WorstCaseSampler()
+        )
+        assert result.entered_critical_state
+        # actives [0,2], p0 [2,4], vote [4,4.5], w [4.5,5.5]
+        assert result.graph_response_time("g") == pytest.approx(5.5)
+        assert result.unsafe_events == []
+
+
+class TestDropping:
+    def make(self):
+        critical = TaskGraph(
+            "crit",
+            tasks=[Task("c", 4.0, 4.0, detection_overhead=1.0)],
+            channels=[],
+            period=20.0,
+            reliability_target=1e-6,
+        )
+        low = TaskGraph(
+            "low",
+            tasks=[Task("l", 3.0, 3.0)],
+            channels=[],
+            period=10.0,
+            service_value=1.0,
+        )
+        hardened = harden(
+            ApplicationSet([critical, low]),
+            HardeningPlan({"c": HardeningSpec.reexecution(1)}),
+        )
+        mapping = Mapping({"c": "pe0", "l": "pe0"})
+        return hardened, mapping
+
+    def test_drop_set_removes_pending_instances(self):
+        hardened, mapping = self.make()
+        sim = Simulator(hardened, simple_arch(1), mapping, dropped=("low",))
+        # l (period 10, higher priority) runs first [0,3]; c runs [3,8]
+        # and faults at 8 -> critical; l@1 (release 10) is dropped.
+        result = sim.run(
+            profile=FaultProfile([("c", 0, 0)]), sampler=WorstCaseSampler()
+        )
+        dropped = result.dropped_instances()
+        assert [(o.graph, o.instance) for o in dropped] == [("low", 1)]
+        assert result.graph_response_time("crit") == pytest.approx(13.0)
+
+    def test_not_in_drop_set_keeps_running(self):
+        hardened, mapping = self.make()
+        sim = Simulator(hardened, simple_arch(1), mapping, dropped=())
+        result = sim.run(
+            profile=FaultProfile([("c", 0, 0)]), sampler=WorstCaseSampler()
+        )
+        assert result.dropped_instances() == []
+        # l@1 preempts nothing (c done by 13 > 10? l released at 10 while
+        # c re-executes [8,13]; l higher priority -> c finishes at 16.
+        assert result.graph_response_time("crit") == pytest.approx(16.0)
+
+    def test_restoration_at_hyperperiod(self):
+        hardened, mapping = self.make()
+        sim = Simulator(hardened, simple_arch(1), mapping, dropped=("low",))
+        result = sim.run(
+            profile=FaultProfile([("c", 0, 0)]),
+            sampler=WorstCaseSampler(),
+            hyperperiods=2,
+        )
+        # Instances of "low" in the second hyperperiod (2, 3) survive.
+        survivors = [
+            o.instance
+            for o in result.outcomes
+            if o.graph == "low" and not o.dropped
+        ]
+        assert 2 in survivors and 3 in survivors
+
+    def test_drop_from_start(self):
+        hardened, mapping = self.make()
+        sim = Simulator(hardened, simple_arch(1), mapping, dropped=("low",))
+        result = sim.run(sampler=WorstCaseSampler(), drop_from_start=True)
+        assert all(o.dropped for o in result.outcomes if o.graph == "low")
+        assert result.graph_response_time("low") is None
+
+
+class TestTraceCollection:
+    def test_trace_events_recorded(self):
+        hardened = harden(chain_apps(), HardeningPlan())
+        sim = Simulator(
+            hardened,
+            simple_arch(),
+            Mapping({"a": "pe0", "b": "pe0"}),
+            collect_trace=True,
+        )
+        result = sim.run(sampler=WorstCaseSampler())
+        kinds = {event.kind for event in result.trace}
+        assert {"release", "start", "finish"} <= kinds
+
+    def test_trace_off_by_default(self):
+        hardened = harden(chain_apps(), HardeningPlan())
+        sim = Simulator(hardened, simple_arch(), Mapping({"a": "pe0", "b": "pe0"}))
+        assert sim.run().trace == []

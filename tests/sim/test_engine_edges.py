@@ -1,0 +1,157 @@
+"""Edge-case simulator tests."""
+
+import pytest
+
+from repro.hardening.spec import HardeningPlan, HardeningSpec
+from repro.hardening.transform import harden
+from repro.model.application import ApplicationSet
+from repro.model.architecture import (
+    Architecture,
+    Interconnect,
+    Processor,
+    homogeneous_architecture,
+)
+from repro.model.mapping import Mapping
+from repro.model.task import Channel, Task
+from repro.model.taskgraph import TaskGraph
+from repro.sim.engine import Simulator
+from repro.sim.faults import FaultProfile
+from repro.sim.sampler import WorstCaseSampler
+
+
+class TestZeroDurationElements:
+    def test_free_voter(self):
+        graph = TaskGraph(
+            "g",
+            tasks=[Task("v", 2.0, 2.0, voting_overhead=0.0), Task("w", 1.0, 1.0)],
+            channels=[Channel("v", "w", 0.0)],
+            period=10.0,
+            reliability_target=1e-6,
+        )
+        hardened = harden(
+            ApplicationSet([graph]), HardeningPlan({"v": HardeningSpec.active(2)})
+        )
+        mapping = Mapping({"v": "pe0", "v#r1": "pe1", "v#vote": "pe0", "w": "pe0"})
+        result = Simulator(hardened, homogeneous_architecture(2), mapping).run(
+            sampler=WorstCaseSampler()
+        )
+        assert result.graph_response_time("g") == pytest.approx(3.0)
+
+    def test_zero_wcet_task(self):
+        graph = TaskGraph(
+            "g",
+            tasks=[Task("a", 0.0, 0.0), Task("b", 1.0, 2.0)],
+            channels=[Channel("a", "b", 0.0)],
+            period=10.0,
+            service_value=1.0,
+        )
+        hardened = harden(ApplicationSet([graph]), HardeningPlan())
+        result = Simulator(
+            hardened, homogeneous_architecture(1), Mapping({"a": "pe0", "b": "pe0"})
+        ).run(sampler=WorstCaseSampler())
+        assert result.graph_response_time("g") == pytest.approx(2.0)
+
+
+class TestCommunicationEdges:
+    def test_base_latency_applies(self):
+        arch = Architecture(
+            [Processor("pe0"), Processor("pe1")],
+            Interconnect(bandwidth=10.0, base_latency=3.0),
+        )
+        graph = TaskGraph(
+            "g",
+            tasks=[Task("a", 1.0, 1.0), Task("b", 1.0, 1.0)],
+            channels=[Channel("a", "b", 20.0)],  # 3 + 2 = 5 ms transfer
+            period=20.0,
+            reliability_target=1e-6,
+        )
+        hardened = harden(ApplicationSet([graph]), HardeningPlan())
+        result = Simulator(
+            hardened, arch, Mapping({"a": "pe0", "b": "pe1"})
+        ).run(sampler=WorstCaseSampler())
+        assert result.graph_response_time("g") == pytest.approx(1 + 5 + 1)
+
+    def test_same_pe_channel_free_despite_latency(self):
+        arch = Architecture(
+            [Processor("pe0")], Interconnect(bandwidth=10.0, base_latency=3.0)
+        )
+        graph = TaskGraph(
+            "g",
+            tasks=[Task("a", 1.0, 1.0), Task("b", 1.0, 1.0)],
+            channels=[Channel("a", "b", 20.0)],
+            period=20.0,
+            reliability_target=1e-6,
+        )
+        hardened = harden(ApplicationSet([graph]), HardeningPlan())
+        result = Simulator(
+            hardened, arch, Mapping({"a": "pe0", "b": "pe0"})
+        ).run(sampler=WorstCaseSampler())
+        assert result.graph_response_time("g") == pytest.approx(2.0)
+
+
+class TestPeriodicitySteadyState:
+    def test_instances_identical_without_faults(self):
+        fast = TaskGraph(
+            "fast", [Task("f", 1.0, 2.0)], [], period=10.0, service_value=1.0
+        )
+        slow = TaskGraph(
+            "slow",
+            [Task("s0", 2.0, 3.0), Task("s1", 1.0, 2.0)],
+            [Channel("s0", "s1", 5.0)],
+            period=20.0,
+            reliability_target=1e-6,
+        )
+        hardened = harden(ApplicationSet([fast, slow]), HardeningPlan())
+        result = Simulator(
+            hardened,
+            homogeneous_architecture(1),
+            Mapping({"f": "pe0", "s0": "pe0", "s1": "pe0"}),
+        ).run(sampler=WorstCaseSampler(), hyperperiods=3)
+        responses = {}
+        for outcome in result.outcomes:
+            responses.setdefault(outcome.graph, set()).add(
+                round(outcome.response_time, 9)
+            )
+        # Steady state: every instance of a graph responds identically.
+        for graph, values in responses.items():
+            assert len(values) == 1, (graph, values)
+
+    def test_fault_effect_confined_to_its_hyperperiod(self):
+        graph = TaskGraph(
+            "g",
+            tasks=[Task("t", 2.0, 2.0, detection_overhead=0.5)],
+            channels=[],
+            period=10.0,
+            reliability_target=1e-4,
+        )
+        hardened = harden(
+            ApplicationSet([graph]), HardeningPlan({"t": HardeningSpec.reexecution(1)})
+        )
+        result = Simulator(
+            hardened, homogeneous_architecture(1), Mapping({"t": "pe0"})
+        ).run(
+            profile=FaultProfile([("t", 0, 0)]),
+            sampler=WorstCaseSampler(),
+            hyperperiods=2,
+        )
+        first, second = sorted(
+            (o for o in result.outcomes if o.graph == "g"),
+            key=lambda o: o.instance,
+        )
+        assert first.response_time == pytest.approx(5.0)  # 2.5 x 2
+        assert second.response_time == pytest.approx(2.5)
+
+
+class TestDeadlineBoundary:
+    def test_exactly_on_deadline_counts_as_met(self):
+        graph = TaskGraph(
+            "g", [Task("t", 5.0, 5.0)], [], period=10.0, deadline=5.0,
+            service_value=1.0,
+        )
+        hardened = harden(ApplicationSet([graph]), HardeningPlan())
+        result = Simulator(
+            hardened, homogeneous_architecture(1), Mapping({"t": "pe0"})
+        ).run(sampler=WorstCaseSampler())
+        (outcome,) = [o for o in result.outcomes if o.instance == 0]
+        assert outcome.met_deadline is True
+        assert result.deadline_misses() == []

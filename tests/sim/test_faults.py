@@ -1,0 +1,85 @@
+"""Unit tests for failure profiles."""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hardening.spec import HardeningKind
+from repro.sim.faults import (
+    FaultProfile,
+    adhoc_profile,
+    no_fault_profile,
+    random_profile,
+)
+
+
+class TestFaultProfile:
+    def test_explicit_membership(self):
+        profile = FaultProfile([("t", 0, 1)])
+        assert profile.is_faulty("t", 0, 1)
+        assert not profile.is_faulty("t", 0, 0)
+        assert not profile.is_faulty("u", 0, 1)
+        assert len(profile) == 1
+
+    def test_no_fault_profile_empty(self):
+        profile = no_fault_profile()
+        assert len(profile) == 0
+        assert not profile.is_faulty("anything", 0, 0)
+
+    def test_iteration_sorted(self):
+        profile = FaultProfile([("b", 0, 0), ("a", 1, 2)])
+        assert list(profile) == [("a", 1, 2), ("b", 0, 0)]
+
+
+class TestAdhocProfile:
+    def test_reexecutable_tasks_maximally_faulted(self, hardened):
+        profile = adhoc_profile(hardened)
+        # a has k=2: attempts 0 and 1 fault, the final attempt succeeds.
+        assert profile.is_faulty("a", 0, 0)
+        assert profile.is_faulty("a", 0, 1)
+        assert not profile.is_faulty("a", 0, 2)
+
+    def test_passive_groups_triggered(self, hardened):
+        profile = adhoc_profile(hardened)
+        first_active = hardened.replica_groups["b"][0]
+        assert profile.is_faulty(first_active, 0, 0)
+
+    def test_unhardened_tasks_untouched(self, hardened):
+        profile = adhoc_profile(hardened)
+        assert not profile.is_faulty("c", 0, 0)
+        assert not profile.is_faulty("x", 0, 0)
+
+    def test_multi_hyperperiod(self, hardened):
+        profile = adhoc_profile(hardened, hyperperiods=2)
+        assert profile.is_faulty("a", 1, 0)
+
+
+class TestRandomProfile:
+    def test_targets_hardened_executions(self, hardened):
+        rng = random.Random(3)
+        for _ in range(20):
+            profile = random_profile(hardened, rng)
+            assert 1 <= len(profile) <= 3
+            group = set(hardened.replica_groups.get("b", ()))
+            for task, _instance, attempt in profile:
+                assert task == "a" or task in group
+                if task == "a":
+                    assert 0 <= attempt <= 2
+
+    def test_deterministic_per_seed(self, hardened):
+        a = random_profile(hardened, random.Random(7))
+        b = random_profile(hardened, random.Random(7))
+        assert list(a) == list(b)
+
+    def test_max_faults_validated(self, hardened):
+        with pytest.raises(SimulationError):
+            random_profile(hardened, random.Random(0), max_faults=0)
+
+    def test_empty_when_nothing_hardened(self, apps):
+        from repro.hardening.spec import HardeningPlan
+        from repro.hardening.transform import harden
+
+        plain = harden(apps, HardeningPlan())
+        profile = random_profile(plain, random.Random(0))
+        assert len(profile) == 0

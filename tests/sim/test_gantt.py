@@ -1,0 +1,103 @@
+"""Unit tests for the text Gantt renderer."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hardening.spec import HardeningPlan
+from repro.hardening.transform import harden
+from repro.model.application import ApplicationSet
+from repro.model.architecture import homogeneous_architecture
+from repro.model.mapping import Mapping
+from repro.model.task import Channel, Task
+from repro.model.taskgraph import TaskGraph
+from repro.sim.engine import Simulator
+from repro.sim.gantt import busy_times, execution_segments, render_gantt
+from repro.sim.sampler import WorstCaseSampler
+
+
+@pytest.fixture
+def traced_result():
+    graph = TaskGraph(
+        "g",
+        tasks=[Task("alpha", 2.0, 2.0), Task("beta", 3.0, 3.0)],
+        channels=[Channel("alpha", "beta", 0.0)],
+        period=10.0,
+        reliability_target=1e-6,
+    )
+    hardened = harden(ApplicationSet([graph]), HardeningPlan())
+    sim = Simulator(
+        hardened,
+        homogeneous_architecture(2),
+        Mapping({"alpha": "pe0", "beta": "pe1"}),
+        collect_trace=True,
+    )
+    return sim.run(sampler=WorstCaseSampler())
+
+
+class TestSegments:
+    def test_segments_match_execution(self, traced_result):
+        segments = execution_segments(traced_result)
+        by_task = {(s.task, s.instance): s for s in segments}
+        alpha = by_task[("alpha", 0)]
+        beta = by_task[("beta", 0)]
+        assert (alpha.start, alpha.end) == (0.0, 2.0)
+        assert beta.start == pytest.approx(2.0)
+        assert beta.end == pytest.approx(5.0)
+        assert alpha.processor == "pe0"
+        assert beta.processor == "pe1"
+
+    def test_requires_trace(self):
+        from repro.sim.trace import SimulationResult
+
+        with pytest.raises(SimulationError, match="collect_trace"):
+            execution_segments(SimulationResult())
+
+
+class TestRendering:
+    def test_rows_per_processor(self, traced_result):
+        chart = render_gantt(traced_result, width=40)
+        lines = chart.splitlines()
+        assert len(lines) == 3  # header + 2 processors
+        assert lines[1].startswith("pe0")
+        assert lines[2].startswith("pe1")
+
+    def test_glyphs_present(self, traced_result):
+        chart = render_gantt(traced_result, width=40)
+        pe0_row = chart.splitlines()[1]
+        pe1_row = chart.splitlines()[2]
+        assert "A" in pe0_row and "A" not in pe1_row
+        assert "B" in pe1_row and "B" not in pe0_row
+
+    def test_until_clamps_horizon(self, traced_result):
+        with pytest.raises(SimulationError):
+            render_gantt(traced_result, until=0.0)
+        wide = render_gantt(traced_result, width=40, until=20.0)
+        assert "A" in wide
+
+
+class TestBusyTimes:
+    def test_totals(self, traced_result):
+        totals = busy_times(traced_result)
+        assert totals["pe0"] == pytest.approx(2.0)
+        assert totals["pe1"] == pytest.approx(3.0)
+
+    def test_preempted_task_splits_segments(self):
+        fast = TaskGraph(
+            "fast", [Task("fff", 2.0, 2.0)], [], period=5.0, service_value=1.0
+        )
+        slow = TaskGraph(
+            "slow", [Task("sss", 6.0, 6.0)], [], period=10.0,
+            reliability_target=1e-6,
+        )
+        hardened = harden(ApplicationSet([fast, slow]), HardeningPlan())
+        sim = Simulator(
+            hardened,
+            homogeneous_architecture(1),
+            Mapping({"fff": "pe0", "sss": "pe0"}),
+            collect_trace=True,
+        )
+        result = sim.run(sampler=WorstCaseSampler())
+        segments = execution_segments(result)
+        slow_segments = [s for s in segments if s.task == "sss"]
+        assert len(slow_segments) == 2  # preempted by the second fff job
+        assert busy_times(result)["pe0"] == pytest.approx(2 * 2.0 + 6.0)

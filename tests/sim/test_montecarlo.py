@@ -1,0 +1,56 @@
+"""Unit tests for the Monte-Carlo (WC-Sim) estimator."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.montecarlo import MonteCarloEstimator
+from repro.sim.sampler import WorstCaseSampler
+
+
+@pytest.fixture
+def simulator(hardened, architecture, mapping):
+    return Simulator(hardened, architecture, mapping, dropped=("lo",))
+
+
+class TestEstimation:
+    def test_covers_all_graphs(self, simulator):
+        result = MonteCarloEstimator(simulator).estimate(profiles=30, seed=1)
+        assert "hi" in result.worst_response
+        assert result.profiles == 31  # 30 random + 1 fault-free
+
+    def test_fault_free_floor(self, simulator):
+        # The estimate is never below the fault-free worst-case trace.
+        baseline = simulator.run(sampler=WorstCaseSampler())
+        estimate = MonteCarloEstimator(
+            simulator, sampler=WorstCaseSampler()
+        ).estimate(profiles=10, seed=2)
+        assert estimate.worst_response["hi"] >= (
+            baseline.graph_response_time("hi") - 1e-9
+        )
+
+    def test_deterministic_per_seed(self, simulator):
+        a = MonteCarloEstimator(simulator).estimate(profiles=20, seed=5)
+        b = MonteCarloEstimator(simulator).estimate(profiles=20, seed=5)
+        assert a.worst_response == b.worst_response
+
+    def test_more_profiles_never_reduce_estimate(self, simulator):
+        small = MonteCarloEstimator(simulator).estimate(profiles=10, seed=3)
+        large = MonteCarloEstimator(simulator).estimate(profiles=40, seed=3)
+        for graph, value in small.worst_response.items():
+            assert large.worst_response[graph] >= value - 1e-9
+
+    def test_critical_runs_counted(self, simulator):
+        result = MonteCarloEstimator(simulator).estimate(profiles=40, seed=4)
+        # Faults target hardened tasks, so most runs go critical.
+        assert result.critical_runs > 0
+        assert result.critical_runs <= result.profiles
+
+    def test_without_fault_free_run(self, simulator):
+        estimator = MonteCarloEstimator(simulator, include_fault_free=False)
+        result = estimator.estimate(profiles=5, seed=1)
+        assert result.profiles == 5
+
+    def test_wcrt_of_accessor(self, simulator):
+        result = MonteCarloEstimator(simulator).estimate(profiles=5, seed=1)
+        assert result.wcrt_of("hi") == result.worst_response["hi"]
+        assert result.wcrt_of("ghost") is None

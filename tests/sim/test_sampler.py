@@ -1,0 +1,53 @@
+"""Unit tests for execution-time samplers."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.sampler import (
+    BestCaseSampler,
+    BiasedSampler,
+    UniformSampler,
+    WorstCaseSampler,
+)
+
+
+class TestDeterministicSamplers:
+    def test_worst_case(self):
+        assert WorstCaseSampler().sample(1.0, 5.0, random.Random(0)) == 5.0
+
+    def test_best_case(self):
+        assert BestCaseSampler().sample(1.0, 5.0, random.Random(0)) == 1.0
+
+
+class TestRandomSamplers:
+    @given(st.floats(min_value=0.0, max_value=10.0), st.floats(min_value=0.0, max_value=10.0))
+    def test_uniform_stays_in_range(self, a, b):
+        bcet, wcet = min(a, b), max(a, b)
+        value = UniformSampler().sample(bcet, wcet, random.Random(1))
+        assert bcet <= value <= wcet
+
+    def test_uniform_degenerate_range(self):
+        assert UniformSampler().sample(3.0, 3.0, random.Random(0)) == 3.0
+
+    def test_biased_hits_wcet_often(self):
+        rng = random.Random(42)
+        sampler = BiasedSampler(0.5)
+        hits = sum(
+            1 for _ in range(400) if sampler.sample(1.0, 5.0, rng) == 5.0
+        )
+        assert 120 < hits < 280  # ~50% +- slack
+
+    def test_biased_always_worst_at_one(self):
+        rng = random.Random(0)
+        sampler = BiasedSampler(1.0)
+        assert all(sampler.sample(1.0, 5.0, rng) == 5.0 for _ in range(20))
+
+    def test_biased_validates_probability(self):
+        with pytest.raises(SimulationError):
+            BiasedSampler(1.5)
+        with pytest.raises(SimulationError):
+            BiasedSampler(-0.1)

@@ -1,0 +1,62 @@
+"""Unit tests for trace records and result aggregation."""
+
+from repro.sim.trace import InstanceOutcome, SimulationResult, TraceEvent
+
+
+class TestInstanceOutcome:
+    def test_response_time(self):
+        outcome = InstanceOutcome("g", 0, release=10.0, finish=17.5, deadline=10.0)
+        assert outcome.response_time == 7.5
+        assert outcome.met_deadline
+
+    def test_dropped_instance(self):
+        outcome = InstanceOutcome("g", 0, release=10.0, dropped=True)
+        assert outcome.response_time is None
+        assert outcome.met_deadline is None
+
+    def test_deadline_miss(self):
+        outcome = InstanceOutcome("g", 0, release=0.0, finish=11.0, deadline=10.0)
+        assert outcome.met_deadline is False
+
+
+class TestSimulationResult:
+    def make(self):
+        return SimulationResult(
+            outcomes=[
+                InstanceOutcome("g", 0, 0.0, finish=5.0, deadline=10.0),
+                InstanceOutcome("g", 1, 10.0, finish=18.0, deadline=10.0),
+                InstanceOutcome("h", 0, 0.0, dropped=True, deadline=20.0),
+                InstanceOutcome("h", 1, 20.0, finish=45.0, deadline=20.0),
+            ],
+            transitions=[(4.0, "t")],
+        )
+
+    def test_graph_response_time_max_over_instances(self):
+        result = self.make()
+        assert result.graph_response_time("g") == 8.0
+
+    def test_dropped_excluded(self):
+        result = self.make()
+        assert result.graph_response_time("h") == 25.0
+
+    def test_all_dropped_returns_none(self):
+        result = SimulationResult(
+            outcomes=[InstanceOutcome("h", 0, 0.0, dropped=True)]
+        )
+        assert result.graph_response_time("h") is None
+
+    def test_response_times_map(self):
+        times = self.make().response_times()
+        assert times == {"g": 8.0, "h": 25.0}
+
+    def test_deadline_misses(self):
+        misses = self.make().deadline_misses()
+        assert [(o.graph, o.instance) for o in misses] == [("h", 1)]
+
+    def test_dropped_instances(self):
+        dropped = self.make().dropped_instances()
+        assert [(o.graph, o.instance) for o in dropped] == [("h", 0)]
+
+    def test_entered_critical_state(self):
+        assert self.make().entered_critical_state
+        assert not SimulationResult().entered_critical_state

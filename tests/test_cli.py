@@ -1,0 +1,159 @@
+"""End-to-end tests of the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.problem import DesignPoint
+from repro.hardening.spec import HardeningPlan, HardeningSpec
+from repro.model.serialization import save_system
+
+
+@pytest.fixture
+def system_file(tmp_path, apps, plan, architecture, mapping):
+    path = tmp_path / "system.json"
+    save_system(path, apps, architecture, mapping=mapping, plan=plan)
+    return str(path)
+
+
+@pytest.fixture
+def unmapped_system_file(tmp_path, apps, architecture):
+    path = tmp_path / "plain.json"
+    save_system(path, apps, architecture)
+    return str(path)
+
+
+class TestAnalyze:
+    def test_proposed(self, system_file, capsys):
+        code = main(["analyze", system_file, "--dropped", "lo"])
+        output = capsys.readouterr().out
+        assert "hi" in output and "transitions analyzed" in output
+        assert code in (0, 1)
+
+    def test_naive_and_adhoc(self, system_file, capsys):
+        for method in ("naive", "adhoc"):
+            main(["analyze", system_file, "--method", method])
+            assert "hi" in capsys.readouterr().out
+
+    def test_policy_and_bus_flags(self, system_file, capsys):
+        code = main(
+            ["analyze", system_file, "--policy", "edf", "--bus-contention",
+             "--dropped", "lo"]
+        )
+        assert code in (0, 1)
+        assert "hi" in capsys.readouterr().out
+
+    def test_backend_selection(self, system_file, capsys):
+        for backend in ("window", "fast", "holistic"):
+            code = main(
+                ["analyze", system_file, "--backend", backend, "--dropped", "lo"]
+            )
+            assert code in (0, 1)
+            assert "hi" in capsys.readouterr().out
+
+    def test_simulate_edf(self, system_file, capsys):
+        assert main(
+            ["simulate", system_file, "--profiles", "5", "--policy", "edf"]
+        ) == 0
+
+    def test_plan_file(self, tmp_path, unmapped_system_file, apps, architecture, capsys):
+        # Plan application changes the task set -> mapping must cover T',
+        # so build a system with a mapping over the plain tasks and a
+        # re-execution-only plan (topology unchanged).
+        from repro.model.mapping import Mapping
+
+        path = tmp_path / "sys2.json"
+        flat = Mapping({t: "pe0" for t in apps.all_task_names})
+        save_system(path, apps, architecture, flat)
+        plan_path = tmp_path / "plan.json"
+        plan = HardeningPlan({"a": HardeningSpec.reexecution(1)})
+        plan_path.write_text(json.dumps(plan.to_dict()))
+        main(["analyze", str(path), "--plan", str(plan_path)])
+        assert "transitions analyzed: 1" in capsys.readouterr().out
+
+    def test_missing_mapping_is_error(self, unmapped_system_file, capsys):
+        code = main(["analyze", unmapped_system_file])
+        assert code == 2
+        assert "no mapping" in capsys.readouterr().err
+
+
+class TestSimulate:
+    def test_campaign(self, system_file, capsys):
+        code = main(
+            ["simulate", system_file, "--profiles", "10", "--dropped", "lo"]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "profiles: 11" in output
+        assert "hi" in output
+
+
+class TestExplore:
+    def test_explore_writes_pareto(self, tmp_path, unmapped_system_file, capsys):
+        out = tmp_path / "pareto.json"
+        code = main(
+            [
+                "explore",
+                unmapped_system_file,
+                "--generations",
+                "3",
+                "--population",
+                "10",
+                "--out",
+                str(out),
+            ]
+        )
+        output = capsys.readouterr().out
+        assert "Pareto front" in output
+        if code == 0:
+            payload = json.loads(out.read_text())
+            assert payload["pareto"]
+            # Design points round-trip.
+            design = DesignPoint.from_dict(payload["pareto"][0]["design"])
+            assert design.allocation
+
+
+class TestMargins:
+    def test_margins_command(self, system_file, capsys):
+        code = main(["margins", system_file, "--dropped", "lo"])
+        output = capsys.readouterr().out
+        assert "deadline margin" in output
+        assert "scaling margin" in output
+        assert code in (0, 1)
+
+    def test_margins_requires_mapping(self, unmapped_system_file, capsys):
+        assert main(["margins", unmapped_system_file]) == 2
+
+
+class TestExportAndGenerate:
+    def test_export_benchmark(self, tmp_path, capsys):
+        out = tmp_path / "dtmed.json"
+        assert main(["export", "dt-med", str(out)]) == 0
+        from repro.model.serialization import load_system
+
+        bundle = load_system(out)
+        assert "t1" in bundle.applications
+        assert bundle.mapping is None
+        assert bundle.plan is None
+
+    def test_export_cruise_with_mapping(self, tmp_path, capsys):
+        out = tmp_path / "cruise.json"
+        assert main(["export", "cruise", str(out), "--with-reference-mapping"]) == 0
+        from repro.model.serialization import load_system
+
+        bundle = load_system(out)
+        assert bundle.mapping is not None
+        assert bundle.plan is not None
+        assert "cc_ctl#vote" in bundle.mapping  # mapping covers T'
+        # The exported system is immediately analyzable.
+        assert main(["analyze", str(out), "--dropped", "info"]) in (0, 1)
+
+    def test_generate(self, tmp_path, capsys):
+        out = tmp_path / "random.json"
+        assert main(["generate", str(out), "--seed", "5"]) == 0
+        from repro.model.serialization import load_system
+
+        bundle = load_system(out)
+        assert len(bundle.architecture) == 4
+        assert len(bundle.applications) == 4

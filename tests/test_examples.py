@@ -1,0 +1,62 @@
+"""Smoke tests: every shipped example must run to completion.
+
+The examples are part of the public API surface; running them end-to-end
+(as subprocesses, like a user would) catches interface drift.  The DSE
+and sensitivity examples accept no CLI budget flags, so the two heaviest
+ones run with tight wall-clock limits.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, timeout):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+@pytest.mark.parametrize(
+    "name, timeout, marker",
+    [
+        ("quickstart.py", 120, "proposed"),
+        ("motivational_example.py", 120, "MISSES"),
+        ("custom_backend.py", 120, "serialized backend"),
+        ("passive_replication_demo.py", 120, "work#p0"),
+    ],
+)
+def test_example_runs(name, timeout, marker):
+    result = run_example(name, timeout)
+    assert result.returncode == 0, result.stderr
+    assert marker in result.stdout
+
+
+def test_cruise_dse_with_tiny_budget():
+    result = subprocess.run(
+        [
+            sys.executable,
+            str(EXAMPLES_DIR / "cruise_dse.py"),
+            "--generations", "2",
+            "--population", "10",
+        ],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "Pareto front" in result.stdout
+
+
+def test_gantt_rendered_by_motivational_example():
+    result = run_example("motivational_example.py", 120)
+    assert result.returncode == 0, result.stderr
+    assert "gantt" in result.stdout
+    assert "pe0 |" in result.stdout

@@ -1,0 +1,78 @@
+"""Unit tests for the internal time arithmetic helpers."""
+
+import pytest
+
+from repro._timing import as_rational, hyperperiod, lcm_rational
+from repro.errors import ModelError
+from fractions import Fraction
+
+
+class TestAsRational:
+    def test_integers(self):
+        assert as_rational(10.0) == Fraction(10)
+
+    def test_fractions(self):
+        assert as_rational(2.5) == Fraction(5, 2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ModelError):
+            as_rational(-1.0)
+
+
+class TestLcm:
+    def test_integers(self):
+        assert lcm_rational(Fraction(4), Fraction(6)) == Fraction(12)
+
+    def test_rationals(self):
+        # lcm(3/2, 5/4) = 15/2
+        assert lcm_rational(Fraction(3, 2), Fraction(5, 4)) == Fraction(15, 2)
+
+
+class TestHyperperiod:
+    def test_basic(self):
+        assert hyperperiod([10, 15]) == 30.0
+
+    def test_fractional(self):
+        assert hyperperiod([2.5, 10]) == 10.0
+
+    def test_single(self):
+        assert hyperperiod([7.0]) == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            hyperperiod([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ModelError):
+            hyperperiod([10, 0])
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        from repro.errors import (
+            AnalysisError,
+            ExplorationError,
+            HardeningError,
+            InfeasibleError,
+            MappingError,
+            ModelError,
+            ReproError,
+            SimulationError,
+        )
+
+        for exc in (
+            ModelError,
+            MappingError,
+            HardeningError,
+            AnalysisError,
+            InfeasibleError,
+            SimulationError,
+            ExplorationError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_infeasible_carries_violations(self):
+        from repro.errors import InfeasibleError
+
+        error = InfeasibleError("nope", violations=["a", "b"])
+        assert error.violations == ["a", "b"]
