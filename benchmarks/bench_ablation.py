@@ -15,7 +15,16 @@ import pytest
 
 from repro.core import MixedCriticalityAnalysis, NaiveAnalysis
 from repro.experiments.table2 import TABLE2_DROPPED
+from repro.obs.bench import bench_timer, write_bench_report
 from repro.suites.cruise import cruise_benchmark, cruise_sample_mappings
+
+_PAYLOAD = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _bench_telemetry():
+    yield
+    write_bench_report("ablation", _PAYLOAD)
 
 
 @pytest.fixture(scope="module")
@@ -44,12 +53,22 @@ class TestGranularityAblation:
     def test_benchmark_job_granularity(self, benchmark, study):
         hardened, arch, mapping = study
         analysis = MixedCriticalityAnalysis(granularity="job")
-        benchmark(lambda: analysis.analyze(hardened, arch, mapping, TABLE2_DROPPED))
+
+        def run():
+            with bench_timer("ablation.job_granularity").time():
+                return analysis.analyze(hardened, arch, mapping, TABLE2_DROPPED)
+
+        benchmark(run)
 
     def test_benchmark_task_granularity(self, benchmark, study):
         hardened, arch, mapping = study
         analysis = MixedCriticalityAnalysis(granularity="task")
-        benchmark(lambda: analysis.analyze(hardened, arch, mapping, TABLE2_DROPPED))
+
+        def run():
+            with bench_timer("ablation.task_granularity").time():
+                return analysis.analyze(hardened, arch, mapping, TABLE2_DROPPED)
+
+        benchmark(run)
 
 
 class TestBcetAblation:
@@ -107,11 +126,12 @@ class TestBusAblation:
     def test_benchmark_bus_contention_analysis(self, benchmark, study):
         hardened, arch, mapping = study
         analysis = MixedCriticalityAnalysis(bus_contention=True)
-        benchmark.pedantic(
-            lambda: analysis.analyze(hardened, arch, mapping, TABLE2_DROPPED),
-            rounds=3,
-            iterations=1,
-        )
+
+        def run():
+            with bench_timer("ablation.bus_contention").time():
+                return analysis.analyze(hardened, arch, mapping, TABLE2_DROPPED)
+
+        benchmark.pedantic(run, rounds=3, iterations=1)
 
 
 class TestBackendFamilies:
@@ -137,11 +157,12 @@ class TestBackendFamilies:
 
         hardened, arch, mapping = study
         analysis = MixedCriticalityAnalysis(backend=HolisticAnalysisBackend())
-        benchmark.pedantic(
-            lambda: analysis.analyze(hardened, arch, mapping, TABLE2_DROPPED),
-            rounds=3,
-            iterations=1,
-        )
+
+        def run():
+            with bench_timer("ablation.holistic_backend").time():
+                return analysis.analyze(hardened, arch, mapping, TABLE2_DROPPED)
+
+        benchmark.pedantic(run, rounds=3, iterations=1)
 
 
 class TestBackendSweeps:

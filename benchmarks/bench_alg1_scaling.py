@@ -18,6 +18,15 @@ from repro.core import MixedCriticalityAnalysis
 from repro.dse.chromosome import heuristic_chromosome
 from repro.experiments.scaling import run_scaling
 from repro.hardening.transform import harden
+from repro.obs.bench import bench_timer, write_bench_report
+
+_PAYLOAD = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _bench_telemetry():
+    yield
+    write_bench_report("alg1_scaling", _PAYLOAD)
 
 
 def build(size, seed=7):
@@ -42,11 +51,14 @@ def build(size, seed=7):
 def test_benchmark_analysis_scaling(benchmark, size):
     problem, design, hardened = build(size)
     analysis = MixedCriticalityAnalysis(granularity="task")
-    result = benchmark(
-        lambda: analysis.analyze(
-            hardened, problem.architecture, design.mapping, design.dropped
-        )
-    )
+
+    def run():
+        with bench_timer(f"alg1_scaling.analyze_{size}").time():
+            return analysis.analyze(
+                hardened, problem.architecture, design.mapping, design.dropped
+            )
+
+    result = benchmark(run)
     # One transition per hardened (here: re-executable critical) task.
     hardened_tasks = len(hardened.reexec_counts) + len(hardened.passive_tasks)
     assert result.transitions_analyzed == hardened_tasks
@@ -73,6 +85,12 @@ def test_benchmark_fast_backend_scaling(benchmark, size):
 
 def test_transition_count_grows_linearly():
     rows = run_scaling(sizes=(1, 2, 4), granularity="task")
+    for row in rows:
+        bench_timer("alg1_scaling.run_scaling").observe(row.seconds)
+    _PAYLOAD["scaling_rows"] = [
+        {"tasks": row.tasks, "transitions": row.transitions, "seconds": row.seconds}
+        for row in rows
+    ]
     transitions = [row.transitions for row in rows]
     assert transitions == sorted(transitions)
     assert transitions[-1] > transitions[0]

@@ -11,14 +11,33 @@ extremes, is mutually non-dominated, and power increases with service.
 import pytest
 
 from repro.experiments.pareto import format_front, run_fig5
+from repro.obs.bench import bench_timer, write_bench_report
 
 GENERATIONS = 30
 POPULATION = 28
 
+_PAYLOAD = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _bench_telemetry():
+    yield
+    write_bench_report("fig5_pareto", _PAYLOAD)
+
 
 @pytest.fixture(scope="module")
 def fig5_result():
-    return run_fig5(generations=GENERATIONS, population=POPULATION, seed=2014)
+    with bench_timer("fig5_pareto.run_fig5").time():
+        result = run_fig5(
+            generations=GENERATIONS, population=POPULATION, seed=2014
+        )
+    _PAYLOAD["generations"] = GENERATIONS
+    _PAYLOAD["population"] = POPULATION
+    _PAYLOAD["front"] = [
+        {"power": p.power, "service": p.service, "dropped": list(p.dropped)}
+        for p in result.drop_set_front()
+    ]
+    return result
 
 
 def test_front_nonempty(fig5_result):

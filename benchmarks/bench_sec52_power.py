@@ -16,19 +16,39 @@ from repro.experiments.dropping import (
     format_power_rows,
     run_power_comparison,
 )
+from repro.obs.bench import bench_timer, write_bench_report
 
 GENERATIONS = 18
 POPULATION = 24
 
+_PAYLOAD = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _bench_telemetry():
+    yield
+    write_bench_report("sec52_power", _PAYLOAD)
+
 
 @pytest.fixture(scope="module")
 def power_rows():
-    return run_power_comparison(
-        benchmarks=("dt-med", "cruise"),
-        generations=GENERATIONS,
-        population=POPULATION,
-        seed=2014,
-    )
+    with bench_timer("sec52_power.run_power_comparison").time():
+        rows = run_power_comparison(
+            benchmarks=("dt-med", "cruise"),
+            generations=GENERATIONS,
+            population=POPULATION,
+            seed=2014,
+        )
+    _PAYLOAD["rows"] = [
+        {
+            "benchmark": row.benchmark,
+            "power_with_dropping": row.power_with_dropping,
+            "power_without_dropping": row.power_without_dropping,
+            "extra_power_percent": row.extra_power_percent,
+        }
+        for row in rows
+    ]
+    return rows
 
 
 def test_dropping_never_costs_power(power_rows):

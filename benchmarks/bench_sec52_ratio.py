@@ -16,19 +16,38 @@ hardening techniques (83–99 % on the real-life benchmarks).
 import pytest
 
 from repro.experiments.dropping import format_ratio_rows, run_dropping_ratios
+from repro.obs.bench import bench_timer, write_bench_report
 
 GENERATIONS = 12
 POPULATION = 20
 
+_PAYLOAD = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _bench_telemetry():
+    yield
+    write_bench_report("sec52_ratio", _PAYLOAD)
+
 
 @pytest.fixture(scope="module")
 def ratio_rows():
-    return run_dropping_ratios(
-        benchmarks=("synth-1", "synth-2", "dt-med", "cruise"),
-        generations=GENERATIONS,
-        population=POPULATION,
-        seed=2014,
-    )
+    with bench_timer("sec52_ratio.run_dropping_ratios").time():
+        rows = run_dropping_ratios(
+            benchmarks=("synth-1", "synth-2", "dt-med", "cruise"),
+            generations=GENERATIONS,
+            population=POPULATION,
+            seed=2014,
+        )
+    _PAYLOAD["rows"] = [
+        {
+            "benchmark": row.benchmark,
+            "ratio_over_all": row.ratio_over_all,
+            "reexecution_share": row.reexecution_share,
+        }
+        for row in rows
+    ]
+    return rows
 
 
 def _row(rows, name):

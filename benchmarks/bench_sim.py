@@ -11,9 +11,18 @@ worst trace on the Cruise benchmark.
 import pytest
 
 from repro.experiments.table2 import TABLE2_DROPPED
+from repro.obs.bench import bench_timer, write_bench_report
 from repro.sim import Simulator, WorstCaseSampler
 from repro.sim.faults import adhoc_profile, random_profile
 from repro.suites.cruise import cruise_benchmark, cruise_sample_mappings
+
+_PAYLOAD = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _bench_telemetry():
+    yield
+    write_bench_report("sim", _PAYLOAD)
 
 
 @pytest.fixture(scope="module")
@@ -26,7 +35,12 @@ def setup():
 
 def test_benchmark_fault_free_run(benchmark, setup):
     _hardened, simulator = setup
-    result = benchmark(lambda: simulator.run(sampler=WorstCaseSampler()))
+
+    def run():
+        with bench_timer("sim.fault_free_run").time():
+            return simulator.run(sampler=WorstCaseSampler())
+
+    result = benchmark(run)
     assert not result.entered_critical_state
 
 
@@ -35,18 +49,24 @@ def test_benchmark_faulty_run_with_dropping(benchmark, setup):
 
     hardened, simulator = setup
     profile = random_profile(hardened, random.Random(1), max_faults=3)
-    result = benchmark(
-        lambda: simulator.run(profile=profile, sampler=WorstCaseSampler())
-    )
+
+    def run():
+        with bench_timer("sim.faulty_run_with_dropping").time():
+            return simulator.run(profile=profile, sampler=WorstCaseSampler())
+
+    result = benchmark(run)
     assert result.faults_observed >= 0
 
 
 def test_benchmark_adhoc_trace(benchmark, setup):
     hardened, simulator = setup
     profile = adhoc_profile(hardened)
-    result = benchmark(
-        lambda: simulator.run(
-            profile=profile, sampler=WorstCaseSampler(), drop_from_start=True
-        )
-    )
+
+    def run():
+        with bench_timer("sim.adhoc_trace").time():
+            return simulator.run(
+                profile=profile, sampler=WorstCaseSampler(), drop_from_start=True
+            )
+
+    result = benchmark(run)
     assert result.entered_critical_state

@@ -19,13 +19,29 @@ benchmark reconstruction and back-end) but must reproduce the shape:
 import pytest
 
 from repro.experiments.table2 import format_table2, run_table2
+from repro.obs.bench import bench_timer, write_bench_report
 
 PROFILES = 400  # paper: 10,000; scaled for benchmark runtime
+
+_PAYLOAD = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _bench_telemetry():
+    yield
+    write_bench_report("table2_wcrt", _PAYLOAD)
 
 
 @pytest.fixture(scope="module")
 def table2_cells():
-    return run_table2(profiles=PROFILES, seed=2014)
+    with bench_timer("table2_wcrt.run_table2").time():
+        cells = run_table2(profiles=PROFILES, seed=2014)
+    _PAYLOAD["profiles"] = PROFILES
+    _PAYLOAD["cells"] = [
+        {"method": c.method, "mapping": c.mapping, "app": c.app, "wcrt": c.wcrt}
+        for c in cells
+    ]
+    return cells
 
 
 def test_table2_shape(table2_cells):

@@ -10,11 +10,31 @@ dominates every Monte-Carlo observation and ``Naive`` dominates
 import pytest
 
 from repro.experiments.validation import format_validation, run_validation
+from repro.obs.bench import bench_timer, write_bench_report
+
+_PAYLOAD = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _bench_telemetry():
+    yield
+    write_bench_report("validation", _PAYLOAD)
 
 
 @pytest.fixture(scope="module")
 def validation_rows():
-    return run_validation(seeds=(1, 2, 3, 4, 5), profiles=60)
+    with bench_timer("validation.run_validation").time():
+        rows = run_validation(seeds=(1, 2, 3, 4, 5), profiles=60)
+    _PAYLOAD["rows"] = [
+        {
+            "system": row.system,
+            "safe": row.safe,
+            "proposed_gap": row.proposed_gap,
+            "dropped": bool(row.dropped),
+        }
+        for row in rows
+    ]
+    return rows
 
 
 def test_no_safety_violations(validation_rows):

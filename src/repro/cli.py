@@ -16,6 +16,11 @@ Examples::
     python -m repro analyze cruise.json --dropped info,diag,log,cam
     python -m repro simulate cruise.json --profiles 500 --dropped info
     python -m repro explore cruise.json --generations 20 --out pareto.json
+
+Every command accepts the observability flags ``--log-level``,
+``--progress``, ``--metrics-out PATH`` (JSON metrics + per-generation
+records) and ``--trace-out PATH`` (JSONL event trace); final results go
+to stdout, telemetry to stderr/files.
 """
 
 import argparse
@@ -33,8 +38,22 @@ from repro.errors import ReproError
 from repro.hardening.spec import HardeningPlan
 from repro.hardening.transform import harden
 from repro.model.serialization import load_system, save_system
+from repro.obs import events as obs_events
+from repro.obs.events import (
+    EarlyStopped,
+    GenerationCompleted,
+    JsonlTraceWriter,
+    InMemoryCollector,
+    ProgressLogger,
+    event_to_dict,
+)
+from repro.obs.logging import configure as configure_logging
+from repro.obs.logging import get_logger
+from repro.obs.metrics import metrics
 from repro.sim import BiasedSampler, MonteCarloEstimator, Simulator
 from repro.suites import benchmark_names, get_benchmark
+
+_LOG = get_logger("cli")
 
 
 def _load_mapped_system(args):
@@ -121,6 +140,7 @@ def _cmd_simulate(args) -> int:
 
 
 def _cmd_explore(args) -> int:
+    from repro.core.evaluator import Evaluator
     from repro.core.problem import Problem
     from repro.dse import Explorer, ExplorerConfig
 
@@ -135,7 +155,25 @@ def _cmd_explore(args) -> int:
         generations=args.generations,
         seed=args.seed,
     )
-    result = Explorer(problem, config).run()
+    evaluator = None
+    if args.backend != "fast":
+        if args.backend == "holistic":
+            from repro.sched.holistic import HolisticAnalysisBackend
+
+            backend = HolisticAnalysisBackend()
+        else:
+            from repro.sched.wcrt import WindowAnalysisBackend
+
+            backend = WindowAnalysisBackend()
+        evaluator = Evaluator(
+            problem,
+            analysis=MixedCriticalityAnalysis(
+                backend=backend,
+                granularity="task",
+                comm=problem.comm_model(),
+            ),
+        )
+    result = Explorer(problem, config, evaluator=evaluator).run()
     print(f"evaluations: {result.statistics.evaluations}, "
           f"feasible: {result.statistics.feasible}")
     print(f"\nPareto front ({len(result.pareto)} points):")
@@ -156,7 +194,7 @@ def _cmd_explore(args) -> int:
             ]
         }
         Path(args.out).write_text(json.dumps(payload, indent=2))
-        print(f"\nwrote {len(result.pareto)} design point(s) to {args.out}")
+        _LOG.info("wrote %d design point(s) to %s", len(result.pareto), args.out)
     return 0 if result.pareto else 1
 
 
@@ -203,9 +241,10 @@ def _cmd_export(args) -> int:
             mapping=mappings[0],
             plan=cruise_reference_plan(),
         )
-        print(
-            f"wrote {args.benchmark} with reference plan and sample "
-            f"mapping 1 to {args.out}"
+        _LOG.info(
+            "wrote %s with reference plan and sample mapping 1 to %s",
+            args.benchmark,
+            args.out,
         )
         return 0
     save_system(
@@ -213,7 +252,7 @@ def _cmd_export(args) -> int:
         benchmark.problem.applications,
         benchmark.problem.architecture,
     )
-    print(f"wrote {args.benchmark} to {args.out}")
+    _LOG.info("wrote %s to %s", args.benchmark, args.out)
     return 0
 
 
@@ -225,12 +264,43 @@ def _cmd_generate(args) -> int:
         processors=args.processors,
     )
     save_system(args.out, problem.applications, problem.architecture)
-    print(
-        f"wrote random system (seed {args.seed}, "
-        f"{len(problem.applications.all_tasks)} tasks, "
-        f"{len(problem.architecture)} processors) to {args.out}"
+    _LOG.info(
+        "wrote random system (seed %d, %d tasks, %d processors) to %s",
+        args.seed,
+        len(problem.applications.all_tasks),
+        len(problem.architecture),
+        args.out,
     )
     return 0
+
+
+def observability_options() -> argparse.ArgumentParser:
+    """Parent parser carrying the shared observability flags."""
+    common = argparse.ArgumentParser(add_help=False)
+    group = common.add_argument_group("observability")
+    group.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default="warning",
+        help="repro.* logger verbosity (stderr)",
+    )
+    group.add_argument(
+        "--progress",
+        action="store_true",
+        help="print per-generation progress lines to stderr",
+    )
+    group.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write the metrics registry (plus per-generation records) "
+        "as JSON when the command finishes",
+    )
+    group.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="write every telemetry event as a JSON line to PATH",
+    )
+    return common
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -240,8 +310,11 @@ def build_parser() -> argparse.ArgumentParser:
         description="Fault-tolerant mixed-criticality MPSoC mapping toolkit.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    obs = [observability_options()]
 
-    analyze = sub.add_parser("analyze", help="WCRT analysis of a mapped system")
+    analyze = sub.add_parser(
+        "analyze", help="WCRT analysis of a mapped system", parents=obs
+    )
     analyze.add_argument("system", help="system JSON (applications+architecture+mapping)")
     analyze.add_argument("--plan", help="hardening plan JSON")
     analyze.add_argument("--dropped", help="comma-separated dropped applications")
@@ -263,7 +336,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     analyze.set_defaults(handler=_cmd_analyze)
 
-    simulate = sub.add_parser("simulate", help="Monte-Carlo simulation campaign")
+    simulate = sub.add_parser(
+        "simulate", help="Monte-Carlo simulation campaign", parents=obs
+    )
     simulate.add_argument("system")
     simulate.add_argument("--plan", help="hardening plan JSON")
     simulate.add_argument("--dropped", help="comma-separated dropped applications")
@@ -277,16 +352,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate.set_defaults(handler=_cmd_simulate)
 
-    explore = sub.add_parser("explore", help="design-space exploration")
+    explore = sub.add_parser(
+        "explore", help="design-space exploration", parents=obs
+    )
     explore.add_argument("system")
     explore.add_argument("--generations", type=int, default=25)
     explore.add_argument("--population", type=int, default=32)
     explore.add_argument("--seed", type=int, default=0)
     explore.add_argument("--out", help="write Pareto designs to this JSON file")
+    explore.add_argument(
+        "--backend", choices=("fast", "window", "holistic"), default="fast",
+        help="schedulability back-end driving the evaluator",
+    )
     explore.set_defaults(handler=_cmd_explore)
 
     margins = sub.add_parser(
-        "margins", help="deadline and WCET-scaling sensitivity of a design"
+        "margins",
+        help="deadline and WCET-scaling sensitivity of a design",
+        parents=obs,
     )
     margins.add_argument("system")
     margins.add_argument("--plan", help="hardening plan JSON")
@@ -294,7 +377,9 @@ def build_parser() -> argparse.ArgumentParser:
     margins.add_argument("--tolerance", type=float, default=0.05)
     margins.set_defaults(handler=_cmd_margins)
 
-    export = sub.add_parser("export", help="write a built-in benchmark to JSON")
+    export = sub.add_parser(
+        "export", help="write a built-in benchmark to JSON", parents=obs
+    )
     export.add_argument("benchmark", choices=benchmark_names())
     export.add_argument("out")
     export.add_argument(
@@ -304,7 +389,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     export.set_defaults(handler=_cmd_export)
 
-    generate = sub.add_parser("generate", help="write a random system to JSON")
+    generate = sub.add_parser(
+        "generate", help="write a random system to JSON", parents=obs
+    )
     generate.add_argument("out")
     generate.add_argument("--seed", type=int, default=0)
     generate.add_argument("--critical", type=int, default=2)
@@ -315,12 +402,71 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _write_metrics_report(args, collector: InMemoryCollector) -> None:
+    """Assemble the ``--metrics-out`` JSON report."""
+    metrics().write_json(
+        args.metrics_out,
+        extra={
+            "command": args.command,
+            "generations": [
+                event_to_dict(e)
+                for e in collector.of_type(GenerationCompleted)
+            ],
+            "early_stop": [
+                event_to_dict(e) for e in collector.of_type(EarlyStopped)
+            ],
+        },
+    )
+    _LOG.info("wrote metrics report to %s", args.metrics_out)
+
+
 def main(argv=None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(args.log_level)
+    bus = obs_events.bus()
+
+    subscribers = []
+    collector = InMemoryCollector()
+    trace_writer = None
+    if args.metrics_out:
+        # Per-command report: snapshot deltas, not process history.
+        metrics().reset()
+        bus.subscribe(GenerationCompleted, collector)
+        bus.subscribe(EarlyStopped, collector)
+        subscribers.append(collector)
+    if args.progress:
+        progress = ProgressLogger(stream=sys.stderr)
+        bus.subscribe(GenerationCompleted, progress)
+        bus.subscribe(EarlyStopped, progress)
+        subscribers.append(progress)
+    if args.trace_out:
+        try:
+            trace_writer = JsonlTraceWriter(args.trace_out)
+        except OSError as error:
+            print(f"error: cannot open trace file: {error}", file=sys.stderr)
+            return 2
+        bus.subscribe_all(trace_writer)
+        subscribers.append(trace_writer)
+
     try:
-        return args.handler(args)
+        code = args.handler(args)
+        if args.metrics_out:
+            try:
+                _write_metrics_report(args, collector)
+            except OSError as error:
+                print(
+                    f"error: cannot write metrics report: {error}",
+                    file=sys.stderr,
+                )
+                return 2
+        return code
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    finally:
+        for subscriber in subscribers:
+            bus.unsubscribe(subscriber)
+        if trace_writer is not None:
+            trace_writer.close()

@@ -49,6 +49,9 @@ from repro.hardening.spec import HardeningKind
 from repro.hardening.transform import CriticalTrigger, HardenedSystem
 from repro.model.architecture import Architecture
 from repro.model.mapping import Mapping
+from repro.obs import events as obs_events
+from repro.obs.events import ScenarioAnalyzed
+from repro.obs.metrics import metrics
 from repro.sched.comm import CommModel
 from repro.sched.jobs import JobId, JobSet, unroll
 from repro.sched.priority import assign_priorities
@@ -200,9 +203,11 @@ class MixedCriticalityAnalysis:
         dropped: Iterable[str] = (),
     ) -> MCAnalysisResult:
         """Run Algorithm 1 for a hardened system under a drop set ``T_d``."""
+        registry = metrics()
+        registry.counter("analysis.runs").inc()
         dropped_set = hardened.source.validate_drop_set(dropped)
         base = self._base_jobset(hardened, architecture, mapping)
-        normal = self._backend.analyze(base)
+        normal = self._sched(base)
 
         graph_wcrt: Dict[str, float] = {}
         normal_wcrt: Dict[str, float] = {}
@@ -265,6 +270,16 @@ class MixedCriticalityAnalysis:
                     wcrt=transition_wcrt,
                 )
             )
+            bus = obs_events.bus()
+            if bus.wants(ScenarioAnalyzed):
+                bus.publish(
+                    ScenarioAnalyzed(
+                        trigger=label,
+                        granularity=self._granularity,
+                        sweeps=bounds.sweeps,
+                    )
+                )
+        registry.counter("analysis.transitions").inc(len(transitions))
 
         verdicts = {
             graph.name: GraphVerdict(
@@ -287,6 +302,15 @@ class MixedCriticalityAnalysis:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+
+    def _sched(self, jobset: JobSet) -> ScheduleBounds:
+        """One ``sched()`` back-end invocation, with telemetry."""
+        registry = metrics()
+        registry.counter("sched.invocations").inc()
+        with registry.timer("sched.seconds").time():
+            bounds = self._backend.analyze(jobset)
+        registry.histogram("sched.sweeps").observe(bounds.sweeps)
+        return bounds
 
     def _base_jobset(
         self,
@@ -387,7 +411,7 @@ class MixedCriticalityAnalysis:
                         self._activated_wcet(hardened, architecture, mapping, task_name),
                     )
         jobset = base.with_bounds(overrides)
-        return self._backend.analyze(jobset)
+        return self._sched(jobset)
 
     def _trigger_overrides(
         self,

@@ -15,6 +15,7 @@ expected power, maximise the post-drop quality of service.
 """
 
 import math
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
@@ -23,6 +24,9 @@ from repro.core.power import PowerModel
 from repro.core.problem import DesignPoint, Problem
 from repro.errors import MappingError, ReproError
 from repro.hardening.transform import HardenedSystem, harden
+from repro.obs import events as obs_events
+from repro.obs.events import EvaluationCompleted
+from repro.obs.metrics import metrics
 from repro.reliability.constraints import check_reliability
 
 
@@ -91,6 +95,30 @@ class Evaluator:
 
     def evaluate(self, design: DesignPoint) -> EvaluationResult:
         """Check feasibility and compute the objectives of a design point."""
+        started = time.perf_counter()
+        result = self._evaluate(design)
+        seconds = time.perf_counter() - started
+
+        registry = metrics()
+        registry.counter("eval.evaluations").inc()
+        registry.counter(
+            "eval.feasible" if result.feasible else "eval.infeasible"
+        ).inc()
+        registry.timer("eval.seconds").observe(seconds)
+        bus = obs_events.bus()
+        if bus.wants(EvaluationCompleted):
+            bus.publish(
+                EvaluationCompleted(
+                    feasible=result.feasible,
+                    power=result.power,
+                    service=result.service,
+                    violations=len(result.violations),
+                    seconds=seconds,
+                )
+            )
+        return result
+
+    def _evaluate(self, design: DesignPoint) -> EvaluationResult:
         violations: List[str] = []
 
         try:

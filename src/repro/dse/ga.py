@@ -15,12 +15,21 @@ generations; those are the defaults, scaled down in tests and benchmarks.
 """
 
 import random
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.evaluator import EvaluationResult, Evaluator
 from repro.core.problem import Problem
+from repro.obs import events as obs_events
+from repro.obs.events import (
+    ArchiveUpdated,
+    EarlyStopped,
+    GenerationCompleted,
+)
+from repro.obs.logging import get_logger, kv
+from repro.obs.metrics import metrics
 from repro.dse.chromosome import (
     Chromosome,
     heuristic_chromosome,
@@ -36,6 +45,8 @@ from repro.dse.results import (
 )
 from repro.dse.spea2 import Spea2Selector, pareto_filter
 from repro.errors import ExplorationError
+
+_LOG = get_logger("dse")
 
 
 @dataclass(frozen=True)
@@ -139,6 +150,12 @@ class Explorer:
         stagnation = 0
         generation = 0
 
+        bus = obs_events.bus()
+        registry = metrics()
+        generation_timer = registry.timer("dse.generation_seconds")
+        generation_counter = registry.counter("dse.generations")
+        generation_started = time.perf_counter()
+
         for generation in range(config.generations + 1):
             pool = _unique(archive + population)
             results = [self._cache[c.key()] for c in pool]
@@ -159,9 +176,52 @@ class Explorer:
             if progress is not None:
                 progress(generation, self._stats)
 
-            if generation_best is not None and (
+            improved = generation_best is not None and (
                 best_power is None or generation_best < best_power - 1e-12
-            ):
+            )
+            now = time.perf_counter()
+            wall_seconds = now - generation_started
+            generation_started = now
+            generation_counter.inc()
+            generation_timer.observe(wall_seconds)
+            if bus.wants(GenerationCompleted):
+                bus.publish(
+                    GenerationCompleted(
+                        generation=generation,
+                        archive_size=len(archive),
+                        feasible_in_archive=len(feasible_in_archive),
+                        best_power=generation_best,
+                        hypervolume=_hypervolume_proxy(
+                            [(r.power, r.service) for r in feasible_in_archive]
+                        ),
+                        evaluations=self._stats.evaluations,
+                        cache_hits=self._stats.cache_hits,
+                        cache_hit_rate=self._stats.cache_hit_rate,
+                        repair_failures=self._stats.repair_failures,
+                        wall_seconds=wall_seconds,
+                    )
+                )
+            if bus.wants(ArchiveUpdated):
+                bus.publish(
+                    ArchiveUpdated(
+                        generation=generation,
+                        size=len(archive),
+                        feasible=len(feasible_in_archive),
+                        improved=improved,
+                    )
+                )
+            _LOG.debug(
+                "generation done %s",
+                kv(
+                    generation=generation,
+                    archive=len(archive),
+                    feasible=len(feasible_in_archive),
+                    best=generation_best,
+                    wall_seconds=wall_seconds,
+                ),
+            )
+
+            if improved:
                 best_power = generation_best
                 stagnation = 0
             else:
@@ -170,6 +230,25 @@ class Explorer:
                 config.stagnation_limit is not None
                 and stagnation >= config.stagnation_limit
             ):
+                self._stats.stopped_early = True
+                self._stats.stopping_generation = generation
+                registry.counter("dse.early_stops").inc()
+                bus.publish(
+                    EarlyStopped(
+                        generation=generation,
+                        stagnation=stagnation,
+                        best_power=best_power,
+                    )
+                )
+                _LOG.info(
+                    "early stop %s",
+                    kv(
+                        generation=generation,
+                        stagnation=stagnation,
+                        limit=config.stagnation_limit,
+                        best=best_power,
+                    ),
+                )
                 break
             if generation == config.generations:
                 break
@@ -265,10 +344,12 @@ class Explorer:
     def _evaluate_all(self, chromosomes: List[Chromosome]) -> None:
         fresh = []
         seen = set()
+        cache_hit_counter = metrics().counter("dse.cache_hits")
         for chromosome in chromosomes:
             key = chromosome.key()
             if key in self._cache:
                 self._stats.cache_hits += 1
+                cache_hit_counter.inc()
             elif key not in seen:
                 seen.add(key)
                 fresh.append((key, chromosome))
@@ -299,6 +380,10 @@ class Explorer:
 
     def _record(self, key: Tuple, result: EvaluationResult) -> None:
         self._stats.evaluations += 1
+        metrics().counter("dse.evaluations").inc()
+        if result.design is None:
+            self._stats.repair_failures += 1
+            metrics().counter("dse.repair_failures").inc()
         if result.feasible:
             self._stats.feasible += 1
             if result.hardened is not None:
@@ -340,6 +425,37 @@ class Explorer:
         for point in points:
             unique[(point.power, point.service, point.dropped)] = point
         return sorted(unique.values(), key=lambda p: (p.power, -p.service))
+
+
+def _hypervolume_proxy(
+    points: Sequence[Tuple[Optional[float], Optional[float]]],
+) -> float:
+    """2-D hypervolume of feasible ``(power, service)`` points.
+
+    Reference point: ``(max power in the set + 1, service 0)`` — per
+    generation, so values are only comparable as a convergence *proxy*
+    (the paper's archive quality trend), not across problem instances.
+    """
+    cleaned = [
+        (power, service)
+        for power, service in points
+        if power is not None and service is not None
+    ]
+    if not cleaned:
+        return 0.0
+    ref_power = max(power for power, _service in cleaned) + 1.0
+    # Non-dominated staircase: power ascending, keep strictly rising
+    # service (minimize power, maximize service).
+    front: List[Tuple[float, float]] = []
+    for power, service in sorted(set(cleaned)):
+        if not front or service > front[-1][1]:
+            front.append((power, service))
+    volume = 0.0
+    previous_service = 0.0
+    for power, service in front:
+        volume += (ref_power - power) * (service - previous_service)
+        previous_service = service
+    return volume
 
 
 def _unique(chromosomes: List[Chromosome]) -> List[Chromosome]:

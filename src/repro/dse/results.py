@@ -34,6 +34,14 @@ class ExplorationStatistics:
     cache_hits: int = 0
     feasible: int = 0
     infeasible: int = 0
+    #: Candidates that failed to decode into a design point even after
+    #: repair (hard-penalized, see ``Explorer._evaluate_one``).
+    repair_failures: int = 0
+    #: ``True`` when the run was cut short by the stagnation limit.
+    stopped_early: bool = False
+    #: Generation at which the stagnation early-stop fired (``None`` for
+    #: runs that exhausted their full generation budget).
+    stopping_generation: Optional[int] = None
     #: Candidates feasible with their drop set but infeasible with
     #: ``T_d`` emptied (the §5.2 "saved by dropping" numerator).
     dropping_gain: int = 0
@@ -41,6 +49,14 @@ class ExplorationStatistics:
     dropping_checked: int = 0
     #: Hardening techniques applied across feasible candidates.
     hardening_histogram: Dict[HardeningKind, int] = field(default_factory=dict)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Share of evaluation requests served from the identity cache."""
+        requests = self.cache_hits + self.evaluations
+        if requests == 0:
+            return 0.0
+        return self.cache_hits / requests
 
     @property
     def dropping_gain_ratio(self) -> float:

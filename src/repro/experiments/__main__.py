@@ -8,6 +8,10 @@ smoke run; ``--full`` uses paper-scale budgets (slow).
 import argparse
 import sys
 
+from repro.obs.logging import configure as configure_logging
+from repro.obs.logging import get_logger, kv
+from repro.obs.metrics import metrics
+
 from repro.experiments.dropping import (
     format_power_rows,
     format_ratio_rows,
@@ -31,6 +35,8 @@ EXPERIMENTS = (
     "all",
 )
 
+_LOG = get_logger("experiments")
+
 
 def _budget(args):
     if args.quick:
@@ -52,8 +58,22 @@ def main(argv=None) -> int:
         "--full", action="store_true", help="paper-scale budgets (very slow)"
     )
     parser.add_argument("--seed", type=int, default=2014)
+    parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default="info",
+        help="repro.* logger verbosity (stderr)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write the metrics registry as JSON when the run finishes",
+    )
     args = parser.parse_args(argv)
+    configure_logging(args.log_level)
     budget = _budget(args)
+    if args.metrics_out:
+        metrics().reset()
 
     chosen = (
         ["table2", "sec52-power", "sec52-ratio", "fig5", "scaling", "validate", "tradeoff"]
@@ -61,6 +81,9 @@ def main(argv=None) -> int:
         else [args.experiment]
     )
     for name in chosen:
+        _LOG.info("running experiment %s", kv(experiment=name, **budget))
+        timer_context = metrics().timer(f"experiments.{name}_seconds").time()
+        timer_context.__enter__()
         if name == "table2":
             cells = run_table2(profiles=budget["profiles"], seed=args.seed)
             print(format_table2(cells))
@@ -95,7 +118,20 @@ def main(argv=None) -> int:
             print(format_validation(rows))
         elif name == "tradeoff":
             print(format_tradeoff(run_tradeoff()))
+        timer_context.__exit__(None, None, None)
+        _LOG.info(
+            "experiment done %s",
+            kv(
+                experiment=name,
+                seconds=metrics().timer(f"experiments.{name}_seconds").total,
+            ),
+        )
         print()
+    if args.metrics_out:
+        metrics().write_json(
+            args.metrics_out, extra={"experiments": chosen}
+        )
+        _LOG.info("wrote metrics report to %s", args.metrics_out)
     return 0
 
 

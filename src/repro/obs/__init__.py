@@ -1,0 +1,72 @@
+"""Observability: metrics registry, typed event bus, structured logging.
+
+The three pillars (see ``docs/observability.md`` for the full schema):
+
+* :mod:`repro.obs.metrics` — process-wide counters, gauges, timers and
+  fixed-bucket histograms with JSON/JSONL export; near-zero overhead
+  when disabled.
+* :mod:`repro.obs.events` — a typed event bus carrying run telemetry
+  (generation-complete, evaluation-done, scenario-analyzed,
+  fault-injected, deadline-miss, archive-updated, early-stop) with
+  pluggable subscribers.
+* :mod:`repro.obs.logging` — the ``repro.*`` structured logger
+  hierarchy.
+"""
+
+from repro.obs.events import (
+    ArchiveUpdated,
+    DeadlineMissed,
+    EarlyStopped,
+    Event,
+    EventBus,
+    EvaluationCompleted,
+    FaultInjected,
+    GenerationCompleted,
+    InMemoryCollector,
+    JsonlTraceWriter,
+    ProgressLogger,
+    ScenarioAnalyzed,
+    bus,
+    capture,
+    event_from_dict,
+    event_to_dict,
+)
+from repro.obs.logging import configure, get_logger, kv
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    Timer,
+    metrics,
+)
+
+__all__ = [
+    "ArchiveUpdated",
+    "Counter",
+    "DeadlineMissed",
+    "EarlyStopped",
+    "EvaluationCompleted",
+    "Event",
+    "EventBus",
+    "FaultInjected",
+    "Gauge",
+    "GenerationCompleted",
+    "Histogram",
+    "InMemoryCollector",
+    "JsonlTraceWriter",
+    "MetricError",
+    "MetricsRegistry",
+    "ProgressLogger",
+    "ScenarioAnalyzed",
+    "Timer",
+    "bus",
+    "capture",
+    "configure",
+    "event_from_dict",
+    "event_to_dict",
+    "get_logger",
+    "kv",
+    "metrics",
+]

@@ -1,0 +1,64 @@
+"""Benchmark telemetry: registry-backed timings + machine-readable reports.
+
+The files under ``benchmarks/`` route their measured timings through the
+process registry (``bench.<name>`` timers) and call
+:func:`write_bench_report` with their result rows.  When the environment
+variable ``REPRO_BENCH_DIR`` (or the explicit ``out_dir``) names a
+directory, a ``BENCH_<name>.json`` file is written there containing the
+rows plus a snapshot of every ``bench.*`` metric; otherwise the data
+stays in the registry only (so plain ``pytest benchmarks/`` runs leave
+no files behind).
+"""
+
+import json
+import os
+from pathlib import Path
+from typing import Optional
+
+from repro.obs.metrics import Timer, metrics
+
+#: Environment variable selecting the report output directory.
+ENV_OUT_DIR = "REPRO_BENCH_DIR"
+
+
+def bench_timer(name: str) -> Timer:
+    """The registry timer ``bench.<name>``."""
+    return metrics().timer(f"bench.{name}")
+
+
+def bench_metrics_snapshot() -> dict:
+    """The ``bench.*`` slice of the process metrics snapshot."""
+    snapshot = metrics().snapshot()
+    return {
+        kind: {
+            name: value
+            for name, value in entries.items()
+            if name.startswith("bench.")
+        }
+        for kind, entries in snapshot.items()
+    }
+
+
+def write_bench_report(
+    name: str, payload: Optional[dict] = None, out_dir: Optional[str] = None
+) -> Optional[Path]:
+    """Write ``BENCH_<name>.json`` if an output directory is configured.
+
+    Returns the written path, or ``None`` when reporting is off.  The
+    report merges the caller's ``payload`` with the current ``bench.*``
+    metrics, so repeated timings accumulated through :func:`bench_timer`
+    appear without extra bookkeeping.
+    """
+    directory = out_dir or os.environ.get(ENV_OUT_DIR)
+    if not directory:
+        return None
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    report = {
+        "benchmark": name,
+        "payload": payload or {},
+        "metrics": bench_metrics_snapshot(),
+    }
+    path = target / f"BENCH_{name}.json"
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path

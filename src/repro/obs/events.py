@@ -1,0 +1,373 @@
+"""A lightweight typed event bus for run telemetry.
+
+Emitters (GA loop, evaluator, analysis, simulator) publish frozen
+dataclass events on the process-wide bus returned by :func:`bus`;
+subscribers attach per event type (or to everything).  Publishing with
+no subscribers costs one dict lookup, so the hot paths stay cheap; event
+*construction* in tight loops should additionally be guarded with
+:meth:`EventBus.wants`.
+
+Three stock subscribers cover the common needs:
+
+* :class:`InMemoryCollector` — keeps events in a list (tests, CLI report
+  assembly);
+* :class:`JsonlTraceWriter` — appends one JSON line per event
+  (round-trippable via :func:`event_from_dict`);
+* :class:`ProgressLogger` — human-readable one-line-per-generation
+  progress on a stream (the CLI's ``--progress``).
+"""
+
+import json
+import sys
+import threading
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass, fields
+from typing import Callable, ClassVar, Dict, List, Optional, Tuple, Type
+
+from repro.errors import ReproError
+
+Handler = Callable[["Event"], None]
+
+#: ``kind`` string -> event class, for deserialization.
+EVENT_TYPES: Dict[str, Type["Event"]] = {}
+
+
+class Event:
+    """Base class; subclasses are frozen dataclasses with a ``kind``."""
+
+    kind: ClassVar[str] = ""
+
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        if not cls.kind:
+            raise ReproError(f"event class {cls.__name__} lacks a kind")
+        if cls.kind in EVENT_TYPES:
+            raise ReproError(f"duplicate event kind {cls.kind!r}")
+        EVENT_TYPES[cls.kind] = cls
+
+
+# ---------------------------------------------------------------------------
+# Event catalogue (docs/observability.md documents the schema)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GenerationCompleted(Event):
+    """One GA generation finished (after environmental selection)."""
+
+    kind: ClassVar[str] = "generation-complete"
+
+    generation: int
+    archive_size: int
+    feasible_in_archive: int
+    #: Minimum power over the feasible archive (``None`` until feasible).
+    best_power: Optional[float]
+    #: 2-D hypervolume of the feasible archive w.r.t. a per-generation
+    #: reference point — a convergence proxy, not an absolute measure.
+    hypervolume: float
+    #: Cumulative evaluator invocations (cache misses) so far.
+    evaluations: int
+    #: Cumulative evaluation-cache hits so far.
+    cache_hits: int
+    #: ``cache_hits / (cache_hits + evaluations)`` so far.
+    cache_hit_rate: float
+    #: Cumulative candidates that failed to decode even after repair.
+    repair_failures: int
+    #: Wall-clock seconds spent on this generation.
+    wall_seconds: float
+
+
+@dataclass(frozen=True)
+class ArchiveUpdated(Event):
+    """The SPEA2 archive was re-selected this generation."""
+
+    kind: ClassVar[str] = "archive-updated"
+
+    generation: int
+    size: int
+    feasible: int
+    #: Whether the best feasible power strictly improved this generation.
+    improved: bool
+
+
+@dataclass(frozen=True)
+class EvaluationCompleted(Event):
+    """One design point evaluated (feasibility + objectives)."""
+
+    kind: ClassVar[str] = "evaluation-done"
+
+    feasible: bool
+    power: Optional[float]
+    service: Optional[float]
+    violations: int
+    seconds: float
+
+
+@dataclass(frozen=True)
+class ScenarioAnalyzed(Event):
+    """Algorithm 1 analyzed one normal-to-critical transition scenario."""
+
+    kind: ClassVar[str] = "scenario-analyzed"
+
+    trigger: str
+    #: ``"job"`` or ``"task"`` enumeration granularity.
+    granularity: str
+    #: Fixed-point sweeps of the back-end run for this scenario.
+    sweeps: int
+
+
+@dataclass(frozen=True)
+class FaultInjected(Event):
+    """The simulator observed a transient fault on a job attempt."""
+
+    kind: ClassVar[str] = "fault-injected"
+
+    time: float
+    task: str
+    instance: int
+    attempt: int
+
+
+@dataclass(frozen=True)
+class DeadlineMissed(Event):
+    """A simulated application instance finished past its deadline."""
+
+    kind: ClassVar[str] = "deadline-miss"
+
+    graph: str
+    instance: int
+    #: Response time (finish minus release) of the missing instance.
+    response: float
+    #: Relative deadline the response exceeded.
+    deadline: float
+
+
+@dataclass(frozen=True)
+class EarlyStopped(Event):
+    """The GA stopped before its generation budget (stagnation)."""
+
+    kind: ClassVar[str] = "early-stop"
+
+    generation: int
+    stagnation: int
+    best_power: Optional[float]
+
+
+# ---------------------------------------------------------------------------
+# Serialization
+# ---------------------------------------------------------------------------
+
+
+def event_to_dict(event: Event) -> dict:
+    """``{"event": kind, **fields}`` — JSON-ready."""
+    payload = {"event": event.kind}
+    payload.update(asdict(event))
+    return payload
+
+
+def event_from_dict(payload: dict) -> Event:
+    """Inverse of :func:`event_to_dict`."""
+    data = dict(payload)
+    try:
+        kind = data.pop("event")
+    except KeyError:
+        raise ReproError("event payload lacks an 'event' kind") from None
+    try:
+        cls = EVENT_TYPES[kind]
+    except KeyError:
+        raise ReproError(f"unknown event kind {kind!r}") from None
+    names = {f.name for f in fields(cls)}
+    unknown = set(data) - names
+    if unknown:
+        raise ReproError(
+            f"event {kind!r}: unknown fields {sorted(unknown)}"
+        )
+    return cls(**data)
+
+
+# ---------------------------------------------------------------------------
+# The bus
+# ---------------------------------------------------------------------------
+
+
+class EventBus:
+    """Publish/subscribe over the event catalogue.
+
+    Subscription mutations take a lock; ``publish`` reads an immutable
+    handler tuple, so concurrent publishers (the GA's evaluation thread
+    pool) never block each other.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._handlers: Dict[Type[Event], Tuple[Handler, ...]] = {}
+        self._any: Tuple[Handler, ...] = ()
+
+    def subscribe(self, event_type: Type[Event], handler: Handler) -> Handler:
+        """Call ``handler`` for every published ``event_type`` instance."""
+        if not (isinstance(event_type, type) and issubclass(event_type, Event)):
+            raise ReproError(f"not an event type: {event_type!r}")
+        with self._lock:
+            current = self._handlers.get(event_type, ())
+            self._handlers[event_type] = current + (handler,)
+        return handler
+
+    def subscribe_all(self, handler: Handler) -> Handler:
+        """Call ``handler`` for every published event of any type."""
+        with self._lock:
+            self._any = self._any + (handler,)
+        return handler
+
+    def unsubscribe(self, handler: Handler) -> None:
+        """Detach ``handler`` from every subscription (idempotent)."""
+        with self._lock:
+            for event_type, handlers in list(self._handlers.items()):
+                pruned = tuple(h for h in handlers if h is not handler)
+                if pruned:
+                    self._handlers[event_type] = pruned
+                else:
+                    del self._handlers[event_type]
+            self._any = tuple(h for h in self._any if h is not handler)
+
+    def clear(self) -> None:
+        """Drop every subscription."""
+        with self._lock:
+            self._handlers.clear()
+            self._any = ()
+
+    def wants(self, event_type: Type[Event]) -> bool:
+        """Whether anybody listens for ``event_type`` (guards hot paths)."""
+        return bool(self._any) or event_type in self._handlers
+
+    def publish(self, event: Event) -> None:
+        """Deliver ``event`` to its subscribers synchronously, in order."""
+        handlers = self._handlers.get(type(event))
+        if handlers:
+            for handler in handlers:
+                handler(event)
+        if self._any:
+            for handler in self._any:
+                handler(event)
+
+
+#: The process-wide bus every repro subsystem publishes on.
+_GLOBAL = EventBus()
+
+
+def bus() -> EventBus:
+    """The process-wide event bus (always the same object)."""
+    return _GLOBAL
+
+
+@contextmanager
+def capture(*event_types: Type[Event], on: Optional[EventBus] = None):
+    """Collect events of the given types (or all) while the block runs.
+
+    >>> with capture(GenerationCompleted) as collected:
+    ...     ...
+    >>> [e.generation for e in collected.events]  # doctest: +SKIP
+    """
+    target = on or bus()
+    collector = InMemoryCollector()
+    if event_types:
+        for event_type in event_types:
+            target.subscribe(event_type, collector)
+    else:
+        target.subscribe_all(collector)
+    try:
+        yield collector
+    finally:
+        target.unsubscribe(collector)
+
+
+# ---------------------------------------------------------------------------
+# Stock subscribers
+# ---------------------------------------------------------------------------
+
+
+class InMemoryCollector:
+    """Appends every received event to :attr:`events`."""
+
+    def __init__(self):
+        self.events: List[Event] = []
+
+    def __call__(self, event: Event) -> None:
+        self.events.append(event)
+
+    def of_type(self, event_type: Type[Event]) -> List[Event]:
+        """The received events of one type, in arrival order."""
+        return [e for e in self.events if isinstance(e, event_type)]
+
+    def clear(self) -> None:
+        self.events.clear()
+
+
+class JsonlTraceWriter:
+    """Writes one JSON line per event; use as a context manager."""
+
+    def __init__(self, path):
+        self._handle = open(path, "w")
+        self._lock = threading.Lock()
+
+    def __call__(self, event: Event) -> None:
+        line = json.dumps(event_to_dict(event), sort_keys=True)
+        with self._lock:
+            self._handle.write(line + "\n")
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.flush()
+                self._handle.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *_exc):
+        self.close()
+        return False
+
+
+class ProgressLogger:
+    """One human-readable line per generation / early stop on a stream."""
+
+    def __init__(self, stream=None):
+        self._stream = stream
+
+    def _write(self, text: str) -> None:
+        stream = self._stream or sys.stderr
+        stream.write(text + "\n")
+        stream.flush()
+
+    def __call__(self, event: Event) -> None:
+        if isinstance(event, GenerationCompleted):
+            best = (
+                f"{event.best_power:.3f}"
+                if event.best_power is not None
+                else "-"
+            )
+            self._write(
+                f"[gen {event.generation:4d}] archive={event.archive_size:3d} "
+                f"feasible={event.feasible_in_archive:3d} best_power={best} "
+                f"hv={event.hypervolume:.3f} "
+                f"cache_hit_rate={event.cache_hit_rate:.2f} "
+                f"({event.wall_seconds * 1e3:.0f} ms)"
+            )
+        elif isinstance(event, EarlyStopped):
+            best = (
+                f"{event.best_power:.3f}"
+                if event.best_power is not None
+                else "-"
+            )
+            self._write(
+                f"[gen {event.generation:4d}] early stop after "
+                f"{event.stagnation} stagnant generation(s), "
+                f"best_power={best}"
+            )
+
+    def attach(self, target: Optional[EventBus] = None) -> "ProgressLogger":
+        """Subscribe to the generation/early-stop events."""
+        target = target or bus()
+        target.subscribe(GenerationCompleted, self)
+        target.subscribe(EarlyStopped, self)
+        return self

@@ -1,0 +1,85 @@
+"""Structured logging for the ``repro.*`` logger hierarchy.
+
+Every subsystem gets its logger via :func:`get_logger` (``"dse"`` →
+``repro.dse``); :func:`configure` installs a single stream handler on
+the ``repro`` root with a consistent format and is idempotent, so the
+CLI, the experiments runner and library users can all call it.
+
+Structured payloads are attached as ``key=value`` suffixes through
+:func:`kv` — greppable and cheap, without external dependencies::
+
+    log.info("generation done %s", kv(gen=3, archive=100))
+"""
+
+import logging as _logging
+import sys
+from typing import Optional
+
+from repro.errors import ReproError
+
+ROOT_NAME = "repro"
+
+_LEVELS = {
+    "debug": _logging.DEBUG,
+    "info": _logging.INFO,
+    "warning": _logging.WARNING,
+    "error": _logging.ERROR,
+}
+
+#: Marker attribute identifying the handler :func:`configure` installs.
+_HANDLER_FLAG = "_repro_obs_handler"
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+_DATE_FORMAT = "%H:%M:%S"
+
+
+def get_logger(name: str = "") -> _logging.Logger:
+    """The logger ``repro`` or ``repro.<name>``."""
+    return _logging.getLogger(f"{ROOT_NAME}.{name}" if name else ROOT_NAME)
+
+
+def level_from_name(level: str) -> int:
+    """Map ``"debug"|"info"|"warning"|"error"`` to a logging level."""
+    try:
+        return _LEVELS[level.lower()]
+    except KeyError:
+        raise ReproError(
+            f"unknown log level {level!r}; choose from {sorted(_LEVELS)}"
+        ) from None
+
+
+def configure(level: str = "warning", stream=None) -> _logging.Logger:
+    """Set up the ``repro`` root logger (idempotent).
+
+    Installs exactly one stream handler (stderr by default) with the
+    structured format; repeated calls only adjust level and stream.
+    """
+    root = get_logger()
+    root.setLevel(level_from_name(level))
+    for handler in root.handlers:
+        if getattr(handler, _HANDLER_FLAG, False):
+            try:
+                handler.setStream(stream or sys.stderr)
+            except ValueError:
+                # The previous stream was closed under us (e.g. a test
+                # harness swapping stderr); rebind without flushing it.
+                handler.stream = stream or sys.stderr
+            return root
+    handler = _logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(_logging.Formatter(_FORMAT, _DATE_FORMAT))
+    setattr(handler, _HANDLER_FLAG, True)
+    root.addHandler(handler)
+    root.propagate = False
+    return root
+
+
+def kv(**fields) -> str:
+    """Render keyword fields as a sorted ``key=value`` string."""
+    parts = []
+    for key in sorted(fields):
+        value = fields[key]
+        if isinstance(value, float):
+            parts.append(f"{key}={value:.6g}")
+        else:
+            parts.append(f"{key}={value}")
+    return " ".join(parts)

@@ -26,6 +26,7 @@ import math
 from typing import Dict
 
 from repro.errors import AnalysisError
+from repro.obs.metrics import metrics
 from repro.sched.jobs import JobSet
 from repro.sched.wcrt import ScheduleBounds
 
@@ -97,6 +98,11 @@ class HolisticAnalysisBackend:
                 break
         else:
             raise AnalysisError("holistic analysis did not converge")
+
+        registry = metrics()
+        registry.counter("sched.holistic.invocations").inc()
+        registry.counter("sched.holistic.sweeps_total").inc(_round + 1)
+        registry.histogram("sched.holistic.sweeps").observe(_round + 1)
 
         # Project task-level results onto jobs: finish <= release +
         # jitter (latest effective release offset) + response.

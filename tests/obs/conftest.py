@@ -1,0 +1,15 @@
+import pytest
+
+from repro.obs.events import bus
+from repro.obs.metrics import metrics
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    """Keep the process-wide registry and bus isolated between tests."""
+    metrics().reset()
+    metrics().enable()
+    yield
+    metrics().reset()
+    metrics().enable()
+    bus().clear()

@@ -1,0 +1,207 @@
+import io
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.events import (
+    EVENT_TYPES,
+    ArchiveUpdated,
+    DeadlineMissed,
+    EarlyStopped,
+    EvaluationCompleted,
+    EventBus,
+    FaultInjected,
+    GenerationCompleted,
+    InMemoryCollector,
+    JsonlTraceWriter,
+    ProgressLogger,
+    ScenarioAnalyzed,
+    capture,
+    event_from_dict,
+    event_to_dict,
+)
+
+
+def _generation_event(generation=1, **overrides):
+    payload = dict(
+        generation=generation,
+        archive_size=10,
+        feasible_in_archive=4,
+        best_power=12.5,
+        hypervolume=3.25,
+        evaluations=40,
+        cache_hits=10,
+        cache_hit_rate=0.2,
+        repair_failures=0,
+        wall_seconds=0.125,
+    )
+    payload.update(overrides)
+    return GenerationCompleted(**payload)
+
+
+SAMPLE_EVENTS = [
+    _generation_event(),
+    ArchiveUpdated(generation=1, size=10, feasible=4, improved=True),
+    EvaluationCompleted(
+        feasible=True, power=9.0, service=5.0, violations=0, seconds=0.01
+    ),
+    ScenarioAnalyzed(trigger="t1", granularity="task", sweeps=6),
+    FaultInjected(time=12.0, task="a", instance=0, attempt=1),
+    DeadlineMissed(graph="hi", instance=2, response=40.0, deadline=30.0),
+    EarlyStopped(generation=8, stagnation=5, best_power=11.0),
+]
+
+
+class TestBus:
+    def test_subscribe_receives_only_that_type(self):
+        bus = EventBus()
+        collector = InMemoryCollector()
+        bus.subscribe(GenerationCompleted, collector)
+        bus.publish(_generation_event())
+        bus.publish(EarlyStopped(generation=1, stagnation=1, best_power=None))
+        assert len(collector.events) == 1
+        assert isinstance(collector.events[0], GenerationCompleted)
+
+    def test_subscribe_all_receives_everything(self):
+        bus = EventBus()
+        collector = InMemoryCollector()
+        bus.subscribe_all(collector)
+        for event in SAMPLE_EVENTS:
+            bus.publish(event)
+        assert collector.events == SAMPLE_EVENTS
+
+    def test_unsubscribe_is_idempotent(self):
+        bus = EventBus()
+        collector = InMemoryCollector()
+        bus.subscribe(GenerationCompleted, collector)
+        bus.subscribe_all(collector)
+        bus.unsubscribe(collector)
+        bus.unsubscribe(collector)  # second detach must not raise
+        bus.publish(_generation_event())
+        assert collector.events == []
+
+    def test_wants_guards_hot_paths(self):
+        bus = EventBus()
+        assert not bus.wants(GenerationCompleted)
+        handler = bus.subscribe(GenerationCompleted, lambda e: None)
+        assert bus.wants(GenerationCompleted)
+        assert not bus.wants(EarlyStopped)
+        bus.unsubscribe(handler)
+        assert not bus.wants(GenerationCompleted)
+        bus.subscribe_all(lambda e: None)
+        assert bus.wants(EarlyStopped)
+
+    def test_clear_drops_everything(self):
+        bus = EventBus()
+        collector = InMemoryCollector()
+        bus.subscribe_all(collector)
+        bus.clear()
+        bus.publish(_generation_event())
+        assert collector.events == []
+
+    def test_subscribe_rejects_non_event_types(self):
+        bus = EventBus()
+        with pytest.raises(ReproError):
+            bus.subscribe(int, lambda e: None)
+
+    def test_handlers_called_in_subscription_order(self):
+        bus = EventBus()
+        order = []
+        bus.subscribe(EarlyStopped, lambda e: order.append("first"))
+        bus.subscribe(EarlyStopped, lambda e: order.append("second"))
+        bus.publish(EarlyStopped(generation=0, stagnation=1, best_power=None))
+        assert order == ["first", "second"]
+
+    def test_capture_context_manager(self):
+        bus = EventBus()
+        with capture(EarlyStopped, on=bus) as collected:
+            bus.publish(EarlyStopped(generation=3, stagnation=2, best_power=None))
+            bus.publish(_generation_event())
+        # Detached after the block.
+        bus.publish(EarlyStopped(generation=4, stagnation=2, best_power=None))
+        stops = collected.of_type(EarlyStopped)
+        assert [e.generation for e in stops] == [3]
+        assert collected.of_type(GenerationCompleted) == []
+
+
+class TestSerialization:
+    @pytest.mark.parametrize(
+        "event", SAMPLE_EVENTS, ids=[e.kind for e in SAMPLE_EVENTS]
+    )
+    def test_round_trip_every_kind(self, event):
+        payload = event_to_dict(event)
+        assert payload["event"] == event.kind
+        # The payload must be plain JSON.
+        restored = event_from_dict(json.loads(json.dumps(payload)))
+        assert restored == event
+
+    def test_catalogue_covers_sample(self):
+        assert {e.kind for e in SAMPLE_EVENTS} == set(EVENT_TYPES)
+
+    def test_missing_kind_rejected(self):
+        with pytest.raises(ReproError):
+            event_from_dict({"generation": 1})
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ReproError):
+            event_from_dict({"event": "no-such-kind"})
+
+    def test_unknown_field_rejected(self):
+        payload = event_to_dict(EarlyStopped(generation=1, stagnation=1, best_power=None))
+        payload["bogus"] = 1
+        with pytest.raises(ReproError):
+            event_from_dict(payload)
+
+
+class TestJsonlTraceWriter:
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        bus = EventBus()
+        with JsonlTraceWriter(path) as writer:
+            bus.subscribe_all(writer)
+            for event in SAMPLE_EVENTS:
+                bus.publish(event)
+        restored = [
+            event_from_dict(json.loads(line))
+            for line in path.read_text().splitlines()
+        ]
+        assert restored == SAMPLE_EVENTS
+
+    def test_close_is_idempotent(self, tmp_path):
+        writer = JsonlTraceWriter(tmp_path / "trace.jsonl")
+        writer.close()
+        writer.close()
+
+
+class TestProgressLogger:
+    def test_generation_line(self):
+        stream = io.StringIO()
+        logger = ProgressLogger(stream=stream)
+        logger(_generation_event(generation=7))
+        line = stream.getvalue()
+        assert "[gen    7]" in line
+        assert "best_power=12.500" in line
+        assert "cache_hit_rate=0.20" in line
+
+    def test_early_stop_line_and_none_power(self):
+        stream = io.StringIO()
+        logger = ProgressLogger(stream=stream)
+        logger(EarlyStopped(generation=9, stagnation=5, best_power=None))
+        line = stream.getvalue()
+        assert "early stop" in line
+        assert "best_power=-" in line
+
+    def test_ignores_unrelated_events(self):
+        stream = io.StringIO()
+        ProgressLogger(stream=stream)(
+            ScenarioAnalyzed(trigger="t", granularity="job", sweeps=1)
+        )
+        assert stream.getvalue() == ""
+
+    def test_attach_subscribes_to_both_kinds(self):
+        stream = io.StringIO()
+        bus = EventBus()
+        ProgressLogger(stream=stream).attach(bus)
+        assert bus.wants(GenerationCompleted)
+        assert bus.wants(EarlyStopped)

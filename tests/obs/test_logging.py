@@ -1,0 +1,77 @@
+import io
+import logging
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.logging import configure, get_logger, kv, level_from_name
+
+
+class TestHierarchy:
+    def test_root_and_children(self):
+        root = get_logger()
+        child = get_logger("dse")
+        assert root.name == "repro"
+        assert child.name == "repro.dse"
+        assert child.parent is root
+
+    def test_same_name_same_logger(self):
+        assert get_logger("cli") is get_logger("cli")
+
+
+class TestLevels:
+    def test_known_levels(self):
+        assert level_from_name("debug") == logging.DEBUG
+        assert level_from_name("INFO") == logging.INFO
+        assert level_from_name("warning") == logging.WARNING
+        assert level_from_name("error") == logging.ERROR
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ReproError):
+            level_from_name("loud")
+
+
+class TestConfigure:
+    def test_installs_exactly_one_handler(self):
+        root = configure("info")
+        before = len(root.handlers)
+        configure("debug")
+        configure("warning")
+        assert len(root.handlers) == before
+        assert root.level == logging.WARNING
+        assert root.propagate is False
+
+    def test_repeated_configure_rebinds_stream(self):
+        first = io.StringIO()
+        second = io.StringIO()
+        configure("info", stream=first)
+        get_logger("t").info("one")
+        configure("info", stream=second)
+        get_logger("t").info("two")
+        assert "one" in first.getvalue()
+        assert "two" not in first.getvalue()
+        assert "two" in second.getvalue()
+
+    def test_format_contains_level_and_logger(self):
+        stream = io.StringIO()
+        configure("info", stream=stream)
+        get_logger("dse").info("hello %s", kv(gen=3))
+        line = stream.getvalue()
+        assert "INFO" in line
+        assert "repro.dse" in line
+        assert "hello gen=3" in line
+
+
+class TestKv:
+    def test_sorted_keys(self):
+        assert kv(b=2, a=1) == "a=1 b=2"
+
+    def test_float_formatting(self):
+        assert kv(x=0.123456789) == "x=0.123457"
+        assert kv(x=1.0) == "x=1"
+
+    def test_mixed_types(self):
+        assert kv(name="cruise", n=3, ok=True) == "n=3 name=cruise ok=True"
+
+    def test_empty(self):
+        assert kv() == ""

@@ -1,0 +1,158 @@
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricError,
+    MetricsRegistry,
+    metrics,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self, registry):
+        counter = registry.counter("c")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_negative_increment_rejected(self, registry):
+        with pytest.raises(MetricError):
+            registry.counter("c").inc(-1)
+
+    def test_get_or_create_returns_same_object(self, registry):
+        assert registry.counter("c") is registry.counter("c")
+
+
+class TestGauge:
+    def test_last_write_wins(self, registry):
+        gauge = registry.gauge("g")
+        gauge.set(3.0)
+        gauge.set(-1.5)
+        assert gauge.value == -1.5
+
+
+class TestTimer:
+    def test_observe_aggregates(self, registry):
+        timer = registry.timer("t")
+        timer.observe(2.0)
+        timer.observe(4.0)
+        assert timer.count == 2
+        assert timer.total == pytest.approx(6.0)
+        assert timer.mean == pytest.approx(3.0)
+        assert timer.min == pytest.approx(2.0)
+        assert timer.max == pytest.approx(4.0)
+
+    def test_empty_timer_mean_is_zero(self, registry):
+        assert registry.timer("t").mean == 0.0
+
+    def test_time_context_records_one_observation(self, registry):
+        timer = registry.timer("t")
+        with timer.time():
+            pass
+        assert timer.count == 1
+        assert timer.total >= 0.0
+
+
+class TestHistogram:
+    def test_values_land_in_first_bucket_with_room(self, registry):
+        histogram = registry.histogram("h", buckets=(1, 5, 10))
+        for value in (0.5, 1.0, 3.0, 10.0, 11.0):
+            histogram.observe(value)
+        # upper bounds are inclusive: 0.5 and 1.0 -> bucket 1; 3.0 -> 5;
+        # 10.0 -> 10; 11.0 overflows.
+        assert histogram.counts == [2, 1, 1]
+        assert histogram.overflow == 1
+        assert histogram.count == 5
+        assert histogram.mean == pytest.approx(25.5 / 5)
+        assert histogram.min == 0.5
+        assert histogram.max == 11.0
+
+    def test_default_buckets_are_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+    def test_empty_buckets_rejected(self, registry):
+        with pytest.raises(MetricError):
+            registry.histogram("h", buckets=())
+
+    def test_duplicate_buckets_rejected(self, registry):
+        with pytest.raises(MetricError):
+            registry.histogram("h", buckets=(1, 1, 2))
+
+
+class TestRegistry:
+    def test_type_mismatch_raises(self, registry):
+        registry.counter("x")
+        with pytest.raises(MetricError):
+            registry.gauge("x")
+
+    def test_disabled_records_are_noops(self, registry):
+        counter = registry.counter("c")
+        timer = registry.timer("t")
+        histogram = registry.histogram("h")
+        gauge = registry.gauge("g")
+        registry.disable()
+        counter.inc()
+        gauge.set(7.0)
+        timer.observe(1.0)
+        with timer.time():
+            pass
+        histogram.observe(1.0)
+        assert counter.value == 0
+        assert gauge.value == 0.0
+        assert timer.count == 0
+        assert histogram.count == 0
+        registry.enable()
+        counter.inc()
+        assert counter.value == 1
+
+    def test_reset_frees_names(self, registry):
+        registry.counter("x").inc()
+        registry.reset()
+        # After reset the name may be re-registered with another type.
+        gauge = registry.gauge("x")
+        assert gauge.value == 0.0
+
+    def test_snapshot_shape(self, registry):
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(1.5)
+        registry.timer("t").observe(0.25)
+        registry.histogram("h", buckets=(1, 2)).observe(1.0)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"c": 2}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["timers"]["t"]["count"] == 1
+        assert snap["timers"]["t"]["total"] == pytest.approx(0.25)
+        assert snap["histograms"]["h"]["counts"] == [1, 0]
+
+    def test_global_registry_is_singleton(self):
+        assert metrics() is metrics()
+
+
+class TestExport:
+    def test_jsonl_round_trip(self, registry, tmp_path):
+        registry.counter("c").inc(3)
+        registry.timer("t").observe(1.0)
+        path = tmp_path / "metrics.jsonl"
+        registry.write_jsonl(path)
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        by_name = {entry["name"]: entry for entry in lines}
+        assert by_name["c"]["type"] == "counter"
+        assert by_name["c"]["value"] == 3
+        assert by_name["t"]["type"] == "timer"
+        assert by_name["t"]["count"] == 1
+
+    def test_write_json_merges_extra(self, registry, tmp_path):
+        registry.counter("c").inc()
+        path = tmp_path / "metrics.json"
+        registry.write_json(path, extra={"command": "explore"})
+        payload = json.loads(path.read_text())
+        assert payload["command"] == "explore"
+        assert payload["metrics"]["counters"]["c"] == 1
