@@ -148,12 +148,24 @@ def _cmd_explore(args) -> int:
     problem = Problem(
         applications=bundle.applications, architecture=bundle.architecture
     )
+    if args.resume and not args.checkpoint_dir:
+        raise ReproError("--resume requires --checkpoint-dir")
+    quarantine_path = args.quarantine
+    if quarantine_path is None and args.checkpoint_dir:
+        quarantine_path = str(Path(args.checkpoint_dir) / "quarantine.jsonl")
     config = ExplorerConfig(
         population_size=args.population,
         offspring_size=args.population,
         archive_size=args.population,
         generations=args.generations,
         seed=args.seed,
+        workers=args.workers,
+        eval_retries=args.eval_retries,
+        eval_soft_budget_seconds=args.eval_budget,
+        quarantine_path=quarantine_path,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
     )
     evaluator = None
     if args.backend != "fast":
@@ -173,9 +185,21 @@ def _cmd_explore(args) -> int:
                 comm=problem.comm_model(),
             ),
         )
-    result = Explorer(problem, config, evaluator=evaluator).run()
+    explorer = Explorer(problem, config, evaluator=evaluator)
+    try:
+        result = explorer.run()
+    finally:
+        if explorer.quarantine is not None:
+            explorer.quarantine.close()
     print(f"evaluations: {result.statistics.evaluations}, "
           f"feasible: {result.statistics.feasible}")
+    if result.statistics.guard_failures:
+        print(
+            f"guarded failures: {result.statistics.guard_failures} "
+            f"(fallback evaluations: {result.statistics.fallback_evaluations})"
+        )
+    if result.statistics.interrupted:
+        print(f"interrupted after generation {result.generations_run}")
     print(f"\nPareto front ({len(result.pareto)} points):")
     print(f"{'power':>10} | {'service':>8} | dropped")
     print("-" * 44)
@@ -363,6 +387,35 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument(
         "--backend", choices=("fast", "window", "holistic"), default="fast",
         help="schedulability back-end driving the evaluator",
+    )
+    explore.add_argument(
+        "--workers", type=int, default=1,
+        help="thread-pool size for candidate evaluation (1 = serial)",
+    )
+    explore.add_argument(
+        "--checkpoint-dir",
+        help="directory for crash-safe run snapshots (enables checkpointing)",
+    )
+    explore.add_argument(
+        "--checkpoint-every", type=int, default=10,
+        help="snapshot every N generations (with --checkpoint-dir)",
+    )
+    explore.add_argument(
+        "--resume", action="store_true",
+        help="restart from the latest valid snapshot in --checkpoint-dir",
+    )
+    explore.add_argument(
+        "--quarantine",
+        help="JSONL file collecting poison design points "
+        "(default: <checkpoint-dir>/quarantine.jsonl when checkpointing)",
+    )
+    explore.add_argument(
+        "--eval-retries", type=int, default=1,
+        help="extra evaluation attempts after a raising backend",
+    )
+    explore.add_argument(
+        "--eval-budget", type=float, default=None,
+        help="per-evaluation wall-clock soft budget in seconds",
     )
     explore.set_defaults(handler=_cmd_explore)
 

@@ -10,7 +10,9 @@
 * :class:`AdhocAnalysis` — the ``Adhoc`` baseline (§5.1): a deterministic
   worst-trace simulation where the system is critical from time zero;
 * :class:`PowerModel` — expected power ``sum(stat_p + dyn_p * u_p)``;
-* :class:`Evaluator` — feasibility and objectives of a design point.
+* :class:`Evaluator` — feasibility and objectives of a design point;
+* :class:`GuardedEvaluator` — exception/budget isolation around an
+  evaluator, with degraded-backend fallback and a quarantine log.
 """
 
 from repro.core.problem import DesignPoint, Problem
@@ -24,6 +26,7 @@ from repro.core.analysis import (
 from repro.core.naive import NaiveAnalysis
 from repro.core.adhoc import AdhocAnalysis
 from repro.core.evaluator import EvaluationResult, Evaluator
+from repro.core.guard import GuardConfig, GuardedEvaluator, QuarantineLog
 from repro.core.sensitivity import (
     deadline_margins,
     scale_execution_times,
@@ -42,6 +45,9 @@ __all__ = [
     "AdhocAnalysis",
     "Evaluator",
     "EvaluationResult",
+    "GuardConfig",
+    "GuardedEvaluator",
+    "QuarantineLog",
     "scale_execution_times",
     "wcet_scaling_margin",
     "deadline_margins",

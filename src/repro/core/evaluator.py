@@ -34,7 +34,9 @@ from repro.reliability.constraints import check_reliability
 class EvaluationResult:
     """Outcome of evaluating one design point."""
 
-    design: DesignPoint
+    #: ``None`` when the candidate never decoded into a design point
+    #: (chromosomes undecodable even after repair are hard-penalized).
+    design: Optional[DesignPoint]
     feasible: bool
     violations: List[str] = field(default_factory=list)
     #: Expected power (objective 1, minimise); ``None`` when the design is
@@ -48,6 +50,12 @@ class EvaluationResult:
     hardened: Optional[HardenedSystem] = None
     #: Aggregate magnitude of the constraint violations (0 when feasible).
     severity: float = 0.0
+    #: Name of the degraded backend that produced this result, when the
+    #: evaluation guard fell back (``None`` for primary-backend results).
+    fallback: Optional[str] = None
+    #: ``"ExcType: message"`` of the exception the evaluation guard
+    #: absorbed when this result is a guarded failure.
+    guard_error: Optional[str] = None
 
     @property
     def objectives(self) -> Tuple[float, float]:

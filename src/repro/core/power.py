@@ -113,7 +113,10 @@ class PowerModel:
             )
         utilizations = self.utilizations(hardened, mapping)
         total = 0.0
-        for name in allocated:
+        # Sorted so the float summation order (and thus the exact result
+        # bits) is independent of set iteration order / hash seed — runs
+        # must be reproducible across processes for checkpoint/resume.
+        for name in sorted(allocated):
             processor = self._architecture.processor(name)
             total += processor.static_power
             total += processor.dynamic_power * utilizations.get(name, 0.0)

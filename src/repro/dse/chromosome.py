@@ -72,6 +72,29 @@ class TaskGene:
             return HardeningSpec.reexecution(self.reexecutions)
         return HardeningSpec.none()
 
+    def to_dict(self) -> dict:
+        """Serialize to a JSON-friendly dictionary."""
+        return {
+            "processor": self.processor,
+            "reexecutions": self.reexecutions,
+            "active_replicas": list(self.active_replicas),
+            "passive_replicas": list(self.passive_replicas),
+            "voter_processor": self.voter_processor,
+            "checkpoints": self.checkpoints,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "TaskGene":
+        """Deserialize from :meth:`to_dict` output."""
+        return TaskGene(
+            processor=data["processor"],
+            reexecutions=data.get("reexecutions", 0),
+            active_replicas=tuple(data.get("active_replicas", ())),
+            passive_replicas=tuple(data.get("passive_replicas", ())),
+            voter_processor=data.get("voter_processor"),
+            checkpoints=data.get("checkpoints", 0),
+        )
+
 
 @dataclass(frozen=True)
 class Chromosome:
@@ -146,6 +169,39 @@ class Chromosome:
             dropped=frozenset(self.dropped_graphs(problem)),
             plan=HardeningPlan(plan_specs),
             mapping=Mapping(assignment),
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization (checkpoint/resume and quarantine records)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Serialize to a JSON-friendly dictionary.
+
+        Gene insertion order is preserved — it determines RNG consumption
+        in the variation operators, so round-tripping must not reorder.
+        Genes are therefore encoded as a *list* of ``[name, gene]`` pairs:
+        a JSON object would survive ``json.dumps(sort_keys=True)`` with
+        its keys silently re-sorted.
+        """
+        return {
+            "allocation": list(self.allocation),
+            "keep_alive": list(self.keep_alive),
+            "genes": [
+                [name, gene.to_dict()] for name, gene in self.genes.items()
+            ],
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "Chromosome":
+        """Deserialize from :meth:`to_dict` output."""
+        return Chromosome(
+            allocation=tuple(bool(b) for b in data["allocation"]),
+            keep_alive=tuple(bool(b) for b in data["keep_alive"]),
+            genes={
+                name: TaskGene.from_dict(gene)
+                for name, gene in data["genes"]
+            },
         )
 
     # ------------------------------------------------------------------

@@ -17,19 +17,29 @@ generations; those are the defaults, scaled down in tests and benchmarks.
 import random
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from itertools import islice
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.evaluator import EvaluationResult, Evaluator
+from repro.core.guard import GuardConfig, GuardedEvaluator, QuarantineLog
 from repro.core.problem import Problem
 from repro.obs import events as obs_events
 from repro.obs.events import (
     ArchiveUpdated,
     EarlyStopped,
     GenerationCompleted,
+    RunInterrupted,
+    RunResumed,
 )
 from repro.obs.logging import get_logger, kv
 from repro.obs.metrics import metrics
+from repro.dse.checkpoint import (
+    CheckpointManager,
+    RunSnapshot,
+    problem_digest,
+)
 from repro.dse.chromosome import (
     Chromosome,
     heuristic_chromosome,
@@ -82,22 +92,85 @@ class ExplorerConfig:
     #: Force ``T_d`` empty on every candidate — the "without task
     #: dropping" optimization of the §5.2 power comparison.
     disable_dropping: bool = False
+    #: Extra primary-backend attempts after a raising evaluation (the
+    #: guard's bounded retry for transient failures).
+    eval_retries: int = 1
+    #: Per-evaluation wall-clock soft budget in seconds (``None``
+    #: disables; opt-in because time cutoffs make runs timing-dependent).
+    eval_soft_budget_seconds: Optional[float] = None
+    #: Re-evaluate once with the cheap fast-window backend when the
+    #: primary backend raises or exceeds its budget.
+    eval_fallback: bool = True
+    #: JSONL file collecting poison design points (``None`` disables).
+    quarantine_path: Optional[str] = None
+    #: Directory for crash-safe run snapshots (``None`` disables).
+    checkpoint_dir: Optional[str] = None
+    #: Snapshot every N generations (when ``checkpoint_dir`` is set).
+    checkpoint_every: int = 10
+    #: Restart from the latest valid snapshot in ``checkpoint_dir``.
+    resume: bool = False
 
     def __post_init__(self):
         if self.population_size < 2:
             raise ExplorationError("population size must be >= 2")
         if self.offspring_size < 1:
             raise ExplorationError("offspring size must be >= 1")
+        if self.archive_size < 1:
+            raise ExplorationError("archive size must be >= 1")
         if self.generations < 0:
             raise ExplorationError("generations must be >= 0")
         if not 0.0 <= self.crossover_probability <= 1.0:
             raise ExplorationError("crossover probability must lie in [0, 1]")
+        for label, rate in (
+            ("mutation allocation rate", self.mutation_allocation_rate),
+            ("mutation keep-alive rate", self.mutation_keep_alive_rate),
+            ("mutation gene rate", self.mutation_gene_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ExplorationError(f"{label} must lie in [0, 1]")
         if self.workers < 1:
             raise ExplorationError("workers must be >= 1")
+        if self.stagnation_limit is not None and self.stagnation_limit < 1:
+            raise ExplorationError("stagnation limit must be >= 1")
+        if self.eval_retries < 0:
+            raise ExplorationError("evaluation retries must be >= 0")
+        if (
+            self.eval_soft_budget_seconds is not None
+            and self.eval_soft_budget_seconds <= 0
+        ):
+            raise ExplorationError("evaluation soft budget must be positive")
+        if self.checkpoint_every < 1:
+            raise ExplorationError("checkpoint interval must be >= 1")
+
+
+@dataclass
+class _Boundary:
+    """Consistent loop state captured at the end of one generation.
+
+    Mutable run state (statistics, caches) is referenced by size/copy at
+    capture time, so an interrupt mid-generation can still commit the
+    last *consistent* snapshot instead of a torn one.
+    """
+
+    generation: int
+    population: List[Chromosome]
+    archive: List[Chromosome]
+    rng_state: Tuple
+    best_power: Optional[float]
+    stagnation: int
+    history_len: int
+    statistics: dict = field(default_factory=dict)
+    cache_size: int = 0
+    without_drop_size: int = 0
 
 
 class Explorer:
-    """Runs the GA for a problem instance."""
+    """Runs the GA for a problem instance.
+
+    Every evaluation goes through a :class:`GuardedEvaluator`, so a
+    pathological design point cannot abort a long run; pass an already
+    guarded evaluator to customise the guard beyond the config knobs.
+    """
 
     def __init__(
         self,
@@ -107,10 +180,32 @@ class Explorer:
     ):
         self._problem = problem
         self._config = config or ExplorerConfig()
-        self._evaluator = evaluator or Evaluator(problem)
+        base = evaluator or Evaluator(problem)
+        if isinstance(base, GuardedEvaluator):
+            self._evaluator = base
+        else:
+            quarantine = (
+                QuarantineLog(self._config.quarantine_path)
+                if self._config.quarantine_path
+                else None
+            )
+            self._evaluator = GuardedEvaluator(
+                base,
+                config=GuardConfig(
+                    retries=self._config.eval_retries,
+                    soft_budget_seconds=self._config.eval_soft_budget_seconds,
+                    fallback=self._config.eval_fallback,
+                ),
+                quarantine=quarantine,
+            )
         self._cache: Dict[Tuple, EvaluationResult] = {}
         self._without_drop_cache: Dict[Tuple, bool] = {}
         self._stats = ExplorationStatistics()
+
+    @property
+    def quarantine(self) -> Optional[QuarantineLog]:
+        """The evaluation guard's quarantine log, if one is attached."""
+        return self._evaluator.quarantine
 
     @property
     def statistics(self) -> ExplorationStatistics:
@@ -121,165 +216,271 @@ class Explorer:
         self,
         progress: Optional[Callable[[int, ExplorationStatistics], None]] = None,
     ) -> ExplorationResult:
-        """Execute the configured number of generations."""
+        """Execute the configured number of generations.
+
+        With ``checkpoint_dir`` configured, the complete loop state is
+        snapshotted every ``checkpoint_every`` generations (atomically),
+        and ``resume=True`` restarts from the latest valid snapshot.  A
+        ``KeyboardInterrupt`` commits a final checkpoint and returns the
+        partial result instead of losing the run.
+        """
         config = self._config
         rng = random.Random(config.seed)
         selector = Spea2Selector(config.archive_size)
 
-        population: List[Chromosome] = []
-        if config.seed_heuristics:
-            population.extend(self._heuristic_seeds(rng))
-        while len(population) < config.population_size:
-            population.append(random_chromosome(self._problem, rng))
-        population = [
-            self._finalize(
-                repair(
-                    chromosome,
-                    self._problem,
-                    rng,
-                    reliability_rounds=config.reliability_repair_rounds,
-                )
+        manager: Optional[CheckpointManager] = None
+        if config.checkpoint_dir is not None:
+            manager = CheckpointManager(
+                config.checkpoint_dir, problem_digest(self._problem)
             )
-            for chromosome in population[: config.population_size]
-        ]
-        self._evaluate_all(population)
 
+        bus = obs_events.bus()
         archive: List[Chromosome] = []
         history: List[Tuple[int, Optional[float], int]] = []
         best_power: Optional[float] = None
         stagnation = 0
-        generation = 0
+        start_generation = 0
 
-        bus = obs_events.bus()
+        resumed = (
+            manager.load_latest() if manager is not None and config.resume
+            else None
+        )
+        if resumed is not None:
+            snapshot, snapshot_path = resumed
+            rng.setstate(snapshot.rng_state)
+            population = list(snapshot.population)
+            archive = list(snapshot.archive)
+            history = list(snapshot.history)
+            best_power = snapshot.best_power
+            stagnation = snapshot.stagnation
+            self._stats = snapshot.statistics
+            self._cache = dict(snapshot.cache)
+            self._without_drop_cache = dict(snapshot.without_drop_cache)
+            start_generation = snapshot.generation + 1
+            metrics().counter("dse.resumes").inc()
+            if bus.wants(RunResumed):
+                bus.publish(
+                    RunResumed(
+                        generation=snapshot.generation,
+                        path=str(snapshot_path),
+                        cache_entries=len(self._cache),
+                    )
+                )
+            _LOG.info(
+                "resumed from checkpoint %s",
+                kv(
+                    generation=snapshot.generation,
+                    path=str(snapshot_path),
+                    cache=len(self._cache),
+                ),
+            )
+        else:
+            if config.resume and manager is not None:
+                _LOG.warning(
+                    "resume requested but no valid checkpoint in %s; "
+                    "starting fresh",
+                    manager.directory,
+                )
+            population = []
+            if config.seed_heuristics:
+                population.extend(self._heuristic_seeds(rng))
+            while len(population) < config.population_size:
+                population.append(random_chromosome(self._problem, rng))
+            population = [
+                self._finalize(
+                    repair(
+                        chromosome,
+                        self._problem,
+                        rng,
+                        reliability_rounds=config.reliability_repair_rounds,
+                    )
+                )
+                for chromosome in population[: config.population_size]
+            ]
+            self._evaluate_all(population)
+
+        generation = max(start_generation - 1, 0)
+        boundary: Optional[_Boundary] = None
+        last_checkpoint: Optional[int] = None
+
         registry = metrics()
         generation_timer = registry.timer("dse.generation_seconds")
         generation_counter = registry.counter("dse.generations")
         generation_started = time.perf_counter()
 
-        for generation in range(config.generations + 1):
-            pool = _unique(archive + population)
-            results = [self._cache[c.key()] for c in pool]
-            objectives = [r.objectives for r in results]
-            archive = [pool[i] for i in selector.select(objectives)]
+        try:
+            for generation in range(start_generation, config.generations + 1):
+                pool = _unique(archive + population)
+                results = [self._cache[c.key()] for c in pool]
+                objectives = [r.objectives for r in results]
+                archive = [pool[i] for i in selector.select(objectives)]
 
-            feasible_in_archive = [
-                self._cache[c.key()]
-                for c in archive
-                if self._cache[c.key()].feasible
-            ]
-            generation_best = (
-                min(r.power for r in feasible_in_archive)
-                if feasible_in_archive
-                else None
-            )
-            history.append((generation, generation_best, len(feasible_in_archive)))
-            if progress is not None:
-                progress(generation, self._stats)
+                feasible_in_archive = [
+                    self._cache[c.key()]
+                    for c in archive
+                    if self._cache[c.key()].feasible
+                ]
+                generation_best = (
+                    min(r.power for r in feasible_in_archive)
+                    if feasible_in_archive
+                    else None
+                )
+                history.append(
+                    (generation, generation_best, len(feasible_in_archive))
+                )
+                if progress is not None:
+                    progress(generation, self._stats)
 
-            improved = generation_best is not None and (
-                best_power is None or generation_best < best_power - 1e-12
-            )
-            now = time.perf_counter()
-            wall_seconds = now - generation_started
-            generation_started = now
-            generation_counter.inc()
-            generation_timer.observe(wall_seconds)
-            if bus.wants(GenerationCompleted):
-                bus.publish(
-                    GenerationCompleted(
-                        generation=generation,
-                        archive_size=len(archive),
-                        feasible_in_archive=len(feasible_in_archive),
-                        best_power=generation_best,
-                        hypervolume=_hypervolume_proxy(
-                            [(r.power, r.service) for r in feasible_in_archive]
-                        ),
-                        evaluations=self._stats.evaluations,
-                        cache_hits=self._stats.cache_hits,
-                        cache_hit_rate=self._stats.cache_hit_rate,
-                        repair_failures=self._stats.repair_failures,
-                        wall_seconds=wall_seconds,
-                    )
+                improved = generation_best is not None and (
+                    best_power is None or generation_best < best_power - 1e-12
                 )
-            if bus.wants(ArchiveUpdated):
-                bus.publish(
-                    ArchiveUpdated(
-                        generation=generation,
-                        size=len(archive),
-                        feasible=len(feasible_in_archive),
-                        improved=improved,
+                now = time.perf_counter()
+                wall_seconds = now - generation_started
+                generation_started = now
+                generation_counter.inc()
+                generation_timer.observe(wall_seconds)
+                if bus.wants(GenerationCompleted):
+                    bus.publish(
+                        GenerationCompleted(
+                            generation=generation,
+                            archive_size=len(archive),
+                            feasible_in_archive=len(feasible_in_archive),
+                            best_power=generation_best,
+                            hypervolume=_hypervolume_proxy(
+                                [
+                                    (r.power, r.service)
+                                    for r in feasible_in_archive
+                                ]
+                            ),
+                            evaluations=self._stats.evaluations,
+                            cache_hits=self._stats.cache_hits,
+                            cache_hit_rate=self._stats.cache_hit_rate,
+                            repair_failures=self._stats.repair_failures,
+                            wall_seconds=wall_seconds,
+                        )
                     )
-                )
-            _LOG.debug(
-                "generation done %s",
-                kv(
-                    generation=generation,
-                    archive=len(archive),
-                    feasible=len(feasible_in_archive),
-                    best=generation_best,
-                    wall_seconds=wall_seconds,
-                ),
-            )
-
-            if improved:
-                best_power = generation_best
-                stagnation = 0
-            else:
-                stagnation += 1
-            if (
-                config.stagnation_limit is not None
-                and stagnation >= config.stagnation_limit
-            ):
-                self._stats.stopped_early = True
-                self._stats.stopping_generation = generation
-                registry.counter("dse.early_stops").inc()
-                bus.publish(
-                    EarlyStopped(
-                        generation=generation,
-                        stagnation=stagnation,
-                        best_power=best_power,
+                if bus.wants(ArchiveUpdated):
+                    bus.publish(
+                        ArchiveUpdated(
+                            generation=generation,
+                            size=len(archive),
+                            feasible=len(feasible_in_archive),
+                            improved=improved,
+                        )
                     )
-                )
-                _LOG.info(
-                    "early stop %s",
+                _LOG.debug(
+                    "generation done %s",
                     kv(
                         generation=generation,
-                        stagnation=stagnation,
-                        limit=config.stagnation_limit,
-                        best=best_power,
+                        archive=len(archive),
+                        feasible=len(feasible_in_archive),
+                        best=generation_best,
+                        wall_seconds=wall_seconds,
                     ),
                 )
-                break
-            if generation == config.generations:
-                break
 
-            archive_objectives = [self._cache[c.key()].objectives for c in archive]
-            fitness = selector.fitness(archive_objectives)
-            offspring: List[Chromosome] = []
-            for _ in range(config.offspring_size):
-                parent_a = archive[selector.tournament(fitness, rng)]
-                parent_b = archive[selector.tournament(fitness, rng)]
-                if rng.random() < config.crossover_probability:
-                    child = crossover(parent_a, parent_b, rng)
+                if improved:
+                    best_power = generation_best
+                    stagnation = 0
                 else:
-                    child = parent_a
-                child = mutate(
-                    child,
-                    self._problem,
-                    rng,
-                    allocation_rate=config.mutation_allocation_rate,
-                    keep_alive_rate=config.mutation_keep_alive_rate,
-                    gene_rate=config.mutation_gene_rate,
+                    stagnation += 1
+                if (
+                    config.stagnation_limit is not None
+                    and stagnation >= config.stagnation_limit
+                ):
+                    self._stats.stopped_early = True
+                    self._stats.stopping_generation = generation
+                    registry.counter("dse.early_stops").inc()
+                    bus.publish(
+                        EarlyStopped(
+                            generation=generation,
+                            stagnation=stagnation,
+                            best_power=best_power,
+                        )
+                    )
+                    _LOG.info(
+                        "early stop %s",
+                        kv(
+                            generation=generation,
+                            stagnation=stagnation,
+                            limit=config.stagnation_limit,
+                            best=best_power,
+                        ),
+                    )
+                    break
+                if generation == config.generations:
+                    break
+
+                archive_objectives = [
+                    self._cache[c.key()].objectives for c in archive
+                ]
+                fitness = selector.fitness(archive_objectives)
+                offspring: List[Chromosome] = []
+                for _ in range(config.offspring_size):
+                    parent_a = archive[selector.tournament(fitness, rng)]
+                    parent_b = archive[selector.tournament(fitness, rng)]
+                    if rng.random() < config.crossover_probability:
+                        child = crossover(parent_a, parent_b, rng)
+                    else:
+                        child = parent_a
+                    child = mutate(
+                        child,
+                        self._problem,
+                        rng,
+                        allocation_rate=config.mutation_allocation_rate,
+                        keep_alive_rate=config.mutation_keep_alive_rate,
+                        gene_rate=config.mutation_gene_rate,
+                    )
+                    child = repair(
+                        child,
+                        self._problem,
+                        rng,
+                        reliability_rounds=config.reliability_repair_rounds,
+                    )
+                    offspring.append(self._finalize(child))
+                self._evaluate_all(offspring)
+                population = offspring
+
+                if manager is not None:
+                    boundary = _Boundary(
+                        generation=generation,
+                        population=population,
+                        archive=archive,
+                        rng_state=rng.getstate(),
+                        best_power=best_power,
+                        stagnation=stagnation,
+                        history_len=len(history),
+                        statistics=self._stats.to_dict(),
+                        cache_size=len(self._cache),
+                        without_drop_size=len(self._without_drop_cache),
+                    )
+                    if generation % config.checkpoint_every == 0:
+                        self._write_checkpoint(manager, boundary, history)
+                        last_checkpoint = generation
+        except KeyboardInterrupt:
+            self._stats.interrupted = True
+            registry.counter("dse.interrupts").inc()
+            checkpoint_path: Optional[str] = None
+            if manager is not None and boundary is not None:
+                if boundary.generation != last_checkpoint:
+                    checkpoint_path = str(
+                        self._write_checkpoint(manager, boundary, history)
+                    )
+                else:
+                    checkpoint_path = str(
+                        manager.path_for(boundary.generation)
+                    )
+            if bus.wants(RunInterrupted):
+                bus.publish(
+                    RunInterrupted(
+                        generation=generation,
+                        checkpoint_path=checkpoint_path,
+                    )
                 )
-                child = repair(
-                    child,
-                    self._problem,
-                    rng,
-                    reliability_rounds=config.reliability_repair_rounds,
-                )
-                offspring.append(self._finalize(child))
-            self._evaluate_all(offspring)
-            population = offspring
+            _LOG.warning(
+                "run interrupted %s",
+                kv(generation=generation, checkpoint=checkpoint_path),
+            )
 
         return ExplorationResult(
             pareto=self._pareto_points(archive),
@@ -288,6 +489,37 @@ class Explorer:
             generations_run=generation,
             best_by_drop_set=self._best_by_drop_set(),
         )
+
+    def _write_checkpoint(
+        self,
+        manager: CheckpointManager,
+        boundary: _Boundary,
+        history: List[Tuple[int, Optional[float], int]],
+    ) -> Path:
+        """Commit the last consistent generation boundary as a snapshot.
+
+        The caches are sliced to their boundary sizes (dict insertion
+        order is append-only here), so a snapshot taken after an
+        interrupt excludes torn mid-generation state.
+        """
+        snapshot = RunSnapshot(
+            generation=boundary.generation,
+            rng_state=boundary.rng_state,
+            population=boundary.population,
+            archive=boundary.archive,
+            best_power=boundary.best_power,
+            stagnation=boundary.stagnation,
+            statistics=ExplorationStatistics.from_dict(boundary.statistics),
+            history=list(history[: boundary.history_len]),
+            cache=list(islice(self._cache.items(), boundary.cache_size)),
+            without_drop_cache=list(
+                islice(
+                    self._without_drop_cache.items(),
+                    boundary.without_drop_size,
+                )
+            ),
+        )
+        return manager.save(snapshot)
 
     def _best_by_drop_set(self) -> Dict[Tuple[str, ...], ParetoPoint]:
         """Cheapest feasible evaluated design per dropped set."""
@@ -356,34 +588,75 @@ class Explorer:
         if not fresh:
             return
         if self._config.workers > 1:
-            with ThreadPoolExecutor(max_workers=self._config.workers) as pool:
-                results = list(
-                    pool.map(lambda item: self._evaluate_one(item[1]), fresh)
-                )
+            results = self._evaluate_parallel(fresh)
         else:
             results = [self._evaluate_one(c) for _key, c in fresh]
-        for (key, _chromosome), result in zip(fresh, results):
+        for (key, chromosome), result in zip(fresh, results):
             self._cache[key] = result
-            self._record(key, result)
+            self._record(key, chromosome, result)
+
+    def _evaluate_parallel(
+        self, fresh: List[Tuple[Tuple, Chromosome]]
+    ) -> List[EvaluationResult]:
+        """Evaluate candidates on a thread pool, isolating each failure.
+
+        Results are collected in submission order, so serial and parallel
+        runs with the same seed produce byte-identical outcomes.  An
+        exception escaping a worker (i.e. past the guard — a broken custom
+        evaluator, say) poisons only its own candidate, not the batch.
+        """
+        results: List[EvaluationResult] = []
+        with ThreadPoolExecutor(max_workers=self._config.workers) as pool:
+            futures = [
+                pool.submit(self._evaluate_one, chromosome)
+                for _key, chromosome in fresh
+            ]
+            try:
+                for future, (_key, chromosome) in zip(futures, fresh):
+                    try:
+                        results.append(future.result())
+                    except Exception as error:  # noqa: BLE001
+                        results.append(
+                            self._evaluator.failure_result(
+                                error, context=chromosome, stage="evaluate"
+                            )
+                        )
+            except KeyboardInterrupt:
+                # Only the main thread sees SIGINT: abandon the batch so
+                # run() can commit the last consistent checkpoint.
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
+        return results
 
     def _evaluate_one(self, chromosome: Chromosome) -> EvaluationResult:
         try:
             design = chromosome.decode(self._problem)
         except ExplorationError as error:
-            # Structurally undecodable even after repair: hard penalty.
+            # Structurally undecodable even after repair: an expected
+            # dead-end of the search, hard-penalized but not quarantined.
             return EvaluationResult(
-                design=None,  # type: ignore[arg-type]
+                design=None,
                 feasible=False,
                 violations=[f"decode: {error}"],
             )
-        return self._evaluator.evaluate(design)
+        except Exception as error:  # noqa: BLE001 — poison genotype
+            return self._evaluator.failure_result(
+                error, context=chromosome, stage="decode"
+            )
+        return self._evaluator.evaluate(design, context=chromosome)
 
-    def _record(self, key: Tuple, result: EvaluationResult) -> None:
+    def _record(
+        self, key: Tuple, chromosome: Chromosome, result: EvaluationResult
+    ) -> None:
         self._stats.evaluations += 1
         metrics().counter("dse.evaluations").inc()
         if result.design is None:
             self._stats.repair_failures += 1
             metrics().counter("dse.repair_failures").inc()
+        if result.guard_error is not None:
+            self._stats.guard_failures += 1
+        if result.fallback is not None:
+            self._stats.fallback_evaluations += 1
         if result.feasible:
             self._stats.feasible += 1
             if result.hardened is not None:
@@ -397,11 +670,40 @@ class Explorer:
             and result.design.dropped
         ):
             self._stats.dropping_checked += 1
-            counterfactual = self._evaluator.evaluate(
-                result.design.without_dropping()
-            )
-            if not counterfactual.feasible:
+            if not self._counterfactual_feasible(chromosome, result):
                 self._stats.dropping_gain += 1
+
+    def _counterfactual_feasible(
+        self, chromosome: Chromosome, result: EvaluationResult
+    ) -> bool:
+        """Whether the design stays feasible with ``T_d`` emptied.
+
+        Cached: distinct chromosomes frequently share the all-alive
+        counterfactual, so repeated drop-set checks are served from the
+        main evaluation cache or a dedicated feasibility cache instead of
+        re-running the analysis (and ``stats.evaluations`` stays truthful).
+        """
+        counter_key = chromosome.with_keep_alive(
+            tuple(True for _ in chromosome.keep_alive)
+        ).key()
+        cached = self._cache.get(counter_key)
+        if cached is not None:
+            self._stats.cache_hits += 1
+            metrics().counter("dse.cache_hits").inc()
+            return cached.feasible
+        known = self._without_drop_cache.get(counter_key)
+        if known is not None:
+            self._stats.cache_hits += 1
+            metrics().counter("dse.cache_hits").inc()
+            return known
+        counterfactual = self._evaluator.evaluate(
+            result.design.without_dropping(), context=chromosome
+        )
+        self._stats.evaluations += 1
+        metrics().counter("dse.evaluations").inc()
+        feasible = counterfactual.feasible
+        self._without_drop_cache[counter_key] = feasible
+        return feasible
 
     def _pareto_points(self, archive: List[Chromosome]) -> List[ParetoPoint]:
         feasible = [

@@ -37,11 +37,20 @@ class ExplorationStatistics:
     #: Candidates that failed to decode into a design point even after
     #: repair (hard-penalized, see ``Explorer._evaluate_one``).
     repair_failures: int = 0
+    #: Evaluations whose exception the guard absorbed (infeasible result
+    #: with the error recorded as a violation).
+    guard_failures: int = 0
+    #: Evaluations served by the degraded fallback backend after the
+    #: primary backend raised or exceeded its budget.
+    fallback_evaluations: int = 0
     #: ``True`` when the run was cut short by the stagnation limit.
     stopped_early: bool = False
     #: Generation at which the stagnation early-stop fired (``None`` for
     #: runs that exhausted their full generation budget).
     stopping_generation: Optional[int] = None
+    #: ``True`` when SIGINT/KeyboardInterrupt cut the run short (the
+    #: returned result covers the completed generations only).
+    interrupted: bool = False
     #: Candidates feasible with their drop set but infeasible with
     #: ``T_d`` emptied (the §5.2 "saved by dropping" numerator).
     dropping_gain: int = 0
@@ -98,6 +107,51 @@ class ExplorationStatistics:
             self.hardening_histogram[kind] = (
                 self.hardening_histogram.get(kind, 0) + count
             )
+
+    def to_dict(self) -> dict:
+        """Serialize to a JSON-friendly dictionary (checkpoint bundles)."""
+        return {
+            "evaluations": self.evaluations,
+            "cache_hits": self.cache_hits,
+            "feasible": self.feasible,
+            "infeasible": self.infeasible,
+            "repair_failures": self.repair_failures,
+            "guard_failures": self.guard_failures,
+            "fallback_evaluations": self.fallback_evaluations,
+            "stopped_early": self.stopped_early,
+            "stopping_generation": self.stopping_generation,
+            "interrupted": self.interrupted,
+            "dropping_gain": self.dropping_gain,
+            "dropping_checked": self.dropping_checked,
+            "hardening_histogram": {
+                kind.value: count
+                for kind, count in sorted(
+                    self.hardening_histogram.items(), key=lambda kv: kv[0].value
+                )
+            },
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "ExplorationStatistics":
+        """Deserialize from :meth:`to_dict` output."""
+        return ExplorationStatistics(
+            evaluations=data.get("evaluations", 0),
+            cache_hits=data.get("cache_hits", 0),
+            feasible=data.get("feasible", 0),
+            infeasible=data.get("infeasible", 0),
+            repair_failures=data.get("repair_failures", 0),
+            guard_failures=data.get("guard_failures", 0),
+            fallback_evaluations=data.get("fallback_evaluations", 0),
+            stopped_early=data.get("stopped_early", False),
+            stopping_generation=data.get("stopping_generation"),
+            interrupted=data.get("interrupted", False),
+            dropping_gain=data.get("dropping_gain", 0),
+            dropping_checked=data.get("dropping_checked", 0),
+            hardening_histogram={
+                HardeningKind(kind): count
+                for kind, count in data.get("hardening_histogram", {}).items()
+            },
+        )
 
 
 @dataclass

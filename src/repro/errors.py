@@ -51,3 +51,19 @@ class SimulationError(ReproError):
 
 class ExplorationError(ReproError):
     """The design-space exploration was configured or driven incorrectly."""
+
+
+class EvaluationGuardError(ReproError):
+    """The evaluation guard is misconfigured or cannot set up its log.
+
+    Note that this is *not* raised for guarded evaluation failures — those
+    are converted into infeasible evaluation results by design.
+    """
+
+
+class CheckpointError(ReproError):
+    """A DSE run snapshot cannot be written, read, or applied.
+
+    Raised, for example, when a resume is requested against a system whose
+    digest does not match the snapshot's, or when no valid snapshot exists.
+    """

@@ -153,6 +153,77 @@ class EarlyStopped(Event):
     best_power: Optional[float]
 
 
+@dataclass(frozen=True)
+class EvaluationFailed(Event):
+    """A guarded evaluation raised; the guard absorbed the exception."""
+
+    kind: ClassVar[str] = "evaluation-failed"
+
+    #: Pipeline stage that blew up: ``"decode"``, ``"evaluate"``.
+    stage: str
+    error_type: str
+    error: str
+    #: Primary-backend attempts made (1 + retries).
+    attempts: int
+    #: Whether a fallback-backend result was substituted.
+    fallback_used: bool
+    #: Whether the poison point was written to the quarantine log.
+    quarantined: bool
+
+
+@dataclass(frozen=True)
+class BackendFellBack(Event):
+    """The guard re-evaluated a design with the cheap fallback backend."""
+
+    kind: ClassVar[str] = "backend-fallback"
+
+    #: ``"error"`` (primary raised) or ``"budget"`` (soft budget blown).
+    reason: str
+    #: Exception type of the primary failure (``None`` for budget).
+    error_type: Optional[str]
+    #: Wall-clock seconds the primary evaluation took before giving up.
+    seconds: float
+
+
+@dataclass(frozen=True)
+class CheckpointWritten(Event):
+    """A crash-safe run snapshot was committed to disk."""
+
+    kind: ClassVar[str] = "checkpoint-written"
+
+    generation: int
+    path: str
+    #: Serialized snapshot size in bytes.
+    size_bytes: int
+    #: Wall-clock seconds spent serializing and renaming.
+    seconds: float
+
+
+@dataclass(frozen=True)
+class RunResumed(Event):
+    """An exploration restarted from a checkpoint snapshot."""
+
+    kind: ClassVar[str] = "run-resumed"
+
+    #: Generation the snapshot was taken at (the run continues at +1).
+    generation: int
+    path: str
+    #: Evaluation-cache entries restored from the snapshot.
+    cache_entries: int
+
+
+@dataclass(frozen=True)
+class RunInterrupted(Event):
+    """SIGINT/KeyboardInterrupt cut the run; a partial result is returned."""
+
+    kind: ClassVar[str] = "run-interrupted"
+
+    #: Last *completed* generation at the time of the interrupt.
+    generation: int
+    #: Final checkpoint written on the way out (``None`` if disabled).
+    checkpoint_path: Optional[str]
+
+
 # ---------------------------------------------------------------------------
 # Serialization
 # ---------------------------------------------------------------------------

@@ -1,0 +1,247 @@
+"""Unit tests for crash-safe checkpoint/resume."""
+
+import json
+import random
+
+import pytest
+
+from repro.dse.checkpoint import (
+    CheckpointManager,
+    RunSnapshot,
+    SNAPSHOT_VERSION,
+    problem_digest,
+    snapshot_from_dict,
+    snapshot_to_dict,
+)
+from repro.dse.chromosome import random_chromosome
+from repro.dse.ga import Explorer, ExplorerConfig
+from repro.dse.repair import repair
+from repro.dse.results import ExplorationStatistics
+from repro.errors import CheckpointError
+
+
+def make_snapshot(problem, generation=4, seed=0):
+    rng = random.Random(seed)
+    population = [
+        repair(random_chromosome(problem, rng), problem, rng)
+        for _ in range(3)
+    ]
+    rng.random()  # advance past a round number
+    return RunSnapshot(
+        generation=generation,
+        rng_state=rng.getstate(),
+        population=population,
+        archive=population[:2],
+        best_power=12.25,
+        stagnation=1,
+        statistics=ExplorationStatistics(evaluations=7, feasible=3),
+        history=[(0, None, 0), (1, 12.5, 2)],
+    )
+
+
+def small_config(**overrides):
+    defaults = dict(
+        population_size=12,
+        offspring_size=12,
+        archive_size=12,
+        generations=4,
+        seed=7,
+    )
+    defaults.update(overrides)
+    return ExplorerConfig(**defaults)
+
+
+def front(result):
+    return result.front_as_rows()
+
+
+class TestSnapshotSerialization:
+    def test_roundtrip(self, problem):
+        snapshot = make_snapshot(problem)
+        digest = problem_digest(problem)
+        payload = snapshot_to_dict(snapshot, digest)
+        # Through actual JSON, with the same key sorting the manager uses.
+        payload = json.loads(json.dumps(payload, sort_keys=True))
+        restored = snapshot_from_dict(payload)
+        assert restored.generation == snapshot.generation
+        assert restored.rng_state == snapshot.rng_state
+        assert restored.population == snapshot.population
+        assert restored.archive == snapshot.archive
+        assert restored.best_power == snapshot.best_power
+        assert restored.history == snapshot.history
+        assert restored.statistics == snapshot.statistics
+
+    def test_rng_state_resumes_stream(self, problem):
+        snapshot = make_snapshot(problem)
+        payload = json.loads(
+            json.dumps(snapshot_to_dict(snapshot, "d"), sort_keys=True)
+        )
+        restored = snapshot_from_dict(payload)
+        a = random.Random()
+        a.setstate(snapshot.rng_state)
+        b = random.Random()
+        b.setstate(restored.rng_state)
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_gene_order_survives_sorted_json(self, problem):
+        # Gene insertion order drives RNG consumption in the operators;
+        # it must survive json.dumps(sort_keys=True).
+        rng = random.Random(3)
+        chromosome = repair(random_chromosome(problem, rng), problem, rng)
+        reordered = type(chromosome)(
+            allocation=chromosome.allocation,
+            keep_alive=chromosome.keep_alive,
+            genes=dict(reversed(list(chromosome.genes.items()))),
+        )
+        payload = json.loads(json.dumps(reordered.to_dict(), sort_keys=True))
+        restored = type(chromosome).from_dict(payload)
+        assert list(restored.genes) == list(reordered.genes)
+
+
+class TestCheckpointManager:
+    def test_save_then_load_latest(self, problem, tmp_path):
+        digest = problem_digest(problem)
+        manager = CheckpointManager(tmp_path, digest)
+        path = manager.save(make_snapshot(problem, generation=2))
+        assert path.exists()
+        assert not list(tmp_path.glob("*.tmp"))
+        loaded = manager.load_latest()
+        assert loaded is not None
+        snapshot, loaded_path = loaded
+        assert snapshot.generation == 2
+        assert loaded_path == path
+
+    def test_latest_wins(self, problem, tmp_path):
+        manager = CheckpointManager(tmp_path, problem_digest(problem))
+        manager.save(make_snapshot(problem, generation=1))
+        manager.save(make_snapshot(problem, generation=5))
+        snapshot, _path = manager.load_latest()
+        assert snapshot.generation == 5
+
+    def test_prunes_old_snapshots(self, problem, tmp_path):
+        manager = CheckpointManager(tmp_path, problem_digest(problem), keep=2)
+        for generation in range(5):
+            manager.save(make_snapshot(problem, generation=generation))
+        names = [p.name for p in manager.snapshot_paths()]
+        assert names == ["checkpoint-00000003.json", "checkpoint-00000004.json"]
+
+    def test_corrupt_snapshot_skipped(self, problem, tmp_path):
+        manager = CheckpointManager(tmp_path, problem_digest(problem))
+        manager.save(make_snapshot(problem, generation=1))
+        manager.path_for(2).write_text("{ truncated")
+        snapshot, _path = manager.load_latest()
+        assert snapshot.generation == 1
+
+    def test_unknown_version_skipped(self, problem, tmp_path):
+        manager = CheckpointManager(tmp_path, problem_digest(problem))
+        manager.save(make_snapshot(problem, generation=1))
+        payload = json.loads(manager.path_for(1).read_text())
+        payload["version"] = SNAPSHOT_VERSION + 1
+        manager.path_for(2).write_text(json.dumps(payload))
+        snapshot, _path = manager.load_latest()
+        assert snapshot.generation == 1
+
+    def test_tmp_file_never_considered(self, problem, tmp_path):
+        manager = CheckpointManager(tmp_path, problem_digest(problem))
+        (tmp_path / "checkpoint-00000009.json.tmp").write_text("{}")
+        assert manager.load_latest() is None
+
+    def test_digest_mismatch_raises(self, problem, tmp_path):
+        CheckpointManager(tmp_path, problem_digest(problem)).save(
+            make_snapshot(problem, generation=1)
+        )
+        other = CheckpointManager(tmp_path, "0" * 64)
+        with pytest.raises(CheckpointError):
+            other.load_latest()
+
+    def test_empty_directory_returns_none(self, problem, tmp_path):
+        manager = CheckpointManager(tmp_path, problem_digest(problem))
+        assert manager.load_latest() is None
+
+
+class TestExplorerResume:
+    def test_resume_matches_uninterrupted_run(self, problem, tmp_path):
+        reference = Explorer(problem, small_config(generations=6)).run()
+        Explorer(
+            problem,
+            small_config(
+                generations=3,
+                checkpoint_dir=str(tmp_path),
+                checkpoint_every=1,
+            ),
+        ).run()
+        resumed = Explorer(
+            problem,
+            small_config(
+                generations=6,
+                checkpoint_dir=str(tmp_path),
+                checkpoint_every=1,
+                resume=True,
+            ),
+        ).run()
+        assert front(resumed) == front(reference)
+        assert resumed.history == reference.history
+        assert (
+            resumed.statistics.to_dict() == reference.statistics.to_dict()
+        )
+
+    def test_resume_without_checkpoint_starts_fresh(self, problem, tmp_path):
+        config = small_config(
+            checkpoint_dir=str(tmp_path), checkpoint_every=2, resume=True
+        )
+        result = Explorer(problem, config).run()
+        reference = Explorer(problem, small_config()).run()
+        assert front(result) == front(reference)
+
+    def test_checkpoints_written_at_interval(self, problem, tmp_path):
+        Explorer(
+            problem,
+            small_config(
+                generations=5,
+                checkpoint_dir=str(tmp_path),
+                checkpoint_every=2,
+            ),
+        ).run()
+        names = sorted(p.name for p in tmp_path.glob("checkpoint-*.json"))
+        # Boundaries exist for generations 0..4 (the final generation
+        # breaks before breeding); every 2nd one is committed.
+        assert names == [
+            "checkpoint-00000000.json",
+            "checkpoint-00000002.json",
+            "checkpoint-00000004.json",
+        ]
+
+    def test_interrupt_writes_checkpoint_and_returns_partial(
+        self, problem, tmp_path
+    ):
+        def interrupter(generation, _stats):
+            if generation == 3:
+                raise KeyboardInterrupt
+
+        config = small_config(
+            generations=8, checkpoint_dir=str(tmp_path), checkpoint_every=100
+        )
+        explorer = Explorer(problem, config)
+        result = explorer.run(progress=interrupter)
+        assert result.statistics.interrupted
+        assert result.generations_run == 3
+        # Beyond the interval checkpoint at generation 0, the interrupt
+        # committed the last consistent boundary (generation 2).
+        names = sorted(p.name for p in tmp_path.glob("checkpoint-*.json"))
+        assert names == [
+            "checkpoint-00000000.json",
+            "checkpoint-00000002.json",
+        ]
+
+        resumed = Explorer(
+            problem,
+            small_config(
+                generations=8,
+                checkpoint_dir=str(tmp_path),
+                checkpoint_every=100,
+                resume=True,
+            ),
+        ).run()
+        reference = Explorer(problem, small_config(generations=8)).run()
+        assert front(resumed) == front(reference)
+        assert resumed.history == reference.history

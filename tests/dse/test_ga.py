@@ -1,7 +1,11 @@
 """Unit tests for the exploration loop."""
 
+import json
+import zlib
+
 import pytest
 
+from repro.core.evaluator import Evaluator
 from repro.dse.ga import Explorer, ExplorerConfig
 from repro.errors import ExplorationError
 
@@ -30,6 +34,39 @@ class TestConfigValidation:
     def test_bad_workers(self):
         with pytest.raises(ExplorationError):
             ExplorerConfig(workers=0)
+
+    def test_bad_archive_size(self):
+        with pytest.raises(ExplorationError):
+            ExplorerConfig(archive_size=0)
+
+    @pytest.mark.parametrize(
+        "knob",
+        [
+            "mutation_allocation_rate",
+            "mutation_keep_alive_rate",
+            "mutation_gene_rate",
+        ],
+    )
+    @pytest.mark.parametrize("rate", [-0.1, 1.5])
+    def test_bad_mutation_rate(self, knob, rate):
+        with pytest.raises(ExplorationError):
+            ExplorerConfig(**{knob: rate})
+
+    def test_bad_stagnation_limit(self):
+        with pytest.raises(ExplorationError):
+            ExplorerConfig(stagnation_limit=0)
+
+    def test_bad_eval_retries(self):
+        with pytest.raises(ExplorationError):
+            ExplorerConfig(eval_retries=-1)
+
+    def test_bad_eval_budget(self):
+        with pytest.raises(ExplorationError):
+            ExplorerConfig(eval_soft_budget_seconds=0.0)
+
+    def test_bad_checkpoint_interval(self):
+        with pytest.raises(ExplorationError):
+            ExplorerConfig(checkpoint_every=0)
 
     def test_paper_defaults(self):
         config = ExplorerConfig()
@@ -109,3 +146,114 @@ class TestExploration:
         assert best_power is not None and best_service is not None
         assert best_power.power <= best_service.power + 1e-9
         assert best_service.service >= best_power.service - 1e-9
+
+    def test_counterfactual_results_are_cached(self, problem):
+        calls = []
+
+        class CountingEvaluator(Evaluator):
+            def evaluate(self, design):
+                calls.append(tuple(sorted(design.dropped)))
+                return super().evaluate(design)
+
+        baseline = Explorer(
+            problem, small_config(), evaluator=CountingEvaluator(problem)
+        ).run()
+        baseline_calls = len(calls)
+        calls.clear()
+        tracked = Explorer(
+            problem,
+            small_config(track_dropping_gain=True),
+            evaluator=CountingEvaluator(problem),
+        ).run()
+        stats = tracked.statistics
+        assert stats.dropping_checked > 1
+        # stats.evaluations counts exactly the backend invocations.
+        assert stats.evaluations == len(calls)
+        # Tracking must not perturb the search itself.
+        assert tracked.front_as_rows() == baseline.front_as_rows()
+        # Repeated drop-set counterfactuals are served from the caches:
+        # the extra backend calls stay below one per counterfactual check.
+        counterfactual_calls = len(calls) - baseline_calls
+        assert counterfactual_calls < stats.dropping_checked
+
+
+class CrashingEvaluator(Evaluator):
+    """Deterministically raises on ~10% of designs (stable fingerprint)."""
+
+    def evaluate(self, design):
+        fingerprint = zlib.crc32(
+            json.dumps(sorted(design.mapping.as_dict().items())).encode()
+        )
+        if fingerprint % 10 == 0:
+            raise RuntimeError(f"poisoned design {fingerprint}")
+        return super().evaluate(design)
+
+
+class TestGuardedExploration:
+    def guarded_config(self, tmp_path, name, **overrides):
+        return small_config(
+            generations=5,
+            eval_fallback=False,
+            eval_retries=0,
+            quarantine_path=str(tmp_path / f"{name}.jsonl"),
+            **overrides,
+        )
+
+    def test_crashing_backend_does_not_abort(self, problem, tmp_path):
+        config = self.guarded_config(tmp_path, "serial")
+        explorer = Explorer(
+            problem, config, evaluator=CrashingEvaluator(problem)
+        )
+        result = explorer.run()
+        stats = result.statistics
+        assert stats.guard_failures > 0, "crash rate never triggered"
+        assert stats.evaluations == stats.feasible + stats.infeasible
+        assert result.pareto, "the run should still find feasible points"
+
+    def test_poison_points_quarantined(self, problem, tmp_path):
+        config = self.guarded_config(tmp_path, "quarantine")
+        explorer = Explorer(
+            problem, config, evaluator=CrashingEvaluator(problem)
+        )
+        result = explorer.run()
+        explorer.quarantine.close()
+        lines = (tmp_path / "quarantine.jsonl").read_text().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert len(records) == result.statistics.guard_failures
+        assert all(r["error_type"] == "RuntimeError" for r in records)
+        assert all(r["design"] is not None for r in records)
+
+    def test_parallel_guarded_run_matches_serial(self, problem, tmp_path):
+        serial = Explorer(
+            problem,
+            self.guarded_config(tmp_path, "serial", workers=1),
+            evaluator=CrashingEvaluator(problem),
+        ).run()
+        threaded = Explorer(
+            problem,
+            self.guarded_config(tmp_path, "threaded", workers=4),
+            evaluator=CrashingEvaluator(problem),
+        ).run()
+        assert serial.front_as_rows() == threaded.front_as_rows()
+        assert serial.history == threaded.history
+        assert serial.statistics.to_dict() == threaded.statistics.to_dict()
+
+    def test_fallback_rescues_poison_points(self, problem, tmp_path):
+        config = small_config(
+            generations=5,
+            eval_fallback=True,
+            eval_retries=0,
+            quarantine_path=str(tmp_path / "rescued.jsonl"),
+        )
+        explorer = Explorer(
+            problem, config, evaluator=CrashingEvaluator(problem)
+        )
+        result = explorer.run()
+        stats = result.statistics
+        assert stats.fallback_evaluations > 0
+        # Every poison point was rescued by the fast-window fallback, so
+        # none ended as an absorbed (infeasible) guard failure.
+        assert stats.guard_failures == 0
+        explorer.quarantine.close()
+        lines = (tmp_path / "rescued.jsonl").read_text().splitlines()
+        assert len(lines) == stats.fallback_evaluations

@@ -7,15 +7,20 @@ from repro.errors import ReproError
 from repro.obs.events import (
     EVENT_TYPES,
     ArchiveUpdated,
+    BackendFellBack,
+    CheckpointWritten,
     DeadlineMissed,
     EarlyStopped,
     EvaluationCompleted,
+    EvaluationFailed,
     EventBus,
     FaultInjected,
     GenerationCompleted,
     InMemoryCollector,
     JsonlTraceWriter,
     ProgressLogger,
+    RunInterrupted,
+    RunResumed,
     ScenarioAnalyzed,
     capture,
     event_from_dict,
@@ -50,6 +55,23 @@ SAMPLE_EVENTS = [
     FaultInjected(time=12.0, task="a", instance=0, attempt=1),
     DeadlineMissed(graph="hi", instance=2, response=40.0, deadline=30.0),
     EarlyStopped(generation=8, stagnation=5, best_power=11.0),
+    EvaluationFailed(
+        stage="evaluate",
+        error_type="ValueError",
+        error="boom",
+        attempts=2,
+        fallback_used=True,
+        quarantined=True,
+    ),
+    BackendFellBack(reason="error", error_type="ValueError", seconds=0.5),
+    CheckpointWritten(
+        generation=10, path="ckpt/checkpoint-00000010.json",
+        size_bytes=2048, seconds=0.01,
+    ),
+    RunResumed(
+        generation=10, path="ckpt/checkpoint-00000010.json", cache_entries=64
+    ),
+    RunInterrupted(generation=11, checkpoint_path=None),
 ]
 
 

@@ -113,6 +113,45 @@ class TestExplore:
             design = DesignPoint.from_dict(payload["pareto"][0]["design"])
             assert design.allocation
 
+    def test_resume_requires_checkpoint_dir(self, unmapped_system_file):
+        assert main(["explore", unmapped_system_file, "--resume"]) == 2
+
+    def test_checkpoint_and_resume_matches_reference(
+        self, tmp_path, unmapped_system_file
+    ):
+        common = [
+            "explore",
+            unmapped_system_file,
+            "--population",
+            "10",
+            "--seed",
+            "5",
+        ]
+        reference = tmp_path / "reference.json"
+        main(common + ["--generations", "6", "--out", str(reference)])
+
+        ckpt = tmp_path / "ckpt"
+        checkpointed = common + [
+            "--checkpoint-dir",
+            str(ckpt),
+            "--checkpoint-every",
+            "1",
+        ]
+        main(checkpointed + ["--generations", "3"])
+        assert list(ckpt.glob("checkpoint-*.json"))
+        # The quarantine path defaults under the checkpoint directory and
+        # stays absent for a healthy run (lazily created).
+        assert not (ckpt / "quarantine.jsonl").exists()
+
+        resumed = tmp_path / "resumed.json"
+        main(
+            checkpointed
+            + ["--generations", "6", "--resume", "--out", str(resumed)]
+        )
+        assert json.loads(resumed.read_text()) == json.loads(
+            reference.read_text()
+        )
+
 
 class TestMargins:
     def test_margins_command(self, system_file, capsys):
