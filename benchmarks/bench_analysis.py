@@ -1,0 +1,206 @@
+"""Fast-path analysis benchmark: memoization + warm starts vs. cold runs.
+
+Run as a script (CI bench smoke job)::
+
+    PYTHONPATH=src python benchmarks/bench_analysis.py --quick --out bench-out
+
+or under pytest::
+
+    pytest benchmarks/bench_analysis.py -s
+
+For each suite the mixed-criticality analysis runs twice on the same
+hardened, mapped system over the holistic back-end — once cold
+(``fast_path=None``) and once with memoization + warm starts — and the
+global fixed-point sweep counter (``sched.holistic.sweeps_total``) is
+compared.  The report fails (non-zero exit) when any WCRT,
+schedulability verdict, or completion bound differs between the two
+runs, and asserts the headline target: at least a 3x sweep reduction on
+DT-large.  A window-back-end row double-checks result equality on the
+default analysis family.
+"""
+
+import argparse
+import random
+import sys
+import time
+
+from repro.core import FastPathConfig, MixedCriticalityAnalysis
+from repro.dse.chromosome import heuristic_chromosome
+from repro.hardening.transform import harden
+from repro.obs.bench import bench_timer, write_bench_report
+from repro.obs.metrics import metrics
+from repro.sched.holistic import HolisticAnalysisBackend
+from repro.suites import get_benchmark
+
+#: Deterministic seed for the heuristic mapping of each suite.
+_SEED = 11
+
+#: DT-large must shed at least this fraction of holistic sweeps.
+_TARGET_RATIO = 3.0
+
+
+def _design(suite: str):
+    problem = get_benchmark(suite).problem
+    design = heuristic_chromosome(problem, random.Random(_SEED)).decode(problem)
+    hardened = harden(problem.applications, design.plan)
+    return problem, design, hardened
+
+
+def _run(problem, design, hardened, backend, fast_path, timer_name):
+    metrics().reset()
+    analysis = MixedCriticalityAnalysis(
+        backend=backend,
+        granularity="task",
+        comm=problem.comm_model(),
+        fast_path=fast_path,
+    )
+    started = time.perf_counter()
+    with bench_timer(timer_name).time():
+        result = analysis.analyze(
+            hardened, problem.architecture, design.mapping, design.dropped
+        )
+    seconds = time.perf_counter() - started
+    counters = metrics().snapshot()["counters"]
+    return result, counters, seconds
+
+
+def _results_equal(cold, fast):
+    """Byte-identical WCRTs, verdicts, and completion bounds."""
+    if set(cold.verdicts) != set(fast.verdicts):
+        return False
+    for name, verdict in cold.verdicts.items():
+        other = fast.verdicts[name]
+        if (
+            verdict.wcrt != other.wcrt
+            or verdict.normal_wcrt != other.normal_wcrt
+            or verdict.meets_deadline != other.meets_deadline
+            or verdict.worst_transition != other.worst_transition
+        ):
+            return False
+    return cold.task_completion == fast.task_completion
+
+
+def compare(suite: str, backend_name: str = "holistic") -> dict:
+    """Cold vs. fast-path analysis of one suite; returns the report row."""
+    problem, design, hardened = _design(suite)
+    make_backend = (
+        HolisticAnalysisBackend
+        if backend_name == "holistic"
+        else _fresh_window_backend
+    )
+    cold, cold_counters, cold_seconds = _run(
+        problem, design, hardened, make_backend(), None,
+        f"analysis.{suite}.{backend_name}.cold",
+    )
+    fast, fast_counters, fast_seconds = _run(
+        problem, design, hardened, make_backend(), FastPathConfig(),
+        f"analysis.{suite}.{backend_name}.fast",
+    )
+    cold_sweeps = cold_counters.get("sched.holistic.sweeps_total", 0)
+    fast_sweeps = fast_counters.get("sched.holistic.sweeps_total", 0)
+    return {
+        "suite": suite,
+        "backend": backend_name,
+        "transitions": cold.transitions_analyzed,
+        "sched_invocations_cold": cold_counters.get("sched.invocations", 0),
+        "sched_invocations_fast": fast_counters.get("sched.invocations", 0),
+        "holistic_sweeps_cold": cold_sweeps,
+        "holistic_sweeps_fast": fast_sweeps,
+        "sweep_ratio": (cold_sweeps / fast_sweeps) if fast_sweeps else None,
+        "cache_hits": fast_counters.get("analysis.cache.hits", 0),
+        "cache_misses": fast_counters.get("analysis.cache.misses", 0),
+        "warmstart_seeded": fast_counters.get("analysis.warmstart.seeded", 0),
+        "seconds_cold": cold_seconds,
+        "seconds_fast": fast_seconds,
+        "identical_results": _results_equal(cold, fast),
+        "schedulable": cold.schedulable,
+    }
+
+
+def _fresh_window_backend():
+    from repro.sched.wcrt import WindowAnalysisBackend
+
+    return WindowAnalysisBackend()
+
+
+def run_report(quick: bool = False) -> dict:
+    """All comparison rows plus the headline DT-large verdict."""
+    suites = ["dt-large"] if quick else ["cruise", "dt-med", "dt-large"]
+    rows = [compare(suite, "holistic") for suite in suites]
+    # Equality must also hold for the default (window) analysis family.
+    rows.append(compare("dt-large" if quick else "dt-med", "window"))
+    headline = next(
+        row
+        for row in rows
+        if row["suite"] == "dt-large" and row["backend"] == "holistic"
+    )
+    return {
+        "rows": rows,
+        "dt_large_sweep_ratio": headline["sweep_ratio"],
+        "target_sweep_ratio": _TARGET_RATIO,
+        "all_identical": all(row["identical_results"] for row in rows),
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+
+
+def test_fast_path_results_identical_and_dt_large_3x():
+    payload = run_report(quick=True)
+    assert payload["all_identical"]
+    assert payload["dt_large_sweep_ratio"] >= _TARGET_RATIO
+    write_bench_report("analysis", payload)
+
+
+# ----------------------------------------------------------------------
+# script entry point (CI bench smoke job)
+# ----------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="DT-large only (CI smoke)"
+    )
+    parser.add_argument(
+        "--out", help="directory for BENCH_analysis.json (or REPRO_BENCH_DIR)"
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_report(quick=args.quick)
+    path = write_bench_report("analysis", payload, out_dir=args.out)
+
+    print(f"{'suite':>10} | {'backend':>8} | {'sweeps':>11} | "
+          f"{'ratio':>6} | {'hits':>4} | identical")
+    print("-" * 64)
+    for row in payload["rows"]:
+        sweeps = f"{row['holistic_sweeps_cold']}->{row['holistic_sweeps_fast']}"
+        ratio = f"{row['sweep_ratio']:.2f}" if row["sweep_ratio"] else "n/a"
+        print(
+            f"{row['suite']:>10} | {row['backend']:>8} | {sweeps:>11} | "
+            f"{ratio:>6} | {row['cache_hits']:>4} | {row['identical_results']}"
+        )
+    if path is not None:
+        print(f"\nwrote {path}")
+
+    if not payload["all_identical"]:
+        print("FAIL: cache-on and cache-off results diverge", file=sys.stderr)
+        return 1
+    if payload["dt_large_sweep_ratio"] < _TARGET_RATIO:
+        print(
+            f"FAIL: DT-large sweep reduction "
+            f"{payload['dt_large_sweep_ratio']:.2f}x < {_TARGET_RATIO}x",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"\nDT-large holistic sweeps reduced "
+        f"{payload['dt_large_sweep_ratio']:.2f}x (target >= {_TARGET_RATIO}x)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,7 +21,9 @@ The package provides:
 * :mod:`repro.benchgen` — TGFF-style synthetic task-graph generation;
 * :mod:`repro.suites` — the Cruise, DT-med, DT-large and Synth benchmarks;
 * :mod:`repro.experiments` — harnesses regenerating every table and figure
-  of the paper's evaluation section.
+  of the paper's evaluation section;
+* :mod:`repro.api` — the stable facade (``load`` / ``analyze`` /
+  ``simulate`` / ``explore``), re-exported at the package top level.
 """
 
 from repro.errors import (
@@ -52,11 +54,15 @@ from repro.hardening import (
 )
 from repro.core import (
     AdhocAnalysis,
+    AnalysisMethod,
     DesignPoint,
     Evaluator,
+    FastPathConfig,
     MixedCriticalityAnalysis,
     NaiveAnalysis,
     PowerModel,
+    make_analysis,
+    make_backend,
 )
 from repro.sched import (
     FastWindowAnalysisBackend,
@@ -66,8 +72,15 @@ from repro.sched import (
     WindowAnalysisBackend,
 )
 from repro.dse import Explorer, ExplorerConfig
+from repro import api
+from repro.api import analyze, explore, load, simulate
 
 __all__ = [
+    "api",
+    "load",
+    "analyze",
+    "simulate",
+    "explore",
     "ReproError",
     "ModelError",
     "MappingError",
@@ -96,6 +109,10 @@ __all__ = [
     "MixedCriticalityAnalysis",
     "NaiveAnalysis",
     "AdhocAnalysis",
+    "AnalysisMethod",
+    "make_analysis",
+    "make_backend",
+    "FastPathConfig",
     "PowerModel",
     "Evaluator",
     "DesignPoint",

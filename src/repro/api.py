@@ -1,0 +1,226 @@
+"""Stable high-level facade over the toolkit.
+
+Scripts used to assemble every experiment from six deep modules (load a
+bundle, build a plan, harden, pick a back-end, wire an evaluator, ...).
+This module condenses the four everyday flows into one import::
+
+    import repro
+
+    bundle = repro.api.load("cruise.json")          # or a suite name
+    result = repro.api.analyze(bundle, dropped=("info", "log"))
+    sim = repro.api.simulate(bundle, profiles=500)
+    front = repro.api.explore(bundle, generations=25)
+
+Each function returns the *existing* result dataclasses —
+:class:`~repro.core.analysis.MCAnalysisResult`,
+:class:`~repro.sim.montecarlo.MonteCarloResult`,
+:class:`~repro.dse.results.ExplorationResult` — so code written against
+the deep modules keeps working and code written against the facade can
+drop down a layer when it needs to.
+
+``system`` arguments accept a :class:`~repro.model.serialization
+.SystemBundle`, a path to a system JSON file, or the name of a built-in
+benchmark suite (``cruise``, ``dt-med``, ``dt-large``, ``synth-1``,
+``synth-2``).
+"""
+
+from pathlib import Path
+from typing import Iterable, Optional, Tuple, Union
+
+from repro.core.analysis import MCAnalysisResult
+from repro.core.factory import make_analysis
+from repro.core.fastpath import FastPathConfig
+from repro.errors import ReproError
+from repro.hardening.spec import HardeningPlan
+from repro.hardening.transform import harden
+from repro.model.application import ApplicationSet
+from repro.model.mapping import Mapping
+from repro.model.serialization import SystemBundle, load_system
+from repro.sched.comm import CommModel
+from repro.sched.wcrt import SchedBackend
+
+__all__ = ["load", "analyze", "simulate", "explore", "validate_dropped"]
+
+SystemLike = Union[str, Path, SystemBundle]
+
+#: Accepted drop-set spellings: an iterable of names or one
+#: comma-separated string (the CLI's ``--dropped`` syntax).
+DroppedLike = Union[str, Iterable[str]]
+
+
+def load(source: SystemLike) -> SystemBundle:
+    """A system bundle from a JSON file, a suite name, or pass-through.
+
+    Built-in suite names resolve to a fresh benchmark instance (no
+    mapping, no plan — ``explore`` finds those); anything else is read as
+    a path written by :func:`repro.model.serialization.save_system`.
+    """
+    if isinstance(source, SystemBundle):
+        return source
+    from repro.suites import benchmark_names, get_benchmark
+
+    if isinstance(source, str) and source in benchmark_names():
+        benchmark = get_benchmark(source)
+        return SystemBundle(
+            applications=benchmark.problem.applications,
+            architecture=benchmark.problem.architecture,
+            mapping=None,
+            plan=None,
+        )
+    return load_system(source)
+
+
+def validate_dropped(
+    applications: ApplicationSet, dropped: DroppedLike
+) -> Tuple[str, ...]:
+    """Normalise a drop set and reject names missing from the task graphs.
+
+    Accepts an iterable of application names or one comma-separated
+    string; surrounding whitespace is stripped and empty entries are
+    discarded.  Raises :class:`~repro.errors.ReproError` listing *all*
+    unknown names, not just the first.
+    """
+    if isinstance(dropped, str):
+        dropped = dropped.split(",")
+    names = tuple(n.strip() for n in dropped if n and n.strip())
+    known = {graph.name for graph in applications.graphs}
+    unknown = sorted(set(names) - known)
+    if unknown:
+        raise ReproError(
+            f"unknown application(s) in drop set: {', '.join(unknown)}; "
+            f"known applications: {', '.join(sorted(known))}"
+        )
+    return names
+
+
+def analyze(
+    system: SystemLike,
+    *,
+    method: str = "proposed",
+    backend: Union[SchedBackend, str, None] = None,
+    granularity: str = "job",
+    dropped: DroppedLike = (),
+    plan: Optional[HardeningPlan] = None,
+    mapping: Optional[Mapping] = None,
+    policy: str = "fp",
+    bus_contention: bool = False,
+    comm: Optional[CommModel] = None,
+    fast_path: Union[FastPathConfig, bool, None] = None,
+) -> MCAnalysisResult:
+    """WCRT analysis of a mapped system (the CLI ``analyze`` flow).
+
+    ``plan``/``mapping`` default to the bundle's own; ``method`` is one
+    of ``proposed``/``naive``/``adhoc`` and ``backend`` one of
+    ``window``/``fast``/``holistic`` (or a back-end instance), both
+    routed through :func:`repro.core.factory.make_analysis`.
+    """
+    bundle = load(system)
+    mapping = mapping if mapping is not None else bundle.mapping
+    if mapping is None:
+        raise ReproError(
+            "system carries no mapping; pass mapping=... or run explore()"
+        )
+    plan = plan if plan is not None else (bundle.plan or HardeningPlan())
+    hardened = harden(bundle.applications, plan)
+    drop_set = validate_dropped(bundle.applications, dropped)
+    analysis = make_analysis(
+        method=method,
+        backend=backend,
+        granularity=granularity,
+        comm=comm,
+        policy=policy,
+        bus_contention=bus_contention,
+        fast_path=fast_path,
+    )
+    return analysis.analyze(hardened, bundle.architecture, mapping, drop_set)
+
+
+def simulate(
+    system: SystemLike,
+    *,
+    profiles: int = 500,
+    seed: int = 0,
+    dropped: DroppedLike = (),
+    plan: Optional[HardeningPlan] = None,
+    mapping: Optional[Mapping] = None,
+    policy: str = "fp",
+    max_faults: int = 3,
+    worst_bias: float = 0.5,
+):
+    """Monte-Carlo fault-injection campaign (the CLI ``simulate`` flow).
+
+    Returns the :class:`~repro.sim.montecarlo.MonteCarloResult` of a
+    WC-Sim estimator over ``profiles`` random fault profiles.
+    """
+    from repro.sim import BiasedSampler, MonteCarloEstimator, Simulator
+
+    bundle = load(system)
+    mapping = mapping if mapping is not None else bundle.mapping
+    if mapping is None:
+        raise ReproError(
+            "system carries no mapping; pass mapping=... or run explore()"
+        )
+    plan = plan if plan is not None else (bundle.plan or HardeningPlan())
+    hardened = harden(bundle.applications, plan)
+    drop_set = validate_dropped(bundle.applications, dropped)
+    simulator = Simulator(
+        hardened, bundle.architecture, mapping, dropped=drop_set, policy=policy
+    )
+    estimator = MonteCarloEstimator(
+        simulator, sampler=BiasedSampler(worst_bias), max_faults=max_faults
+    )
+    return estimator.estimate(profiles=profiles, seed=seed)
+
+
+def explore(
+    system: SystemLike,
+    *,
+    generations: int = 25,
+    population: int = 32,
+    seed: int = 0,
+    workers: int = 1,
+    backend: Union[SchedBackend, str, None] = None,
+    config=None,
+):
+    """GA design-space exploration (the CLI ``explore`` flow).
+
+    Returns the :class:`~repro.dse.results.ExplorationResult`.  Pass a
+    full :class:`~repro.dse.ga.ExplorerConfig` as ``config`` to override
+    more than the common knobs (it wins over the keyword shortcuts);
+    ``backend`` switches the evaluator's back-end (default: the
+    vectorised fast window analysis with the DSE fast path).
+    """
+    from repro.core.evaluator import Evaluator
+    from repro.core.problem import Problem
+    from repro.dse import Explorer, ExplorerConfig
+
+    bundle = load(system)
+    problem = Problem(
+        applications=bundle.applications, architecture=bundle.architecture
+    )
+    if config is None:
+        config = ExplorerConfig(
+            population_size=population,
+            offspring_size=population,
+            archive_size=population,
+            generations=generations,
+            seed=seed,
+            workers=workers,
+        )
+    evaluator = None
+    if backend is not None and backend != "fast":
+        evaluator = Evaluator(
+            problem,
+            analysis=make_analysis(
+                backend=backend,
+                granularity="task",
+                comm=problem.comm_model(),
+                fast_path=FastPathConfig.for_dse(),
+            ),
+        )
+    explorer = Explorer(problem, config, evaluator=evaluator)
+    try:
+        return explorer.run()
+    finally:
+        if explorer.quarantine is not None:
+            explorer.quarantine.close()

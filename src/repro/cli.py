@@ -28,12 +28,9 @@ import json
 import sys
 from pathlib import Path
 
+from repro.api import validate_dropped
 from repro.benchgen.tgff import generate_problem
-from repro.core import (
-    AdhocAnalysis,
-    MixedCriticalityAnalysis,
-    NaiveAnalysis,
-)
+from repro.core import FastPathConfig, make_analysis
 from repro.errors import ReproError
 from repro.hardening.spec import HardeningPlan
 from repro.hardening.transform import harden
@@ -69,34 +66,22 @@ def _load_mapped_system(args):
     else:
         plan = HardeningPlan()
     hardened = harden(bundle.applications, plan)
-    dropped = tuple(x for x in (args.dropped or "").split(",") if x)
+    dropped = validate_dropped(bundle.applications, args.dropped or "")
     return hardened, bundle.architecture, bundle.mapping, dropped
 
 
 def _cmd_analyze(args) -> int:
     hardened, architecture, mapping, dropped = _load_mapped_system(args)
-    if args.method == "proposed":
-        backend = None
-        if args.backend == "fast":
-            from repro.sched.fast import FastWindowAnalysisBackend
-
-            backend = FastWindowAnalysisBackend()
-        elif args.backend == "holistic":
-            from repro.sched.holistic import HolisticAnalysisBackend
-
-            backend = HolisticAnalysisBackend()
-        analysis = MixedCriticalityAnalysis(
-            backend=backend,
-            granularity=args.granularity,
-            policy=args.policy,
-            bus_contention=args.bus_contention,
-        )
-    elif args.method == "naive":
-        analysis = NaiveAnalysis(
-            policy=args.policy, bus_contention=args.bus_contention
-        )
-    else:
-        analysis = AdhocAnalysis(policy=args.policy)
+    analysis = make_analysis(
+        method=args.method,
+        backend=None if args.backend == "window" else args.backend,
+        granularity=args.granularity,
+        policy=args.policy,
+        bus_contention=args.bus_contention,
+        # Memoization + warm starts change no reported number (prune
+        # stays off), so the fast path is on unless explicitly disabled.
+        fast_path=None if args.no_fast_path else FastPathConfig(),
+    )
     result = analysis.analyze(hardened, architecture, mapping, dropped)
     print(f"{'application':>16} | {'wcrt':>10} | {'deadline':>9} | status")
     print("-" * 52)
@@ -169,20 +154,13 @@ def _cmd_explore(args) -> int:
     )
     evaluator = None
     if args.backend != "fast":
-        if args.backend == "holistic":
-            from repro.sched.holistic import HolisticAnalysisBackend
-
-            backend = HolisticAnalysisBackend()
-        else:
-            from repro.sched.wcrt import WindowAnalysisBackend
-
-            backend = WindowAnalysisBackend()
         evaluator = Evaluator(
             problem,
-            analysis=MixedCriticalityAnalysis(
-                backend=backend,
+            analysis=make_analysis(
+                backend=args.backend,
                 granularity="task",
                 comm=problem.comm_model(),
+                fast_path=FastPathConfig.for_dse(),
             ),
         )
     explorer = Explorer(problem, config, evaluator=evaluator)
@@ -231,7 +209,7 @@ def _cmd_margins(args) -> int:
     plan = bundle.plan or HardeningPlan()
     if args.plan:
         plan = HardeningPlan.from_dict(json.loads(Path(args.plan).read_text()))
-    dropped = tuple(x for x in (args.dropped or "").split(",") if x)
+    dropped = validate_dropped(bundle.applications, args.dropped or "")
 
     margins = deadline_margins(
         bundle.applications, plan, bundle.architecture, bundle.mapping, dropped
@@ -357,6 +335,11 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument(
         "--backend", choices=("window", "fast", "holistic"), default="window",
         help="schedulability back-end for the proposed analysis",
+    )
+    analyze.add_argument(
+        "--no-fast-path", action="store_true",
+        help="disable sched() memoization and warm-started fixed points "
+        "(results are identical either way)",
     )
     analyze.set_defaults(handler=_cmd_analyze)
 

@@ -25,6 +25,14 @@ from repro.core.analysis import (
 )
 from repro.core.naive import NaiveAnalysis
 from repro.core.adhoc import AdhocAnalysis
+from repro.core.factory import (
+    ANALYSIS_METHODS,
+    SCHED_BACKENDS,
+    AnalysisMethod,
+    make_analysis,
+    make_backend,
+)
+from repro.core.fastpath import FastPathConfig, ScheduleCache, TransitionPruner
 from repro.core.evaluator import EvaluationResult, Evaluator
 from repro.core.guard import GuardConfig, GuardedEvaluator, QuarantineLog
 from repro.core.sensitivity import (
@@ -43,6 +51,14 @@ __all__ = [
     "TransitionInfo",
     "NaiveAnalysis",
     "AdhocAnalysis",
+    "AnalysisMethod",
+    "ANALYSIS_METHODS",
+    "SCHED_BACKENDS",
+    "make_analysis",
+    "make_backend",
+    "FastPathConfig",
+    "ScheduleCache",
+    "TransitionPruner",
     "Evaluator",
     "EvaluationResult",
     "GuardConfig",

@@ -44,6 +44,7 @@ that trigger.
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
+from repro.core.fastpath import FastPathConfig, TransitionPruner
 from repro.errors import AnalysisError
 from repro.hardening.spec import HardeningKind
 from repro.hardening.transform import CriticalTrigger, HardenedSystem
@@ -111,6 +112,9 @@ class MCAnalysisResult:
     #: value of the paper's Algorithm 1, for every ``v_in`` at once).
     task_completion: Dict[str, float]
     granularity: str
+    #: Transitions skipped as dominated by an analyzed one (fast path
+    #: with pruning enabled only; always 0 otherwise).
+    transitions_pruned: int = 0
 
     @property
     def schedulable(self) -> bool:
@@ -154,6 +158,11 @@ class MixedCriticalityAnalysis:
     bus_contention:
         Model the shared bus as a priority-arbitrated resource (message
         jobs) instead of reserved bandwidth.
+    fast_path:
+        Optional :class:`~repro.core.fastpath.FastPathConfig` enabling
+        ``sched()`` memoization, warm-started fixed points, and dominated-
+        transition pruning.  ``None`` (default) preserves the historical
+        one-back-end-run-per-transition behavior exactly.
     """
 
     def __init__(
@@ -164,6 +173,7 @@ class MixedCriticalityAnalysis:
         zero_dropped_bcet: bool = False,
         policy: str = "fp",
         bus_contention: bool = False,
+        fast_path: Optional[FastPathConfig] = None,
     ):
         if granularity not in TRIGGER_GRANULARITIES:
             raise AnalysisError(
@@ -190,6 +200,7 @@ class MixedCriticalityAnalysis:
         # than its fault-free best case).  Set ``zero_dropped_bcet=True``
         # for the literal (more pessimistic) reading of the algorithm.
         self._zero_dropped_bcet = zero_dropped_bcet
+        self._fast_path = fast_path
 
     # ------------------------------------------------------------------
     # Public API
@@ -223,6 +234,12 @@ class MixedCriticalityAnalysis:
             for task in hardened.applications.all_tasks
         }
 
+        fast = self._fast_path
+        warm_seed = normal if fast is not None and fast.warm_start else None
+        pruner = (
+            TransitionPruner(base) if fast is not None and fast.prune else None
+        )
+        transitions_pruned = 0
         transitions: List[TransitionInfo] = []
         for trigger, instance, window in self._enumerate_transitions(
             hardened, base, normal
@@ -232,7 +249,7 @@ class MixedCriticalityAnalysis:
                 if instance is None
                 else f"{trigger.primary}@{instance}"
             )
-            bounds = self._analyze_transition(
+            overrides = self._transition_overrides(
                 hardened,
                 architecture,
                 mapping,
@@ -243,6 +260,12 @@ class MixedCriticalityAnalysis:
                 window,
                 dropped_set,
             )
+            if pruner is not None:
+                if pruner.is_dominated(overrides):
+                    transitions_pruned += 1
+                    continue
+                pruner.record(overrides)
+            bounds = self._sched(base.with_bounds(overrides), seed=warm_seed)
             transition_wcrt: Dict[str, float] = {}
             for graph in hardened.applications.graphs:
                 if graph.name in dropped_set:
@@ -280,6 +303,8 @@ class MixedCriticalityAnalysis:
                     )
                 )
         registry.counter("analysis.transitions").inc(len(transitions))
+        if pruner is not None:
+            registry.counter("analysis.prune.skipped").inc(transitions_pruned)
 
         verdicts = {
             graph.name: GraphVerdict(
@@ -297,19 +322,45 @@ class MixedCriticalityAnalysis:
             transitions=tuple(transitions),
             task_completion=task_completion,
             granularity=self._granularity,
+            transitions_pruned=transitions_pruned,
         )
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
 
-    def _sched(self, jobset: JobSet) -> ScheduleBounds:
-        """One ``sched()`` back-end invocation, with telemetry."""
+    def _sched(
+        self, jobset: JobSet, seed: Optional[ScheduleBounds] = None
+    ) -> ScheduleBounds:
+        """One ``sched()`` back-end invocation, with telemetry.
+
+        With a memoizing fast path, job sets whose canonical fingerprints
+        match a cached entry return the cached bounds without touching
+        the back-end (and without counting as an invocation — the
+        ``sched.sweeps``/``sched.invocations`` pairing stays exact).
+        """
         registry = metrics()
+        fast = self._fast_path
+        key: Optional[str] = None
+        if fast is not None and fast.memoize:
+            key = jobset.fingerprint()
+            cached = fast.cache.get(key)
+            if cached is not None:
+                registry.counter("analysis.cache.hits").inc()
+                return cached
+            registry.counter("analysis.cache.misses").inc()
         registry.counter("sched.invocations").inc()
         with registry.timer("sched.seconds").time():
-            bounds = self._backend.analyze(jobset)
+            if seed is not None and getattr(
+                self._backend, "supports_warm_start", False
+            ):
+                bounds = self._backend.analyze(jobset, seed=seed)
+            else:
+                bounds = self._backend.analyze(jobset)
         registry.histogram("sched.sweeps").observe(bounds.sweeps)
+        if key is not None:
+            fast.cache.put(key, bounds)
+            registry.gauge("analysis.cache.size").set(len(fast.cache))
         return bounds
 
     def _base_jobset(
@@ -366,7 +417,7 @@ class MixedCriticalityAnalysis:
                     ).max_finish
                     yield trigger, instance, (min_start, max_finish)
 
-    def _analyze_transition(
+    def _transition_overrides(
         self,
         hardened: HardenedSystem,
         architecture: Architecture,
@@ -377,8 +428,13 @@ class MixedCriticalityAnalysis:
         instance: Optional[int],
         window: Tuple[float, float],
         dropped_set: FrozenSet[str],
-    ) -> ScheduleBounds:
-        """One iteration of Algorithm 1's outer loop (lines 12–30)."""
+    ) -> Dict[JobId, Tuple[float, float]]:
+        """Bounds overrides of one outer-loop iteration (lines 12–30).
+
+        Building the override map separately from the ``sched()`` call
+        lets the fast path prune dominated transitions before paying for
+        the back-end run.
+        """
         min_start_v, max_finish_v = window
         overrides: Dict[JobId, Tuple[float, float]] = {}
 
@@ -410,8 +466,7 @@ class MixedCriticalityAnalysis:
                         0.0,
                         self._activated_wcet(hardened, architecture, mapping, task_name),
                     )
-        jobset = base.with_bounds(overrides)
-        return self._sched(jobset)
+        return overrides
 
     def _trigger_overrides(
         self,

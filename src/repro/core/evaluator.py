@@ -85,13 +85,17 @@ class Evaluator:
         if analysis is None:
             # DSE hot path: per-task trigger granularity (conservative,
             # one back-end run per hardened task) on the vectorised
-            # back-end.
+            # back-end, with the full fast path — GA candidates that
+            # decode to previously-seen job sets hit the memo cache, and
+            # dominated transitions are pruned before the back-end runs.
+            from repro.core.fastpath import FastPathConfig
             from repro.sched.fast import FastWindowAnalysisBackend
 
             analysis = MixedCriticalityAnalysis(
                 backend=FastWindowAnalysisBackend(),
                 granularity="task",
                 comm=problem.comm_model(),
+                fast_path=FastPathConfig.for_dse(),
             )
         self._analysis = analysis
         self._power = power_model or PowerModel(problem.architecture)

@@ -1,0 +1,130 @@
+"""A uniform way to build the three analysis methods.
+
+The paper's evaluation compares three analyses — the proposed Algorithm 1
+(:class:`~repro.core.analysis.MixedCriticalityAnalysis`), the ``Naive``
+static baseline, and the ``Adhoc`` worst-trace simulation — but their
+constructors drifted apart as options accumulated (granularity and
+fast-path knobs only make sense for Algorithm 1, back-end selection only
+for the analytical methods, and so on).  This module gives callers one
+front door:
+
+* :data:`AnalysisMethod` — the behavioural protocol every method
+  satisfies: ``analyze(hardened, architecture, mapping, dropped) ->
+  MCAnalysisResult``;
+* :func:`make_backend` — ``sched()`` back-end by name;
+* :func:`make_analysis` — analysis method by name, accepting the union
+  of the options and routing each to the methods that understand it.
+
+The CLI's ``--method``/``--backend`` flags and the :mod:`repro.api`
+facade both go through :func:`make_analysis`.
+"""
+
+from typing import Iterable, Optional, Protocol, Union, runtime_checkable
+
+from repro.core.adhoc import AdhocAnalysis
+from repro.core.analysis import MCAnalysisResult, MixedCriticalityAnalysis
+from repro.core.fastpath import FastPathConfig
+from repro.core.naive import NaiveAnalysis
+from repro.errors import AnalysisError
+from repro.hardening.transform import HardenedSystem
+from repro.model.architecture import Architecture
+from repro.model.mapping import Mapping
+from repro.sched.comm import CommModel
+from repro.sched.wcrt import SchedBackend, WindowAnalysisBackend
+
+__all__ = [
+    "ANALYSIS_METHODS",
+    "SCHED_BACKENDS",
+    "AnalysisMethod",
+    "make_analysis",
+    "make_backend",
+]
+
+#: Method names accepted by :func:`make_analysis`.
+ANALYSIS_METHODS = ("proposed", "naive", "adhoc")
+
+#: Back-end names accepted by :func:`make_backend`.
+SCHED_BACKENDS = ("window", "fast", "holistic")
+
+
+@runtime_checkable
+class AnalysisMethod(Protocol):
+    """What every analysis method exposes (duck-typed, checkable)."""
+
+    def analyze(
+        self,
+        hardened: HardenedSystem,
+        architecture: Architecture,
+        mapping: Mapping,
+        dropped: Iterable[str] = (),
+    ) -> MCAnalysisResult:
+        """Analyze a hardened, mapped system under a drop set."""
+        ...  # pragma: no cover - protocol stub
+
+
+def make_backend(name: str) -> SchedBackend:
+    """Instantiate a ``sched()`` back-end by registry name."""
+    if name == "window":
+        return WindowAnalysisBackend()
+    if name == "fast":
+        from repro.sched.fast import FastWindowAnalysisBackend
+
+        return FastWindowAnalysisBackend()
+    if name == "holistic":
+        from repro.sched.holistic import HolisticAnalysisBackend
+
+        return HolisticAnalysisBackend()
+    raise AnalysisError(
+        f"unknown sched backend {name!r}; available: {SCHED_BACKENDS}"
+    )
+
+
+def make_analysis(
+    method: str = "proposed",
+    backend: Union[SchedBackend, str, None] = None,
+    granularity: str = "job",
+    comm: Optional[CommModel] = None,
+    policy: str = "fp",
+    bus_contention: bool = False,
+    zero_dropped_bcet: bool = False,
+    fast_path: Union[FastPathConfig, bool, None] = None,
+) -> AnalysisMethod:
+    """Build an analysis method from the union of the options.
+
+    Options that a method has no use for are ignored, mirroring how the
+    CLI always carried the full flag set: ``naive`` runs one back-end
+    pass (no granularity, no fast path), ``adhoc`` simulates a single
+    trace (no back-end at all).
+
+    ``backend`` accepts an instance or one of :data:`SCHED_BACKENDS`;
+    ``fast_path`` accepts a config, ``True`` for the defaults, or
+    ``None``/``False`` for the historical cold path.
+    """
+    if method not in ANALYSIS_METHODS:
+        raise AnalysisError(
+            f"unknown analysis method {method!r}; available: {ANALYSIS_METHODS}"
+        )
+    if isinstance(backend, str):
+        backend = make_backend(backend)
+    if fast_path is True:
+        fast_path = FastPathConfig()
+    elif fast_path is False:
+        fast_path = None
+    if method == "proposed":
+        return MixedCriticalityAnalysis(
+            backend=backend,
+            granularity=granularity,
+            comm=comm,
+            zero_dropped_bcet=zero_dropped_bcet,
+            policy=policy,
+            bus_contention=bus_contention,
+            fast_path=fast_path,
+        )
+    if method == "naive":
+        return NaiveAnalysis(
+            backend=backend,
+            comm=comm,
+            policy=policy,
+            bus_contention=bus_contention,
+        )
+    return AdhocAnalysis(comm=comm, policy=policy)

@@ -1,0 +1,189 @@
+"""Fast-path machinery for Algorithm 1: memoization, warm starts, pruning.
+
+Algorithm 1 runs one ``sched()`` back-end invocation per normal-to-
+critical transition, and the DSE loop evaluates thousands of design
+points, each repeating the full enumeration.  Three observations make
+most of that work redundant:
+
+1. **Memoization** — many transitions induce *identical* ``[bcet, wcet]``
+   interval sets (e.g. re-executable triggers whose windows classify the
+   rest of the system the same way), and GA candidates frequently decode
+   to job sets already analyzed for an earlier candidate.  A bounded LRU
+   keyed on the canonical :meth:`~repro.sched.jobs.JobSet.fingerprint`
+   returns the cached :class:`~repro.sched.wcrt.ScheduleBounds` verbatim:
+   equal fingerprints mean the back-end would see byte-identical input.
+
+2. **Warm starts** — the holistic back-end's fixed point converges to the
+   *least* fixed point from any start below it.  The normal-state
+   solution is such a start for every transition run whose per-task WCETs
+   dominate it (transitions only widen execution bounds), so per-
+   transition iterations begin near their answer instead of from zero.
+   :class:`~repro.sched.holistic.HolisticAnalysisBackend` owns the
+   soundness check; this module only threads the seed through.
+
+3. **Pruning** — a transition whose per-job override intervals are all
+   *contained* in those of an already-analyzed transition cannot yield a
+   larger WCRT under any back-end that is monotone in (wcet up, bcet
+   down) — which both the window and holistic back-ends are.  Skipping it
+   changes no reported bound, verdict, or worst-transition label.
+
+All three are **opt-in**: :class:`MixedCriticalityAnalysis` takes
+``fast_path=None`` by default and behaves exactly as before.  The DSE
+evaluator opts in via :meth:`FastPathConfig.for_dse`.
+"""
+
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import AnalysisError
+from repro.sched.jobs import JobId, JobSet
+from repro.sched.wcrt import ScheduleBounds
+
+__all__ = ["FastPathConfig", "ScheduleCache", "TransitionPruner"]
+
+
+class ScheduleCache:
+    """A bounded, thread-safe LRU of ``fingerprint -> ScheduleBounds``.
+
+    One :class:`~repro.core.evaluator.Evaluator` (and hence one cache) is
+    shared by every worker thread of a parallel
+    :class:`~repro.dse.ga.Explorer`, so get/put take a lock.  Entries are
+    immutable analysis results; returning a shared instance is safe.
+    """
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise AnalysisError(f"cache capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, ScheduleBounds]" = OrderedDict()
+        #: Lifetime hit/miss tallies (also mirrored into the metrics
+        #: registry by the analysis layer).
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of retained results."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> Optional[ScheduleBounds]:
+        """The cached bounds for ``key``, refreshing its LRU position."""
+        with self._lock:
+            bounds = self._entries.get(key)
+            if bounds is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return bounds
+
+    def put(self, key: str, bounds: ScheduleBounds) -> None:
+        """Insert ``key``, evicting the least-recently-used entry."""
+        with self._lock:
+            self._entries[key] = bounds
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry (tallies are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+
+class TransitionPruner:
+    """Skips transitions dominated by an already-analyzed one.
+
+    Transition *B* is dominated by analyzed transition *A* when, for
+    every first-hyperperiod job, *A*'s effective ``[bcet, wcet]``
+    interval contains *B*'s (override if present, nominal base bounds
+    otherwise).  For a back-end monotone in (wcet up, bcet down), *A*'s
+    per-job ``max_finish`` then dominates *B*'s pointwise, so *B* can
+    never raise a graph WCRT, a task-completion bound, or become a
+    worst-transition label after *A* has been folded in.  Domination is
+    only checked against transitions analyzed *earlier in the same run*,
+    which preserves the fold order of Algorithm 1's outer loop exactly.
+    """
+
+    def __init__(self, base: JobSet):
+        self._nominal: Dict[JobId, Tuple[float, float]] = {
+            job.job_id: (job.bcet, job.wcet) for job in base.analyzed_jobs
+        }
+        self._analyzed: List[Dict[JobId, Tuple[float, float]]] = []
+
+    def is_dominated(self, overrides: Dict[JobId, Tuple[float, float]]) -> bool:
+        """Whether an analyzed transition's intervals cover ``overrides``."""
+        nominal = self._nominal
+        for accepted in self._analyzed:
+            dominated = True
+            for job_id in accepted.keys() | overrides.keys():
+                a_lo, a_hi = accepted.get(job_id) or nominal[job_id]
+                b_lo, b_hi = overrides.get(job_id) or nominal[job_id]
+                if a_lo > b_lo or a_hi < b_hi:
+                    dominated = False
+                    break
+            if dominated:
+                return True
+        return False
+
+    def record(self, overrides: Dict[JobId, Tuple[float, float]]) -> None:
+        """Register an analyzed transition as a future dominator."""
+        self._analyzed.append(dict(overrides))
+
+
+class FastPathConfig:
+    """Switchboard for the Algorithm-1 fast path.
+
+    Parameters
+    ----------
+    memoize:
+        Reuse :class:`~repro.sched.wcrt.ScheduleBounds` across ``sched()``
+        calls whose job sets have equal canonical fingerprints.
+    cache_size:
+        LRU capacity for the memoization cache.
+    warm_start:
+        Seed per-transition fixed points with the normal-state solution
+        on back-ends advertising ``supports_warm_start``.
+    prune:
+        Skip transitions dominated by an already-analyzed one.  Off by
+        default because it shrinks ``MCAnalysisResult.transitions`` (the
+        pruned count is reported in ``transitions_pruned``); results are
+        otherwise identical.
+
+    The cache object lives on the config, so sharing one config between
+    analyses (as the DSE evaluator does across GA candidates) shares the
+    memoized results.
+    """
+
+    def __init__(
+        self,
+        memoize: bool = True,
+        cache_size: int = 256,
+        warm_start: bool = True,
+        prune: bool = False,
+    ):
+        self.memoize = memoize
+        self.warm_start = warm_start
+        self.prune = prune
+        self.cache = ScheduleCache(cache_size)
+
+    @classmethod
+    def for_dse(cls, cache_size: int = 1024) -> "FastPathConfig":
+        """The profile used by the DSE inner loop: everything on.
+
+        Pruning is safe there because the evaluator consumes only
+        aggregate WCRTs and verdicts, never the per-transition listing.
+        """
+        return cls(memoize=True, cache_size=cache_size, warm_start=True, prune=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FastPathConfig(memoize={self.memoize}, "
+            f"cache_size={self.cache.capacity}, "
+            f"warm_start={self.warm_start}, prune={self.prune})"
+        )

@@ -8,6 +8,7 @@ structure of state changes (no re-execution or dropping can happen before
 the first fault), which is exactly the information Algorithm 1 exploits.
 """
 
+import warnings
 from typing import Dict, Iterable, Optional, Tuple
 
 from repro.core.analysis import GraphVerdict, MCAnalysisResult
@@ -37,7 +38,19 @@ class NaiveAnalysis:
         comm: Optional[CommModel] = None,
         policy: str = "fp",
         bus_contention: bool = False,
+        **legacy,
     ):
+        if legacy:
+            # Kwargs that only Algorithm 1 understands (granularity,
+            # fast_path, ...) used to raise here, encouraging per-method
+            # call sites; accept and ignore them so the methods stay
+            # interchangeable, but steer callers to the factory.
+            warnings.warn(
+                f"NaiveAnalysis ignores {sorted(legacy)}; build analysis "
+                f"methods via repro.core.make_analysis()",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self._backend: SchedBackend = backend or WindowAnalysisBackend()
         self._comm = comm
         self._policy = policy

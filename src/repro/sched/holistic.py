@@ -23,7 +23,7 @@ implicit task releases at the graph release plus predecessor jitter.
 """
 
 import math
-from typing import Dict
+from typing import Dict, Optional, Tuple
 
 from repro.errors import AnalysisError
 from repro.obs.metrics import metrics
@@ -42,9 +42,29 @@ class HolisticAnalysisBackend:
     precedence) are recovered from the first-hyperperiod jobs, response
     times computed task-wise, and the resulting bounds replicated onto
     every job instance.
+
+    ``analyze`` optionally accepts *seed* bounds from an earlier run on a
+    structurally identical job set (same tasks, processors, periods,
+    priority ranks, and precedence edges).  When the new per-task WCETs
+    dominate the seed's, the seed's ``(jitter, response)`` solution lies
+    at or below the new least fixed point, so iteration may start there
+    instead of from zero and still converge to the *same* answer — the
+    fixed-point operator is monotone and every update only grows values.
+    This is exactly the shape of Algorithm 1's transition runs, which
+    re-analyze the normal-state job set with widened execution bounds.
+    Incompatible seeds are rejected (counted, never unsound).
     """
 
-    def analyze(self, jobset: JobSet) -> ScheduleBounds:
+    #: Advertises the optional ``seed=`` keyword to the analysis layer.
+    supports_warm_start = True
+
+    def __init__(self, warm_start: bool = True):
+        #: Master switch; ``seed`` arguments are ignored when ``False``.
+        self._warm_start = warm_start
+
+    def analyze(
+        self, jobset: JobSet, seed: Optional[ScheduleBounds] = None
+    ) -> ScheduleBounds:
         """Compute safe per-job bounds via task-level holistic analysis."""
         tasks = self._task_view(jobset)
 
@@ -72,10 +92,26 @@ class HolisticAnalysisBackend:
             info["wcet"] for info in tasks.values()
         )
         self._cap = cap
+        signature = self._signature(tasks)
+        registry = metrics()
         jitter: Dict[str, float] = {name: 0.0 for name in tasks}
         response: Dict[str, float] = {
             name: info["wcet"] for name, info in tasks.items()
         }
+        seeded = False
+        if seed is not None and self._warm_start:
+            state = getattr(seed, "holistic_state", None)
+            if state is not None and self._seed_compatible(state, signature, tasks):
+                # The seed solved a structurally identical system with
+                # pointwise-smaller WCETs: its fixed point is a sound
+                # starting guess below the new least fixed point.
+                for name in tasks:
+                    jitter[name] = state["jitter"][name]
+                    response[name] = max(response[name], state["response"][name])
+                seeded = True
+                registry.counter("analysis.warmstart.seeded").inc()
+            else:
+                registry.counter("analysis.warmstart.rejected").inc()
         for _round in range(_MAX_ROUNDS):
             changed = False
             for name, info in tasks.items():
@@ -99,10 +135,11 @@ class HolisticAnalysisBackend:
         else:
             raise AnalysisError("holistic analysis did not converge")
 
-        registry = metrics()
         registry.counter("sched.holistic.invocations").inc()
         registry.counter("sched.holistic.sweeps_total").inc(_round + 1)
         registry.histogram("sched.holistic.sweeps").observe(_round + 1)
+        if seeded:
+            registry.histogram("analysis.warmstart.sweeps").observe(_round + 1)
 
         # Project task-level results onto jobs: finish <= release +
         # jitter (latest effective release offset) + response.
@@ -111,14 +148,59 @@ class HolisticAnalysisBackend:
             name = job.task_name
             max_finish[job.index] = job.release + jitter[name] + response[name]
         max_start = [max_finish[i] - jobs[i].wcet for i in range(count)]
-        return ScheduleBounds(
+        bounds = ScheduleBounds(
             jobset, min_start, min_finish, max_start, max_finish,
             converged=True, sweeps=_round + 1,
         )
+        # Carry the solved fixed point so a later run on a widened system
+        # can warm-start from it.
+        bounds.holistic_state = {
+            "signature": signature,
+            "wcet": {name: info["wcet"] for name, info in tasks.items()},
+            "jitter": dict(jitter),
+            "response": dict(response),
+        }
+        return bounds
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+
+    @staticmethod
+    def _signature(tasks: Dict[str, dict]) -> Tuple:
+        """Everything the fixed point depends on except the WCETs."""
+        return tuple(
+            sorted(
+                (
+                    name,
+                    info["processor"],
+                    info["period"],
+                    info["rank"],
+                    tuple(info["preds"]),
+                )
+                for name, info in tasks.items()
+            )
+        )
+
+    @staticmethod
+    def _seed_compatible(
+        state: dict, signature: Tuple, tasks: Dict[str, dict]
+    ) -> bool:
+        """Whether a seed's fixed point lies below the new one.
+
+        Requires an identical structure (tasks, processors, periods,
+        priority ranks, precedence edges with latencies) and per-task
+        WCET domination — the monotone operator then maps the seed to a
+        value still below the new least fixed point, so iteration from
+        it converges to exactly the cold-start answer.
+        """
+        if state.get("signature") != signature:
+            return False
+        seed_wcet = state["wcet"]
+        return all(
+            info["wcet"] >= seed_wcet[name] - 1e-12
+            for name, info in tasks.items()
+        )
 
     def _task_view(self, jobset: JobSet) -> Dict[str, dict]:
         """Recover per-task parameters from the job set.

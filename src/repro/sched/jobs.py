@@ -12,6 +12,8 @@ execution-time bounds, even when Algorithm 1 explores a critical-state
 transition in the first hyperperiod.
 """
 
+import hashlib
+import struct
 from dataclasses import dataclass, replace
 from typing import Dict, List, Mapping as TMapping, Optional, Sequence, Set, Tuple
 
@@ -97,6 +99,9 @@ class JobSet:
         self._by_task: Dict[str, List[int]] = {}
         for job in self._jobs:
             self._by_task.setdefault(job.task_name, []).append(job.index)
+        #: Lazily computed digest of everything except execution-time
+        #: bounds; shared by :meth:`with_bounds` clones.
+        self._structure_digest: Optional[bytes] = None
         # Same-processor, higher-priority job indices, precomputed for the
         # interference iteration.
         by_pe: Dict[str, List[int]] = {}
@@ -275,6 +280,64 @@ class JobSet:
         return self._higher_priority[job_index]
 
     # ------------------------------------------------------------------
+    # Canonical identity
+    # ------------------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Canonical digest of the analysis input.
+
+        Two job sets with equal fingerprints are indistinguishable to any
+        :class:`~repro.sched.wcrt.SchedBackend`: same jobs (names, graph
+        membership, releases, deadlines, processors, priorities, flags),
+        same precedence edges with the same channel latencies, same
+        iteration order, and same per-job ``[bcet, wcet]`` bounds — so a
+        :class:`~repro.sched.wcrt.ScheduleBounds` computed for one is
+        valid verbatim for the other.  Floats enter the digest via their
+        exact hex encoding; no rounding is involved.
+
+        The structural part (everything except the execution-time bounds)
+        is hashed once and shared across :meth:`with_bounds` clones, so a
+        fingerprint costs one pass over the bcet/wcet vectors on the
+        Algorithm-1 hot path.
+        """
+        digest = hashlib.sha256(self._structure())
+        pack = struct.pack
+        for job in self._jobs:
+            digest.update(pack("<dd", job.bcet, job.wcet))
+        return digest.hexdigest()
+
+    def _structure(self) -> bytes:
+        if self._structure_digest is None:
+            parts: List[str] = [
+                repr((self._hyperperiod.hex(), self._hyperperiods)),
+                repr(self._topo_order),
+            ]
+            for job in self._jobs:
+                parts.append(
+                    repr(
+                        (
+                            job.task_name,
+                            job.graph_name,
+                            job.instance,
+                            job.release.hex(),
+                            job.abs_deadline.hex(),
+                            job.processor,
+                            job.priority,
+                            job.analyzed,
+                            job.droppable,
+                            tuple(
+                                (pred, best.hex(), worst.hex(), on_demand)
+                                for pred, best, worst, on_demand in job.preds
+                            ),
+                        )
+                    )
+                )
+            self._structure_digest = hashlib.sha256(
+                "\n".join(parts).encode("utf-8")
+            ).digest()
+        return self._structure_digest
+
+    # ------------------------------------------------------------------
     # Derivation
     # ------------------------------------------------------------------
 
@@ -314,6 +377,7 @@ class JobSet:
         clone._higher_priority = self._higher_priority
         clone._batches = self._batches
         clone._ancestors = self._ancestors
+        clone._structure_digest = self._structure_digest
         return clone
 
 

@@ -1,0 +1,246 @@
+"""Fast-path correctness: memoization, warm starts, dominated-transition
+pruning, and the canonical job-set fingerprint.
+
+The load-bearing property: every fast-path combination returns results
+*identical* to a cold run — not approximately equal, byte-identical —
+across the built-in suites and random TGFF systems.
+"""
+
+import random
+
+import pytest
+
+from repro.benchgen.tgff import generate_problem
+from repro.core import (
+    FastPathConfig,
+    MixedCriticalityAnalysis,
+    ScheduleCache,
+    TransitionPruner,
+)
+from repro.dse.chromosome import heuristic_chromosome
+from repro.errors import AnalysisError
+from repro.hardening.transform import harden
+from repro.obs.metrics import metrics
+from repro.sched.holistic import HolisticAnalysisBackend
+from repro.sched.wcrt import ScheduleBounds, WindowAnalysisBackend
+from repro.suites import benchmark_names, get_benchmark
+
+
+def _suite_case(name):
+    problem = get_benchmark(name).problem
+    design = heuristic_chromosome(problem, random.Random(3)).decode(problem)
+    return problem, design, harden(problem.applications, design.plan)
+
+
+def _tgff_case(seed):
+    problem = generate_problem(
+        seed=seed, critical_graphs=2, droppable_graphs=2, processors=3
+    )
+    design = heuristic_chromosome(problem, random.Random(seed)).decode(problem)
+    return problem, design, harden(problem.applications, design.plan)
+
+
+def _analyze(problem, design, hardened, backend, fast_path):
+    analysis = MixedCriticalityAnalysis(
+        backend=backend,
+        granularity="task",
+        comm=problem.comm_model(),
+        fast_path=fast_path,
+    )
+    return analysis.analyze(
+        hardened, problem.architecture, design.mapping, design.dropped
+    )
+
+
+class TestColdFastEquivalence:
+    """Memoization + warm start must be invisible in the results."""
+
+    @pytest.mark.parametrize("suite", benchmark_names())
+    @pytest.mark.parametrize(
+        "backend_factory", [WindowAnalysisBackend, HolisticAnalysisBackend]
+    )
+    def test_suites_identical(self, suite, backend_factory):
+        problem, design, hardened = _suite_case(suite)
+        cold = _analyze(problem, design, hardened, backend_factory(), None)
+        fast = _analyze(
+            problem, design, hardened, backend_factory(), FastPathConfig()
+        )
+        assert cold == fast  # full dataclass equality, transitions included
+
+    @pytest.mark.parametrize("seed", [1, 17, 91])
+    def test_random_tgff_identical(self, seed):
+        problem, design, hardened = _tgff_case(seed)
+        for backend_factory in (WindowAnalysisBackend, HolisticAnalysisBackend):
+            cold = _analyze(problem, design, hardened, backend_factory(), None)
+            fast = _analyze(
+                problem, design, hardened, backend_factory(), FastPathConfig()
+            )
+            assert cold == fast
+
+    @pytest.mark.parametrize("suite", benchmark_names())
+    def test_pruning_preserves_reported_bounds(self, suite):
+        problem, design, hardened = _suite_case(suite)
+        cold = _analyze(problem, design, hardened, WindowAnalysisBackend(), None)
+        pruned = _analyze(
+            problem, design, hardened, WindowAnalysisBackend(),
+            FastPathConfig.for_dse(),
+        )
+        assert pruned.verdicts == cold.verdicts
+        assert pruned.task_completion == cold.task_completion
+        assert (
+            pruned.transitions_analyzed + pruned.transitions_pruned
+            == cold.transitions_analyzed
+        )
+
+    def test_shared_cache_across_analyze_calls(self, hardened, architecture, mapping):
+        fast_path = FastPathConfig()
+        analysis = MixedCriticalityAnalysis(
+            granularity="task", fast_path=fast_path
+        )
+        registry = metrics()
+        registry.reset()
+        first = analysis.analyze(hardened, architecture, mapping)
+        invocations = registry.counter("sched.invocations").value
+        assert invocations > 0
+        second = analysis.analyze(hardened, architecture, mapping)
+        # Every sched() of the repeat run is served from the cache.
+        assert registry.counter("sched.invocations").value == invocations
+        assert first == second
+
+    def test_sweep_invocation_pairing_survives_cache_hits(
+        self, hardened, architecture, mapping
+    ):
+        registry = metrics()
+        registry.reset()
+        analysis = MixedCriticalityAnalysis(
+            granularity="task", fast_path=FastPathConfig()
+        )
+        analysis.analyze(hardened, architecture, mapping)
+        analysis.analyze(hardened, architecture, mapping)
+        snap = registry.snapshot()
+        assert (
+            snap["histograms"]["sched.sweeps"]["count"]
+            == snap["counters"]["sched.invocations"]
+        )
+
+
+class TestFingerprint:
+    def test_equal_for_identical_builds(self, hardened, architecture, mapping):
+        analysis = MixedCriticalityAnalysis()
+        a = analysis._base_jobset(hardened, architecture, mapping)
+        b = analysis._base_jobset(hardened, architecture, mapping)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_bounds_override_changes_fingerprint(
+        self, hardened, architecture, mapping
+    ):
+        analysis = MixedCriticalityAnalysis()
+        base = analysis._base_jobset(hardened, architecture, mapping)
+        job = base.analyzed_jobs[0]
+        widened = base.with_bounds({job.job_id: (job.bcet, job.wcet + 1.0)})
+        assert widened.fingerprint() != base.fingerprint()
+        # ... and an identity override fingerprints back to the original.
+        same = base.with_bounds({job.job_id: (job.bcet, job.wcet)})
+        assert same.fingerprint() == base.fingerprint()
+
+
+class TestScheduleCache:
+    def _bounds(self):
+        return object()  # the cache never inspects its values
+
+    def test_lru_eviction(self):
+        cache = ScheduleCache(capacity=2)
+        a, b, c = self._bounds(), self._bounds(), self._bounds()
+        cache.put("a", a)
+        cache.put("b", b)
+        assert cache.get("a") is a  # refreshes "a"
+        cache.put("c", c)  # evicts "b", the least recently used
+        assert cache.get("b") is None
+        assert cache.get("a") is a
+        assert cache.get("c") is c
+        assert len(cache) == 2
+
+    def test_hit_miss_tallies(self):
+        cache = ScheduleCache(capacity=4)
+        cache.put("k", self._bounds())
+        cache.get("k")
+        cache.get("absent")
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_rejects_degenerate_capacity(self):
+        with pytest.raises(AnalysisError):
+            ScheduleCache(capacity=0)
+
+
+class TestWarmStart:
+    def test_incompatible_seed_is_rejected(self, hardened, architecture, mapping):
+        """A seed from a *different* structure falls back to a cold start."""
+        registry = metrics()
+        registry.reset()
+        analysis = MixedCriticalityAnalysis(backend=HolisticAnalysisBackend())
+        base = analysis._base_jobset(hardened, architecture, mapping)
+        backend = HolisticAnalysisBackend()
+        cold = backend.analyze(base)
+
+        bogus_state = dict(cold.holistic_state)
+        bogus_state["signature"] = ("something", "else")
+        seed = ScheduleBounds(
+            base,
+            list(cold._min_start),
+            list(cold._min_finish),
+            list(cold._max_start),
+            list(cold._max_finish),
+            converged=True,
+            sweeps=cold.sweeps,
+        )
+        seed.holistic_state = bogus_state
+        reanalyzed = backend.analyze(base, seed=seed)
+        assert registry.counter("analysis.warmstart.rejected").value == 1
+        assert reanalyzed.holistic_state["response"] == cold.holistic_state["response"]
+
+    def test_wcet_shrink_rejects_seed(self, hardened, architecture, mapping):
+        """Seeds above the new fixed point would be unsound: rejected."""
+        registry = metrics()
+        registry.reset()
+        backend = HolisticAnalysisBackend()
+        analysis = MixedCriticalityAnalysis(backend=HolisticAnalysisBackend())
+        base = analysis._base_jobset(hardened, architecture, mapping)
+        job = base.analyzed_jobs[0]
+        widened = base.with_bounds({job.job_id: (job.bcet, job.wcet + 5.0)})
+        seed = backend.analyze(widened)
+        narrow = backend.analyze(base, seed=seed)
+        assert registry.counter("analysis.warmstart.rejected").value == 1
+        assert narrow.holistic_state == backend.analyze(base).holistic_state
+
+    def test_seeded_run_matches_cold(self, hardened, architecture, mapping):
+        backend = HolisticAnalysisBackend()
+        analysis = MixedCriticalityAnalysis(backend=HolisticAnalysisBackend())
+        base = analysis._base_jobset(hardened, architecture, mapping)
+        normal = backend.analyze(base)
+        job = base.analyzed_jobs[0]
+        widened = base.with_bounds({job.job_id: (job.bcet, job.wcet * 2.0)})
+        warm = backend.analyze(widened, seed=normal)
+        cold = HolisticAnalysisBackend().analyze(widened)
+        assert warm.holistic_state["response"] == cold.holistic_state["response"]
+        assert warm.holistic_state["jitter"] == cold.holistic_state["jitter"]
+        assert warm.sweeps <= cold.sweeps
+
+
+class TestTransitionPruner:
+    def test_containment_domination(self, hardened, architecture, mapping):
+        analysis = MixedCriticalityAnalysis()
+        base = analysis._base_jobset(hardened, architecture, mapping)
+        pruner = TransitionPruner(base)
+        job_a, job_b = base.analyzed_jobs[0], base.analyzed_jobs[1]
+        wide = {job_a.job_id: (0.0, job_a.wcet + 10.0)}
+        narrow = {job_a.job_id: (job_a.bcet, job_a.wcet + 1.0)}
+        sideways = {job_b.job_id: (0.0, job_b.wcet + 1.0)}
+
+        assert not pruner.is_dominated(wide)
+        pruner.record(wide)
+        assert pruner.is_dominated(narrow)
+        # Nominal-bounds transition (empty override) is always covered.
+        assert pruner.is_dominated({})
+        # An override on a job the recorded transition left nominal is not.
+        assert not pruner.is_dominated(sideways)
