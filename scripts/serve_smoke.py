@@ -1,0 +1,234 @@
+"""End-to-end smoke test of `repro serve` (used by the serve-smoke CI job).
+
+Drives a real server subprocess through the full surface:
+
+1. health + metrics endpoints;
+2. served analyze byte-identical to `repro.api.analyze` on every
+   built-in suite;
+3. a 100-request concurrent mixed load (analyze/simulate, with
+   duplicates): zero errors, dedup hits observed, queue depth bounded;
+4. explore job lifecycle: submit, poll, cancel;
+5. SIGKILL the server mid-exploration, restart it on the same state
+   dir, and assert the job resumes from its checkpoint and finishes
+   with the same Pareto front as an uninterrupted run.
+
+Run from the repository root:
+
+    PYTHONPATH=src python scripts/serve_smoke.py
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.api import analyze, load  # noqa: E402
+from repro.model.mapping import Mapping  # noqa: E402
+from repro.model.serialization import SystemBundle  # noqa: E402
+from repro.serve.client import ServeClient, ServeError  # noqa: E402
+from repro.serve.encoding import (  # noqa: E402
+    analysis_result_to_dict,
+    bundle_to_payload,
+    canonical_bytes,
+)
+from repro.suites import benchmark_names  # noqa: E402
+
+QUEUE_SIZE = 64
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def start_server(port: int, state_dir: str) -> subprocess.Popen:
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", str(port),
+            "--state-dir", state_dir,
+            "--workers", "4",
+            "--queue-size", str(QUEUE_SIZE),
+        ],
+        env={**os.environ, "PYTHONPATH": "src"},
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    client = ServeClient(f"http://127.0.0.1:{port}", timeout=300.0)
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        try:
+            client.healthz()
+            return process
+        except ServeError:
+            if process.poll() is not None:
+                raise SystemExit("server process died during startup")
+            time.sleep(0.2)
+    raise SystemExit("server did not become healthy in 30s")
+
+
+def mapped_suite(name: str) -> SystemBundle:
+    bundle = load(name)
+    processors = [p.name for p in bundle.architecture.processors]
+    tasks = [
+        task.name
+        for graph in bundle.applications.graphs
+        for task in graph.tasks
+    ]
+    mapping = Mapping(
+        {task: processors[i % len(processors)] for i, task in enumerate(tasks)}
+    )
+    return SystemBundle(bundle.applications, bundle.architecture, mapping, None)
+
+
+def check_byte_identity(client: ServeClient) -> None:
+    for name in benchmark_names():
+        mapped = mapped_suite(name)
+        served = client.analyze_raw(mapped)
+        direct = canonical_bytes(analysis_result_to_dict(analyze(mapped)))
+        assert served == direct, f"served {name} differs from repro.api.analyze"
+    print(f"ok: byte-identical to the facade on {len(benchmark_names())} suites")
+
+
+def check_load(client: ServeClient) -> None:
+    cruise = bundle_to_payload(mapped_suite("cruise"))
+    dt_med = bundle_to_payload(mapped_suite("dt-med"))
+
+    def one(i: int):
+        kind = i % 4
+        if kind == 0:
+            # Identical requests: must coalesce through the dedup layer.
+            return client.analyze_raw(cruise)
+        if kind == 1:
+            return client.analyze_raw(cruise, dropped=["info", "log"])
+        if kind == 2:
+            return client.analyze_raw(dt_med)
+        return client.simulate(cruise, profiles=5, seed=i % 3)
+
+    errors = []
+    max_depth = 0
+
+    def guarded(i: int):
+        try:
+            return one(i)
+        except Exception as error:  # noqa: BLE001 — tallied below
+            errors.append(f"request {i}: {type(error).__name__}: {error}")
+            return None
+
+    with ThreadPoolExecutor(max_workers=32) as executor:
+        futures = [executor.submit(guarded, i) for i in range(100)]
+        while not all(f.done() for f in futures):
+            max_depth = max(max_depth, client.healthz()["queue_depth"])
+            time.sleep(0.02)
+        results = [f.result() for f in futures]
+
+    assert not errors, "load errors:\n" + "\n".join(errors[:10])
+    assert all(r is not None for r in results)
+    # Identical requests returned identical bytes.
+    group = [r for i, r in enumerate(results) if i % 4 == 0]
+    assert all(r == group[0] for r in group), "deduped responses differ"
+    report = client.metrics()
+    dedup = report["metrics"]["counters"].get("serve.dedup.hits", 0)
+    assert dedup > 0, "no dedup hits under concurrent identical load"
+    assert max_depth <= QUEUE_SIZE, f"queue depth {max_depth} exceeded bound"
+    cache = report["schedule_cache"]
+    print(
+        f"ok: 100 concurrent requests, 0 errors, dedup hits {dedup}, "
+        f"max queue depth {max_depth}, cache hit rate "
+        f"{cache['hit_rate']:.2f}"
+    )
+
+
+def check_job_cancel(client: ServeClient) -> None:
+    mapped = bundle_to_payload(mapped_suite("cruise"))
+    stub = client.explore(mapped, generations=500, population=16, seed=2)
+    record = client.cancel(stub["id"])
+    assert record["cancel_requested"] is True
+    final = client.wait_job(stub["id"], timeout=120.0)
+    assert final["status"] == "cancelled", final["status"]
+    print("ok: explore job cancelled cooperatively")
+
+
+def check_kill_resume(port: int, state_dir: str, process: subprocess.Popen):
+    client = ServeClient(f"http://127.0.0.1:{port}", timeout=300.0)
+    mapped = bundle_to_payload(mapped_suite("cruise"))
+    params = dict(generations=40, population=16, seed=7, checkpoint_every=2)
+    stub = client.explore(mapped, **params)
+    job_id = stub["id"]
+
+    # Wait for a committed checkpoint, then kill without ceremony.
+    ckpt_dir = Path(state_dir) / job_id / "ckpt"
+    deadline = time.monotonic() + 120.0
+    while not list(ckpt_dir.glob("checkpoint-*.json")):
+        assert time.monotonic() < deadline, "no checkpoint appeared"
+        time.sleep(0.1)
+    os.kill(process.pid, signal.SIGKILL)
+    process.wait()
+    record = json.loads((Path(state_dir) / job_id / "job.json").read_text())
+    assert record["status"] in ("pending", "running"), record["status"]
+    print(f"ok: killed mid-explore (job {job_id} was {record['status']})")
+
+    process = start_server(port, state_dir)
+    try:
+        final = client.wait_job(job_id, timeout=300.0)
+        assert final["status"] == "done", final
+        assert final["restarts"] >= 1, "job did not go through recovery"
+        front = [
+            (p["power"], p["service"], tuple(p["dropped"]))
+            for p in final["result"]["pareto"]
+        ]
+        import repro
+
+        source = mapped_suite("cruise")
+        reference = repro.explore(
+            source,
+            generations=params["generations"],
+            population=params["population"],
+            seed=params["seed"],
+        )
+        expected = [
+            (p.power, p.service, tuple(p.dropped)) for p in reference.pareto
+        ]
+        assert front == expected, "resumed front differs from reference"
+        print(
+            f"ok: job resumed after SIGKILL and matches the uninterrupted "
+            f"run ({len(front)} Pareto points)"
+        )
+    finally:
+        process.terminate()
+        process.wait(timeout=10)
+
+
+def main() -> int:
+    port = free_port()
+    state_dir = tempfile.mkdtemp(prefix="repro-serve-smoke-")
+    process = start_server(port, state_dir)
+    client = ServeClient(f"http://127.0.0.1:{port}", timeout=300.0)
+    try:
+        health = client.healthz()
+        assert health["status"] == "ok"
+        print(f"ok: healthy on port {port}")
+        check_byte_identity(client)
+        check_load(client)
+        check_job_cancel(client)
+    except Exception:
+        process.terminate()
+        process.wait(timeout=10)
+        raise
+    # check_kill_resume kills and restarts the server itself.
+    check_kill_resume(port, state_dir, process)
+    print("serve smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

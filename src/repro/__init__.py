@@ -73,7 +73,7 @@ from repro.sched import (
 )
 from repro.dse import Explorer, ExplorerConfig
 from repro import api
-from repro.api import analyze, explore, load, simulate
+from repro.api import analyze, cache_clear, cache_stats, explore, load, simulate
 
 __all__ = [
     "api",
@@ -81,6 +81,8 @@ __all__ = [
     "analyze",
     "simulate",
     "explore",
+    "cache_stats",
+    "cache_clear",
     "ReproError",
     "ModelError",
     "MappingError",

@@ -39,7 +39,15 @@ from repro.model.serialization import SystemBundle, load_system
 from repro.sched.comm import CommModel
 from repro.sched.wcrt import SchedBackend
 
-__all__ = ["load", "analyze", "simulate", "explore", "validate_dropped"]
+__all__ = [
+    "load",
+    "analyze",
+    "simulate",
+    "explore",
+    "validate_dropped",
+    "cache_stats",
+    "cache_clear",
+]
 
 SystemLike = Union[str, Path, SystemBundle]
 
@@ -91,6 +99,30 @@ def validate_dropped(
             f"known applications: {', '.join(sorted(known))}"
         )
     return names
+
+
+def cache_stats() -> dict:
+    """Hit/miss/occupancy statistics of the process-wide schedule cache.
+
+    The cache is the :func:`repro.core.fastpath.shared_cache` LRU used by
+    every analysis running with :meth:`FastPathConfig.shared` (the serving
+    layer's default).  Analyses with a private cache (the CLI default, the
+    DSE evaluator) do not show up here.
+    """
+    from repro.core.fastpath import shared_cache
+
+    return shared_cache().stats()
+
+
+def cache_clear() -> None:
+    """Drop every entry of the process-wide schedule cache.
+
+    Hit/miss tallies are kept (they are lifetime counters); only the
+    memoized :class:`~repro.sched.wcrt.ScheduleBounds` entries go.
+    """
+    from repro.core.fastpath import shared_cache
+
+    shared_cache().clear()
 
 
 def analyze(

@@ -8,7 +8,9 @@ Operates on JSON system files (written by
 * ``explore``  — GA design-space exploration, optionally saving the
   Pareto-optimal design points;
 * ``export``   — write a built-in benchmark suite to a system file;
-* ``generate`` — write a random TGFF-style system to a file.
+* ``generate`` — write a random TGFF-style system to a file;
+* ``serve``    — run the JSON-over-HTTP analysis/exploration service;
+* ``submit``   — send a request to a running ``repro serve`` instance.
 
 Examples::
 
@@ -276,6 +278,159 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import time
+
+    from repro.serve.app import ReproServer, ServeConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_size=args.queue_size,
+        max_batch=args.max_batch,
+        batch_window_seconds=args.batch_window_ms / 1000.0,
+        state_dir=args.state_dir,
+        job_workers=args.job_workers,
+        cache_capacity=args.cache_size,
+    )
+    server = ReproServer(config)
+    server.start()
+    print(f"serving on {server.url}", file=sys.stderr)
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+def _submit_system(spec: str):
+    """A ``repro submit`` system argument as the request's system field.
+
+    A readable local file is inlined (self-contained request); anything
+    else passes through as a suite name or server-local path.
+    """
+    path = Path(spec)
+    if path.is_file():
+        return json.loads(path.read_text())
+    return spec
+
+
+def _submit_client(args):
+    from repro.serve.client import ServeClient
+
+    return ServeClient(args.server, timeout=args.timeout)
+
+
+def _cmd_submit_analyze(args) -> int:
+    client = _submit_client(args)
+    params = {
+        "granularity": args.granularity,
+        "policy": args.policy,
+        "bus_contention": args.bus_contention,
+        "method": args.method,
+    }
+    if args.backend != "window":
+        params["backend"] = args.backend
+    if args.dropped:
+        params["dropped"] = args.dropped
+    if args.deadline is not None:
+        params["deadline_seconds"] = args.deadline
+    result = client.analyze(_submit_system(args.system), **params)
+    print(f"{'application':>16} | {'wcrt':>10} | {'deadline':>9} | status")
+    print("-" * 52)
+    for name, verdict in sorted(result["verdicts"].items()):
+        status = "dropped" if verdict["dropped"] else (
+            "ok" if verdict["meets_deadline"] else "MISS"
+        )
+        print(
+            f"{name:>16} | {verdict['wcrt']:10.2f} | "
+            f"{verdict['deadline']:9.1f} | {status}"
+        )
+    print(f"\ntransitions analyzed: {result['transitions_analyzed']}")
+    return 0 if result["schedulable"] else 1
+
+
+def _cmd_submit_simulate(args) -> int:
+    client = _submit_client(args)
+    params = {
+        "profiles": args.profiles,
+        "seed": args.seed,
+        "policy": args.policy,
+        "max_faults": args.max_faults,
+        "worst_bias": args.worst_bias,
+    }
+    if args.dropped:
+        params["dropped"] = args.dropped
+    result = client.simulate(_submit_system(args.system), **params)
+    print(f"{'application':>16} | {'max resp':>9} | {'p99':>9} | {'mean':>9}")
+    print("-" * 54)
+    for graph in sorted(result["worst_response"]):
+        print(
+            f"{graph:>16} | {result['worst_response'][graph]:9.2f} | "
+            f"{result['p99_response'][graph]:9.2f} | "
+            f"{result['mean_response'][graph]:9.2f}"
+        )
+    print(
+        f"\nprofiles: {result['profiles']}, "
+        f"critical runs: {result['critical_runs']}, "
+        f"runs with drops: {result['runs_with_drops']}"
+    )
+    return 0
+
+
+def _cmd_submit_explore(args) -> int:
+    client = _submit_client(args)
+    stub = client.explore(
+        _submit_system(args.system),
+        generations=args.generations,
+        population=args.population,
+        seed=args.seed,
+        workers=args.workers,
+        checkpoint_every=args.checkpoint_every,
+    )
+    print(f"job accepted: {stub['id']}")
+    if not args.wait:
+        print(f"poll with: python -m repro submit job {stub['id']}")
+        return 0
+    record = client.wait_job(stub["id"], timeout=args.timeout)
+    print(f"job {record['id']}: {record['status']}")
+    if record.get("error"):
+        print(f"error: {record['error']}", file=sys.stderr)
+    result = record.get("result")
+    if result:
+        print(f"generations run: {result['generations_run']}")
+        print(f"Pareto front ({len(result['pareto'])} points):")
+        for point in result["pareto"]:
+            label = (
+                "{" + ", ".join(point["dropped"]) + "}"
+                if point["dropped"]
+                else "{}"
+            )
+            print(
+                f"{point['power']:10.3f} | {point['service']:8.1f} | {label}"
+            )
+    return 0 if record["status"] == "done" else 1
+
+
+def _cmd_submit_job(args) -> int:
+    client = _submit_client(args)
+    record = client.job(args.job_id)
+    print(json.dumps(record, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_submit_cancel(args) -> int:
+    client = _submit_client(args)
+    record = client.cancel(args.job_id)
+    print(f"job {record['id']}: {record['status']} "
+          f"(cancel_requested={record['cancel_requested']})")
+    return 0
+
+
 def observability_options() -> argparse.ArgumentParser:
     """Parent parser carrying the shared observability flags."""
     common = argparse.ArgumentParser(add_help=False)
@@ -434,6 +589,125 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--droppable", type=int, default=2)
     generate.add_argument("--processors", type=int, default=4)
     generate.set_defaults(handler=_cmd_generate)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the JSON-over-HTTP analysis/exploration service",
+        parents=obs,
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8352, help="0 picks a free port"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4,
+        help="analysis/simulation worker threads",
+    )
+    serve.add_argument(
+        "--queue-size", type=int, default=64,
+        help="admission queue bound (full queue answers 429)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=8,
+        help="max requests coalesced into one worker dispatch",
+    )
+    serve.add_argument(
+        "--batch-window-ms", type=float, default=2.0,
+        help="micro-batching window in milliseconds",
+    )
+    serve.add_argument(
+        "--state-dir",
+        help="durable job directory (enables /v1/explore and "
+        "resume-on-restart)",
+    )
+    serve.add_argument(
+        "--job-workers", type=int, default=1,
+        help="threads running exploration jobs",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=None,
+        help="capacity of the process-wide schedule cache",
+    )
+    serve.set_defaults(handler=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="send a request to a running repro serve instance"
+    )
+    submit_sub = submit.add_subparsers(dest="action", required=True)
+
+    def submit_common(sp):
+        sp.add_argument(
+            "--server", default="http://127.0.0.1:8352",
+            help="base URL of the repro serve instance",
+        )
+        sp.add_argument(
+            "--timeout", type=float, default=600.0,
+            help="client-side request/poll timeout in seconds",
+        )
+
+    s_analyze = submit_sub.add_parser(
+        "analyze", help="served WCRT analysis", parents=obs
+    )
+    s_analyze.add_argument("system", help="system JSON path or suite name")
+    s_analyze.add_argument("--dropped", help="comma-separated dropped applications")
+    s_analyze.add_argument(
+        "--method", choices=("proposed", "naive", "adhoc"), default="proposed"
+    )
+    s_analyze.add_argument("--granularity", choices=("job", "task"), default="job")
+    s_analyze.add_argument("--policy", choices=("fp", "edf"), default="fp")
+    s_analyze.add_argument("--bus-contention", action="store_true")
+    s_analyze.add_argument(
+        "--backend", choices=("window", "fast", "holistic"), default="window"
+    )
+    s_analyze.add_argument(
+        "--deadline", type=float, default=None,
+        help="server-side deadline in seconds (504 when exceeded queued)",
+    )
+    submit_common(s_analyze)
+    s_analyze.set_defaults(handler=_cmd_submit_analyze)
+
+    s_simulate = submit_sub.add_parser(
+        "simulate", help="served Monte-Carlo campaign", parents=obs
+    )
+    s_simulate.add_argument("system", help="system JSON path or suite name")
+    s_simulate.add_argument("--dropped", help="comma-separated dropped applications")
+    s_simulate.add_argument("--profiles", type=int, default=500)
+    s_simulate.add_argument("--seed", type=int, default=0)
+    s_simulate.add_argument("--max-faults", type=int, default=3)
+    s_simulate.add_argument("--worst-bias", type=float, default=0.5)
+    s_simulate.add_argument("--policy", choices=("fp", "edf"), default="fp")
+    submit_common(s_simulate)
+    s_simulate.set_defaults(handler=_cmd_submit_simulate)
+
+    s_explore = submit_sub.add_parser(
+        "explore", help="submit an async exploration job", parents=obs
+    )
+    s_explore.add_argument("system", help="system JSON path or suite name")
+    s_explore.add_argument("--generations", type=int, default=25)
+    s_explore.add_argument("--population", type=int, default=32)
+    s_explore.add_argument("--seed", type=int, default=0)
+    s_explore.add_argument("--workers", type=int, default=1)
+    s_explore.add_argument("--checkpoint-every", type=int, default=2)
+    s_explore.add_argument(
+        "--wait", action="store_true",
+        help="poll until the job finishes and print its front",
+    )
+    submit_common(s_explore)
+    s_explore.set_defaults(handler=_cmd_submit_explore)
+
+    s_job = submit_sub.add_parser(
+        "job", help="print a job record", parents=obs
+    )
+    s_job.add_argument("job_id")
+    submit_common(s_job)
+    s_job.set_defaults(handler=_cmd_submit_job)
+
+    s_cancel = submit_sub.add_parser(
+        "cancel", help="request job cancellation", parents=obs
+    )
+    s_cancel.add_argument("job_id")
+    submit_common(s_cancel)
+    s_cancel.set_defaults(handler=_cmd_submit_cancel)
 
     return parser
 

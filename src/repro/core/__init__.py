@@ -32,7 +32,12 @@ from repro.core.factory import (
     make_analysis,
     make_backend,
 )
-from repro.core.fastpath import FastPathConfig, ScheduleCache, TransitionPruner
+from repro.core.fastpath import (
+    FastPathConfig,
+    ScheduleCache,
+    TransitionPruner,
+    shared_cache,
+)
 from repro.core.evaluator import EvaluationResult, Evaluator
 from repro.core.guard import GuardConfig, GuardedEvaluator, QuarantineLog
 from repro.core.sensitivity import (
@@ -58,6 +63,7 @@ __all__ = [
     "make_backend",
     "FastPathConfig",
     "ScheduleCache",
+    "shared_cache",
     "TransitionPruner",
     "Evaluator",
     "EvaluationResult",

@@ -40,7 +40,12 @@ from repro.errors import AnalysisError
 from repro.sched.jobs import JobId, JobSet
 from repro.sched.wcrt import ScheduleBounds
 
-__all__ = ["FastPathConfig", "ScheduleCache", "TransitionPruner"]
+__all__ = [
+    "FastPathConfig",
+    "ScheduleCache",
+    "TransitionPruner",
+    "shared_cache",
+]
 
 
 class ScheduleCache:
@@ -94,6 +99,21 @@ class ScheduleCache:
         """Drop every entry (tallies are kept)."""
         with self._lock:
             self._entries.clear()
+
+    def stats(self) -> dict:
+        """Lifetime tallies plus current occupancy, as a plain dict."""
+        with self._lock:
+            hits = self.hits
+            misses = self.misses
+            size = len(self._entries)
+        requests = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "size": size,
+            "capacity": self._capacity,
+            "hit_rate": hits / requests if requests else 0.0,
+        }
 
 
 class TransitionPruner:
@@ -154,6 +174,10 @@ class FastPathConfig:
         default because it shrinks ``MCAnalysisResult.transitions`` (the
         pruned count is reported in ``transitions_pruned``); results are
         otherwise identical.
+    cache:
+        An existing :class:`ScheduleCache` to use instead of creating a
+        private one (``cache_size`` is then ignored).  This is how the
+        serving layer shares one process-wide cache across requests.
 
     The cache object lives on the config, so sharing one config between
     analyses (as the DSE evaluator does across GA candidates) shares the
@@ -166,11 +190,12 @@ class FastPathConfig:
         cache_size: int = 256,
         warm_start: bool = True,
         prune: bool = False,
+        cache: Optional[ScheduleCache] = None,
     ):
         self.memoize = memoize
         self.warm_start = warm_start
         self.prune = prune
-        self.cache = ScheduleCache(cache_size)
+        self.cache = cache if cache is not None else ScheduleCache(cache_size)
 
     @classmethod
     def for_dse(cls, cache_size: int = 1024) -> "FastPathConfig":
@@ -181,9 +206,45 @@ class FastPathConfig:
         """
         return cls(memoize=True, cache_size=cache_size, warm_start=True, prune=True)
 
+    @classmethod
+    def shared(cls) -> "FastPathConfig":
+        """The profile used by the serving layer: memoization + warm
+        starts against the process-wide :func:`shared_cache`.
+
+        Pruning stays off so results (including the per-transition
+        listing) are byte-identical to a cold analysis.
+        """
+        return cls(memoize=True, warm_start=True, prune=False, cache=shared_cache())
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"FastPathConfig(memoize={self.memoize}, "
             f"cache_size={self.cache.capacity}, "
             f"warm_start={self.warm_start}, prune={self.prune})"
         )
+
+
+#: Default capacity of the process-wide cache (first-use creation only).
+SHARED_CACHE_CAPACITY = 4096
+
+_shared_lock = threading.Lock()
+_shared: Optional[ScheduleCache] = None
+
+
+def shared_cache(capacity: Optional[int] = None) -> ScheduleCache:
+    """The process-wide :class:`ScheduleCache` (created on first use).
+
+    Every caller gets the same instance, so a long-lived process (the
+    ``repro serve`` service) amortizes ``sched()`` runs across requests:
+    any two analyses whose job sets share a canonical
+    :meth:`~repro.sched.jobs.JobSet.fingerprint` reuse one back-end run
+    no matter which request computed it first.  ``capacity`` only takes
+    effect on the call that creates the cache.
+    """
+    global _shared
+    with _shared_lock:
+        if _shared is None:
+            _shared = ScheduleCache(
+                SHARED_CACHE_CAPACITY if capacity is None else capacity
+            )
+        return _shared

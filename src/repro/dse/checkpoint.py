@@ -53,6 +53,29 @@ _SNAPSHOT_PREFIX = "checkpoint-"
 _SNAPSHOT_SUFFIX = ".json"
 
 
+def latest_snapshot_generation(directory) -> Optional[int]:
+    """Generation of the newest committed snapshot in ``directory``.
+
+    Cheap (file-name scan only, no parse/validation), so status
+    endpoints can report the resume point of an interrupted exploration
+    — the serve job store does exactly that.  Returns ``None`` when the
+    directory is missing or holds no parseable snapshot name.
+    """
+    root = Path(directory)
+    if not root.is_dir():
+        return None
+    best: Optional[int] = None
+    for path in root.glob(f"{_SNAPSHOT_PREFIX}*{_SNAPSHOT_SUFFIX}"):
+        stem = path.name[len(_SNAPSHOT_PREFIX):-len(_SNAPSHOT_SUFFIX)]
+        try:
+            generation = int(stem)
+        except ValueError:
+            continue
+        if best is None or generation > best:
+            best = generation
+    return best
+
+
 def problem_digest(problem: Problem) -> str:
     """Stable digest of the optimization problem a snapshot belongs to."""
     payload = {
@@ -245,6 +268,10 @@ class CheckpointManager:
             )
             if p.is_file()
         )
+
+    def latest_generation(self) -> Optional[int]:
+        """Generation of the newest committed snapshot, without loading it."""
+        return latest_snapshot_generation(self._directory)
 
     def save(self, snapshot: RunSnapshot) -> Path:
         """Atomically commit one snapshot; returns its path."""

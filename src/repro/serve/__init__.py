@@ -1,0 +1,29 @@
+"""Concurrent analysis/exploration service over :mod:`repro.api`.
+
+Stdlib-only JSON-over-HTTP serving layer: micro-batching with
+request dedup (:mod:`repro.serve.batcher`), a bounded worker pool with
+backpressure (:mod:`repro.serve.pool`), and durable, crash-resumable
+exploration jobs (:mod:`repro.serve.jobs`).  Start one with ``repro
+serve``; talk to it with ``repro submit`` or
+:class:`~repro.serve.client.ServeClient`.  See ``docs/serving.md``.
+"""
+
+from repro.serve.app import ReproServer, ServeConfig
+from repro.serve.batcher import Batcher, BatchEntry
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.jobs import Job, JobStore
+from repro.serve.pool import DeadlineExceeded, PoolSaturated, WorkerPool
+
+__all__ = [
+    "ReproServer",
+    "ServeConfig",
+    "ServeClient",
+    "ServeError",
+    "Batcher",
+    "BatchEntry",
+    "WorkerPool",
+    "PoolSaturated",
+    "DeadlineExceeded",
+    "Job",
+    "JobStore",
+]

@@ -1,0 +1,458 @@
+"""The ``repro serve`` HTTP service (stdlib only).
+
+JSON over HTTP on :class:`http.server.ThreadingHTTPServer` — one
+connection thread per request, all actual work funneled through the
+:class:`~repro.serve.batcher.Batcher` (dedup + micro-batching) into the
+bounded :class:`~repro.serve.pool.WorkerPool`.  One concurrency model
+(threads) is used end to end, matching the DSE's thread-pool evaluator;
+no third-party dependency is introduced.
+
+Endpoints
+---------
+``POST /v1/analyze``      synchronous WCRT analysis (batched, deduped)
+``POST /v1/simulate``     synchronous Monte-Carlo campaign (ditto)
+``POST /v1/explore``      async exploration job -> 202 + job id
+``GET  /v1/jobs/<id>``    job status/result
+``POST /v1/jobs/<id>/cancel``  cooperative cancel (also DELETE)
+``GET  /healthz``         liveness + queue depth
+``GET  /metrics``         metrics registry + shared-cache stats + jobs
+
+Error contract: 400 malformed/invalid request, 404 unknown route or
+job, 429 + ``Retry-After`` when the admission queue is full, 504 when a
+request's deadline elapsed in the queue, 500 otherwise.  Every error
+body is ``{"error": {"type": ..., "message": ...}}``.
+"""
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.obs.logging import get_logger, kv
+from repro.obs.metrics import metrics
+from repro.serve.batcher import Batcher
+from repro.serve.encoding import (
+    analysis_result_to_dict,
+    canonical_bytes,
+    montecarlo_result_to_dict,
+    parse_analyze_request,
+    parse_explore_request,
+    parse_simulate_request,
+    request_digest,
+)
+from repro.serve.jobs import JobStore
+from repro.serve.pool import DeadlineExceeded, PoolSaturated, WorkerPool
+
+_LOG = get_logger("serve")
+
+__all__ = ["ServeConfig", "ReproServer"]
+
+#: Upper bound on accepted request bodies (64 MiB covers DT-large many
+#: times over; anything bigger is a client bug, not a workload).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Connection threads waiting on a shared in-flight entry give up after
+#: this long even without a client deadline (prevents waiter leaks).
+DEFAULT_WAIT_SECONDS = 600.0
+
+
+class ServeConfig:
+    """Tuning knobs of one server instance."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8352,
+        workers: int = 4,
+        queue_size: int = 64,
+        max_batch: int = 8,
+        batch_window_seconds: float = 0.002,
+        state_dir: Optional[str] = None,
+        job_workers: int = 1,
+        cache_capacity: Optional[int] = None,
+    ):
+        self.host = host
+        self.port = port
+        self.workers = workers
+        self.queue_size = queue_size
+        self.max_batch = max_batch
+        self.batch_window_seconds = batch_window_seconds
+        self.state_dir = state_dir
+        self.job_workers = job_workers
+        self.cache_capacity = cache_capacity
+
+
+def _run_analyze(params: Dict[str, Any]) -> bytes:
+    """Execute one analyze request; returns the canonical response body.
+
+    Runs through :func:`repro.api.analyze` with the *shared* fast path:
+    memoization + warm starts against the process-wide schedule cache,
+    pruning off — so the response is byte-identical to a cold
+    ``repro.api.analyze`` (the PR-3 equality guarantee) while repeated
+    ``sched()`` runs are amortized across the whole process.
+    """
+    from repro.api import analyze
+    from repro.core.fastpath import FastPathConfig
+    from repro.serve.encoding import bundle_from_payload
+
+    bundle = bundle_from_payload(params["system"])
+    result = analyze(
+        bundle,
+        method=params["method"],
+        backend=params["backend"],
+        granularity=params["granularity"],
+        dropped=tuple(params["dropped"]),
+        policy=params["policy"],
+        bus_contention=params["bus_contention"],
+        fast_path=(
+            FastPathConfig.shared() if params["method"] == "proposed" else None
+        ),
+    )
+    return canonical_bytes(analysis_result_to_dict(result))
+
+
+def _run_simulate(params: Dict[str, Any]) -> bytes:
+    """Execute one simulate request; returns the canonical response body."""
+    from repro.api import simulate
+    from repro.serve.encoding import bundle_from_payload
+
+    bundle = bundle_from_payload(params["system"])
+    result = simulate(
+        bundle,
+        profiles=params["profiles"],
+        seed=params["seed"],
+        dropped=tuple(params["dropped"]),
+        policy=params["policy"],
+        max_faults=params["max_faults"],
+        worst_bias=params["worst_bias"],
+    )
+    return canonical_bytes(montecarlo_result_to_dict(result))
+
+
+class ReproServer:
+    """Owns the HTTP listener and the concurrency machinery behind it."""
+
+    def __init__(self, config: Optional[ServeConfig] = None):
+        from repro.core.fastpath import shared_cache
+
+        self.config = config or ServeConfig()
+        # Touch the shared cache early so /metrics reports it from the
+        # first request and a capacity override applies.
+        shared_cache(self.config.cache_capacity)
+        self.pool = WorkerPool(
+            workers=self.config.workers, queue_size=self.config.queue_size
+        )
+        self.batcher = Batcher(
+            self.pool,
+            max_batch=self.config.max_batch,
+            window_seconds=self.config.batch_window_seconds,
+        )
+        self.jobs: Optional[JobStore] = (
+            JobStore(self.config.state_dir, workers=self.config.job_workers)
+            if self.config.state_dir
+            else None
+        )
+        self.started = time.time()
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        if self.jobs is not None:
+            recovered = self.jobs.recover()
+            if recovered:
+                _LOG.info(
+                    "resuming %d unfinished job(s) %s",
+                    len(recovered),
+                    kv(jobs=",".join(recovered)),
+                )
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """Bound (host, port) — port resolved after :meth:`start`."""
+        if self._httpd is None:
+            return (self.config.host, self.config.port)
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the bound listener."""
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> None:
+        """Bind and serve on a background thread (non-blocking)."""
+        self._bind()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="serve-listener",
+            daemon=True,
+        )
+        self._thread.start()
+        _LOG.info("serving %s", kv(url=self.url))
+
+    def serve_forever(self) -> None:
+        """Bind and serve on the calling thread (the CLI entry point)."""
+        self._bind()
+        _LOG.info("serving %s", kv(url=self.url))
+        try:
+            self._httpd.serve_forever()
+        finally:
+            self.close()
+
+    def _bind(self) -> None:
+        if self._httpd is not None:
+            raise ReproError("server already started")
+        server = self
+
+        class Handler(_RequestHandler):
+            app = server
+
+        class Listener(ThreadingHTTPServer):
+            daemon_threads = True
+            # The default accept backlog (5) resets connections under a
+            # concurrent burst; admission control belongs to the worker
+            # pool, not the TCP listen queue.
+            request_queue_size = 128
+
+        self._httpd = Listener((self.config.host, self.config.port), Handler)
+
+    def close(self) -> None:
+        """Stop the listener and drain the machinery."""
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.batcher.shutdown()
+        self.pool.shutdown()
+        if self.jobs is not None:
+            self.jobs.shutdown()
+
+    # -- endpoint bodies -------------------------------------------------
+
+    def handle_analyze(self, payload: Dict[str, Any]) -> Tuple[int, bytes]:
+        params = parse_analyze_request(payload)
+        key = request_digest("analyze", params)
+        entry = self.batcher.submit(
+            key,
+            lambda: _run_analyze(params),
+            deadline_seconds=params["deadline_seconds"],
+        )
+        body = entry.result(
+            params["deadline_seconds"] or DEFAULT_WAIT_SECONDS
+        )
+        return 200, body
+
+    def handle_simulate(self, payload: Dict[str, Any]) -> Tuple[int, bytes]:
+        params = parse_simulate_request(payload)
+        key = request_digest("simulate", params)
+        entry = self.batcher.submit(
+            key,
+            lambda: _run_simulate(params),
+            deadline_seconds=params["deadline_seconds"],
+        )
+        body = entry.result(
+            params["deadline_seconds"] or DEFAULT_WAIT_SECONDS
+        )
+        return 200, body
+
+    def handle_explore(self, payload: Dict[str, Any]) -> Tuple[int, bytes]:
+        if self.jobs is None:
+            raise ReproError(
+                "exploration jobs need a durable state dir; "
+                "restart the server with --state-dir"
+            )
+        params = parse_explore_request(payload)
+        job = self.jobs.create(params)
+        body = canonical_bytes(
+            {"id": job.id, "status": job.status, "url": f"/v1/jobs/{job.id}"}
+        )
+        return 202, body
+
+    def handle_job(self, job_id: str) -> Tuple[int, bytes]:
+        if self.jobs is None:
+            raise _NotFound("no job store configured")
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise _NotFound(f"unknown job {job_id!r}")
+        return 200, canonical_bytes(job.to_dict())
+
+    def handle_cancel(self, job_id: str) -> Tuple[int, bytes]:
+        if self.jobs is None:
+            raise _NotFound("no job store configured")
+        job = self.jobs.cancel(job_id)
+        if job is None:
+            raise _NotFound(f"unknown job {job_id!r}")
+        return 200, canonical_bytes(job.to_dict(with_result=False))
+
+    def handle_healthz(self) -> Tuple[int, bytes]:
+        body = canonical_bytes(
+            {
+                "status": "ok",
+                "uptime_seconds": round(time.time() - self.started, 3),
+                "queue_depth": self.pool.queue_depth,
+                "jobs": self.jobs.counts() if self.jobs is not None else None,
+            }
+        )
+        return 200, body
+
+    def handle_metrics(self) -> Tuple[int, bytes]:
+        from repro.api import cache_stats
+
+        body = canonical_bytes(
+            {
+                "uptime_seconds": round(time.time() - self.started, 3),
+                "metrics": metrics().snapshot(),
+                "schedule_cache": cache_stats(),
+                "jobs": self.jobs.counts() if self.jobs is not None else None,
+            }
+        )
+        return 200, body
+
+
+class _NotFound(ReproError):
+    """Route or resource does not exist (404)."""
+
+
+class _RequestHandler(BaseHTTPRequestHandler):
+    """Routes requests into the owning :class:`ReproServer`."""
+
+    app: ReproServer  # bound by the per-server subclass
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve"
+
+    # -- plumbing --------------------------------------------------------
+
+    def log_message(self, fmt, *args):  # noqa: A003 — stdlib signature
+        _LOG.debug("http %s", fmt % args)
+
+    def _read_json(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ReproError("request body required")
+        if length > MAX_BODY_BYTES:
+            raise ReproError(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit"
+            )
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise ReproError(f"malformed JSON body: {error}") from None
+
+    def _send(
+        self,
+        status: int,
+        body: bytes,
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error(
+        self,
+        status: int,
+        error: BaseException,
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        metrics().counter("serve.errors").inc()
+        body = canonical_bytes(
+            {
+                "error": {
+                    "type": type(error).__name__,
+                    "message": str(error),
+                }
+            }
+        )
+        self._send(status, body, extra_headers)
+
+    def _dispatch(self, handler, *args) -> None:
+        registry = metrics()
+        started = time.monotonic()
+        endpoint = handler.__name__.replace("handle_", "")
+        registry.counter(f"serve.requests.{endpoint}").inc()
+        try:
+            status, body = handler(*args)
+            self._send(status, body)
+        except PoolSaturated as error:
+            self._send_error(
+                429, error, {"Retry-After": str(error.retry_after)}
+            )
+        except DeadlineExceeded as error:
+            self._send_error(504, error)
+        except _NotFound as error:
+            self._send_error(404, error)
+        except ReproError as error:
+            self._send_error(400, error)
+        except BrokenPipeError:  # client went away mid-response
+            pass
+        except Exception as error:  # noqa: BLE001 — 500 boundary
+            _LOG.warning(
+                "internal error %s",
+                kv(endpoint=endpoint, error=f"{type(error).__name__}: {error}"),
+            )
+            self._send_error(500, error)
+        finally:
+            registry.timer(f"serve.latency.{endpoint}").observe(
+                time.monotonic() - started
+            )
+            registry.histogram(
+                "serve.latency_ms",
+                buckets=(1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000,
+                         5000, 10000),
+            ).observe((time.monotonic() - started) * 1000.0)
+
+    # -- routing ---------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 — stdlib naming
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        app = self.app
+        if path == "/healthz":
+            self._dispatch(app.handle_healthz)
+        elif path == "/metrics":
+            self._dispatch(app.handle_metrics)
+        elif path.startswith("/v1/jobs/"):
+            job_id = path[len("/v1/jobs/"):]
+            if "/" in job_id or not job_id:
+                self._send_error(404, _NotFound(f"no such route: {path}"))
+            else:
+                self._dispatch(app.handle_job, job_id)
+        else:
+            self._send_error(404, _NotFound(f"no such route: {path}"))
+
+    def do_POST(self) -> None:  # noqa: N802 — stdlib naming
+        path = self.path.split("?", 1)[0].rstrip("/")
+        app = self.app
+        try:
+            if path == "/v1/analyze":
+                self._dispatch(app.handle_analyze, self._read_json())
+            elif path == "/v1/simulate":
+                self._dispatch(app.handle_simulate, self._read_json())
+            elif path == "/v1/explore":
+                self._dispatch(app.handle_explore, self._read_json())
+            elif path.startswith("/v1/jobs/") and path.endswith("/cancel"):
+                job_id = path[len("/v1/jobs/"):-len("/cancel")]
+                self._dispatch(app.handle_cancel, job_id)
+            else:
+                self._send_error(404, _NotFound(f"no such route: {path}"))
+        except ReproError as error:
+            # _read_json failures (body errors) land here.
+            self._send_error(400, error)
+
+    def do_DELETE(self) -> None:  # noqa: N802 — stdlib naming
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path.startswith("/v1/jobs/"):
+            job_id = path[len("/v1/jobs/"):]
+            self._dispatch(self.app.handle_cancel, job_id)
+        else:
+            self._send_error(404, _NotFound(f"no such route: {path}"))

@@ -1,0 +1,190 @@
+"""Micro-batching and in-flight dedup in front of the worker pool.
+
+Exploration clients hammer an analysis service with *near-simultaneous,
+frequently identical* requests (a GA population evaluating against the
+same system, retries, mirrored dashboards).  Two mechanisms exploit
+that:
+
+* **Dedup** — requests are keyed by their canonical digest
+  (:func:`repro.serve.encoding.request_digest`).  A request whose key
+  matches one that is still pending or in flight *attaches* to it
+  instead of computing again: all waiters receive the same response
+  bytes, so deduped responses are byte-identical by construction
+  (``serve.dedup.hits``).
+* **Micro-batching** — unique pending requests are coalesced for a short
+  window (a few milliseconds) and dispatched to the pool as one batch
+  occupying one worker slot.  Entries of a batch run back-to-back on one
+  thread against the process-wide schedule cache, so a burst warms the
+  cache for its own tail (``serve.batches`` / ``serve.batched``).
+
+Non-identical requests still share ``sched()`` runs one layer down: the
+process-wide :class:`~repro.core.fastpath.ScheduleCache` is keyed by the
+canonical :meth:`~repro.sched.jobs.JobSet.fingerprint`, so any two
+requests inducing an identical job set reuse one back-end invocation.
+"""
+
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.obs.logging import get_logger, kv
+from repro.obs.metrics import metrics
+from repro.serve.pool import DeadlineExceeded, WorkerPool
+
+_LOG = get_logger("serve")
+
+__all__ = ["Batcher", "BatchEntry"]
+
+
+class BatchEntry:
+    """One unique computation plus every request waiting on it."""
+
+    __slots__ = ("key", "_fn", "_event", "_value", "_error", "waiters")
+
+    def __init__(self, key: str, fn: Callable[[], Any]):
+        self.key = key
+        self._fn = fn
+        self._event = threading.Event()
+        self._value: Any = None
+        self._error: Optional[BaseException] = None
+        #: Number of requests sharing this entry (1 = no dedup).
+        self.waiters = 1
+
+    def run(self) -> None:
+        """Execute the computation and release every waiter."""
+        try:
+            self._value = self._fn()
+        except BaseException as error:  # noqa: BLE001 — delivered to waiters
+            self._error = error
+        self._event.set()
+
+    def resolve_error(self, error: BaseException) -> None:
+        """Fail every waiter without running (pool rejection path)."""
+        self._error = error
+        self._event.set()
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        """Block until the shared computation resolves."""
+        if not self._event.wait(timeout):
+            raise DeadlineExceeded("timed out waiting for a batched request")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+
+class Batcher:
+    """Coalesces submissions by key and dispatches them in micro-batches."""
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        max_batch: int = 8,
+        window_seconds: float = 0.002,
+    ):
+        if max_batch < 1:
+            raise ReproError("max batch size must be >= 1")
+        if window_seconds < 0:
+            raise ReproError("batch window must be >= 0")
+        self._pool = pool
+        self._max_batch = max_batch
+        self._window = window_seconds
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        #: key -> entry, accepted but not yet dispatched to the pool.
+        self._pending: "OrderedDict[str, BatchEntry]" = OrderedDict()
+        #: key -> requested deadline (seconds), parallel to ``_pending``.
+        self._pending_deadlines: Dict[str, Optional[float]] = {}
+        #: key -> entry, dispatched and not yet resolved.
+        self._inflight: Dict[str, BatchEntry] = {}
+        self._closed = False
+        self._drainer = threading.Thread(
+            target=self._drain_loop, name="serve-batcher", daemon=True
+        )
+        self._drainer.start()
+
+    def submit(
+        self,
+        key: str,
+        fn: Callable[[], Any],
+        deadline_seconds: Optional[float] = None,
+    ) -> BatchEntry:
+        """Accept one request; identical in-flight requests are shared.
+
+        Raises :class:`~repro.serve.pool.PoolSaturated` only later, at
+        dispatch time, delivered through the entry (admission itself is
+        unbounded but tiny: entries hold closures, not results).
+        """
+        registry = metrics()
+        with self._lock:
+            if self._closed:
+                raise ReproError("batcher is shut down")
+            entry = self._pending.get(key) or self._inflight.get(key)
+            if entry is not None:
+                entry.waiters += 1
+                registry.counter("serve.dedup.hits").inc()
+                return entry
+            entry = BatchEntry(key, fn)
+            # Deadline is enforced by the pool at batch pickup (min over
+            # the batch members' requested deadlines).
+            self._pending[key] = entry
+            self._pending_deadlines[key] = deadline_seconds
+            self._wakeup.notify()
+            return entry
+
+    def _drain_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._pending and not self._closed:
+                    self._wakeup.wait()
+                if self._closed and not self._pending:
+                    return
+                # Let the coalescing window elapse so a burst of identical
+                # requests lands on one entry before dispatch.
+                if self._window > 0:
+                    self._wakeup.wait(self._window)
+                batch: List[BatchEntry] = []
+                deadlines: List[Optional[float]] = []
+                while self._pending and len(batch) < self._max_batch:
+                    key, entry = self._pending.popitem(last=False)
+                    deadlines.append(self._pending_deadlines.pop(key, None))
+                    self._inflight[key] = entry
+                    batch.append(entry)
+            self._dispatch(batch, deadlines)
+
+    def _dispatch(
+        self, batch: List[BatchEntry], deadlines: List[Optional[float]]
+    ) -> None:
+        registry = metrics()
+        registry.counter("serve.batches").inc()
+        if len(batch) > 1:
+            registry.counter("serve.batched").inc(len(batch))
+        registry.histogram("serve.batch_size").observe(float(len(batch)))
+        known = [d for d in deadlines if d is not None]
+        batch_deadline = min(known) if known else None
+
+        def run_batch(entries: List[BatchEntry] = batch) -> None:
+            for entry in entries:
+                entry.run()
+                with self._lock:
+                    self._inflight.pop(entry.key, None)
+
+        try:
+            self._pool.submit(run_batch, deadline_seconds=batch_deadline)
+        except ReproError as error:
+            _LOG.warning(
+                "batch dispatch rejected %s",
+                kv(size=len(batch), error=str(error)),
+            )
+            with self._lock:
+                for entry in batch:
+                    self._inflight.pop(entry.key, None)
+            for entry in batch:
+                entry.resolve_error(error)
+
+    def shutdown(self) -> None:
+        """Stop accepting submissions; pending entries still dispatch."""
+        with self._lock:
+            self._closed = True
+            self._wakeup.notify()
+        self._drainer.join(timeout=5.0)

@@ -1,0 +1,153 @@
+"""Thin stdlib client for a running ``repro serve`` instance.
+
+Backs the ``repro submit`` CLI and the serve test/smoke harnesses.
+Everything rides on :mod:`urllib.request`; errors surface as
+:class:`ServeError` carrying the HTTP status and, for 429 responses,
+the server's ``Retry-After`` hint.
+"""
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional, Union
+
+from repro.errors import ReproError
+from repro.model.serialization import SystemBundle
+
+__all__ = ["ServeClient", "ServeError"]
+
+SystemSpec = Union[str, Dict[str, Any], SystemBundle]
+
+
+class ServeError(ReproError):
+    """An HTTP-level failure reported by the server."""
+
+    def __init__(
+        self,
+        message: str,
+        status: int = 0,
+        retry_after: Optional[int] = None,
+        error_type: Optional[str] = None,
+    ):
+        super().__init__(message)
+        self.status = status
+        self.retry_after = retry_after
+        self.error_type = error_type
+
+
+def _system_payload(system: SystemSpec) -> Union[str, Dict[str, Any]]:
+    if isinstance(system, SystemBundle):
+        from repro.serve.encoding import bundle_to_payload
+
+        return bundle_to_payload(system)
+    return system
+
+
+class ServeClient:
+    """One server endpoint plus request plumbing."""
+
+    def __init__(self, base_url: str, timeout: float = 600.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing --------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> bytes:
+        body = (
+            json.dumps(payload).encode("utf-8") if payload is not None else None
+        )
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"} if body else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return resp.read()
+        except urllib.error.HTTPError as error:
+            raw = error.read()
+            try:
+                detail = json.loads(raw).get("error", {})
+            except (json.JSONDecodeError, AttributeError):
+                detail = {}
+            retry_after = error.headers.get("Retry-After")
+            raise ServeError(
+                detail.get("message") or f"HTTP {error.code} on {path}",
+                status=error.code,
+                retry_after=int(retry_after) if retry_after else None,
+                error_type=detail.get("type"),
+            ) from None
+        except urllib.error.URLError as error:
+            raise ServeError(
+                f"cannot reach {self.base_url}: {error.reason}"
+            ) from None
+
+    def _request_json(self, method, path, payload=None) -> Dict[str, Any]:
+        return json.loads(self._request(method, path, payload))
+
+    # -- endpoints -------------------------------------------------------
+
+    def analyze_raw(self, system: SystemSpec, **params) -> bytes:
+        """``POST /v1/analyze``, returning the raw response bytes.
+
+        The raw form exists so byte-identity (dedup, facade equality) can
+        be asserted without a decode/re-encode round trip.
+        """
+        payload = {"system": _system_payload(system), **params}
+        return self._request("POST", "/v1/analyze", payload)
+
+    def analyze(self, system: SystemSpec, **params) -> Dict[str, Any]:
+        """``POST /v1/analyze`` decoded to a dict."""
+        return json.loads(self.analyze_raw(system, **params))
+
+    def simulate(self, system: SystemSpec, **params) -> Dict[str, Any]:
+        """``POST /v1/simulate`` decoded to a dict."""
+        payload = {"system": _system_payload(system), **params}
+        return self._request_json("POST", "/v1/simulate", payload)
+
+    def explore(self, system: SystemSpec, **params) -> Dict[str, Any]:
+        """``POST /v1/explore``; returns the 202 job stub (``id`` etc.)."""
+        payload = {"system": _system_payload(system), **params}
+        return self._request_json("POST", "/v1/explore", payload)
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        """``GET /v1/jobs/<id>``."""
+        return self._request_json("GET", f"/v1/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        """``POST /v1/jobs/<id>/cancel``."""
+        return self._request_json("POST", f"/v1/jobs/{job_id}/cancel")
+
+    def healthz(self) -> Dict[str, Any]:
+        """``GET /healthz``."""
+        return self._request_json("GET", "/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        """``GET /metrics``."""
+        return self._request_json("GET", "/metrics")
+
+    def wait_job(
+        self,
+        job_id: str,
+        timeout: float = 600.0,
+        poll_seconds: float = 0.25,
+    ) -> Dict[str, Any]:
+        """Poll until the job leaves pending/running (or raise on timeout)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record["status"] not in ("pending", "running"):
+                return record
+            if time.monotonic() > deadline:
+                raise ServeError(
+                    f"job {job_id} still {record['status']} after "
+                    f"{timeout:.0f}s"
+                )
+            time.sleep(poll_seconds)

@@ -1,0 +1,377 @@
+"""Canonical request/response encoding for the serving layer.
+
+Two properties drive this module:
+
+* **Determinism** — a served ``analyze`` response must be *byte-identical*
+  to what :func:`repro.api.analyze` would produce for the same inputs, no
+  matter which worker thread computed it or whether the response was
+  shared through the dedup path.  Everything is therefore rendered
+  through one canonical JSON encoder (sorted keys, fixed separators,
+  ``repr``-exact floats, NaN rejected).
+* **Self-containment** — requests carry the *system itself* (the
+  ``save_system`` payload), a built-in suite name, or a server-local
+  path.  A request is a pure value: its canonical digest identifies the
+  computation completely, which is what the batcher dedups on.
+"""
+
+import hashlib
+import json
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.core.analysis import MCAnalysisResult, TransitionInfo
+from repro.dse.results import ExplorationResult
+from repro.errors import ReproError
+from repro.model.serialization import (
+    FORMAT_VERSION,
+    SystemBundle,
+    application_set_from_dict,
+    application_set_to_dict,
+    architecture_from_dict,
+    architecture_to_dict,
+    mapping_from_dict,
+    mapping_to_dict,
+)
+from repro.sim.montecarlo import MonteCarloResult
+
+__all__ = [
+    "canonical_json",
+    "canonical_bytes",
+    "request_digest",
+    "bundle_to_payload",
+    "bundle_from_payload",
+    "resolve_system",
+    "canonical_system",
+    "parse_analyze_request",
+    "parse_simulate_request",
+    "parse_explore_request",
+    "analysis_result_to_dict",
+    "montecarlo_result_to_dict",
+    "exploration_result_to_dict",
+]
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON: sorted keys, minimal separators, no NaN."""
+    return json.dumps(
+        obj, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def canonical_bytes(obj: Any) -> bytes:
+    """:func:`canonical_json` as UTF-8 bytes (HTTP bodies, digests)."""
+    return canonical_json(obj).encode("utf-8")
+
+
+def request_digest(endpoint: str, params: Dict[str, Any]) -> str:
+    """The dedup key of one request: sha256 over its canonical form.
+
+    Equal digests mean the canonicalized requests are identical values,
+    so the computations are interchangeable and one response body can be
+    shared verbatim.  (Cross-request ``sched()`` sharing between *non*-
+    identical requests happens one layer down, in the process-wide
+    :class:`~repro.core.fastpath.ScheduleCache` keyed by
+    :meth:`~repro.sched.jobs.JobSet.fingerprint`.)
+    """
+    payload = {"endpoint": endpoint, "params": params}
+    return hashlib.sha256(canonical_bytes(payload)).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# System specs
+# ---------------------------------------------------------------------------
+
+
+def bundle_to_payload(bundle: SystemBundle) -> Dict[str, Any]:
+    """A :class:`SystemBundle` as the (inline) ``save_system`` payload."""
+    payload: Dict[str, Any] = {
+        "format_version": FORMAT_VERSION,
+        "applications": application_set_to_dict(bundle.applications),
+        "architecture": architecture_to_dict(bundle.architecture),
+    }
+    if bundle.mapping is not None:
+        payload["mapping"] = mapping_to_dict(bundle.mapping)
+    if bundle.plan is not None:
+        payload["hardening_plan"] = bundle.plan.to_dict()
+    return payload
+
+
+def bundle_from_payload(payload: Dict[str, Any]) -> SystemBundle:
+    """Inverse of :func:`bundle_to_payload` (the ``save_system`` format)."""
+    from repro.hardening.spec import HardeningPlan
+
+    if not isinstance(payload, dict):
+        raise ReproError("inline system must be a JSON object")
+    for field in ("applications", "architecture"):
+        if field not in payload:
+            raise ReproError(f"inline system lacks {field!r}")
+    applications = application_set_from_dict(payload["applications"])
+    architecture = architecture_from_dict(payload["architecture"])
+    mapping = (
+        mapping_from_dict(payload["mapping"]) if "mapping" in payload else None
+    )
+    plan = (
+        HardeningPlan.from_dict(payload["hardening_plan"])
+        if "hardening_plan" in payload
+        else None
+    )
+    return SystemBundle(applications, architecture, mapping, plan)
+
+
+def resolve_system(spec: Union[str, Dict[str, Any]]) -> SystemBundle:
+    """A bundle from a request's ``system`` field.
+
+    Accepts an inline ``save_system`` payload (the self-contained form
+    clients should prefer), a built-in suite name, or a *server-local*
+    path — the last only makes sense when client and server share a
+    filesystem.
+    """
+    from repro.api import load
+
+    if isinstance(spec, dict):
+        return bundle_from_payload(spec)
+    if isinstance(spec, str):
+        return load(spec)
+    raise ReproError(
+        f"system must be an object, suite name, or path, got "
+        f"{type(spec).__name__}"
+    )
+
+
+def canonical_system(spec: Union[str, Dict[str, Any]]) -> Dict[str, Any]:
+    """Resolve a system spec to its inline payload form.
+
+    Requests are canonicalized *before* dedup keying, so ``"cruise"``
+    and the equivalent inline bundle coalesce — and an explore job stored
+    for resume-on-restart no longer depends on files that may move.
+    """
+    return bundle_to_payload(resolve_system(spec))
+
+
+# ---------------------------------------------------------------------------
+# Request parsing
+# ---------------------------------------------------------------------------
+
+_ANALYZE_FIELDS = {
+    "system", "method", "backend", "granularity", "dropped", "policy",
+    "bus_contention", "deadline_seconds",
+}
+_SIMULATE_FIELDS = {
+    "system", "profiles", "seed", "dropped", "policy", "max_faults",
+    "worst_bias", "deadline_seconds",
+}
+_EXPLORE_FIELDS = {
+    "system", "generations", "population", "seed", "workers",
+    "checkpoint_every", "eval_retries", "eval_budget", "deadline_seconds",
+}
+
+
+def _reject_unknown(payload: Dict[str, Any], allowed: set, endpoint: str):
+    unknown = sorted(set(payload) - allowed)
+    if unknown:
+        raise ReproError(
+            f"unknown field(s) for {endpoint}: {', '.join(unknown)}; "
+            f"accepted: {', '.join(sorted(allowed))}"
+        )
+
+
+def _require_system(payload: Dict[str, Any]) -> None:
+    if "system" not in payload:
+        raise ReproError("request lacks the required 'system' field")
+
+
+def _int_field(payload, name, default, minimum):
+    value = payload.get(name, default)
+    if not isinstance(value, int) or isinstance(value, bool) or value < minimum:
+        raise ReproError(f"{name} must be an integer >= {minimum}")
+    return value
+
+
+def _float_field(payload, name, default):
+    value = payload.get(name, default)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ReproError(f"{name} must be a number")
+    return float(value)
+
+
+def _choice_field(payload, name, default, choices):
+    value = payload.get(name, default)
+    if value is not None and value not in choices:
+        raise ReproError(
+            f"{name} must be one of {', '.join(map(str, sorted(c for c in choices if c)))}"
+        )
+    return value
+
+
+def _dropped_field(payload) -> Tuple[str, ...]:
+    dropped = payload.get("dropped", ())
+    if isinstance(dropped, str):
+        dropped = [n.strip() for n in dropped.split(",")]
+    if not isinstance(dropped, (list, tuple)) or not all(
+        isinstance(n, str) for n in dropped
+    ):
+        raise ReproError("dropped must be a list of names or one comma string")
+    return tuple(n for n in dropped if n)
+
+
+def _deadline_field(payload) -> Optional[float]:
+    deadline = _float_field(payload, "deadline_seconds", None)
+    if deadline is not None and deadline <= 0:
+        raise ReproError("deadline_seconds must be positive")
+    return deadline
+
+
+def parse_analyze_request(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Validate and normalize a ``/v1/analyze`` body.
+
+    Returns a plain dict of canonical parameters (system inlined), ready
+    for :func:`request_digest` and for the worker to execute.
+    """
+    if not isinstance(payload, dict):
+        raise ReproError("request body must be a JSON object")
+    _reject_unknown(payload, _ANALYZE_FIELDS, "/v1/analyze")
+    _require_system(payload)
+    return {
+        "system": canonical_system(payload["system"]),
+        "method": _choice_field(
+            payload, "method", "proposed", ("proposed", "naive", "adhoc")
+        ),
+        "backend": _choice_field(
+            payload, "backend", None, (None, "window", "fast", "holistic")
+        ),
+        "granularity": _choice_field(
+            payload, "granularity", "job", ("job", "task")
+        ),
+        "dropped": list(_dropped_field(payload)),
+        "policy": _choice_field(payload, "policy", "fp", ("fp", "edf")),
+        "bus_contention": bool(payload.get("bus_contention", False)),
+        "deadline_seconds": _deadline_field(payload),
+    }
+
+
+def parse_simulate_request(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Validate and normalize a ``/v1/simulate`` body."""
+    if not isinstance(payload, dict):
+        raise ReproError("request body must be a JSON object")
+    _reject_unknown(payload, _SIMULATE_FIELDS, "/v1/simulate")
+    _require_system(payload)
+    worst_bias = _float_field(payload, "worst_bias", 0.5)
+    if not 0.0 <= worst_bias <= 1.0:
+        raise ReproError("worst_bias must lie in [0, 1]")
+    return {
+        "system": canonical_system(payload["system"]),
+        "profiles": _int_field(payload, "profiles", 500, 1),
+        "seed": _int_field(payload, "seed", 0, 0),
+        "dropped": list(_dropped_field(payload)),
+        "policy": _choice_field(payload, "policy", "fp", ("fp", "edf")),
+        "max_faults": _int_field(payload, "max_faults", 3, 0),
+        "worst_bias": worst_bias,
+        "deadline_seconds": _deadline_field(payload),
+    }
+
+
+def parse_explore_request(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Validate and normalize a ``/v1/explore`` body (async job)."""
+    if not isinstance(payload, dict):
+        raise ReproError("request body must be a JSON object")
+    _reject_unknown(payload, _EXPLORE_FIELDS, "/v1/explore")
+    _require_system(payload)
+    eval_budget = _float_field(payload, "eval_budget", None)
+    if eval_budget is not None and eval_budget <= 0:
+        raise ReproError("eval_budget must be positive")
+    return {
+        "system": canonical_system(payload["system"]),
+        "generations": _int_field(payload, "generations", 25, 0),
+        "population": _int_field(payload, "population", 32, 2),
+        "seed": _int_field(payload, "seed", 0, 0),
+        "workers": _int_field(payload, "workers", 1, 1),
+        "checkpoint_every": _int_field(payload, "checkpoint_every", 2, 1),
+        "eval_retries": _int_field(payload, "eval_retries", 1, 0),
+        "eval_budget": eval_budget,
+        "deadline_seconds": _deadline_field(payload),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Result encoding
+# ---------------------------------------------------------------------------
+
+
+def _transition_to_dict(transition: TransitionInfo) -> Dict[str, Any]:
+    return {
+        "trigger_primary": transition.trigger_primary,
+        "trigger_kind": transition.trigger_kind.value,
+        "instance": transition.instance,
+        "min_start": transition.min_start,
+        "max_finish": transition.max_finish,
+        "wcrt": dict(transition.wcrt),
+    }
+
+
+def analysis_result_to_dict(result: MCAnalysisResult) -> Dict[str, Any]:
+    """A :class:`MCAnalysisResult` as a JSON-friendly dict.
+
+    Transition order is preserved as a list (it carries the fold order of
+    Algorithm 1); everything keyed by name sorts deterministically
+    through the canonical encoder.
+    """
+    return {
+        "kind": "analysis",
+        "schedulable": result.schedulable,
+        "granularity": result.granularity,
+        "transitions_analyzed": result.transitions_analyzed,
+        "transitions_pruned": result.transitions_pruned,
+        "verdicts": {
+            name: {
+                "wcrt": verdict.wcrt,
+                "normal_wcrt": verdict.normal_wcrt,
+                "deadline": verdict.deadline,
+                "dropped": verdict.dropped,
+                "meets_deadline": verdict.meets_deadline,
+                "worst_transition": verdict.worst_transition,
+            }
+            for name, verdict in result.verdicts.items()
+        },
+        "transitions": [_transition_to_dict(t) for t in result.transitions],
+        "task_completion": dict(result.task_completion),
+    }
+
+
+def montecarlo_result_to_dict(result: MonteCarloResult) -> Dict[str, Any]:
+    """A :class:`MonteCarloResult` as a JSON-friendly summary.
+
+    Raw per-profile samples stay on the server (they can be tens of
+    thousands of floats); the summary carries the quantiles the CLI
+    prints.
+    """
+    graphs = sorted(result.worst_response)
+    return {
+        "kind": "simulation",
+        "profiles": result.profiles,
+        "critical_runs": result.critical_runs,
+        "runs_with_drops": result.runs_with_drops,
+        "deadline_miss_runs": dict(result.deadline_miss_runs),
+        "worst_response": dict(result.worst_response),
+        "p99_response": {g: result.percentile(g, 0.99) for g in graphs},
+        "mean_response": {g: result.mean_response(g) for g in graphs},
+    }
+
+
+def exploration_result_to_dict(result: ExplorationResult) -> Dict[str, Any]:
+    """An :class:`ExplorationResult` as a JSON-friendly dict."""
+    return {
+        "kind": "exploration",
+        "generations_run": result.generations_run,
+        "statistics": result.statistics.to_dict(),
+        "pareto": [
+            {
+                "power": point.power,
+                "service": point.service,
+                "dropped": list(point.dropped),
+                "design": point.design.to_dict(),
+            }
+            for point in result.pareto
+        ],
+        "history": [list(entry) for entry in result.history],
+    }

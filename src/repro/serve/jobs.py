@@ -1,0 +1,386 @@
+"""Async exploration jobs with crash-safe resume.
+
+``POST /v1/explore`` cannot answer synchronously — a real exploration
+runs minutes to hours — so it becomes a *job*: accepted immediately,
+polled via ``GET /v1/jobs/<id>``, cancellable, and **durable**.  Each
+job owns a directory under the server's state dir holding
+
+* ``job.json`` — the job record (atomic write-then-rename, like the DSE
+  snapshots), including the full canonical system payload so a restart
+  needs no external files;
+* ``ckpt/`` — the :mod:`repro.dse.checkpoint` snapshot directory of its
+  exploration.
+
+A SIGKILLed server therefore loses nothing it had committed: on
+restart, :meth:`JobStore.recover` re-queues every job that was pending
+or running, and the explorer resumes from the newest valid snapshot —
+replaying the identical trajectory, so the finished front equals an
+uninterrupted run (the PR-2 determinism guarantee carried up to the
+service layer).
+
+Cancellation is cooperative: the explorer's per-generation progress
+callback raises ``KeyboardInterrupt`` when a cancel (or the job's
+deadline) is observed, which the explorer converts into a final
+checkpoint plus a partial result.
+"""
+
+import json
+import os
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.obs.logging import get_logger, kv
+from repro.obs.metrics import metrics
+from repro.serve.encoding import exploration_result_to_dict, resolve_system
+
+_LOG = get_logger("serve")
+
+__all__ = ["Job", "JobStore", "JOB_STATES"]
+
+#: Lifecycle: pending -> running -> done | failed | cancelled.
+JOB_STATES = ("pending", "running", "done", "failed", "cancelled")
+
+
+@dataclass
+class Job:
+    """One exploration job and its durable record."""
+
+    id: str
+    params: Dict[str, Any]
+    status: str = "pending"
+    created: float = 0.0
+    started: Optional[float] = None
+    finished: Optional[float] = None
+    generations_run: int = 0
+    #: Generation of the newest committed checkpoint (resume point).
+    checkpoint_generation: Optional[int] = None
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    cancel_requested: bool = False
+    #: How often the record was re-queued after a server restart.
+    restarts: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+    #: Serializes writes of this job's record file (creator thread and
+    #: runner thread may persist concurrently).
+    _save_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def to_dict(self, with_result: bool = True) -> Dict[str, Any]:
+        """The job record as shipped to clients and to ``job.json``."""
+        with self._lock:
+            payload = {
+                "id": self.id,
+                "kind": "explore",
+                "status": self.status,
+                "created": self.created,
+                "started": self.started,
+                "finished": self.finished,
+                "generations_run": self.generations_run,
+                "checkpoint_generation": self.checkpoint_generation,
+                "cancel_requested": self.cancel_requested,
+                "restarts": self.restarts,
+                "error": self.error,
+                "params": self.params,
+            }
+            if with_result:
+                payload["result"] = self.result
+            else:
+                payload["result"] = None
+            return payload
+
+    @staticmethod
+    def from_dict(payload: Dict[str, Any]) -> "Job":
+        """Rebuild a job record from ``job.json``."""
+        return Job(
+            id=payload["id"],
+            params=payload["params"],
+            status=payload.get("status", "pending"),
+            created=payload.get("created", 0.0),
+            started=payload.get("started"),
+            finished=payload.get("finished"),
+            generations_run=payload.get("generations_run", 0),
+            checkpoint_generation=payload.get("checkpoint_generation"),
+            result=payload.get("result"),
+            error=payload.get("error"),
+            cancel_requested=payload.get("cancel_requested", False),
+            restarts=payload.get("restarts", 0),
+        )
+
+
+class JobStore:
+    """Runs explore jobs on dedicated threads and persists their state.
+
+    Jobs get their own small executor (default: one thread) so a long
+    exploration can never starve the analyze/simulate worker pool.
+    """
+
+    def __init__(self, state_dir, workers: int = 1):
+        if workers < 1:
+            raise ReproError("job store workers must be >= 1")
+        self._dir = Path(state_dir)
+        try:
+            self._dir.mkdir(parents=True, exist_ok=True)
+        except OSError as error:
+            raise ReproError(
+                f"cannot create job state directory {self._dir}: {error}"
+            ) from error
+        self._jobs: Dict[str, Job] = {}
+        self._lock = threading.Lock()
+        self._queue: List[str] = []
+        self._wakeup = threading.Condition(self._lock)
+        self._closed = False
+        self._threads = [
+            threading.Thread(
+                target=self._runner, name=f"serve-job-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- directories -----------------------------------------------------
+
+    def job_dir(self, job_id: str) -> Path:
+        """The durable directory of one job."""
+        return self._dir / job_id
+
+    def _record_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / "job.json"
+
+    def checkpoint_dir(self, job_id: str) -> Path:
+        """Where the job's exploration snapshots go."""
+        return self.job_dir(job_id) / "ckpt"
+
+    # -- persistence -----------------------------------------------------
+
+    def _save(self, job: Job) -> None:
+        path = self._record_path(job.id)
+        payload = job.to_dict(with_result=True)
+        tmp = path.with_name(path.name + ".tmp")
+        try:
+            with job._save_lock:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                with open(tmp, "w") as handle:
+                    json.dump(payload, handle, sort_keys=True)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp, path)
+        except OSError as error:
+            _LOG.warning(
+                "cannot persist job record %s",
+                kv(job=job.id, error=str(error)),
+            )
+
+    def recover(self) -> List[str]:
+        """Re-queue every job that was unfinished when the process died.
+
+        Returns the re-queued job ids.  Corrupt records are skipped with
+        a warning; finished jobs are loaded for serving but not re-run.
+        """
+        requeued: List[str] = []
+        for record in sorted(self._dir.glob("*/job.json")):
+            try:
+                payload = json.loads(record.read_text())
+                job = Job.from_dict(payload)
+            except (OSError, json.JSONDecodeError, KeyError, TypeError) as error:
+                _LOG.warning(
+                    "skipping unreadable job record %s",
+                    kv(path=str(record), error=str(error)),
+                )
+                continue
+            with self._lock:
+                if job.id in self._jobs:
+                    continue
+                self._jobs[job.id] = job
+                if job.status in ("pending", "running"):
+                    job.status = "pending"
+                    job.restarts += 1
+                    job.checkpoint_generation = self._latest_checkpoint(job.id)
+                    self._queue.append(job.id)
+                    self._wakeup.notify()
+                    requeued.append(job.id)
+            if job.id in requeued:
+                self._save(job)
+                metrics().counter("serve.jobs.recovered").inc()
+                _LOG.info(
+                    "recovered job %s",
+                    kv(
+                        job=job.id,
+                        resume_generation=job.checkpoint_generation,
+                        restarts=job.restarts,
+                    ),
+                )
+        return requeued
+
+    def _latest_checkpoint(self, job_id: str) -> Optional[int]:
+        from repro.dse.checkpoint import latest_snapshot_generation
+
+        return latest_snapshot_generation(self.checkpoint_dir(job_id))
+
+    # -- API -------------------------------------------------------------
+
+    def create(self, params: Dict[str, Any]) -> Job:
+        """Accept a validated explore request as a new pending job."""
+        job = Job(
+            id=f"job-{uuid.uuid4().hex[:12]}",
+            params=params,
+            created=time.time(),
+        )
+        with self._lock:
+            if self._closed:
+                raise ReproError("job store is shut down")
+            self._jobs[job.id] = job
+            self._queue.append(job.id)
+            self._wakeup.notify()
+        self._save(job)
+        metrics().counter("serve.jobs.created").inc()
+        return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        """The job record, or ``None`` for an unknown id."""
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def cancel(self, job_id: str) -> Optional[Job]:
+        """Request cancellation; pending jobs cancel immediately.
+
+        Running jobs observe the flag at their next generation boundary
+        and finish as ``cancelled`` with a partial result.
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return None
+            job.cancel_requested = True
+            if job.status == "pending":
+                job.status = "cancelled"
+                job.finished = time.time()
+                if job_id in self._queue:
+                    self._queue.remove(job_id)
+        if job is not None:
+            self._save(job)
+            metrics().counter("serve.jobs.cancelled").inc()
+        return job
+
+    def counts(self) -> Dict[str, int]:
+        """Jobs per lifecycle state (the ``/metrics`` summary)."""
+        with self._lock:
+            jobs = list(self._jobs.values())
+        tally = {state: 0 for state in JOB_STATES}
+        for job in jobs:
+            tally[job.status] = tally.get(job.status, 0) + 1
+        return tally
+
+    def wait_idle(self, timeout: float = 60.0) -> bool:
+        """Block until no job is pending or running (tests, shutdown)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            tally = self.counts()
+            if tally["pending"] == 0 and tally["running"] == 0:
+                return True
+            time.sleep(0.02)
+        return False
+
+    # -- execution -------------------------------------------------------
+
+    def _runner(self) -> None:
+        while True:
+            with self._lock:
+                while not self._queue and not self._closed:
+                    self._wakeup.wait()
+                if self._closed and not self._queue:
+                    return
+                job = self._jobs[self._queue.pop(0)]
+                if job.status != "pending":
+                    continue
+                job.status = "running"
+                job.started = time.time()
+            self._save(job)
+            try:
+                self._run_job(job)
+            except BaseException as error:  # noqa: BLE001 — recorded
+                job.status = "failed"
+                job.error = f"{type(error).__name__}: {error}"
+                job.finished = time.time()
+                metrics().counter("serve.jobs.failed").inc()
+                _LOG.warning(
+                    "job failed %s", kv(job=job.id, error=job.error)
+                )
+            self._save(job)
+
+    def _run_job(self, job: Job) -> None:
+        from repro.core.problem import Problem
+        from repro.dse import Explorer, ExplorerConfig
+
+        params = job.params
+        bundle = resolve_system(params["system"])
+        problem = Problem(
+            applications=bundle.applications,
+            architecture=bundle.architecture,
+        )
+        ckpt_dir = self.checkpoint_dir(job.id)
+        config = ExplorerConfig(
+            population_size=params["population"],
+            offspring_size=params["population"],
+            archive_size=params["population"],
+            generations=params["generations"],
+            seed=params["seed"],
+            workers=params["workers"],
+            eval_retries=params["eval_retries"],
+            eval_soft_budget_seconds=params["eval_budget"],
+            quarantine_path=str(self.job_dir(job.id) / "quarantine.jsonl"),
+            checkpoint_dir=str(ckpt_dir),
+            checkpoint_every=params["checkpoint_every"],
+            # A restarted job continues its recorded trajectory; a fresh
+            # one starts clean (no spurious no-snapshot warning).
+            resume=self._latest_checkpoint(job.id) is not None,
+        )
+        deadline = (
+            time.monotonic() + params["deadline_seconds"]
+            if params.get("deadline_seconds") is not None
+            else None
+        )
+
+        def progress(generation: int, _stats) -> None:
+            job.generations_run = generation
+            if job.cancel_requested:
+                raise KeyboardInterrupt
+            if deadline is not None and time.monotonic() > deadline:
+                job.cancel_requested = True
+                job.error = "deadline exceeded"
+                raise KeyboardInterrupt
+
+        explorer = Explorer(problem, config)
+        timer = metrics().timer("serve.job_seconds")
+        try:
+            with timer.time():
+                result = explorer.run(progress=progress)
+        finally:
+            if explorer.quarantine is not None:
+                explorer.quarantine.close()
+        job.generations_run = result.generations_run
+        job.checkpoint_generation = self._latest_checkpoint(job.id)
+        job.result = exploration_result_to_dict(result)
+        job.finished = time.time()
+        if result.statistics.interrupted and job.cancel_requested:
+            job.status = "cancelled"
+            metrics().counter("serve.jobs.cancelled").inc()
+        else:
+            job.status = "done"
+            metrics().counter("serve.jobs.done").inc()
+
+    def shutdown(self) -> None:
+        """Stop the runner threads (running jobs keep their checkpoints)."""
+        with self._lock:
+            self._closed = True
+            self._wakeup.notify_all()
+        for thread in self._threads:
+            thread.join(timeout=5.0)

@@ -1,0 +1,189 @@
+"""Bounded worker pool with backpressure and queue-time deadlines.
+
+The service must degrade predictably under overload, not queue without
+bound: admission happens against a fixed-capacity queue, and a full
+queue rejects immediately with a ``Retry-After`` estimate instead of
+letting latency grow unobserved (the standard load-shedding contract of
+an analysis back-end serving many exploration clients).
+
+Deadlines are enforced at the *pickup* boundary: a request whose
+deadline elapsed while it sat in the queue fails with
+:class:`DeadlineExceeded` without burning a worker on an answer nobody
+is waiting for.  Python threads cannot preempt a running analysis, so a
+deadline that expires mid-run is recorded (``serve.deadline_overruns``)
+rather than aborted; explore jobs get cooperative cancellation at
+generation boundaries instead (see :mod:`repro.serve.jobs`).
+"""
+
+import math
+import queue
+import threading
+import time
+from typing import Any, Callable, List, Optional
+
+from repro.errors import ReproError
+from repro.obs.logging import get_logger, kv
+from repro.obs.metrics import metrics
+
+_LOG = get_logger("serve")
+
+__all__ = ["WorkerPool", "WorkItem", "PoolSaturated", "DeadlineExceeded"]
+
+
+class PoolSaturated(ReproError):
+    """The admission queue is full; retry after ``retry_after`` seconds."""
+
+    def __init__(self, message: str, retry_after: int):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class DeadlineExceeded(ReproError):
+    """The request's deadline elapsed before a worker could serve it."""
+
+
+class WorkItem:
+    """One admitted unit of work; wait on :meth:`result`."""
+
+    __slots__ = ("_fn", "_deadline", "_event", "_value", "_error", "enqueued")
+
+    def __init__(self, fn: Callable[[], Any], deadline: Optional[float]):
+        self._fn = fn
+        #: Absolute monotonic deadline, or ``None``.
+        self._deadline = deadline
+        self._event = threading.Event()
+        self._value: Any = None
+        self._error: Optional[BaseException] = None
+        self.enqueued = time.monotonic()
+
+    def _resolve(self, value: Any = None, error: Optional[BaseException] = None):
+        self._value = value
+        self._error = error
+        self._event.set()
+
+    @property
+    def done(self) -> bool:
+        """Whether the item has resolved (value or error)."""
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        """Block for the outcome; re-raises the work function's error."""
+        if not self._event.wait(timeout):
+            raise DeadlineExceeded("timed out waiting for the worker pool")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def _run(self) -> None:
+        registry = metrics()
+        if self._deadline is not None and time.monotonic() > self._deadline:
+            registry.counter("serve.deadline_expired").inc()
+            self._resolve(error=DeadlineExceeded(
+                "deadline elapsed while queued"
+            ))
+            return
+        started = time.monotonic()
+        try:
+            value = self._fn()
+        except BaseException as error:  # noqa: BLE001 — resolved, not lost
+            self._resolve(error=error)
+        else:
+            self._resolve(value=value)
+        if (
+            self._deadline is not None
+            and time.monotonic() > self._deadline
+        ):
+            registry.counter("serve.deadline_overruns").inc()
+        registry.timer("serve.work_seconds").observe(
+            time.monotonic() - started
+        )
+
+
+class WorkerPool:
+    """Fixed worker threads draining a bounded admission queue."""
+
+    def __init__(self, workers: int = 4, queue_size: int = 64):
+        if workers < 1:
+            raise ReproError("pool workers must be >= 1")
+        if queue_size < 1:
+            raise ReproError("pool queue size must be >= 1")
+        self._queue: "queue.Queue[Optional[WorkItem]]" = queue.Queue(queue_size)
+        self._workers = workers
+        self._closed = False
+        # EWMA of work durations feeding the Retry-After estimate.
+        self._ewma_seconds = 0.05
+        self._ewma_lock = threading.Lock()
+        self._threads: List[threading.Thread] = [
+            threading.Thread(
+                target=self._worker, name=f"serve-worker-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    @property
+    def queue_depth(self) -> int:
+        """Items currently admitted but not picked up."""
+        return self._queue.qsize()
+
+    def retry_after(self) -> int:
+        """Whole seconds a rejected client should wait before retrying."""
+        with self._ewma_lock:
+            ewma = self._ewma_seconds
+        backlog = self._queue.qsize()
+        return max(1, int(math.ceil(ewma * (backlog + 1) / self._workers)))
+
+    def submit(
+        self,
+        fn: Callable[[], Any],
+        deadline_seconds: Optional[float] = None,
+    ) -> WorkItem:
+        """Admit ``fn``; raises :class:`PoolSaturated` when the queue is full."""
+        if self._closed:
+            raise ReproError("worker pool is shut down")
+        deadline = (
+            time.monotonic() + deadline_seconds
+            if deadline_seconds is not None
+            else None
+        )
+        item = WorkItem(fn, deadline)
+        try:
+            self._queue.put_nowait(item)
+        except queue.Full:
+            metrics().counter("serve.rejected").inc()
+            retry = self.retry_after()
+            _LOG.warning(
+                "admission queue full %s",
+                kv(depth=self._queue.qsize(), retry_after=retry),
+            )
+            raise PoolSaturated(
+                f"admission queue full ({self._queue.maxsize} pending)",
+                retry_after=retry,
+            ) from None
+        metrics().gauge("serve.queue_depth").set(self._queue.qsize())
+        return item
+
+    def _worker(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            metrics().gauge("serve.queue_depth").set(self._queue.qsize())
+            queued = time.monotonic() - item.enqueued
+            metrics().timer("serve.queue_seconds").observe(queued)
+            started = time.monotonic()
+            item._run()
+            elapsed = time.monotonic() - started
+            with self._ewma_lock:
+                self._ewma_seconds += 0.2 * (elapsed - self._ewma_seconds)
+
+    def shutdown(self) -> None:
+        """Stop accepting work and let the workers drain and exit."""
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._threads:
+            self._queue.put(None)
+        for thread in self._threads:
+            thread.join(timeout=5.0)

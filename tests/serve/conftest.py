@@ -1,0 +1,34 @@
+"""Serve-layer fixtures: an in-process server over the toy system."""
+
+import pytest
+
+from repro.model.serialization import SystemBundle
+from repro.serve import ReproServer, ServeClient, ServeConfig
+
+
+@pytest.fixture
+def bundle(apps, architecture, mapping, plan):
+    """The toy system as a fully mapped bundle."""
+    return SystemBundle(apps, architecture, mapping, plan)
+
+
+@pytest.fixture
+def server(tmp_path):
+    """An in-process server on an ephemeral port with a job store."""
+    instance = ReproServer(
+        ServeConfig(
+            port=0,
+            workers=2,
+            queue_size=16,
+            state_dir=str(tmp_path / "state"),
+        )
+    )
+    instance.start()
+    yield instance
+    instance.close()
+
+
+@pytest.fixture
+def client(server):
+    """A client bound to the fixture server."""
+    return ServeClient(server.url, timeout=120.0)

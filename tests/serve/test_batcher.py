@@ -1,0 +1,111 @@
+"""Micro-batching and dedup semantics (deterministic via a plugged pool)."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import metrics
+from repro.serve.batcher import Batcher
+from repro.serve.pool import PoolSaturated, WorkerPool
+
+
+@pytest.fixture
+def pool():
+    instance = WorkerPool(workers=1, queue_size=8)
+    yield instance
+    instance.shutdown()
+
+
+@pytest.fixture
+def batcher(pool):
+    instance = Batcher(pool, max_batch=4, window_seconds=0.01)
+    yield instance
+    instance.shutdown()
+
+
+def _plug(pool):
+    """Block the single worker so batches cannot start resolving."""
+    release = threading.Event()
+    entered = threading.Event()
+
+    def blocker():
+        entered.set()
+        release.wait(10.0)
+
+    pool.submit(blocker)
+    assert entered.wait(5.0)
+    return release
+
+
+def _counter(name):
+    return metrics().counter(name).value
+
+
+class TestDedup:
+    def test_identical_requests_share_one_run(self, pool, batcher):
+        release = _plug(pool)
+        runs = []
+        hits_before = _counter("serve.dedup.hits")
+        entries = [
+            batcher.submit("same-key", lambda: runs.append(1) or "body")
+            for _ in range(6)
+        ]
+        release.set()
+        results = [entry.result(5.0) for entry in entries]
+        # One computation, one shared value, exactly N-1 dedup hits.
+        assert runs == [1]
+        assert results == ["body"] * 6
+        assert len({id(e) for e in entries}) == 1
+        assert entries[0].waiters == 6
+        assert _counter("serve.dedup.hits") - hits_before == 5
+
+    def test_distinct_keys_do_not_share(self, pool, batcher):
+        release = _plug(pool)
+        entries = [
+            batcher.submit(f"key-{i}", lambda i=i: i) for i in range(3)
+        ]
+        release.set()
+        assert [e.result(5.0) for e in entries] == [0, 1, 2]
+        assert len({id(e) for e in entries}) == 3
+
+
+class TestBatching:
+    def test_burst_dispatches_as_one_batch(self, pool, batcher):
+        release = _plug(pool)
+        batches_before = _counter("serve.batches")
+        entries = [
+            batcher.submit(f"burst-{i}", lambda i=i: i) for i in range(4)
+        ]
+        release.set()
+        assert [e.result(5.0) for e in entries] == [0, 1, 2, 3]
+        # max_batch=4 and the pool was plugged while submitting: the
+        # whole burst coalesced into a single dispatch.
+        assert _counter("serve.batches") - batches_before == 1
+
+    def test_error_reaches_every_waiter(self, pool, batcher):
+        release = _plug(pool)
+
+        def boom():
+            raise ValueError("bad input")
+
+        entries = [batcher.submit("err-key", boom) for _ in range(3)]
+        release.set()
+        for entry in entries:
+            with pytest.raises(ValueError, match="bad input"):
+                entry.result(5.0)
+
+
+class TestRejection:
+    def test_pool_saturation_propagates_to_waiters(self):
+        pool = WorkerPool(workers=1, queue_size=1)
+        batcher = Batcher(pool, max_batch=2, window_seconds=0.0)
+        release = _plug(pool)
+        try:
+            pool.submit(lambda: None)  # fill the queue: next dispatch rejects
+            entry = batcher.submit("rejected", lambda: "never")
+            with pytest.raises(PoolSaturated):
+                entry.result(5.0)
+        finally:
+            release.set()
+            batcher.shutdown()
+            pool.shutdown()

@@ -1,0 +1,154 @@
+"""Canonical encoding, request digests, and request validation."""
+
+import json
+
+import pytest
+
+from repro.api import load
+from repro.errors import ReproError
+from repro.serve.encoding import (
+    bundle_from_payload,
+    bundle_to_payload,
+    canonical_bytes,
+    canonical_json,
+    canonical_system,
+    parse_analyze_request,
+    parse_explore_request,
+    parse_simulate_request,
+    request_digest,
+)
+
+
+class TestCanonicalJson:
+    def test_sorted_and_minimal(self):
+        assert canonical_json({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'
+
+    def test_key_order_irrelevant(self):
+        assert canonical_bytes({"x": 1, "y": 2}) == canonical_bytes(
+            {"y": 2, "x": 1}
+        )
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_json({"v": float("nan")})
+
+
+class TestRequestDigest:
+    def test_stable_across_dict_order(self):
+        a = request_digest("analyze", {"p": 1, "q": 2})
+        b = request_digest("analyze", {"q": 2, "p": 1})
+        assert a == b
+
+    def test_differs_by_endpoint_and_params(self):
+        params = {"p": 1}
+        assert request_digest("analyze", params) != request_digest(
+            "simulate", params
+        )
+        assert request_digest("analyze", {"p": 1}) != request_digest(
+            "analyze", {"p": 2}
+        )
+
+    def test_suite_name_and_inline_payload_coalesce(self):
+        inline = bundle_to_payload(load("cruise"))
+        by_name = parse_analyze_request({"system": "cruise"})
+        by_payload = parse_analyze_request({"system": inline})
+        assert request_digest("analyze", by_name) == request_digest(
+            "analyze", by_payload
+        )
+
+    def test_dropped_string_and_list_coalesce(self, bundle):
+        payload = bundle_to_payload(bundle)
+        a = parse_analyze_request({"system": payload, "dropped": "lo"})
+        b = parse_analyze_request({"system": payload, "dropped": ["lo"]})
+        assert request_digest("analyze", a) == request_digest("analyze", b)
+
+
+class TestBundlePayload:
+    def test_round_trip(self, bundle):
+        payload = bundle_to_payload(bundle)
+        again = bundle_to_payload(bundle_from_payload(payload))
+        assert canonical_json(payload) == canonical_json(again)
+
+    def test_payload_is_json_clean(self, bundle):
+        json.dumps(bundle_to_payload(bundle))
+
+    def test_missing_sections_rejected(self):
+        with pytest.raises(ReproError, match="applications"):
+            bundle_from_payload({"architecture": {}})
+
+    def test_canonical_system_inlines_names(self):
+        payload = canonical_system("cruise")
+        assert payload["applications"] == bundle_to_payload(load("cruise"))[
+            "applications"
+        ]
+
+
+class TestParseAnalyze:
+    def test_defaults(self, bundle):
+        params = parse_analyze_request({"system": bundle_to_payload(bundle)})
+        assert params["method"] == "proposed"
+        assert params["granularity"] == "job"
+        assert params["policy"] == "fp"
+        assert params["dropped"] == []
+        assert params["deadline_seconds"] is None
+
+    def test_unknown_field_rejected(self, bundle):
+        with pytest.raises(ReproError, match="unknown field"):
+            parse_analyze_request(
+                {"system": bundle_to_payload(bundle), "verbose": True}
+            )
+
+    def test_bad_method_rejected(self, bundle):
+        with pytest.raises(ReproError, match="method"):
+            parse_analyze_request(
+                {"system": bundle_to_payload(bundle), "method": "bogus"}
+            )
+
+    def test_system_required(self):
+        with pytest.raises(ReproError, match="system"):
+            parse_analyze_request({"method": "proposed"})
+
+    def test_non_object_body_rejected(self):
+        with pytest.raises(ReproError, match="JSON object"):
+            parse_analyze_request([1, 2])
+
+
+class TestParseSimulate:
+    def test_defaults(self, bundle):
+        params = parse_simulate_request({"system": bundle_to_payload(bundle)})
+        assert params["profiles"] == 500
+        assert params["seed"] == 0
+        assert params["max_faults"] == 3
+        assert params["worst_bias"] == 0.5
+
+    def test_worst_bias_bounds(self, bundle):
+        with pytest.raises(ReproError, match="worst_bias"):
+            parse_simulate_request(
+                {"system": bundle_to_payload(bundle), "worst_bias": 1.5}
+            )
+
+    def test_profiles_must_be_positive(self, bundle):
+        with pytest.raises(ReproError, match="profiles"):
+            parse_simulate_request(
+                {"system": bundle_to_payload(bundle), "profiles": 0}
+            )
+
+
+class TestParseExplore:
+    def test_defaults(self, bundle):
+        params = parse_explore_request({"system": bundle_to_payload(bundle)})
+        assert params["generations"] == 25
+        assert params["population"] == 32
+        assert params["checkpoint_every"] == 2
+
+    def test_deadline_must_be_positive(self, bundle):
+        with pytest.raises(ReproError, match="deadline_seconds"):
+            parse_explore_request(
+                {"system": bundle_to_payload(bundle), "deadline_seconds": 0}
+            )
+
+    def test_bool_not_an_int(self, bundle):
+        with pytest.raises(ReproError, match="generations"):
+            parse_explore_request(
+                {"system": bundle_to_payload(bundle), "generations": True}
+            )

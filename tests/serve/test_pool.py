@@ -1,0 +1,83 @@
+"""Worker pool: results, backpressure, and queue-time deadlines."""
+
+import threading
+
+import pytest
+
+from repro.errors import ReproError
+from repro.serve.pool import DeadlineExceeded, PoolSaturated, WorkerPool
+
+
+@pytest.fixture
+def pool():
+    instance = WorkerPool(workers=1, queue_size=2)
+    yield instance
+    instance.shutdown()
+
+
+def _block_worker(pool):
+    """Occupy the (single) worker until the returned event is set."""
+    release = threading.Event()
+    entered = threading.Event()
+
+    def blocker():
+        entered.set()
+        release.wait(10.0)
+
+    pool.submit(blocker)
+    assert entered.wait(5.0)
+    return release
+
+
+class TestResults:
+    def test_value_round_trip(self, pool):
+        assert pool.submit(lambda: 21 * 2).result(5.0) == 42
+
+    def test_error_propagates(self, pool):
+        item = pool.submit(lambda: 1 / 0)
+        with pytest.raises(ZeroDivisionError):
+            item.result(5.0)
+
+    def test_shutdown_rejects_new_work(self):
+        pool = WorkerPool(workers=1, queue_size=2)
+        pool.shutdown()
+        with pytest.raises(ReproError):
+            pool.submit(lambda: None)
+
+
+class TestBackpressure:
+    def test_full_queue_raises_with_retry_after(self, pool):
+        release = _block_worker(pool)
+        try:
+            for _ in range(2):  # fill the bounded queue
+                pool.submit(lambda: None)
+            with pytest.raises(PoolSaturated) as info:
+                pool.submit(lambda: None)
+            assert info.value.retry_after >= 1
+        finally:
+            release.set()
+
+    def test_recovers_after_drain(self, pool):
+        release = _block_worker(pool)
+        pool.submit(lambda: None)
+        release.set()
+        assert pool.submit(lambda: "ok").result(5.0) == "ok"
+
+
+class TestDeadlines:
+    def test_expired_in_queue_fails_without_running(self, pool):
+        release = _block_worker(pool)
+        ran = threading.Event()
+        item = pool.submit(ran.set, deadline_seconds=0.01)
+        try:
+            import time
+
+            time.sleep(0.1)
+        finally:
+            release.set()
+        with pytest.raises(DeadlineExceeded):
+            item.result(5.0)
+        assert not ran.is_set()
+
+    def test_met_deadline_still_runs(self, pool):
+        assert pool.submit(lambda: 7, deadline_seconds=30.0).result(5.0) == 7

@@ -103,6 +103,10 @@ class TestSimulate:
         result = simulate(bundle, profiles=5)
         assert result.profiles == 6
 
+    def test_unknown_dropped_rejected(self, system_file):
+        with pytest.raises(ReproError, match="ghost"):
+            simulate(system_file, profiles=5, dropped=("ghost",))
+
 
 class TestExplore:
     def test_matches_cli_explore_flow(self, tmp_path, apps, architecture):
@@ -136,3 +140,28 @@ class TestExplore:
     def test_suite_name_end_to_end(self):
         result = explore("cruise", generations=2, population=8, seed=1)
         assert result.statistics.evaluations > 0
+
+
+class TestCacheIntrospection:
+    def test_stats_shape(self):
+        stats = repro.cache_stats()
+        assert set(stats) >= {"hits", "misses", "size", "capacity", "hit_rate"}
+        assert stats["size"] <= stats["capacity"]
+
+    def test_shared_analyses_populate_the_cache(
+        self, apps, plan, architecture, mapping
+    ):
+        from repro.core.fastpath import FastPathConfig
+
+        repro.cache_clear()
+        before = repro.cache_stats()
+        bundle = SystemBundle(apps, architecture, mapping, plan)
+        analyze(bundle, fast_path=FastPathConfig.shared())
+        analyze(bundle, fast_path=FastPathConfig.shared())
+        after = repro.cache_stats()
+        assert after["size"] > 0
+        assert after["hits"] > before["hits"]
+
+    def test_clear_empties_the_cache(self):
+        repro.cache_clear()
+        assert repro.cache_stats()["size"] == 0

@@ -88,6 +88,20 @@ class TestSimulate:
         assert "profiles: 11" in output
         assert "hi" in output
 
+    def test_unknown_dropped_rejected(self, system_file, capsys):
+        """`simulate --dropped` validates names like `analyze --dropped`:
+        unknown applications fail fast with the full list, instead of
+        silently simulating with nothing dropped."""
+        code = main(
+            ["simulate", system_file, "--profiles", "5",
+             "--dropped", "ghost,phantom"]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "ghost" in err and "phantom" in err
+        assert "known applications" in err
+        assert "hi" in err and "lo" in err
+
 
 class TestExplore:
     def test_explore_writes_pareto(self, tmp_path, unmapped_system_file, capsys):
