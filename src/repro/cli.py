@@ -293,6 +293,7 @@ def _cmd_serve(args) -> int:
         state_dir=args.state_dir,
         job_workers=args.job_workers,
         cache_capacity=args.cache_size,
+        allow_local_paths=args.allow_local_paths,
     )
     server = ReproServer(config)
     server.start()
@@ -627,6 +628,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--cache-size", type=int, default=None,
         help="capacity of the process-wide schedule cache",
+    )
+    serve.add_argument(
+        "--allow-local-paths", action="store_true",
+        help="let a request's system field name a server-local file "
+        "(off by default: any client could read arbitrary paths)",
     )
     serve.set_defaults(handler=_cmd_serve)
 

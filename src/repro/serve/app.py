@@ -72,6 +72,7 @@ class ServeConfig:
         state_dir: Optional[str] = None,
         job_workers: int = 1,
         cache_capacity: Optional[int] = None,
+        allow_local_paths: bool = False,
     ):
         self.host = host
         self.port = port
@@ -82,6 +83,9 @@ class ServeConfig:
         self.state_dir = state_dir
         self.job_workers = job_workers
         self.cache_capacity = cache_capacity
+        #: Whether a request's ``system`` field may name a server-local
+        #: file (off by default: clients could read arbitrary paths).
+        self.allow_local_paths = allow_local_paths
 
 
 def _run_analyze(params: Dict[str, Any]) -> bytes:
@@ -235,7 +239,9 @@ class ReproServer:
     # -- endpoint bodies -------------------------------------------------
 
     def handle_analyze(self, payload: Dict[str, Any]) -> Tuple[int, bytes]:
-        params = parse_analyze_request(payload)
+        params = parse_analyze_request(
+            payload, allow_paths=self.config.allow_local_paths
+        )
         key = request_digest("analyze", params)
         entry = self.batcher.submit(
             key,
@@ -248,7 +254,9 @@ class ReproServer:
         return 200, body
 
     def handle_simulate(self, payload: Dict[str, Any]) -> Tuple[int, bytes]:
-        params = parse_simulate_request(payload)
+        params = parse_simulate_request(
+            payload, allow_paths=self.config.allow_local_paths
+        )
         key = request_digest("simulate", params)
         entry = self.batcher.submit(
             key,
@@ -266,7 +274,9 @@ class ReproServer:
                 "exploration jobs need a durable state dir; "
                 "restart the server with --state-dir"
             )
-        params = parse_explore_request(payload)
+        params = parse_explore_request(
+            payload, allow_paths=self.config.allow_local_paths
+        )
         job = self.jobs.create(params)
         body = canonical_bytes(
             {"id": job.id, "status": job.status, "url": f"/v1/jobs/{job.id}"}
@@ -330,11 +340,24 @@ class _RequestHandler(BaseHTTPRequestHandler):
     def log_message(self, fmt, *args):  # noqa: A003 — stdlib signature
         _LOG.debug("http %s", fmt % args)
 
+    def _body_length(self) -> int:
+        try:
+            return int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            # Cannot tell where this request's body ends, so the
+            # connection cannot be reused safely.
+            self.close_connection = True
+            raise ReproError("malformed Content-Length header") from None
+
     def _read_json(self) -> Dict[str, Any]:
-        length = int(self.headers.get("Content-Length") or 0)
+        length = self._body_length()
         if length <= 0:
             raise ReproError("request body required")
         if length > MAX_BODY_BYTES:
+            # Rejected without reading the body: the unread bytes would
+            # be parsed as the next request line on a kept-alive
+            # connection, so it must close.
+            self.close_connection = True
             raise ReproError(
                 f"request body of {length} bytes exceeds the "
                 f"{MAX_BODY_BYTES}-byte limit"
@@ -345,6 +368,19 @@ class _RequestHandler(BaseHTTPRequestHandler):
         except json.JSONDecodeError as error:
             raise ReproError(f"malformed JSON body: {error}") from None
 
+    def _discard_body(self) -> None:
+        """Consume an unparsed request body so keep-alive stays in sync."""
+        try:
+            length = self._body_length()
+        except ReproError:
+            return  # close_connection already set
+        if length <= 0:
+            return
+        if length > MAX_BODY_BYTES:
+            self.close_connection = True
+            return
+        self.rfile.read(length)
+
     def _send(
         self,
         status: int,
@@ -354,6 +390,10 @@ class _RequestHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            # Tell the client, too — BaseHTTPRequestHandler only stops
+            # its own keep-alive loop, it never advertises the close.
+            self.send_header("Connection", "close")
         for name, value in (extra_headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
@@ -442,8 +482,10 @@ class _RequestHandler(BaseHTTPRequestHandler):
                 self._dispatch(app.handle_explore, self._read_json())
             elif path.startswith("/v1/jobs/") and path.endswith("/cancel"):
                 job_id = path[len("/v1/jobs/"):-len("/cancel")]
+                self._discard_body()
                 self._dispatch(app.handle_cancel, job_id)
             else:
+                self._discard_body()
                 self._send_error(404, _NotFound(f"no such route: {path}"))
         except ReproError as error:
             # _read_json failures (body errors) land here.
@@ -451,6 +493,7 @@ class _RequestHandler(BaseHTTPRequestHandler):
 
     def do_DELETE(self) -> None:  # noqa: N802 — stdlib naming
         path = self.path.split("?", 1)[0].rstrip("/")
+        self._discard_body()
         if path.startswith("/v1/jobs/"):
             job_id = path[len("/v1/jobs/"):]
             self._dispatch(self.app.handle_cancel, job_id)

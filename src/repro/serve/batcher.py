@@ -24,6 +24,7 @@ requests inducing an identical job set reuse one back-end invocation.
 """
 
 import threading
+import time
 from collections import OrderedDict
 from typing import Any, Callable, Dict, List, Optional
 
@@ -40,9 +41,13 @@ __all__ = ["Batcher", "BatchEntry"]
 class BatchEntry:
     """One unique computation plus every request waiting on it."""
 
-    __slots__ = ("key", "_fn", "_event", "_value", "_error", "waiters")
+    __slots__ = (
+        "key", "_fn", "_event", "_value", "_error", "waiters", "deadline"
+    )
 
-    def __init__(self, key: str, fn: Callable[[], Any]):
+    def __init__(
+        self, key: str, fn: Callable[[], Any], deadline: Optional[float] = None
+    ):
         self.key = key
         self._fn = fn
         self._event = threading.Event()
@@ -50,6 +55,20 @@ class BatchEntry:
         self._error: Optional[BaseException] = None
         #: Number of requests sharing this entry (1 = no dedup).
         self.waiters = 1
+        #: Absolute monotonic deadline after which running the entry is
+        #: pointless — the *loosest* over all attached waiters (``None``
+        #: if any waiter set no deadline), so dedup can never tighten
+        #: what an individual request asked for.
+        self.deadline = deadline
+
+    def relax_deadline(self, deadline: Optional[float]) -> None:
+        """Widen the entry deadline for a newly attached waiter."""
+        if self.deadline is None:
+            return
+        if deadline is None:
+            self.deadline = None
+        else:
+            self.deadline = max(self.deadline, deadline)
 
     def run(self) -> None:
         """Execute the computation and release every waiter."""
@@ -93,8 +112,6 @@ class Batcher:
         self._wakeup = threading.Condition(self._lock)
         #: key -> entry, accepted but not yet dispatched to the pool.
         self._pending: "OrderedDict[str, BatchEntry]" = OrderedDict()
-        #: key -> requested deadline (seconds), parallel to ``_pending``.
-        self._pending_deadlines: Dict[str, Optional[float]] = {}
         #: key -> entry, dispatched and not yet resolved.
         self._inflight: Dict[str, BatchEntry] = {}
         self._closed = False
@@ -116,19 +133,25 @@ class Batcher:
         unbounded but tiny: entries hold closures, not results).
         """
         registry = metrics()
+        deadline = (
+            time.monotonic() + deadline_seconds
+            if deadline_seconds is not None
+            else None
+        )
         with self._lock:
             if self._closed:
                 raise ReproError("batcher is shut down")
             entry = self._pending.get(key) or self._inflight.get(key)
             if entry is not None:
                 entry.waiters += 1
+                entry.relax_deadline(deadline)
                 registry.counter("serve.dedup.hits").inc()
                 return entry
-            entry = BatchEntry(key, fn)
-            # Deadline is enforced by the pool at batch pickup (min over
-            # the batch members' requested deadlines).
+            # The deadline is enforced per entry at batch pickup (see
+            # ``_dispatch``) — never as a min over the whole batch, so
+            # one short-deadline request cannot expire its batchmates.
+            entry = BatchEntry(key, fn, deadline=deadline)
             self._pending[key] = entry
-            self._pending_deadlines[key] = deadline_seconds
             self._wakeup.notify()
             return entry
 
@@ -144,33 +167,49 @@ class Batcher:
                 if self._window > 0:
                     self._wakeup.wait(self._window)
                 batch: List[BatchEntry] = []
-                deadlines: List[Optional[float]] = []
                 while self._pending and len(batch) < self._max_batch:
                     key, entry = self._pending.popitem(last=False)
-                    deadlines.append(self._pending_deadlines.pop(key, None))
                     self._inflight[key] = entry
                     batch.append(entry)
-            self._dispatch(batch, deadlines)
+            self._dispatch(batch)
 
-    def _dispatch(
-        self, batch: List[BatchEntry], deadlines: List[Optional[float]]
-    ) -> None:
+    def _dispatch(self, batch: List[BatchEntry]) -> None:
         registry = metrics()
         registry.counter("serve.batches").inc()
         if len(batch) > 1:
             registry.counter("serve.batched").inc(len(batch))
         registry.histogram("serve.batch_size").observe(float(len(batch)))
-        known = [d for d in deadlines if d is not None]
-        batch_deadline = min(known) if known else None
 
         def run_batch(entries: List[BatchEntry] = batch) -> None:
+            # Deadlines are checked here, per entry, at pickup — never
+            # delegated to the pool's whole-item deadline.  The pool
+            # path would drop ``run_batch`` wholesale on expiry, leaving
+            # every entry unresolved and still registered in
+            # ``_inflight``: waiters would hang until their own wait
+            # timeout and the key would be poisoned for all future
+            # identical requests.  Here an expired entry is first
+            # unregistered (so new submissions start a fresh entry) and
+            # then failed, while its batchmates still run.
             for entry in entries:
+                with self._lock:
+                    expired = (
+                        entry.deadline is not None
+                        and time.monotonic() > entry.deadline
+                    )
+                    if expired:
+                        self._inflight.pop(entry.key, None)
+                if expired:
+                    registry.counter("serve.deadline_expired").inc()
+                    entry.resolve_error(
+                        DeadlineExceeded("deadline elapsed while queued")
+                    )
+                    continue
                 entry.run()
                 with self._lock:
                     self._inflight.pop(entry.key, None)
 
         try:
-            self._pool.submit(run_batch, deadline_seconds=batch_deadline)
+            self._pool.submit(run_batch)
         except ReproError as error:
             _LOG.warning(
                 "batch dispatch rejected %s",

@@ -117,34 +117,50 @@ def bundle_from_payload(payload: Dict[str, Any]) -> SystemBundle:
     return SystemBundle(applications, architecture, mapping, plan)
 
 
-def resolve_system(spec: Union[str, Dict[str, Any]]) -> SystemBundle:
+def resolve_system(
+    spec: Union[str, Dict[str, Any]], allow_paths: bool = False
+) -> SystemBundle:
     """A bundle from a request's ``system`` field.
 
     Accepts an inline ``save_system`` payload (the self-contained form
-    clients should prefer), a built-in suite name, or a *server-local*
-    path — the last only makes sense when client and server share a
-    filesystem.
+    clients should prefer) or a built-in suite name.  Server-local
+    *paths* are an opt-in (``allow_paths=True``, the server's
+    ``--allow-local-paths`` flag): letting any client that can reach the
+    socket open arbitrary server-side files — and probe their existence
+    through error messages — is only acceptable when client and server
+    trust each other and share a filesystem.
     """
     from repro.api import load
 
     if isinstance(spec, dict):
         return bundle_from_payload(spec)
     if isinstance(spec, str):
-        return load(spec)
+        from repro.suites import benchmark_names
+
+        if allow_paths or spec in benchmark_names():
+            return load(spec)
+        raise ReproError(
+            f"unknown suite {spec!r}; known suites: "
+            f"{', '.join(sorted(benchmark_names()))}. Server-local file "
+            f"paths are disabled (start the server with "
+            f"--allow-local-paths to accept them)"
+        )
     raise ReproError(
         f"system must be an object, suite name, or path, got "
         f"{type(spec).__name__}"
     )
 
 
-def canonical_system(spec: Union[str, Dict[str, Any]]) -> Dict[str, Any]:
+def canonical_system(
+    spec: Union[str, Dict[str, Any]], allow_paths: bool = False
+) -> Dict[str, Any]:
     """Resolve a system spec to its inline payload form.
 
     Requests are canonicalized *before* dedup keying, so ``"cruise"``
     and the equivalent inline bundle coalesce — and an explore job stored
     for resume-on-restart no longer depends on files that may move.
     """
-    return bundle_to_payload(resolve_system(spec))
+    return bundle_to_payload(resolve_system(spec, allow_paths=allow_paths))
 
 
 # ---------------------------------------------------------------------------
@@ -222,7 +238,9 @@ def _deadline_field(payload) -> Optional[float]:
     return deadline
 
 
-def parse_analyze_request(payload: Dict[str, Any]) -> Dict[str, Any]:
+def parse_analyze_request(
+    payload: Dict[str, Any], allow_paths: bool = False
+) -> Dict[str, Any]:
     """Validate and normalize a ``/v1/analyze`` body.
 
     Returns a plain dict of canonical parameters (system inlined), ready
@@ -233,7 +251,7 @@ def parse_analyze_request(payload: Dict[str, Any]) -> Dict[str, Any]:
     _reject_unknown(payload, _ANALYZE_FIELDS, "/v1/analyze")
     _require_system(payload)
     return {
-        "system": canonical_system(payload["system"]),
+        "system": canonical_system(payload["system"], allow_paths=allow_paths),
         "method": _choice_field(
             payload, "method", "proposed", ("proposed", "naive", "adhoc")
         ),
@@ -250,7 +268,9 @@ def parse_analyze_request(payload: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
-def parse_simulate_request(payload: Dict[str, Any]) -> Dict[str, Any]:
+def parse_simulate_request(
+    payload: Dict[str, Any], allow_paths: bool = False
+) -> Dict[str, Any]:
     """Validate and normalize a ``/v1/simulate`` body."""
     if not isinstance(payload, dict):
         raise ReproError("request body must be a JSON object")
@@ -260,7 +280,7 @@ def parse_simulate_request(payload: Dict[str, Any]) -> Dict[str, Any]:
     if not 0.0 <= worst_bias <= 1.0:
         raise ReproError("worst_bias must lie in [0, 1]")
     return {
-        "system": canonical_system(payload["system"]),
+        "system": canonical_system(payload["system"], allow_paths=allow_paths),
         "profiles": _int_field(payload, "profiles", 500, 1),
         "seed": _int_field(payload, "seed", 0, 0),
         "dropped": list(_dropped_field(payload)),
@@ -271,7 +291,9 @@ def parse_simulate_request(payload: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
-def parse_explore_request(payload: Dict[str, Any]) -> Dict[str, Any]:
+def parse_explore_request(
+    payload: Dict[str, Any], allow_paths: bool = False
+) -> Dict[str, Any]:
     """Validate and normalize a ``/v1/explore`` body (async job)."""
     if not isinstance(payload, dict):
         raise ReproError("request body must be a JSON object")
@@ -281,7 +303,7 @@ def parse_explore_request(payload: Dict[str, Any]) -> Dict[str, Any]:
     if eval_budget is not None and eval_budget <= 0:
         raise ReproError("eval_budget must be positive")
     return {
-        "system": canonical_system(payload["system"]),
+        "system": canonical_system(payload["system"], allow_paths=allow_paths),
         "generations": _int_field(payload, "generations", 25, 0),
         "population": _int_field(payload, "population", 32, 2),
         "seed": _int_field(payload, "seed", 0, 0),

@@ -163,10 +163,13 @@ class JobStore:
 
     def _save(self, job: Job) -> None:
         path = self._record_path(job.id)
-        payload = job.to_dict(with_result=True)
         tmp = path.with_name(path.name + ".tmp")
         try:
             with job._save_lock:
+                # Snapshot under the save lock: a snapshot taken outside
+                # could be written after a newer one, persisting a stale
+                # record (e.g. a finished job left on disk as 'running').
+                payload = job.to_dict(with_result=True)
                 path.parent.mkdir(parents=True, exist_ok=True)
                 with open(tmp, "w") as handle:
                     json.dump(payload, handle, sort_keys=True)

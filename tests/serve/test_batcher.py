@@ -1,12 +1,13 @@
 """Micro-batching and dedup semantics (deterministic via a plugged pool)."""
 
 import threading
+import time
 
 import pytest
 
 from repro.obs.metrics import metrics
 from repro.serve.batcher import Batcher
-from repro.serve.pool import PoolSaturated, WorkerPool
+from repro.serve.pool import DeadlineExceeded, PoolSaturated, WorkerPool
 
 
 @pytest.fixture
@@ -93,6 +94,62 @@ class TestBatching:
         for entry in entries:
             with pytest.raises(ValueError, match="bad input"):
                 entry.result(5.0)
+
+
+def _wait_inflight_empty(batcher, timeout=2.0):
+    deadline = time.monotonic() + timeout
+    while batcher._inflight and time.monotonic() < deadline:
+        time.sleep(0.01)
+    return not batcher._inflight
+
+
+class TestDeadlines:
+    def test_queued_expiry_fails_waiters_and_releases_key(
+        self, pool, batcher
+    ):
+        release = _plug(pool)
+        runs = []
+        entry = batcher.submit(
+            "dl-key",
+            lambda: runs.append(1) or "late",
+            deadline_seconds=0.01,
+        )
+        time.sleep(0.05)  # the deadline elapses while the batch is queued
+        release.set()
+        with pytest.raises(DeadlineExceeded):
+            entry.result(5.0)
+        assert runs == []
+        # The key is not poisoned: an identical later request gets a
+        # fresh entry and computes, instead of attaching to a zombie.
+        again = batcher.submit("dl-key", lambda: "fresh")
+        assert again is not entry
+        assert again.result(5.0) == "fresh"
+        assert _wait_inflight_empty(batcher)
+
+    def test_short_deadline_does_not_expire_batchmates(self, pool, batcher):
+        release = _plug(pool)
+        short = batcher.submit("short", lambda: "s", deadline_seconds=0.01)
+        free = batcher.submit("free", lambda: "f")
+        longer = batcher.submit("long", lambda: "l", deadline_seconds=30.0)
+        time.sleep(0.05)
+        release.set()
+        with pytest.raises(DeadlineExceeded):
+            short.result(5.0)
+        assert free.result(5.0) == "f"
+        assert longer.result(5.0) == "l"
+        assert _wait_inflight_empty(batcher)
+
+    def test_dedup_widens_deadline(self, pool, batcher):
+        release = _plug(pool)
+        first = batcher.submit("widen", lambda: "v", deadline_seconds=0.01)
+        second = batcher.submit("widen", lambda: "v")
+        assert second is first
+        assert first.deadline is None
+        time.sleep(0.05)
+        release.set()
+        # The attached no-deadline waiter widened the entry deadline, so
+        # the computation still runs for it.
+        assert first.result(5.0) == "v"
 
 
 class TestRejection:

@@ -63,6 +63,45 @@ class TestRequestDigest:
         assert request_digest("analyze", a) == request_digest("analyze", b)
 
 
+class TestResolveSystemPaths:
+    def test_paths_disabled_by_default(self, tmp_path):
+        from repro.serve.encoding import resolve_system
+
+        with pytest.raises(ReproError, match="allow-local-paths"):
+            resolve_system(str(tmp_path / "system.json"))
+
+    def test_suite_names_allowed_without_opt_in(self):
+        from repro.serve.encoding import resolve_system
+
+        bundle = resolve_system("cruise")
+        assert bundle.applications.graphs
+
+    def test_paths_resolve_when_opted_in(self, bundle, tmp_path):
+        from repro.model.serialization import save_system
+        from repro.serve.encoding import resolve_system
+
+        path = tmp_path / "system.json"
+        save_system(
+            path,
+            bundle.applications,
+            bundle.architecture,
+            bundle.mapping,
+            bundle.plan,
+        )
+        loaded = resolve_system(str(path), allow_paths=True)
+        assert bundle_to_payload(loaded) == bundle_to_payload(bundle)
+
+    def test_missing_path_does_not_leak_existence_by_default(self, tmp_path):
+        # Whether or not the file exists, the gated error is identical.
+        from repro.serve.encoding import resolve_system
+
+        present = tmp_path / "present.json"
+        present.write_text("{}")
+        for spec in (present, tmp_path / "absent.json"):
+            with pytest.raises(ReproError, match="unknown suite"):
+                resolve_system(str(spec))
+
+
 class TestBundlePayload:
     def test_round_trip(self, bundle):
         payload = bundle_to_payload(bundle)

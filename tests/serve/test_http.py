@@ -152,6 +152,72 @@ class TestOperationalEndpoints:
         assert "metrics" in report
 
 
+class TestKeepAliveHygiene:
+    def test_oversized_body_rejected_and_connection_closed(self, server):
+        import socket
+
+        from repro.serve.app import MAX_BODY_BYTES
+
+        host, port = server.address
+        with socket.create_connection((host, port), timeout=10.0) as sock:
+            sock.settimeout(10.0)
+            sock.sendall(
+                (
+                    "POST /v1/analyze HTTP/1.1\r\n"
+                    f"Host: {host}:{port}\r\n"
+                    "Content-Type: application/json\r\n"
+                    f"Content-Length: {MAX_BODY_BYTES + 1}\r\n"
+                    "\r\n"
+                ).encode("ascii")
+            )
+            # Read everything until the server closes the socket: the
+            # body was never sent, so a kept-alive connection would
+            # block here waiting for a second request.
+            data = b""
+            while True:
+                chunk = sock.recv(4096)
+                if not chunk:
+                    break
+                data += chunk
+        head = data.decode("latin-1")
+        assert head.splitlines()[0].split()[1] == "400"
+        assert "connection: close" in head.lower()
+
+
+class TestLocalPathGate:
+    def test_server_local_path_rejected_by_default(
+        self, client, tmp_path, bundle
+    ):
+        from repro.model.serialization import save_system
+
+        path = tmp_path / "system.json"
+        save_system(
+            path,
+            bundle.applications,
+            bundle.architecture,
+            bundle.mapping,
+            bundle.plan,
+        )
+        with pytest.raises(ServeError) as info:
+            client.analyze(str(path))
+        assert info.value.status == 400
+        assert "allow-local-paths" in str(info.value)
+
+    def test_suite_name_strings_still_resolve(self, client):
+        # The gate blocks only filesystem paths; a built-in suite name
+        # sent as a plain string resolves as before (it then fails on
+        # the suite carrying no mapping — not on path resolution).
+        with pytest.raises(ServeError) as info:
+            client.analyze("cruise")
+        assert info.value.status == 400
+        assert "no mapping" in str(info.value)
+
+    def test_explore_accepts_suite_name_strings(self, client):
+        stub = client.explore("cruise", generations=1, population=4)
+        record = client.wait_job(stub["id"], timeout=120.0)
+        assert record["status"] == "done"
+
+
 class TestErrorContract:
     def test_unknown_route_404(self, client):
         with pytest.raises(ServeError) as info:
