@@ -22,8 +22,12 @@ The package provides:
 * :mod:`repro.suites` — the Cruise, DT-med, DT-large and Synth benchmarks;
 * :mod:`repro.experiments` — harnesses regenerating every table and figure
   of the paper's evaluation section;
+* :mod:`repro.verify` — the adversarial fault-injection soundness
+  harness (differential oracles, metamorphic properties, counterexample
+  shrinking, replayable reproducer corpus);
 * :mod:`repro.api` — the stable facade (``load`` / ``analyze`` /
-  ``simulate`` / ``explore``), re-exported at the package top level.
+  ``simulate`` / ``explore`` / ``verify``), re-exported at the package
+  top level.
 """
 
 from repro.errors import (
@@ -73,7 +77,15 @@ from repro.sched import (
 )
 from repro.dse import Explorer, ExplorerConfig
 from repro import api
-from repro.api import analyze, cache_clear, cache_stats, explore, load, simulate
+from repro.api import (
+    analyze,
+    cache_clear,
+    cache_stats,
+    explore,
+    load,
+    simulate,
+    verify,
+)
 
 __all__ = [
     "api",
@@ -81,6 +93,7 @@ __all__ = [
     "analyze",
     "simulate",
     "explore",
+    "verify",
     "cache_stats",
     "cache_clear",
     "ReproError",

@@ -10,6 +10,7 @@ This module condenses the four everyday flows into one import::
     result = repro.api.analyze(bundle, dropped=("info", "log"))
     sim = repro.api.simulate(bundle, profiles=500)
     front = repro.api.explore(bundle, generations=25)
+    report = repro.api.verify(bundle, budget=200)
 
 Each function returns the *existing* result dataclasses —
 :class:`~repro.core.analysis.MCAnalysisResult`,
@@ -44,6 +45,7 @@ __all__ = [
     "analyze",
     "simulate",
     "explore",
+    "verify",
     "validate_dropped",
     "cache_stats",
     "cache_clear",
@@ -172,6 +174,7 @@ def simulate(
     *,
     profiles: int = 500,
     seed: int = 0,
+    rng=None,
     dropped: DroppedLike = (),
     plan: Optional[HardeningPlan] = None,
     mapping: Optional[Mapping] = None,
@@ -182,7 +185,10 @@ def simulate(
     """Monte-Carlo fault-injection campaign (the CLI ``simulate`` flow).
 
     Returns the :class:`~repro.sim.montecarlo.MonteCarloResult` of a
-    WC-Sim estimator over ``profiles`` random fault profiles.
+    WC-Sim estimator over ``profiles`` random fault profiles.  Pass an
+    externally owned ``random.Random`` as ``rng`` to share a generator
+    with a larger campaign; it takes precedence over ``seed`` and the
+    result records ``seed=None``.
     """
     from repro.sim import BiasedSampler, MonteCarloEstimator, Simulator
 
@@ -201,7 +207,63 @@ def simulate(
     estimator = MonteCarloEstimator(
         simulator, sampler=BiasedSampler(worst_bias), max_faults=max_faults
     )
-    return estimator.estimate(profiles=profiles, seed=seed)
+    return estimator.estimate(profiles=profiles, seed=seed, rng=rng)
+
+
+def verify(
+    system: SystemLike,
+    *,
+    budget: int = 200,
+    seed: int = 0,
+    granularity: str = "job",
+    policy: str = "fp",
+    max_faults: int = 3,
+    shrink: bool = True,
+    metamorphic: bool = True,
+    corpus_dir: Union[str, Path, None] = None,
+    backend: Optional[SchedBackend] = None,
+    label: Optional[str] = None,
+    config=None,
+):
+    """Adversarial soundness campaign (the CLI ``verify`` flow).
+
+    Runs directed + exhaustive + random fault-injection scenarios, the
+    differential oracle lattice, fast-path/warm-start consistency, and
+    the metamorphic properties against ``system``; shrinks any violation
+    and (when ``corpus_dir`` is set) writes self-contained reproducer
+    JSON files.  Returns the deterministic
+    :class:`~repro.verify.campaign.VerificationReport` — two calls with
+    the same system, ``seed`` and ``budget`` produce identical reports.
+
+    Suites without a mapping get a deterministic seeded design.  Pass a
+    full :class:`~repro.verify.campaign.CampaignConfig` as ``config`` to
+    override more than the common knobs (it wins over the keyword
+    shortcuts); ``backend`` swaps the analysis back-end under test — the
+    hook the harness's own broken-backend tests use.
+    """
+    from repro.verify.campaign import (
+        CampaignConfig,
+        run_campaign,
+        state_from_bundle,
+    )
+
+    bundle = load(system)
+    state = state_from_bundle(bundle, seed=seed)
+    if config is None:
+        config = CampaignConfig(
+            budget=budget,
+            seed=seed,
+            granularity=granularity,
+            policy=policy,
+            max_faults=max_faults,
+            shrink=shrink,
+            metamorphic=metamorphic,
+            corpus_dir=corpus_dir,
+            backend=backend,
+        )
+    if label is None:
+        label = system if isinstance(system, str) else "system"
+    return run_campaign(state, config, label=label)
 
 
 def explore(

@@ -7,6 +7,8 @@ Operates on JSON system files (written by
 * ``simulate`` — Monte-Carlo simulation campaign (WC-Sim);
 * ``explore``  — GA design-space exploration, optionally saving the
   Pareto-optimal design points;
+* ``verify``   — adversarial soundness campaign (differential oracles,
+  metamorphic properties, counterexample shrinking, corpus replay);
 * ``export``   — write a built-in benchmark suite to a system file;
 * ``generate`` — write a random TGFF-style system to a file;
 * ``serve``    — run the JSON-over-HTTP analysis/exploration service;
@@ -200,6 +202,73 @@ def _cmd_explore(args) -> int:
         Path(args.out).write_text(json.dumps(payload, indent=2))
         _LOG.info("wrote %d design point(s) to %s", len(result.pareto), args.out)
     return 0 if result.pareto else 1
+
+
+def _cmd_verify(args) -> int:
+    from repro import api
+    from repro.verify.campaign import replay_corpus
+
+    if args.replay:
+        report = replay_corpus(args.replay)
+        for entry in report.entries:
+            status = "REPRODUCES" if entry["reproduced"] else "fixed"
+            print(
+                f"{status:>10} | {entry['oracle']:>26} | "
+                f"{entry['subject']:>16} | {entry['source']}"
+            )
+        for source in report.skipped:
+            print(f"{'skipped':>10} | {'-':>26} | {'-':>16} | {source}")
+        print(
+            f"\nreplayed: {len(report.entries)}, "
+            f"still reproducing: {report.still_reproducing}, "
+            f"skipped: {len(report.skipped)}"
+        )
+        if args.out:
+            Path(args.out).write_text(
+                json.dumps(report.to_dict(), indent=2, sort_keys=True)
+            )
+            _LOG.info("wrote replay report to %s", args.out)
+        return 0 if report.ok else 1
+
+    if not args.system:
+        raise ReproError("a system (file or suite name) is required "
+                         "unless --replay is given")
+    report = api.verify(
+        args.system,
+        budget=args.budget,
+        seed=args.seed,
+        granularity=args.granularity,
+        policy=args.policy,
+        max_faults=args.max_faults,
+        shrink=not args.no_shrink,
+        metamorphic=not args.no_metamorphic,
+        corpus_dir=args.corpus,
+    )
+    print(f"{'oracle':>26} | {'checks':>6} | violations")
+    print("-" * 50)
+    for oracle, entry in sorted(report.oracles.items()):
+        print(
+            f"{oracle:>26} | {entry['checks']:6d} | {entry['violations']}"
+        )
+    print(
+        f"\nscenarios: {len(report.scenarios)}, checks: {report.checks}, "
+        f"violations: {len(report.violations)}"
+    )
+    if report.violations:
+        for violation in report.violations:
+            print(
+                f"VIOLATION [{violation['oracle']}] {violation['subject']}: "
+                f"expected <= {violation['expected']:.6f}, "
+                f"observed {violation['actual']:.6f}"
+            )
+        if report.reproducers:
+            print("reproducers written:")
+            for path in report.reproducers:
+                print(f"  {path}")
+    if args.out:
+        report.write(args.out)
+        _LOG.info("wrote verification report to %s", args.out)
+    return 0 if report.ok else 1
 
 
 def _cmd_margins(args) -> int:
@@ -557,6 +626,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-evaluation wall-clock soft budget in seconds",
     )
     explore.set_defaults(handler=_cmd_explore)
+
+    verify = sub.add_parser(
+        "verify",
+        help="adversarial soundness campaign against a system",
+        parents=obs,
+    )
+    verify.add_argument(
+        "system", nargs="?",
+        help="system JSON or suite name (optional with --replay)",
+    )
+    verify.add_argument("--budget", type=int, default=200,
+                        help="fault-injection scenarios to run")
+    verify.add_argument("--seed", type=int, default=0)
+    verify.add_argument("--granularity", choices=("job", "task"), default="job")
+    verify.add_argument(
+        "--policy", choices=("fp", "edf"), default="fp",
+        help="per-processor scheduling policy",
+    )
+    verify.add_argument("--max-faults", type=int, default=3,
+                        help="faults per random profile")
+    verify.add_argument(
+        "--corpus", metavar="DIR",
+        help="write shrunken reproducer JSON files into this directory",
+    )
+    verify.add_argument(
+        "--replay", metavar="DIR",
+        help="replay an existing corpus instead of running a campaign "
+        "(exit 1 while any reproducer still fires)",
+    )
+    verify.add_argument("--out", help="write the report JSON to this file")
+    verify.add_argument("--no-shrink", action="store_true",
+                        help="skip counterexample minimization")
+    verify.add_argument("--no-metamorphic", action="store_true",
+                        help="skip the metamorphic mutation properties")
+    verify.set_defaults(handler=_cmd_verify)
 
     margins = sub.add_parser(
         "margins",

@@ -16,7 +16,10 @@ exception as a violation, with
   and the substitution is recorded in ``EvaluationResult.fallback``;
 * a **quarantine log**: each guarded failure appends one JSON line
   (chromosome/context, design JSON, traceback) so poison points stay
-  reproducible outside the run.
+  reproducible outside the run.  The first line of a fresh log is a
+  header carrying the problem serialization, which makes the file
+  self-contained: ``repro verify --replay`` re-evaluates every
+  quarantined design from the JSONL alone.
 
 Guard activity is surfaced through ``eval.guard.*`` counters and the
 ``evaluation-failed`` / ``backend-fallback`` events.
@@ -74,6 +77,11 @@ class QuarantineLog:
     leaves no file behind.  Write failures *during* a run disable the log
     with a warning instead of killing the exploration (that would defeat
     the guard); only an uncreatable parent directory raises.
+
+    When a header supplier is installed (see :meth:`set_header`), a fresh
+    log starts with one header line before the first record; appending to
+    an existing non-empty file skips the header (it is already there, or
+    the file predates the header format).
     """
 
     def __init__(self, path):
@@ -81,6 +89,7 @@ class QuarantineLog:
         self._lock = threading.Lock()
         self._handle = None
         self._disabled = False
+        self._header_supplier = None
         self.records_written = 0
         try:
             self._path.parent.mkdir(parents=True, exist_ok=True)
@@ -88,6 +97,15 @@ class QuarantineLog:
             raise EvaluationGuardError(
                 f"cannot create quarantine directory {self._path.parent}: {error}"
             ) from error
+
+    def set_header(self, supplier) -> None:
+        """Install a ``() -> dict`` called once if a fresh log is started.
+
+        Lazy so healthy runs never pay for serializing the header (the
+        problem serialization is not small).
+        """
+        with self._lock:
+            self._header_supplier = supplier
 
     @property
     def path(self) -> Path:
@@ -106,7 +124,16 @@ class QuarantineLog:
                 return
             try:
                 if self._handle is None:
+                    fresh = (
+                        not self._path.exists()
+                        or self._path.stat().st_size == 0
+                    )
                     self._handle = open(self._path, "a")
+                    if fresh and self._header_supplier is not None:
+                        self._handle.write(
+                            json.dumps(self._header_supplier(), sort_keys=True)
+                            + "\n"
+                        )
                 self._handle.write(json.dumps(payload, sort_keys=True) + "\n")
                 self._handle.flush()
                 self.records_written += 1
@@ -149,6 +176,23 @@ class GuardedEvaluator:
         self._quarantine = quarantine
         self._fallback_evaluator: Optional[Evaluator] = None
         self._fallback_lock = threading.Lock()
+        if quarantine is not None:
+            quarantine.set_header(self._quarantine_header)
+
+    def _quarantine_header(self) -> dict:
+        """The self-describing first line of a fresh quarantine log."""
+        from repro.model.serialization import (
+            application_set_to_dict,
+            architecture_to_dict,
+        )
+        from repro.verify.reproducer import QUARANTINE_HEADER_SCHEMA
+
+        problem = self._evaluator.problem
+        return {
+            "schema": QUARANTINE_HEADER_SCHEMA,
+            "applications": application_set_to_dict(problem.applications),
+            "architecture": architecture_to_dict(problem.architecture),
+        }
 
     @property
     def problem(self) -> Problem:

@@ -224,6 +224,44 @@ class RunInterrupted(Event):
     checkpoint_path: Optional[str]
 
 
+@dataclass(frozen=True)
+class ViolationFound(Event):
+    """A verification oracle observed a soundness inversion."""
+
+    kind: ClassVar[str] = "verify-violation"
+
+    #: Which relation was violated (see ``repro.verify.oracles.ORACLES``).
+    oracle: str
+    #: The graph or task the numbers belong to.
+    subject: str
+    #: The value that should have dominated.
+    expected: float
+    #: The observed value that exceeded or diverged from it.
+    actual: float
+    #: Name of the offending fault scenario (``None`` for analysis-level
+    #: oracles with no fault profile).
+    scenario: Optional[str]
+
+
+@dataclass(frozen=True)
+class VerificationCompleted(Event):
+    """A verification campaign finished (violations or not)."""
+
+    kind: ClassVar[str] = "verify-complete"
+
+    #: System label the campaign ran against.
+    label: str
+    #: Fault-injection scenarios simulated.
+    scenarios: int
+    #: Total oracle checks (scenarios + lattice + consistency + metamorphic).
+    checks: int
+    violations: int
+    #: Accepted counterexample-shrinking steps across all violations.
+    shrink_steps: int
+    #: Reproducer files written to the corpus.
+    reproducers: int
+
+
 # ---------------------------------------------------------------------------
 # Serialization
 # ---------------------------------------------------------------------------

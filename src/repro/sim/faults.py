@@ -7,7 +7,7 @@ response time over 10,000 different failure profiles (§5.1).
 """
 
 import random
-from typing import FrozenSet, Iterable, List, Set, Tuple
+from typing import Any, Dict, FrozenSet, Iterable, List, Set, Tuple
 
 from repro.errors import SimulationError
 from repro.hardening.spec import HardeningKind
@@ -33,6 +33,30 @@ class FaultProfile:
 
     def __iter__(self):
         return iter(sorted(self._faults))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FaultProfile):
+            return NotImplemented
+        return self._faults == other._faults and self.label == other.label
+
+    def __hash__(self) -> int:
+        return hash((self._faults, self.label))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical JSON form: sorted fault triples plus the label."""
+        return {
+            "label": self.label,
+            "faults": [list(key) for key in sorted(self._faults)],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FaultProfile":
+        """Inverse of :meth:`to_dict`; ``from_dict(to_dict(p)) == p``."""
+        faults = []
+        for entry in payload.get("faults", ()):
+            task, instance, attempt = entry
+            faults.append((str(task), int(instance), int(attempt)))
+        return cls(faults, label=str(payload.get("label", "")))
 
     def __repr__(self) -> str:
         tag = f" {self.label!r}" if self.label else ""

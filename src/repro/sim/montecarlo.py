@@ -10,7 +10,7 @@ guarantees.
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.sim.engine import Simulator
 from repro.sim.faults import no_fault_profile, random_profile
@@ -33,6 +33,17 @@ class MonteCarloResult:
     deadline_miss_runs: Dict[str, int] = field(default_factory=dict)
     #: Every observed response time per application (for percentiles).
     samples: Dict[str, List[float]] = field(default_factory=dict)
+    #: The seed the campaign ran under (``None`` when an external RNG was
+    #: injected — its state cannot be named by a single integer).
+    seed: Optional[int] = None
+    #: Canonical spec of the execution-time sampler (``sampler.describe()``).
+    sampler_spec: Dict[str, Any] = field(default_factory=dict)
+    #: Upper bound on faults per random profile.
+    max_faults: int = 0
+    #: Whether the deterministic fault-free run was prepended.
+    include_fault_free: bool = True
+    #: Simulated horizon in hyperperiods.
+    hyperperiods: int = 1
 
     def wcrt_of(self, graph_name: str) -> Optional[float]:
         """Maximum observed response time of one application."""
@@ -81,16 +92,36 @@ class MonteCarloEstimator:
         profiles: int,
         seed: int = 0,
         hyperperiods: int = 1,
+        rng: Optional[random.Random] = None,
     ) -> MonteCarloResult:
         """Simulate ``profiles`` random failure profiles.
 
         A deterministic fault-free worst-case-execution run is prepended
         when ``include_fault_free`` is set, so the estimate is never below
         the plain normal-state trace.
+
+        ``rng`` injects an externally owned generator (e.g. one shared by
+        a larger verification campaign); it takes precedence over ``seed``
+        and the result then records ``seed=None``.  The result always
+        records the sampler spec and fault settings so campaign reports
+        and reproducers are self-describing.
         """
-        rng = random.Random(seed)
+        if rng is not None:
+            recorded_seed: Optional[int] = None
+        else:
+            rng = random.Random(seed)
+            recorded_seed = seed
         hardened = self._simulator._hardened
-        result = MonteCarloResult()
+        describe = getattr(
+            self._sampler, "describe", lambda: {"kind": type(self._sampler).__name__}
+        )
+        result = MonteCarloResult(
+            seed=recorded_seed,
+            sampler_spec=describe(),
+            max_faults=self._max_faults,
+            include_fault_free=self._include_fault_free,
+            hyperperiods=hyperperiods,
+        )
 
         runs = []
         if self._include_fault_free:

@@ -5,10 +5,14 @@ interval.  ``WorstCaseSampler`` makes simulations deterministic traces;
 ``BiasedSampler`` is the Monte-Carlo default — it lands on the exact WCET
 with a configurable probability, which probes worst-case behaviour much
 more effectively than uniform sampling.
+
+Samplers carry a canonical JSON description (:meth:`describe` /
+:func:`sampler_from_spec`) so campaign reports and counterexample
+reproducers can name the exact sampling regime they ran under.
 """
 
 import random
-from typing import Protocol
+from typing import Any, Dict, Protocol
 
 from repro.errors import SimulationError
 
@@ -20,6 +24,10 @@ class ExecutionSampler(Protocol):
         """Return a duration in ``[bcet, wcet]``."""
         ...
 
+    def describe(self) -> Dict[str, Any]:
+        """A JSON-friendly spec naming the sampler and its parameters."""
+        ...
+
 
 class WorstCaseSampler:
     """Always the WCET — turns a simulation into a deterministic trace."""
@@ -28,6 +36,10 @@ class WorstCaseSampler:
         """Return ``wcet``."""
         return wcet
 
+    def describe(self) -> Dict[str, Any]:
+        """``{"kind": "worst"}``."""
+        return {"kind": "worst"}
+
 
 class BestCaseSampler:
     """Always the BCET."""
@@ -35,6 +47,10 @@ class BestCaseSampler:
     def sample(self, bcet: float, wcet: float, rng: random.Random) -> float:
         """Return ``bcet``."""
         return bcet
+
+    def describe(self) -> Dict[str, Any]:
+        """``{"kind": "best"}``."""
+        return {"kind": "best"}
 
 
 class UniformSampler:
@@ -45,6 +61,10 @@ class UniformSampler:
         if wcet <= bcet:
             return wcet
         return rng.uniform(bcet, wcet)
+
+    def describe(self) -> Dict[str, Any]:
+        """``{"kind": "uniform"}``."""
+        return {"kind": "uniform"}
 
 
 class BiasedSampler:
@@ -61,8 +81,35 @@ class BiasedSampler:
             )
         self._worst_probability = worst_probability
 
+    @property
+    def worst_probability(self) -> float:
+        """Probability of landing exactly on the WCET."""
+        return self._worst_probability
+
     def sample(self, bcet: float, wcet: float, rng: random.Random) -> float:
         """Return WCET with the configured probability, else uniform."""
         if wcet <= bcet or rng.random() < self._worst_probability:
             return wcet
         return rng.uniform(bcet, wcet)
+
+    def describe(self) -> Dict[str, Any]:
+        """``{"kind": "biased", "worst_probability": p}``."""
+        return {"kind": "biased", "worst_probability": self._worst_probability}
+
+
+def sampler_from_spec(spec: Dict[str, Any]) -> ExecutionSampler:
+    """Rebuild a sampler from a :meth:`describe` spec.
+
+    The inverse of ``sampler.describe()``; reproducers rely on the pair
+    being a fixed point so a replay samples exactly the recorded regime.
+    """
+    kind = spec.get("kind")
+    if kind == "worst":
+        return WorstCaseSampler()
+    if kind == "best":
+        return BestCaseSampler()
+    if kind == "uniform":
+        return UniformSampler()
+    if kind == "biased":
+        return BiasedSampler(spec.get("worst_probability", 0.5))
+    raise SimulationError(f"unknown sampler spec {spec!r}")

@@ -1,0 +1,48 @@
+"""Adversarial soundness verification of the analysis stack.
+
+The paper's central claim (§5.1, Table 2) is that the Proposed WCRT
+bound dominates every observable response time under any fault pattern.
+``repro.verify`` attacks that claim instead of assuming it:
+
+* :mod:`repro.verify.scenarios` — *directed* fault injection: profiles
+  placed at the transition-window boundaries Algorithm 1 enumerates,
+  exhaustive small-k enumeration for tiny systems, and seeded random
+  fill;
+* :mod:`repro.verify.oracles` — the differential dominance lattice
+  (sim ≤ Proposed ≤ Naive, Adhoc ≤ Proposed, fast-path and warm-start
+  result identity);
+* :mod:`repro.verify.metamorphic` — mutation properties (WCET
+  inflation, drop-set growth, plan hardening) that must hold without
+  knowing exact bounds;
+* :mod:`repro.verify.shrink` — greedy counterexample minimization;
+* :mod:`repro.verify.reproducer` — self-contained replayable violation
+  records (the ``corpus/`` files);
+* :mod:`repro.verify.campaign` — the campaign runner behind
+  ``repro.api.verify()`` and the ``repro verify`` CLI.
+"""
+
+from repro.verify.campaign import (
+    CampaignConfig,
+    ReplayReport,
+    VerificationReport,
+    replay_corpus,
+    run_campaign,
+)
+from repro.verify.oracles import OracleRunner, SystemState, Violation
+from repro.verify.reproducer import REPRODUCER_SCHEMA, Reproducer
+from repro.verify.scenarios import Scenario, generate_scenarios
+
+__all__ = [
+    "CampaignConfig",
+    "OracleRunner",
+    "REPRODUCER_SCHEMA",
+    "ReplayReport",
+    "Reproducer",
+    "Scenario",
+    "SystemState",
+    "VerificationReport",
+    "Violation",
+    "generate_scenarios",
+    "replay_corpus",
+    "run_campaign",
+]

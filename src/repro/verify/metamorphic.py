@@ -1,0 +1,206 @@
+"""Metamorphic soundness properties.
+
+Differential oracles need a second implementation to compare against;
+metamorphic oracles need only a *relation between two runs of the same
+implementation* under a controlled mutation:
+
+* **metamorphic-wcet-monotone** — inflating one task's WCET may never
+  shrink any completion bound (Algorithm 1 is monotone in execution
+  demand);
+* **metamorphic-drop-monotone** — growing the dropped set may never
+  worsen a *surviving* graph's bound (dropping removes interference);
+* **metamorphic-harden-sound** — adding re-execution to a task yields a
+  new system whose bounds must still dominate its own simulated traces
+  (hardening legitimately raises bounds; it must never break soundness).
+
+Mutation targets are chosen deterministically from the campaign seed, so
+two campaigns with the same seed probe the same mutations.
+"""
+
+import random
+from typing import List, Optional
+
+from repro.hardening.spec import HardeningSpec
+from repro.model.application import ApplicationSet
+from repro.verify.oracles import OracleRunner, SystemState, Violation
+from repro.verify.scenarios import Scenario, directed_scenarios
+
+
+def inflate_wcet(
+    applications: ApplicationSet, task_name: str, factor: float
+) -> ApplicationSet:
+    """A copy of ``applications`` with one task's WCET scaled up."""
+    graph = applications.owner_of(task_name)
+    task = graph.task(task_name)
+    inflated = task.with_times(task.bcet, task.wcet * factor)
+    new_graph = graph.derive(
+        tasks=[inflated if t.name == task_name else t for t in graph.tasks]
+    )
+    return applications.replacing(new_graph)
+
+
+def check_wcet_monotonicity(
+    runner: OracleRunner,
+    state: SystemState,
+    task_name: str,
+    factor: float = 1.25,
+) -> List[Violation]:
+    """Inflating ``task_name``'s WCET may never shrink any bound."""
+    base = runner.analyze(state)
+    mutated = SystemState(
+        applications=inflate_wcet(state.applications, task_name, factor),
+        architecture=state.architecture,
+        mapping=state.mapping,
+        plan=state.plan,
+        dropped=state.dropped,
+    )
+    inflated = runner.analyze(mutated)
+    tol = runner.tolerance
+    violations: List[Violation] = []
+    for task, bound in sorted(base.task_completion.items()):
+        new_bound = inflated.task_completion.get(task)
+        if new_bound is None:
+            continue
+        if new_bound < bound - tol:
+            violations.append(
+                Violation(
+                    oracle="metamorphic-wcet-monotone",
+                    subject=task,
+                    expected=bound,
+                    actual=new_bound,
+                    detail=(
+                        f"completion bound shrank after inflating "
+                        f"wcet({task_name}) by {factor}x"
+                    ),
+                )
+            )
+    for graph, verdict in sorted(base.verdicts.items()):
+        new_wcrt = inflated.verdicts[graph].wcrt
+        if new_wcrt < verdict.wcrt - tol:
+            violations.append(
+                Violation(
+                    oracle="metamorphic-wcet-monotone",
+                    subject=graph,
+                    expected=verdict.wcrt,
+                    actual=new_wcrt,
+                    detail=(
+                        f"graph WCRT shrank after inflating "
+                        f"wcet({task_name}) by {factor}x"
+                    ),
+                )
+            )
+    return violations
+
+
+def check_drop_monotonicity(
+    runner: OracleRunner,
+    state: SystemState,
+    graph_name: str,
+) -> List[Violation]:
+    """Adding ``graph_name`` to the drop set may never hurt survivors."""
+    base = runner.analyze(state)
+    grown = SystemState(
+        applications=state.applications,
+        architecture=state.architecture,
+        mapping=state.mapping,
+        plan=state.plan,
+        dropped=tuple(sorted(set(state.dropped) | {graph_name})),
+    )
+    extended = runner.analyze(grown)
+    tol = runner.tolerance
+    violations: List[Violation] = []
+    for graph, verdict in sorted(base.verdicts.items()):
+        if verdict.dropped or graph == graph_name:
+            continue
+        new_wcrt = extended.verdicts[graph].wcrt
+        if new_wcrt > verdict.wcrt + tol:
+            violations.append(
+                Violation(
+                    oracle="metamorphic-drop-monotone",
+                    subject=graph,
+                    expected=verdict.wcrt,
+                    actual=new_wcrt,
+                    detail=(
+                        f"surviving graph's bound worsened after adding "
+                        f"{graph_name!r} to the drop set"
+                    ),
+                )
+            )
+    return violations
+
+
+def check_harden_soundness(
+    runner: OracleRunner,
+    state: SystemState,
+    task_name: str,
+    scenario_cap: int = 8,
+) -> List[Violation]:
+    """Hardening a task must keep the mutated system's bounds sound.
+
+    Adds one re-execution to an unhardened primary task (a new critical-
+    state trigger appears) and re-runs the sim-dominance oracle on the
+    mutated system's own directed scenarios.  Hardening may *raise*
+    bounds (detection overhead, extra transitions) — that is legitimate;
+    what may never happen is the mutated analysis losing dominance over
+    the mutated system's observable behavior.
+    """
+    mutated = SystemState(
+        applications=state.applications,
+        architecture=state.architecture,
+        mapping=state.mapping,
+        plan=state.plan.with_spec(task_name, HardeningSpec.reexecution(1)),
+        dropped=state.dropped,
+    )
+    analysis = runner.analyze(mutated)
+    hardened = mutated.hardened()
+    violations: List[Violation] = []
+    for scenario in directed_scenarios(hardened, analysis)[:scenario_cap]:
+        for violation in runner.check_scenario(mutated, scenario, analysis):
+            violations.append(
+                Violation(
+                    oracle="metamorphic-harden-sound",
+                    subject=violation.subject,
+                    expected=violation.expected,
+                    actual=violation.actual,
+                    detail=(
+                        f"after hardening {task_name!r} with reexecution(1): "
+                        f"{violation.detail}"
+                    ),
+                    scenario=violation.scenario,
+                )
+            )
+    return violations
+
+
+def metamorphic_targets(
+    state: SystemState, rng: random.Random, mutations: int
+):
+    """Deterministically chosen mutation targets for one campaign.
+
+    Returns ``(wcet_tasks, drop_graphs, harden_tasks)`` — up to
+    ``mutations`` entries each.  Drop targets are droppable graphs not
+    already dropped; harden targets are unhardened primary tasks whose
+    names survive the hardening transform unchanged.
+    """
+    task_names = sorted(state.applications.all_task_names)
+    wcet_tasks = _sample(task_names, rng, mutations)
+    candidates = sorted(
+        g.name
+        for g in state.applications.droppable_graphs
+        if g.name not in state.dropped
+    )
+    drop_graphs = _sample(candidates, rng, mutations)
+    unhardened = sorted(
+        name for name in task_names if name not in state.plan
+    )
+    harden_tasks = _sample(unhardened, rng, mutations)
+    return wcet_tasks, drop_graphs, harden_tasks
+
+
+def _sample(pool: List[str], rng: random.Random, count: int) -> List[str]:
+    """Up to ``count`` distinct elements, stable given the RNG state."""
+    if not pool or count <= 0:
+        return []
+    if len(pool) <= count:
+        return list(pool)
+    return sorted(rng.sample(pool, count))

@@ -1,0 +1,360 @@
+"""Differential oracles over the dominance lattice.
+
+The soundness claims under test, for a fixed system state:
+
+* **sim-le-proposed** — no simulated response time may exceed the
+  Proposed (Algorithm 1) WCRT bound, for any fault profile;
+* **proposed-le-naive** — the Naive baseline widens every execution
+  range, so its bound must dominate the Proposed bound;
+* **adhoc-le-proposed** — the Adhoc worst trace is one observable
+  execution, so the Proposed bound must dominate it;
+* **fastpath-identical** — enabling memoization/warm-start/pruning may
+  not change a single result value;
+* **warmstart-identical** — holistic fixed points seeded with the
+  normal-state solution must converge to the cold-start solution.
+
+Any inversion is recorded as a :class:`Violation`.  The metamorphic
+properties live in :mod:`repro.verify.metamorphic`; both feed the same
+violation type so the campaign and the shrinker treat them uniformly.
+"""
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.analysis import MCAnalysisResult
+from repro.core.factory import make_analysis
+from repro.core.fastpath import FastPathConfig
+from repro.hardening.spec import HardeningPlan
+from repro.hardening.transform import HardenedSystem, harden
+from repro.model.application import ApplicationSet
+from repro.model.architecture import Architecture
+from repro.model.mapping import Mapping
+from repro.model.serialization import (
+    application_set_from_dict,
+    application_set_to_dict,
+    architecture_from_dict,
+    architecture_to_dict,
+    mapping_from_dict,
+    mapping_to_dict,
+)
+from repro.sched.wcrt import SchedBackend
+from repro.sim.engine import Simulator
+from repro.sim.trace import SimulationResult
+from repro.verify.scenarios import Scenario
+
+#: Oracle names, for report breakdowns and reproducer records.
+ORACLES = (
+    "sim-le-proposed",
+    "proposed-le-naive",
+    "adhoc-le-proposed",
+    "fastpath-identical",
+    "warmstart-identical",
+    "metamorphic-wcet-monotone",
+    "metamorphic-drop-monotone",
+    "metamorphic-harden-sound",
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One observed inversion of a soundness relation."""
+
+    #: Which relation was violated (one of :data:`ORACLES`).
+    oracle: str
+    #: The graph or task the numbers belong to.
+    subject: str
+    #: The value that should dominate (the bound / the reference side).
+    expected: float
+    #: The value that exceeded or diverged from it.
+    actual: float
+    detail: str = ""
+    #: The fault-injection scenario, for simulation oracles.
+    scenario: Optional[Dict[str, Any]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical JSON form."""
+        return {
+            "oracle": self.oracle,
+            "subject": self.subject,
+            "expected": self.expected,
+            "actual": self.actual,
+            "detail": self.detail,
+            "scenario": self.scenario,
+        }
+
+
+@dataclass(frozen=True)
+class SystemState:
+    """Everything a verification check needs to rebuild the system.
+
+    Unlike :class:`~repro.model.serialization.SystemBundle` this always
+    carries a concrete mapping and drop set — it is the unit the shrinker
+    mutates and the reproducer serializes.
+    """
+
+    applications: ApplicationSet
+    architecture: Architecture
+    mapping: Mapping
+    plan: HardeningPlan = field(default_factory=HardeningPlan)
+    dropped: Tuple[str, ...] = ()
+
+    def hardened(self) -> HardenedSystem:
+        """``T' = harden(T, plan)``."""
+        return harden(self.applications, self.plan)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical JSON form (reused by reproducers)."""
+        return {
+            "applications": application_set_to_dict(self.applications),
+            "architecture": architecture_to_dict(self.architecture),
+            "mapping": mapping_to_dict(self.mapping),
+            "plan": self.plan.to_dict(),
+            "dropped": sorted(self.dropped),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "SystemState":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            applications=application_set_from_dict(payload["applications"]),
+            architecture=architecture_from_dict(payload["architecture"]),
+            mapping=mapping_from_dict(payload["mapping"]),
+            plan=HardeningPlan.from_dict(payload.get("plan", {})),
+            dropped=tuple(payload.get("dropped", ())),
+        )
+
+
+def result_digest(result: MCAnalysisResult) -> Dict[str, Any]:
+    """Canonical content of an analysis result, for identity oracles.
+
+    Exact values, no rounding: the fast path and warm start claim
+    *byte-identical* results, so any drift is a violation.
+    """
+    return {
+        "verdicts": {
+            name: {
+                "wcrt": verdict.wcrt,
+                "normal_wcrt": verdict.normal_wcrt,
+                "dropped": verdict.dropped,
+                "worst_transition": verdict.worst_transition,
+            }
+            for name, verdict in sorted(result.verdicts.items())
+        },
+        "task_completion": dict(sorted(result.task_completion.items())),
+    }
+
+
+class OracleRunner:
+    """Runs the oracle lattice for one analysis configuration.
+
+    The ``backend`` is the injection point for differential testing: the
+    campaign's own tests wire a deliberately broken back-end here and
+    assert the oracles catch it.
+    """
+
+    def __init__(
+        self,
+        backend: Optional[SchedBackend] = None,
+        granularity: str = "job",
+        policy: str = "fp",
+        tolerance: float = 1e-6,
+    ):
+        self._backend = backend
+        self._granularity = granularity
+        self._policy = policy
+        self._tolerance = tolerance
+
+    @property
+    def tolerance(self) -> float:
+        """Comparison tolerance for the inequality oracles."""
+        return self._tolerance
+
+    # ------------------------------------------------------------------
+    # Building blocks
+    # ------------------------------------------------------------------
+
+    def analyze(
+        self,
+        state: SystemState,
+        method: str = "proposed",
+        fast_path: Optional[FastPathConfig] = None,
+        backend: Optional[SchedBackend] = None,
+    ) -> MCAnalysisResult:
+        """One analysis run of ``state`` under this runner's settings."""
+        analysis = make_analysis(
+            method=method,
+            backend=backend if backend is not None else self._backend,
+            granularity=self._granularity,
+            policy=self._policy,
+            fast_path=fast_path,
+        )
+        return analysis.analyze(
+            state.hardened(), state.architecture, state.mapping, state.dropped
+        )
+
+    def simulate(self, state: SystemState, scenario: Scenario) -> SimulationResult:
+        """One deterministic simulation of ``scenario`` on ``state``."""
+        simulator = Simulator(
+            state.hardened(),
+            state.architecture,
+            state.mapping,
+            dropped=state.dropped,
+            policy=self._policy,
+        )
+        return simulator.run(
+            profile=scenario.profile,
+            sampler=scenario.sampler(),
+            rng=random.Random(scenario.sampler_seed),
+            hyperperiods=scenario.hyperperiods,
+        )
+
+    # ------------------------------------------------------------------
+    # Oracles
+    # ------------------------------------------------------------------
+
+    def check_scenario(
+        self,
+        state: SystemState,
+        scenario: Scenario,
+        analysis: Optional[MCAnalysisResult] = None,
+    ) -> List[Violation]:
+        """**sim-le-proposed** for one scenario.
+
+        Every simulated response time must stay below the analysis WCRT
+        bound of its graph.  Once a run enters the critical state,
+        dropped graphs carry no guarantee (their verdict covers the
+        normal state only) and are skipped.
+        """
+        if analysis is None:
+            analysis = self.analyze(state)
+        sim = self.simulate(state, scenario)
+        dropped = frozenset(state.dropped)
+        violations: List[Violation] = []
+        for graph, response in sorted(sim.response_times().items()):
+            if response is None:
+                continue
+            if sim.entered_critical_state and graph in dropped:
+                continue
+            bound = analysis.verdicts[graph].wcrt
+            if response > bound + self._tolerance:
+                violations.append(
+                    Violation(
+                        oracle="sim-le-proposed",
+                        subject=graph,
+                        expected=bound,
+                        actual=response,
+                        detail=(
+                            f"simulated response exceeds the Proposed bound "
+                            f"under profile {scenario.profile!r}"
+                        ),
+                        scenario=scenario.to_dict(),
+                    )
+                )
+        return violations
+
+    def check_lattice(
+        self,
+        state: SystemState,
+        analysis: Optional[MCAnalysisResult] = None,
+    ) -> List[Violation]:
+        """**proposed-le-naive** and **adhoc-le-proposed**."""
+        if analysis is None:
+            analysis = self.analyze(state)
+        naive = self.analyze(state, method="naive")
+        adhoc = self.analyze(state, method="adhoc", backend=None)
+        violations: List[Violation] = []
+        for graph, verdict in sorted(analysis.verdicts.items()):
+            if verdict.dropped:
+                continue
+            naive_bound = naive.verdicts[graph].wcrt
+            if verdict.wcrt > naive_bound + self._tolerance:
+                violations.append(
+                    Violation(
+                        oracle="proposed-le-naive",
+                        subject=graph,
+                        expected=naive_bound,
+                        actual=verdict.wcrt,
+                        detail="Proposed bound exceeds the Naive baseline",
+                    )
+                )
+            adhoc_response = adhoc.verdicts[graph].wcrt
+            if adhoc_response > verdict.wcrt + self._tolerance:
+                violations.append(
+                    Violation(
+                        oracle="adhoc-le-proposed",
+                        subject=graph,
+                        expected=verdict.wcrt,
+                        actual=adhoc_response,
+                        detail="Adhoc worst trace exceeds the Proposed bound",
+                    )
+                )
+        return violations
+
+    def check_consistency(self, state: SystemState) -> List[Violation]:
+        """**fastpath-identical** and **warmstart-identical**.
+
+        The fast path (memoize + warm start + prune) and a holistic
+        warm-started run must be value-identical to their cold
+        counterparts.
+        """
+        violations: List[Violation] = []
+        cold = self.analyze(state, fast_path=None)
+        fast = self.analyze(state, fast_path=FastPathConfig())
+        violations.extend(
+            _digest_violations(
+                "fastpath-identical", result_digest(cold), result_digest(fast)
+            )
+        )
+        from repro.sched.holistic import HolisticAnalysisBackend
+
+        holistic_cold = self.analyze(
+            state, fast_path=None, backend=HolisticAnalysisBackend()
+        )
+        holistic_warm = self.analyze(
+            state,
+            fast_path=FastPathConfig(memoize=False, warm_start=True, prune=False),
+            backend=HolisticAnalysisBackend(),
+        )
+        violations.extend(
+            _digest_violations(
+                "warmstart-identical",
+                result_digest(holistic_cold),
+                result_digest(holistic_warm),
+            )
+        )
+        return violations
+
+
+def _digest_violations(
+    oracle: str, reference: Dict[str, Any], candidate: Dict[str, Any]
+) -> List[Violation]:
+    """Per-value diff of two result digests (empty when identical)."""
+    violations: List[Violation] = []
+    for graph, ref in reference["verdicts"].items():
+        cand = candidate["verdicts"].get(graph)
+        if cand == ref:
+            continue
+        violations.append(
+            Violation(
+                oracle=oracle,
+                subject=graph,
+                expected=ref["wcrt"],
+                actual=cand["wcrt"] if cand is not None else float("nan"),
+                detail=f"verdict diverged: {ref!r} != {cand!r}",
+            )
+        )
+    for task, ref_bound in reference["task_completion"].items():
+        cand_bound = candidate["task_completion"].get(task)
+        if cand_bound == ref_bound:
+            continue
+        violations.append(
+            Violation(
+                oracle=oracle,
+                subject=task,
+                expected=ref_bound,
+                actual=cand_bound if cand_bound is not None else float("nan"),
+                detail="task completion bound diverged",
+            )
+        )
+    return violations

@@ -1,0 +1,363 @@
+"""Self-contained, replayable violation records (the ``corpus/`` files).
+
+A reproducer carries *everything* needed to re-observe a violation from
+its JSON alone: the (shrunken) system, the fault profile and sampling
+regime, and the recorded expected/actual values.  Replay does **not**
+need the implementation that produced the bad bound — the violated
+expectation is stored as data — so a reproducer minted against a broken
+back-end still replays after that back-end is gone: it re-simulates the
+scenario deterministically and checks the recorded bound against the
+recomputed observation.
+
+Two kinds exist:
+
+* ``scenario`` — a sim-dominance (or metamorphic-harden) violation;
+  replay re-simulates and compares against the recorded bound;
+* ``quarantine`` — a DSE poison point imported from a PR-2
+  :class:`~repro.core.guard.QuarantineLog`; replay re-evaluates the
+  design and checks whether it still fails.
+
+Analysis-level violations (lattice inversions, fast-path divergence)
+are also written as ``scenario``-less records; their replay re-runs the
+recorded oracle with the stock implementations.
+"""
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.errors import ReproError
+from repro.verify.oracles import OracleRunner, SystemState, Violation
+from repro.verify.scenarios import Scenario
+
+#: Schema marker of reproducer JSON files.
+REPRODUCER_SCHEMA = "repro.verify.reproducer/1"
+
+#: Schema marker of the quarantine-log header line (see
+#: :class:`repro.core.guard.GuardedEvaluator`).
+QUARANTINE_HEADER_SCHEMA = "repro.verify.quarantine-header/1"
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Outcome of replaying one reproducer."""
+
+    #: Whether the recorded violation still fires.
+    reproduced: bool
+    #: Whether the recomputation matched the recorded ``actual`` value
+    #: (bit-for-bit determinism of the replay pipeline).
+    deterministic: bool
+    expected: float
+    #: The value recomputed by this replay.
+    actual: float
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class Reproducer:
+    """One violation, frozen with its full reproduction context."""
+
+    kind: str  # "scenario" | "analysis" | "quarantine"
+    oracle: str
+    subject: str
+    expected: float
+    actual: float
+    detail: str
+    system: Dict[str, Any]
+    scenario: Optional[Dict[str, Any]] = None
+    #: Quarantine payload (design + error) for ``quarantine`` records.
+    design: Optional[Dict[str, Any]] = None
+    policy: str = "fp"
+    granularity: str = "job"
+    tolerance: float = 1e-6
+    #: Accepted shrink steps that produced this minimal form.
+    shrink_steps: int = 0
+    #: Free-form provenance (campaign seed, source file, ...).
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_violation(
+        cls,
+        violation: Violation,
+        state: SystemState,
+        policy: str = "fp",
+        granularity: str = "job",
+        tolerance: float = 1e-6,
+        shrink_steps: int = 0,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> "Reproducer":
+        """Freeze a campaign violation together with its system state."""
+        kind = "scenario" if violation.scenario is not None else "analysis"
+        return cls(
+            kind=kind,
+            oracle=violation.oracle,
+            subject=violation.subject,
+            expected=violation.expected,
+            actual=violation.actual,
+            detail=violation.detail,
+            system=state.to_dict(),
+            scenario=violation.scenario,
+            policy=policy,
+            granularity=granularity,
+            tolerance=tolerance,
+            shrink_steps=shrink_steps,
+            meta=dict(meta or {}),
+        )
+
+    @classmethod
+    def from_quarantine(
+        cls, header: Dict[str, Any], record: Dict[str, Any]
+    ) -> "Reproducer":
+        """Adapt one quarantine JSONL record to the reproducer schema.
+
+        ``header`` is the one-time first line the PR-2 guard writes
+        (schema marker + problem serialization); ``record`` is one
+        poison-point line.
+        """
+        if header.get("schema") != QUARANTINE_HEADER_SCHEMA:
+            raise ReproError(
+                f"not a quarantine header: {header.get('schema')!r}"
+            )
+        design = record.get("design")
+        if design is None:
+            raise ReproError("quarantine record carries no design")
+        system = {
+            "applications": header["applications"],
+            "architecture": header["architecture"],
+            # DesignPoint serializes the bare assignment dict; wrap it in
+            # the mapping codec's envelope so SystemState can rebuild it.
+            "mapping": {"assignment": design.get("mapping", {})},
+            "plan": design.get("plan", {}),
+            "dropped": design.get("dropped", []),
+        }
+        return cls(
+            kind="quarantine",
+            oracle="guard-quarantine",
+            subject=record.get("stage", "evaluate"),
+            expected=0.0,
+            actual=1.0,
+            detail=(
+                f"{record.get('error_type', 'Exception')}: "
+                f"{record.get('error', '')}"
+            ),
+            system=system,
+            design=design,
+            meta={
+                "error_type": record.get("error_type"),
+                "attempts": record.get("attempts"),
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical JSON form (the on-disk corpus format)."""
+        payload: Dict[str, Any] = {
+            "schema": REPRODUCER_SCHEMA,
+            "kind": self.kind,
+            "oracle": self.oracle,
+            "subject": self.subject,
+            "expected": self.expected,
+            "actual": self.actual,
+            "detail": self.detail,
+            "system": self.system,
+            "scenario": self.scenario,
+            "policy": self.policy,
+            "granularity": self.granularity,
+            "tolerance": self.tolerance,
+            "shrink_steps": self.shrink_steps,
+            "meta": self.meta,
+        }
+        if self.design is not None:
+            payload["design"] = self.design
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Reproducer":
+        """Inverse of :meth:`to_dict`."""
+        if payload.get("schema") != REPRODUCER_SCHEMA:
+            raise ReproError(
+                f"unsupported reproducer schema {payload.get('schema')!r} "
+                f"(expected {REPRODUCER_SCHEMA!r})"
+            )
+        return cls(
+            kind=payload["kind"],
+            oracle=payload["oracle"],
+            subject=payload["subject"],
+            expected=float(payload["expected"]),
+            actual=float(payload["actual"]),
+            detail=payload.get("detail", ""),
+            system=payload["system"],
+            scenario=payload.get("scenario"),
+            design=payload.get("design"),
+            policy=payload.get("policy", "fp"),
+            granularity=payload.get("granularity", "job"),
+            tolerance=float(payload.get("tolerance", 1e-6)),
+            shrink_steps=int(payload.get("shrink_steps", 0)),
+            meta=dict(payload.get("meta", {})),
+        )
+
+    def digest(self) -> str:
+        """Content digest identifying this reproducer (file naming)."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def save(self, corpus_dir: Union[str, Path]) -> Path:
+        """Write into ``corpus_dir`` as ``reproducer-<digest12>.json``."""
+        directory = Path(corpus_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"reproducer-{self.digest()[:12]}.json"
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True))
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Reproducer":
+        """Read one reproducer JSON file."""
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+
+    def state(self) -> SystemState:
+        """The recorded system, rebuilt."""
+        return SystemState.from_dict(self.system)
+
+    def replay(self) -> ReplayResult:
+        """Re-observe the violation from the record alone."""
+        if self.kind == "scenario":
+            return self._replay_scenario()
+        if self.kind == "quarantine":
+            return self._replay_quarantine()
+        return self._replay_analysis()
+
+    def _replay_scenario(self) -> ReplayResult:
+        """Re-simulate deterministically; compare to the recorded bound."""
+        if self.scenario is None:
+            raise ReproError("scenario reproducer carries no scenario")
+        state = self.state()
+        runner = OracleRunner(policy=self.policy, granularity=self.granularity)
+        scenario = Scenario.from_dict(self.scenario)
+        sim = runner.simulate(state, scenario)
+        response = sim.graph_response_time(self.subject)
+        if response is None:
+            return ReplayResult(
+                reproduced=False,
+                deterministic=False,
+                expected=self.expected,
+                actual=float("nan"),
+                detail=f"subject {self.subject!r} produced no response",
+            )
+        deterministic = abs(response - self.actual) <= 1e-9
+        reproduced = response > self.expected + self.tolerance
+        return ReplayResult(
+            reproduced=reproduced,
+            deterministic=deterministic,
+            expected=self.expected,
+            actual=response,
+            detail=(
+                "observed response still exceeds the recorded bound"
+                if reproduced
+                else "recorded bound dominates the replayed observation"
+            ),
+        )
+
+    def _replay_analysis(self) -> ReplayResult:
+        """Re-run the recorded oracle with the stock implementations."""
+        state = self.state()
+        runner = OracleRunner(policy=self.policy, granularity=self.granularity)
+        if self.oracle in ("fastpath-identical", "warmstart-identical"):
+            violations = runner.check_consistency(state)
+        elif self.oracle in ("proposed-le-naive", "adhoc-le-proposed"):
+            violations = runner.check_lattice(state)
+        else:
+            raise ReproError(
+                f"cannot replay analysis oracle {self.oracle!r}"
+            )
+        match = next(
+            (
+                v
+                for v in violations
+                if v.oracle == self.oracle and v.subject == self.subject
+            ),
+            None,
+        )
+        if match is None:
+            return ReplayResult(
+                reproduced=False,
+                deterministic=True,
+                expected=self.expected,
+                actual=self.expected,
+                detail="oracle no longer fires with stock implementations",
+            )
+        return ReplayResult(
+            reproduced=True,
+            deterministic=abs(match.actual - self.actual) <= 1e-9,
+            expected=match.expected,
+            actual=match.actual,
+            detail=match.detail,
+        )
+
+    def _replay_quarantine(self) -> ReplayResult:
+        """Re-evaluate the quarantined design; does it still blow up?"""
+        if self.design is None:
+            raise ReproError("quarantine reproducer carries no design")
+        from repro.core.evaluator import Evaluator
+        from repro.core.problem import DesignPoint, Problem
+
+        state = self.state()
+        problem = Problem(
+            applications=state.applications, architecture=state.architecture
+        )
+        design = DesignPoint.from_dict(self.design)
+        try:
+            Evaluator(problem).evaluate(design)
+        except Exception as error:  # noqa: BLE001 — that IS the check
+            return ReplayResult(
+                reproduced=True,
+                deterministic=type(error).__name__ == self.meta.get("error_type"),
+                expected=self.expected,
+                actual=self.actual,
+                detail=f"evaluation still raises {type(error).__name__}: {error}",
+            )
+        return ReplayResult(
+            reproduced=False,
+            deterministic=True,
+            expected=self.expected,
+            actual=self.expected,
+            detail="quarantined design evaluates cleanly now",
+        )
+
+
+def load_quarantine_reproducers(path: Union[str, Path]) -> List[Reproducer]:
+    """Parse one quarantine JSONL file into reproducers.
+
+    Files written before the header line existed (or with the header
+    lost) yield an empty list — the caller should surface a warning, not
+    an error, so old logs don't break corpus replay.
+    """
+    lines = [
+        line
+        for line in Path(path).read_text().splitlines()
+        if line.strip()
+    ]
+    if not lines:
+        return []
+    header = json.loads(lines[0])
+    if header.get("schema") != QUARANTINE_HEADER_SCHEMA:
+        return []
+    reproducers = []
+    for line in lines[1:]:
+        record = json.loads(line)
+        if record.get("design") is None:
+            continue
+        reproducers.append(Reproducer.from_quarantine(header, record))
+    return reproducers

@@ -1,0 +1,425 @@
+"""Directed fault-injection scenario generation.
+
+Random Monte-Carlo sampling (the paper's ``WC-Sim``) misses exactly the
+corner cases Algorithm 1 enumerates: the moments where the first fault
+lands on a transition-window boundary.  This module *reads the analysis
+result* and generates scenarios at those boundaries instead:
+
+* for every analyzed transition, the first fault hits the trigger task's
+  instance — once under the best-case sampler (the fault lands near
+  ``minStart_v``, the earliest drop decision) and once under the
+  worst-case sampler (near ``maxFinish_v``, the latest);
+* for time-redundant triggers, the last-attempt edges: maximum recovery
+  (all ``k`` retries consumed, the final attempt succeeds) and attempt
+  exhaustion (every attempt faulty);
+* pairs of triggers whose normal-state windows overlap (the second fault
+  arrives while the drop decision of the first is still in flight);
+* exhaustive small-``k`` enumeration (every single fault, then every
+  fault pair) when the candidate space is small enough;
+* seeded random profiles to fill the remaining budget.
+
+All generation is deterministic given the analysis result and the seed:
+the scenario list of a campaign is reproducible bit-for-bit.
+"""
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.analysis import MCAnalysisResult, TransitionInfo
+from repro.hardening.spec import HardeningKind
+from repro.hardening.transform import HardenedSystem
+from repro.sim.faults import FaultKey, FaultProfile, random_profile
+from repro.sim.sampler import ExecutionSampler, sampler_from_spec
+
+#: Sampler specs used for boundary placement: the best-case sampler
+#: realizes executions near ``minStart``, the worst-case sampler near
+#: ``maxFinish``; the biased sampler probes in between.
+_BOUNDARY_SAMPLERS: Tuple[Dict[str, Any], ...] = (
+    {"kind": "worst"},
+    {"kind": "best"},
+)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fault-injection run: a profile plus its sampling regime."""
+
+    name: str
+    #: Provenance: ``fault-free``, ``adhoc``, ``directed-boundary``,
+    #: ``directed-recovery``, ``directed-pair``, ``exhaustive`` or
+    #: ``random``.
+    origin: str
+    profile: FaultProfile
+    #: Canonical sampler spec (``sampler.describe()``); rebuilt via
+    #: :func:`repro.sim.sampler.sampler_from_spec` at run time.
+    sampler_spec: Dict[str, Any] = field(default_factory=lambda: {"kind": "worst"})
+    #: Seed of the per-run execution-time RNG.
+    sampler_seed: int = 0
+    hyperperiods: int = 1
+
+    def sampler(self) -> ExecutionSampler:
+        """The execution-time sampler this scenario runs under."""
+        return sampler_from_spec(self.sampler_spec)
+
+    def key(self) -> Tuple:
+        """Deduplication identity (everything that affects the run)."""
+        return (
+            tuple(self.profile),
+            tuple(sorted(self.sampler_spec.items())),
+            self.sampler_seed,
+            self.hyperperiods,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical JSON form (embedded in reports and reproducers)."""
+        return {
+            "name": self.name,
+            "origin": self.origin,
+            "profile": self.profile.to_dict(),
+            "sampler": dict(self.sampler_spec),
+            "sampler_seed": self.sampler_seed,
+            "hyperperiods": self.hyperperiods,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Scenario":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=str(payload.get("name", "")),
+            origin=str(payload.get("origin", "")),
+            profile=FaultProfile.from_dict(payload.get("profile", {})),
+            sampler_spec=dict(payload.get("sampler", {"kind": "worst"})),
+            sampler_seed=int(payload.get("sampler_seed", 0)),
+            hyperperiods=int(payload.get("hyperperiods", 1)),
+        )
+
+    def with_profile(self, profile: FaultProfile, name: str) -> "Scenario":
+        """A copy running a different profile (used by the shrinker)."""
+        return Scenario(
+            name=name,
+            origin=self.origin,
+            profile=profile,
+            sampler_spec=self.sampler_spec,
+            sampler_seed=self.sampler_seed,
+            hyperperiods=self.hyperperiods,
+        )
+
+
+# ----------------------------------------------------------------------
+# Trigger introspection
+# ----------------------------------------------------------------------
+
+def _trigger_fault_task(hardened: HardenedSystem, primary: str) -> str:
+    """The ``T'`` task a first fault must hit to fire this trigger.
+
+    Time-redundant triggers fault the task itself; passive triggers fault
+    the first *active* copy of the replica group (the voter then requests
+    the passive copies).
+    """
+    if hardened.is_time_redundant(primary):
+        return primary
+    group = hardened.replica_groups[primary]
+    for name in group:
+        if name not in hardened.passive_tasks:
+            return name
+    return group[0]
+
+
+def _trigger_retries(hardened: HardenedSystem, primary: str) -> int:
+    """``k`` for time-redundant triggers, 0 for passive ones."""
+    spec = hardened.time_redundancy.get(primary)
+    return spec.reexecutions if spec is not None else 0
+
+
+def _instance_of(transition: TransitionInfo) -> int:
+    """Trigger instance; task-granularity transitions anchor instance 0."""
+    return transition.instance if transition.instance is not None else 0
+
+
+# ----------------------------------------------------------------------
+# Generators
+# ----------------------------------------------------------------------
+
+def directed_scenarios(
+    hardened: HardenedSystem,
+    analysis: MCAnalysisResult,
+    hyperperiods: int = 1,
+    max_pairs: int = 32,
+) -> List[Scenario]:
+    """Boundary, recovery-edge, and overlapping-pair scenarios.
+
+    Reads the analyzed transitions of ``analysis`` and places the first
+    fault on each transition's trigger instance, probing both window
+    boundaries via the best-/worst-case samplers.
+    """
+    scenarios: List[Scenario] = []
+    transitions = analysis.transitions
+    for transition in transitions:
+        primary = transition.trigger_primary
+        instance = _instance_of(transition)
+        fault_task = _trigger_fault_task(hardened, primary)
+        first = FaultProfile(
+            ((fault_task, instance, 0),), label=f"first-fault:{primary}@{instance}"
+        )
+        for spec in _BOUNDARY_SAMPLERS:
+            scenarios.append(
+                Scenario(
+                    name=(
+                        f"boundary:{primary}@{instance}:{spec['kind']}"
+                    ),
+                    origin="directed-boundary",
+                    profile=first,
+                    sampler_spec=dict(spec),
+                    hyperperiods=hyperperiods,
+                )
+            )
+        retries = _trigger_retries(hardened, primary)
+        if retries >= 1:
+            recovery = FaultProfile(
+                tuple((primary, instance, attempt) for attempt in range(retries)),
+                label=f"max-recovery:{primary}@{instance}",
+            )
+            exhausted = FaultProfile(
+                tuple(
+                    (primary, instance, attempt) for attempt in range(retries + 1)
+                ),
+                label=f"exhausted:{primary}@{instance}",
+            )
+            scenarios.append(
+                Scenario(
+                    name=f"recovery:{primary}@{instance}",
+                    origin="directed-recovery",
+                    profile=recovery,
+                    sampler_spec={"kind": "worst"},
+                    hyperperiods=hyperperiods,
+                )
+            )
+            scenarios.append(
+                Scenario(
+                    name=f"exhausted:{primary}@{instance}",
+                    origin="directed-recovery",
+                    profile=exhausted,
+                    sampler_spec={"kind": "worst"},
+                    hyperperiods=hyperperiods,
+                )
+            )
+    scenarios.extend(
+        _pair_scenarios(hardened, transitions, hyperperiods, max_pairs)
+    )
+    return scenarios
+
+
+def _pair_scenarios(
+    hardened: HardenedSystem,
+    transitions: Sequence[TransitionInfo],
+    hyperperiods: int,
+    max_pairs: int,
+) -> List[Scenario]:
+    """Two first faults on triggers with overlapping normal-state windows.
+
+    The second fault arrives while the first drop decision is still in
+    flight — the regime where transition classification is subtlest.
+    Pairs are enumerated in deterministic transition order and capped.
+    """
+    scenarios: List[Scenario] = []
+    for i, a in enumerate(transitions):
+        for b in transitions[i + 1:]:
+            if len(scenarios) >= max_pairs:
+                return scenarios
+            if a.trigger_primary == b.trigger_primary:
+                continue
+            if a.max_finish < b.min_start or b.max_finish < a.min_start:
+                continue  # windows disjoint: no interleaved drop decision
+            key_a = (
+                _trigger_fault_task(hardened, a.trigger_primary),
+                _instance_of(a),
+                0,
+            )
+            key_b = (
+                _trigger_fault_task(hardened, b.trigger_primary),
+                _instance_of(b),
+                0,
+            )
+            if key_a == key_b:
+                continue
+            label = (
+                f"{a.trigger_primary}@{_instance_of(a)}"
+                f"+{b.trigger_primary}@{_instance_of(b)}"
+            )
+            scenarios.append(
+                Scenario(
+                    name=f"pair:{label}",
+                    origin="directed-pair",
+                    profile=FaultProfile((key_a, key_b), label=f"pair:{label}"),
+                    sampler_spec={"kind": "worst"},
+                    hyperperiods=hyperperiods,
+                )
+            )
+    return scenarios
+
+
+def fault_candidates(
+    hardened: HardenedSystem, hyperperiods: int = 1
+) -> List[FaultKey]:
+    """Every fault that can change timing, in deterministic order.
+
+    Mirrors the candidate space of
+    :func:`repro.sim.faults.random_profile`: attempts of time-redundant
+    tasks and first attempts of replica copies.
+    """
+    candidates: List[FaultKey] = []
+    hyperperiod = hardened.applications.hyperperiod
+    for graph in hardened.applications.graphs:
+        instances = round(hyperperiods * hyperperiod / graph.period)
+        for task in graph.tasks:
+            if hardened.is_time_redundant(task.name):
+                k = hardened.time_redundancy[task.name].reexecutions
+                for instance in range(instances):
+                    for attempt in range(k + 1):
+                        candidates.append((task.name, instance, attempt))
+    for primary, spec in hardened.plan.items():
+        if not spec.is_replicated:
+            continue
+        graph = hardened.source.owner_of(primary)
+        instances = round(hyperperiods * hyperperiod / graph.period)
+        for copy in hardened.replica_groups[primary]:
+            for instance in range(instances):
+                candidates.append((copy, instance, 0))
+    return sorted(set(candidates))
+
+
+def exhaustive_scenarios(
+    hardened: HardenedSystem,
+    limit: int,
+    hyperperiods: int = 1,
+) -> List[Scenario]:
+    """Every single fault, then every fault pair, while under ``limit``.
+
+    For tiny systems this covers the complete k ≤ 2 fault space — the
+    regime where analysis bugs are easiest to localize.  Returns an empty
+    list when even the singletons exceed the limit.
+    """
+    candidates = fault_candidates(hardened, hyperperiods)
+    if not candidates or len(candidates) > limit:
+        return []
+    scenarios: List[Scenario] = []
+    for key in candidates:
+        task, instance, attempt = key
+        scenarios.append(
+            Scenario(
+                name=f"k1:{task}@{instance}.{attempt}",
+                origin="exhaustive",
+                profile=FaultProfile((key,), label="exhaustive-k1"),
+                sampler_spec={"kind": "worst"},
+                hyperperiods=hyperperiods,
+            )
+        )
+    pair_budget = limit - len(scenarios)
+    pairs = (len(candidates) * (len(candidates) - 1)) // 2
+    if pairs <= pair_budget:
+        for i, a in enumerate(candidates):
+            for b in candidates[i + 1:]:
+                scenarios.append(
+                    Scenario(
+                        name=(
+                            f"k2:{a[0]}@{a[1]}.{a[2]}+{b[0]}@{b[1]}.{b[2]}"
+                        ),
+                        origin="exhaustive",
+                        profile=FaultProfile((a, b), label="exhaustive-k2"),
+                        sampler_spec={"kind": "worst"},
+                        hyperperiods=hyperperiods,
+                    )
+                )
+    return scenarios
+
+
+def random_scenarios(
+    hardened: HardenedSystem,
+    count: int,
+    rng: random.Random,
+    max_faults: int = 3,
+    hyperperiods: int = 1,
+) -> List[Scenario]:
+    """Seeded random fill (the classic WC-Sim regime, biased sampling)."""
+    scenarios: List[Scenario] = []
+    for index in range(count):
+        profile = random_profile(
+            hardened, rng, max_faults=max_faults, hyperperiods=hyperperiods
+        )
+        scenarios.append(
+            Scenario(
+                name=f"random:{index}",
+                origin="random",
+                profile=profile,
+                sampler_spec={"kind": "biased", "worst_probability": 0.5},
+                sampler_seed=rng.getrandbits(32),
+                hyperperiods=hyperperiods,
+            )
+        )
+    return scenarios
+
+
+def generate_scenarios(
+    hardened: HardenedSystem,
+    analysis: MCAnalysisResult,
+    budget: int,
+    seed: int = 0,
+    max_faults: int = 3,
+    exhaustive_limit: int = 64,
+    hyperperiods: int = 1,
+) -> List[Scenario]:
+    """The campaign's scenario list: directed first, random fill last.
+
+    Deterministic in ``(analysis, seed, budget)``.  Order of precedence
+    under the budget: the fault-free baseline, the adhoc worst trace,
+    directed boundary/recovery/pair scenarios, exhaustive small-k
+    enumeration, then seeded random profiles.  Duplicates (same profile,
+    sampler and seed) are pruned before trimming to the budget.
+    """
+    from repro.sim.faults import adhoc_profile, no_fault_profile
+
+    ordered: List[Scenario] = [
+        Scenario(
+            name="fault-free",
+            origin="fault-free",
+            profile=no_fault_profile(),
+            sampler_spec={"kind": "worst"},
+            hyperperiods=hyperperiods,
+        ),
+        Scenario(
+            name="adhoc",
+            origin="adhoc",
+            profile=adhoc_profile(hardened, hyperperiods=hyperperiods),
+            sampler_spec={"kind": "worst"},
+            hyperperiods=hyperperiods,
+        ),
+    ]
+    ordered.extend(directed_scenarios(hardened, analysis, hyperperiods))
+    ordered.extend(exhaustive_scenarios(hardened, exhaustive_limit, hyperperiods))
+
+    seen: Set[Tuple] = set()
+    unique: List[Scenario] = []
+    for scenario in ordered:
+        key = scenario.key()
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(scenario)
+    unique = unique[:budget]
+
+    if len(unique) < budget:
+        rng = random.Random(seed)
+        for scenario in random_scenarios(
+            hardened,
+            budget - len(unique),
+            rng,
+            max_faults=max_faults,
+            hyperperiods=hyperperiods,
+        ):
+            key = scenario.key()
+            if key in seen:
+                continue
+            seen.add(key)
+            unique.append(scenario)
+    return unique

@@ -1,0 +1,307 @@
+"""Greedy counterexample minimization (delta debugging, one-at-a-time).
+
+A raw violation from the campaign typically drags a full benchmark
+system and a multi-fault profile along.  The shrinker minimizes it in
+two phases while the violation keeps reproducing:
+
+1. **fault profile** — remove faults one at a time (a sim-dominance
+   counterexample with one fault localizes the broken transition);
+2. **system** — remove whole applications, then individual tasks (with
+   their channels), then remaining channels.  Every candidate is
+   validated by simply re-running the oracle: candidates that fail to
+   build (dangling mapping entries are pruned, but e.g. removing the
+   last graph raises) are rejected.
+
+The reproduction predicate is injected, so the same shrinker serves
+simulation oracles (re-simulate the profile) and analysis-level oracles
+(re-run the comparison).  The total number of re-checks is bounded;
+shrinking is best-effort, never a soundness requirement.
+"""
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.model.application import ApplicationSet
+from repro.model.mapping import Mapping
+from repro.sim.faults import FaultProfile
+from repro.verify.oracles import SystemState, Violation
+
+#: ``reproduces(state, profile) -> Violation | None`` — re-runs the
+#: original oracle on a candidate; ``profile`` is ``None`` for
+#: profile-free (analysis-level) violations.
+ReproducePredicate = Callable[
+    [SystemState, Optional[FaultProfile]], Optional[Violation]
+]
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one minimization."""
+
+    state: SystemState
+    profile: Optional[FaultProfile]
+    violation: Violation
+    #: Successful reduction steps (accepted candidates).
+    steps: int
+    #: Oracle re-runs spent (accepted + rejected candidates).
+    checks: int
+    #: Whether the check budget ran out before a fixed point.
+    exhausted: bool
+
+
+class _Budget:
+    """Counts oracle re-runs against a hard cap."""
+
+    def __init__(self, limit: int):
+        self.limit = limit
+        self.used = 0
+
+    def take(self) -> bool:
+        if self.used >= self.limit:
+            return False
+        self.used += 1
+        return True
+
+
+def shrink_counterexample(
+    state: SystemState,
+    profile: Optional[FaultProfile],
+    violation: Violation,
+    reproduces: ReproducePredicate,
+    max_checks: int = 300,
+) -> ShrinkResult:
+    """Minimize ``(state, profile)`` while ``reproduces`` keeps firing.
+
+    ``violation`` is the original finding; every accepted candidate
+    replaces it with the (equivalent-oracle) violation the candidate
+    produced, so the final result's numbers match the final system.
+    """
+    budget = _Budget(max_checks)
+    steps = 0
+
+    if profile is not None:
+        profile, violation, removed = _shrink_profile(
+            state, profile, violation, reproduces, budget
+        )
+        steps += removed
+
+    state, profile, violation, removed = _shrink_system(
+        state, profile, violation, reproduces, budget
+    )
+    steps += removed
+
+    return ShrinkResult(
+        state=state,
+        profile=profile,
+        violation=violation,
+        steps=steps,
+        checks=budget.used,
+        exhausted=budget.used >= budget.limit,
+    )
+
+
+# ----------------------------------------------------------------------
+# Phase 1: the fault profile
+# ----------------------------------------------------------------------
+
+def _shrink_profile(
+    state: SystemState,
+    profile: FaultProfile,
+    violation: Violation,
+    reproduces: ReproducePredicate,
+    budget: _Budget,
+) -> Tuple[FaultProfile, Violation, int]:
+    """Drop faults one at a time until no single removal reproduces."""
+    steps = 0
+    changed = True
+    while changed:
+        changed = False
+        for fault in list(profile):
+            remaining = [f for f in profile if f != fault]
+            candidate = FaultProfile(remaining, label=profile.label)
+            if not budget.take():
+                return profile, violation, steps
+            found = _try(reproduces, state, candidate)
+            if found is not None:
+                profile = candidate
+                violation = found
+                steps += 1
+                changed = True
+                break
+    return profile, violation, steps
+
+
+# ----------------------------------------------------------------------
+# Phase 2: the system
+# ----------------------------------------------------------------------
+
+def _shrink_system(
+    state: SystemState,
+    profile: Optional[FaultProfile],
+    violation: Violation,
+    reproduces: ReproducePredicate,
+    budget: _Budget,
+) -> Tuple[SystemState, Optional[FaultProfile], Violation, int]:
+    """Remove applications, then tasks, then channels."""
+    steps = 0
+    for builder in (_without_graph, _without_task, _without_channel):
+        changed = True
+        while changed:
+            changed = False
+            for target in builder.targets(state):
+                candidate = _try_build(builder, state, target)
+                if candidate is None:
+                    continue
+                cand_profile = _restrict_profile(profile, candidate)
+                if not budget.take():
+                    return state, profile, violation, steps
+                found = _try(reproduces, candidate, cand_profile)
+                if found is not None:
+                    state = candidate
+                    profile = cand_profile
+                    violation = found
+                    steps += 1
+                    changed = True
+                    break
+    return state, profile, violation, steps
+
+
+def _try(
+    reproduces: ReproducePredicate,
+    state: SystemState,
+    profile: Optional[FaultProfile],
+) -> Optional[Violation]:
+    """Run the predicate; a raising candidate counts as not reproducing."""
+    try:
+        return reproduces(state, profile)
+    except Exception:  # noqa: BLE001 — invalid candidates are expected
+        return None
+
+
+def _try_build(builder, state: SystemState, target) -> Optional[SystemState]:
+    try:
+        return builder(state, target)
+    except Exception:  # noqa: BLE001 — e.g. removing the last graph/task
+        return None
+
+
+def _restrict_profile(
+    profile: Optional[FaultProfile], state: SystemState
+) -> Optional[FaultProfile]:
+    """Drop faults whose primary task left the system.
+
+    Fault keys name ``T'`` tasks (replica copies contain ``#``); a key
+    survives iff the primary it descends from still exists.
+    """
+    if profile is None:
+        return None
+    known = set(state.applications.all_task_names)
+    kept = [
+        key
+        for key in profile
+        if key[0].split("#", 1)[0] in known
+    ]
+    return FaultProfile(kept, label=profile.label)
+
+
+def _restrict_mapping(mapping: Mapping, removed_primaries: set) -> Mapping:
+    """Drop mapping entries of ``T'`` tasks descending from removed tasks."""
+    return Mapping(
+        {
+            task: processor
+            for task, processor in mapping.as_dict().items()
+            if task.split("#", 1)[0] not in removed_primaries
+        }
+    )
+
+
+def _restrict_state(
+    state: SystemState,
+    applications: ApplicationSet,
+    removed_primaries: set,
+    removed_graphs: set,
+) -> SystemState:
+    plan = state.plan
+    for task in sorted(removed_primaries):
+        if task in plan:
+            from repro.hardening.spec import HardeningSpec
+
+            plan = plan.with_spec(task, HardeningSpec.none())
+    return SystemState(
+        applications=applications,
+        architecture=state.architecture,
+        mapping=_restrict_mapping(state.mapping, removed_primaries),
+        plan=plan,
+        dropped=tuple(
+            name for name in state.dropped if name not in removed_graphs
+        ),
+    )
+
+
+def _without_graph(state: SystemState, graph_name: str) -> SystemState:
+    graphs = [g for g in state.applications.graphs if g.name != graph_name]
+    removed = {
+        task.name for task in state.applications.graph(graph_name).tasks
+    }
+    return _restrict_state(
+        state, ApplicationSet(graphs), removed, {graph_name}
+    )
+
+
+def _without_graph_targets(state: SystemState) -> List[str]:
+    return [g.name for g in state.applications.graphs]
+
+
+_without_graph.targets = _without_graph_targets
+
+
+def _without_task(state: SystemState, target: Tuple[str, str]) -> SystemState:
+    graph_name, task_name = target
+    graph = state.applications.graph(graph_name)
+    tasks = [t for t in graph.tasks if t.name != task_name]
+    channels = [
+        c
+        for c in graph.channels
+        if c.src != task_name and c.dst != task_name
+    ]
+    new_graph = graph.derive(tasks=tasks, channels=channels)
+    return _restrict_state(
+        state,
+        state.applications.replacing(new_graph),
+        {task_name},
+        set(),
+    )
+
+
+def _without_task_targets(state: SystemState) -> List[Tuple[str, str]]:
+    return [
+        (graph.name, task.name)
+        for graph in state.applications.graphs
+        for task in graph.tasks
+    ]
+
+
+_without_task.targets = _without_task_targets
+
+
+def _without_channel(
+    state: SystemState, target: Tuple[str, str, str]
+) -> SystemState:
+    graph_name, src, dst = target
+    graph = state.applications.graph(graph_name)
+    channels = [c for c in graph.channels if (c.src, c.dst) != (src, dst)]
+    new_graph = graph.derive(channels=channels)
+    return _restrict_state(
+        state, state.applications.replacing(new_graph), set(), set()
+    )
+
+
+def _without_channel_targets(state: SystemState) -> List[Tuple[str, str, str]]:
+    return [
+        (graph.name, channel.src, channel.dst)
+        for graph in state.applications.graphs
+        for channel in graph.channels
+    ]
+
+
+_without_channel.targets = _without_channel_targets

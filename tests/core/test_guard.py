@@ -176,7 +176,12 @@ class TestGuardedEvaluator:
         )
         guarded.evaluate(design, context={"key": "value"})
         log.close()
-        record = json.loads((tmp_path / "q.jsonl").read_text().splitlines()[0])
+        lines = (tmp_path / "q.jsonl").read_text().splitlines()
+        # a fresh guarded log starts with the self-describing header
+        header = json.loads(lines[0])
+        assert header["schema"] == "repro.verify.quarantine-header/1"
+        assert "applications" in header and "architecture" in header
+        record = json.loads(lines[1])
         assert record["stage"] == "evaluate"
         assert record["error_type"] == "RuntimeError"
         assert "Traceback" in record["traceback"]

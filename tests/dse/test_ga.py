@@ -218,7 +218,10 @@ class TestGuardedExploration:
         result = explorer.run()
         explorer.quarantine.close()
         lines = (tmp_path / "quarantine.jsonl").read_text().splitlines()
-        records = [json.loads(line) for line in lines]
+        # line 0 is the self-describing header; records follow
+        header = json.loads(lines[0])
+        assert header["schema"] == "repro.verify.quarantine-header/1"
+        records = [json.loads(line) for line in lines[1:]]
         assert len(records) == result.statistics.guard_failures
         assert all(r["error_type"] == "RuntimeError" for r in records)
         assert all(r["design"] is not None for r in records)
@@ -256,4 +259,5 @@ class TestGuardedExploration:
         assert stats.guard_failures == 0
         explorer.quarantine.close()
         lines = (tmp_path / "rescued.jsonl").read_text().splitlines()
-        assert len(lines) == stats.fallback_evaluations
+        # one header line plus one record per rescued evaluation
+        assert len(lines) == 1 + stats.fallback_evaluations

@@ -22,6 +22,8 @@ from repro.obs.events import (
     RunInterrupted,
     RunResumed,
     ScenarioAnalyzed,
+    VerificationCompleted,
+    ViolationFound,
     capture,
     event_from_dict,
     event_to_dict,
@@ -72,6 +74,17 @@ SAMPLE_EVENTS = [
         generation=10, path="ckpt/checkpoint-00000010.json", cache_entries=64
     ),
     RunInterrupted(generation=11, checkpoint_path=None),
+    ViolationFound(
+        oracle="sim-le-proposed",
+        subject="hi",
+        expected=30.0,
+        actual=31.5,
+        scenario="directed-boundary-1",
+    ),
+    VerificationCompleted(
+        label="cruise", scenarios=200, checks=210, violations=1,
+        shrink_steps=5, reproducers=1,
+    ),
 ]
 
 

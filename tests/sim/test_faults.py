@@ -1,8 +1,11 @@
 """Unit tests for failure profiles."""
 
+import json
 import random
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import SimulationError
 from repro.hardening.spec import HardeningKind
@@ -83,3 +86,41 @@ class TestRandomProfile:
         plain = harden(apps, HardeningPlan())
         profile = random_profile(plain, random.Random(0))
         assert len(profile) == 0
+
+
+class TestProfileSerialization:
+    _keys = st.tuples(
+        st.text(
+            alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+            min_size=1,
+            max_size=8,
+        ),
+        st.integers(min_value=0, max_value=7),
+        st.integers(min_value=0, max_value=4),
+    )
+
+    @given(
+        faults=st.lists(_keys, max_size=10),
+        label=st.text(max_size=12),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_dict_round_trip(self, faults, label):
+        profile = FaultProfile(faults, label=label)
+        clone = FaultProfile.from_dict(profile.to_dict())
+        assert clone == profile
+        assert hash(clone) == hash(profile)
+        assert clone.to_dict() == profile.to_dict()
+
+    def test_to_dict_is_sorted_and_json_stable(self):
+        profile = FaultProfile([("b", 1, 0), ("a", 0, 2)], label="mix")
+        payload = profile.to_dict()
+        assert payload == {
+            "label": "mix",
+            "faults": [["a", 0, 2], ["b", 1, 0]],
+        }
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_equality_includes_label(self):
+        assert FaultProfile([("a", 0, 0)], label="x") != FaultProfile(
+            [("a", 0, 0)], label="y"
+        )

@@ -167,6 +167,31 @@ class TestExplore:
         )
 
 
+class TestVerify:
+    def test_clean_system_exits_zero(self, system_file, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        code = main(
+            ["verify", system_file, "--budget", "15", "--seed", "2",
+             "--out", str(out)]
+        )
+        assert code == 0
+        assert "violations: 0" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert payload["ok"] is True
+        assert len(payload["scenarios"]) == 15
+
+    def test_replay_without_system(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus"
+        corpus.mkdir()
+        code = main(["verify", "--replay", str(corpus)])
+        assert code == 0
+        assert "still reproducing: 0" in capsys.readouterr().out
+
+    def test_no_system_no_replay_is_error(self, capsys):
+        assert main(["verify"]) == 2
+        assert "required" in capsys.readouterr().err
+
+
 class TestMargins:
     def test_margins_command(self, system_file, capsys):
         code = main(["margins", system_file, "--dropped", "lo"])

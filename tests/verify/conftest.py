@@ -1,0 +1,17 @@
+"""Verification-harness fixtures built on the shared toy system."""
+
+import pytest
+
+from repro.verify.oracles import SystemState
+
+
+@pytest.fixture
+def state(apps, architecture, mapping, plan):
+    """The toy two-application system as a verification target."""
+    return SystemState(
+        applications=apps,
+        architecture=architecture,
+        mapping=mapping,
+        plan=plan,
+        dropped=(),
+    )

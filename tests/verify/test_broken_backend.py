@@ -1,0 +1,159 @@
+"""The harness must catch a deliberately broken schedulability back-end.
+
+``UnderReportingBackend`` wraps the stock window analysis and scales
+down every ``maxFinish`` — exactly the failure mode a subtly wrong
+interference bound would produce.  The campaign's simulation oracle has
+to notice, the shrinker has to produce a small reproducer, and the
+reproducer has to replay deterministically from its JSON alone (the
+broken back-end is *not* wired into the replay).
+"""
+
+import json
+
+import pytest
+
+from repro.sched.wcrt import ScheduleBounds, WindowAnalysisBackend
+from repro.verify.campaign import CampaignConfig, replay_corpus, run_campaign
+from repro.verify.reproducer import REPRODUCER_SCHEMA, Reproducer
+
+
+class UnderReportingBackend:
+    """Window analysis whose worst-case bounds are optimistically wrong."""
+
+    def __init__(self, factor=0.7):
+        self._inner = WindowAnalysisBackend()
+        self._factor = factor
+
+    def analyze(self, jobset):
+        bounds = self._inner.analyze(jobset)
+        count = len(jobset.jobs)
+        min_start, min_finish, max_start, max_finish = [], [], [], []
+        for index in range(count):
+            job_bounds = bounds.bounds_at(index)
+            min_start.append(job_bounds.min_start)
+            min_finish.append(job_bounds.min_finish)
+            max_start.append(job_bounds.max_start * self._factor)
+            max_finish.append(job_bounds.max_finish * self._factor)
+        return ScheduleBounds(
+            jobset,
+            min_start,
+            min_finish,
+            max_start,
+            max_finish,
+            bounds.converged,
+            bounds.sweeps,
+        )
+
+
+@pytest.fixture(scope="module")
+def campaign(tmp_path_factory):
+    from repro.verify.oracles import SystemState
+    from repro.hardening.spec import HardeningPlan, HardeningSpec
+    from repro.model.application import ApplicationSet
+    from repro.model.architecture import (
+        Architecture,
+        Interconnect,
+        InterconnectKind,
+        Processor,
+    )
+    from repro.model.mapping import Mapping
+    from repro.model.task import Channel, Task
+    from repro.model.taskgraph import TaskGraph
+
+    graph = TaskGraph(
+        "hi",
+        tasks=[
+            Task("a", 1.0, 2.0, detection_overhead=0.2),
+            Task("b", 2.0, 4.0, detection_overhead=0.4),
+            Task("c", 1.0, 1.5, detection_overhead=0.1),
+        ],
+        channels=[Channel("a", "b", 10.0), Channel("b", "c", 5.0)],
+        period=40.0,
+        reliability_target=1e-6,
+    )
+    state = SystemState(
+        applications=ApplicationSet([graph]),
+        architecture=Architecture(
+            [
+                Processor("pe0", "generic", 1.0, 2.0, fault_rate=1e-5),
+                Processor("pe1", "generic", 1.0, 2.0, fault_rate=1e-5),
+            ],
+            Interconnect(
+                bandwidth=1000.0,
+                base_latency=0.0,
+                kind=InterconnectKind.SHARED_BUS,
+            ),
+        ),
+        mapping=Mapping({"a": "pe0", "b": "pe0", "c": "pe1"}),
+        plan=HardeningPlan({"a": HardeningSpec.reexecution(2)}),
+        dropped=(),
+    )
+    corpus = tmp_path_factory.mktemp("corpus")
+    config = CampaignConfig(
+        budget=40,
+        seed=0,
+        backend=UnderReportingBackend(),
+        corpus_dir=corpus,
+        # the lattice/consistency oracles compare broken-vs-broken and
+        # broken-vs-adhoc; keep the test focused on sim dominance
+        metamorphic=False,
+    )
+    report = run_campaign(state, config, label="broken")
+    return state, corpus, report
+
+
+class TestBrokenBackendCaught:
+    def test_violations_found(self, campaign):
+        _state, _corpus, report = campaign
+        assert not report.ok
+        sim_hits = [
+            v for v in report.violations if v["oracle"] == "sim-le-proposed"
+        ]
+        assert sim_hits, report.violations
+        for violation in sim_hits:
+            assert violation["actual"] > violation["expected"]
+
+    def test_reproducers_written_and_shrunk(self, campaign):
+        _state, corpus, report = campaign
+        assert report.reproducers
+        assert report.shrink_steps > 0
+        scenario_reproducers = [
+            r
+            for r in (Reproducer.load(p) for p in report.reproducers)
+            if r.kind == "scenario"
+        ]
+        assert scenario_reproducers
+        for reproducer in scenario_reproducers:
+            profile = reproducer.scenario["profile"]["faults"]
+            assert len(profile) <= 2
+
+    def test_replay_from_json_alone(self, campaign):
+        _state, corpus, report = campaign
+        path = report.reproducers[0]
+        payload = json.loads(open(path).read())
+        assert payload["schema"] == REPRODUCER_SCHEMA
+        # rebuild purely from the file — no campaign objects involved
+        reproducer = Reproducer.load(path)
+        first = reproducer.replay()
+        second = reproducer.replay()
+        assert first.reproduced
+        assert first.deterministic
+        assert first == second
+
+    def test_replay_corpus_flags_live_bugs(self, campaign):
+        _state, corpus, _report = campaign
+        replay = replay_corpus(corpus)
+        assert not replay.ok
+        assert replay.still_reproducing >= 1
+        assert all(e["deterministic"] for e in replay.entries)
+
+
+class TestHealthyBackendContrast:
+    def test_same_campaign_clean_without_the_bug(self, campaign, tmp_path):
+        state, _corpus, _report = campaign
+        config = CampaignConfig(
+            budget=40, seed=0, metamorphic=False, corpus_dir=tmp_path
+        )
+        report = run_campaign(state, config, label="healthy")
+        assert report.ok
+        assert list(tmp_path.iterdir()) == []

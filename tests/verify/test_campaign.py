@@ -1,0 +1,93 @@
+"""Campaign-level tests: clean systems verify clean, reports determinize."""
+
+import json
+
+import pytest
+
+from repro import api
+from repro.errors import ReproError
+from repro.suites import benchmark_names
+from repro.verify.campaign import (
+    CampaignConfig,
+    run_campaign,
+    replay_corpus,
+    state_from_bundle,
+)
+from repro.verify.oracles import ORACLES
+
+
+class TestToyCampaign:
+    def test_zero_violations(self, state):
+        report = run_campaign(
+            state, CampaignConfig(budget=40, seed=0), label="toy"
+        )
+        assert report.ok
+        assert len(report.scenarios) == 40
+        assert report.violations == []
+        assert report.reproducers == []
+        assert set(report.oracles) <= set(ORACLES)
+        assert report.oracles["sim-le-proposed"]["checks"] == 40
+
+    def test_report_deterministic_in_seed_and_budget(self, state):
+        config = CampaignConfig(budget=30, seed=5)
+        first = run_campaign(state, config, label="toy")
+        second = run_campaign(state, config, label="toy")
+        assert first.to_dict() == second.to_dict()
+
+    def test_report_json_round_trips(self, state, tmp_path):
+        report = run_campaign(
+            state, CampaignConfig(budget=10, seed=2), label="toy"
+        )
+        out = tmp_path / "report.json"
+        report.write(out)
+        payload = json.loads(out.read_text())
+        assert payload == report.to_dict()
+        assert payload["ok"] is True
+
+    def test_config_validation(self):
+        with pytest.raises(ReproError):
+            CampaignConfig(budget=0)
+        with pytest.raises(ReproError):
+            CampaignConfig(max_shrink_checks=-1)
+
+
+class TestSuiteSweep:
+    @pytest.mark.parametrize("suite", benchmark_names())
+    def test_suite_verifies_clean(self, suite):
+        state = state_from_bundle(api.load(suite), seed=7)
+        report = run_campaign(
+            state, CampaignConfig(budget=25, seed=7), label=suite
+        )
+        assert report.ok, report.violations
+        assert len(report.scenarios) == 25
+        # every oracle family actually ran
+        assert report.oracles["sim-le-proposed"]["checks"] == 25
+        assert report.oracles["proposed-le-naive"]["checks"] == 1
+        assert report.oracles["fastpath-identical"]["checks"] == 1
+        assert report.oracles["warmstart-identical"]["checks"] == 1
+
+
+class TestApiFacade:
+    def test_verify_on_suite_name(self):
+        report = api.verify("cruise", budget=15, seed=3)
+        assert report.ok
+        assert report.label == "cruise"
+        assert report.budget == 15
+
+    def test_same_seed_same_report(self):
+        first = api.verify("cruise", budget=12, seed=4)
+        second = api.verify("cruise", budget=12, seed=4)
+        assert first.to_dict() == second.to_dict()
+
+
+class TestReplayCorpus:
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(ReproError):
+            replay_corpus(tmp_path / "nope")
+
+    def test_foreign_json_skipped(self, tmp_path):
+        (tmp_path / "other.json").write_text('{"schema": "something-else"}')
+        report = replay_corpus(tmp_path)
+        assert report.ok
+        assert report.entries == []
+        assert len(report.skipped) == 1

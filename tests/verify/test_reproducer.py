@@ -1,0 +1,151 @@
+"""Reproducer serialization, digests, and quarantine-log adaptation."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.verify.oracles import Violation
+from repro.verify.reproducer import (
+    QUARANTINE_HEADER_SCHEMA,
+    REPRODUCER_SCHEMA,
+    Reproducer,
+    load_quarantine_reproducers,
+)
+
+
+@pytest.fixture
+def violation():
+    return Violation(
+        oracle="sim-le-proposed",
+        subject="hi",
+        expected=10.0,
+        actual=12.5,
+        detail="toy",
+        scenario={
+            "name": "s",
+            "origin": "directed",
+            "profile": {"label": "", "faults": [["a", 0, 0]]},
+            "sampler": {"kind": "worst"},
+            "sampler_seed": 0,
+            "hyperperiods": 1,
+        },
+    )
+
+
+class TestSerialization:
+    def test_round_trip(self, state, violation):
+        reproducer = Reproducer.from_violation(violation, state, shrink_steps=3)
+        clone = Reproducer.from_dict(reproducer.to_dict())
+        assert clone == reproducer
+        assert clone.digest() == reproducer.digest()
+
+    def test_kind_from_scenario_presence(self, state, violation):
+        assert Reproducer.from_violation(violation, state).kind == "scenario"
+        analysis_violation = Violation(
+            oracle="fastpath-identical",
+            subject="hi",
+            expected=1.0,
+            actual=2.0,
+        )
+        assert (
+            Reproducer.from_violation(analysis_violation, state).kind
+            == "analysis"
+        )
+
+    def test_schema_enforced(self):
+        with pytest.raises(ReproError):
+            Reproducer.from_dict({"schema": "bogus/9"})
+
+    def test_save_and_load(self, state, violation, tmp_path):
+        reproducer = Reproducer.from_violation(violation, state)
+        path = reproducer.save(tmp_path)
+        assert path.name == f"reproducer-{reproducer.digest()[:12]}.json"
+        assert json.loads(path.read_text())["schema"] == REPRODUCER_SCHEMA
+        assert Reproducer.load(path) == reproducer
+
+    def test_state_rebuilds(self, state, violation):
+        reproducer = Reproducer.from_violation(violation, state)
+        rebuilt = reproducer.state()
+        assert rebuilt.to_dict() == state.to_dict()
+
+
+class TestScenarioReplay:
+    def test_dominating_bound_does_not_reproduce(self, state, violation):
+        # a recorded bound far above any possible response: the replayed
+        # observation can't beat it, so the violation reads as fixed
+        payload = Reproducer.from_violation(violation, state).to_dict()
+        payload["expected"] = 1e9
+        outcome = Reproducer.from_dict(payload).replay()
+        assert not outcome.reproduced
+
+    def test_recorded_underreport_reproduces(self, state, violation):
+        # shove the recorded bound below any possible response: the
+        # violation must fire again from the JSON alone
+        payload = Reproducer.from_violation(violation, state).to_dict()
+        payload["expected"] = 0.0
+        outcome = Reproducer.from_dict(payload).replay()
+        assert outcome.reproduced
+        assert outcome.actual > 0.0
+
+
+class TestQuarantineAdapter:
+    def _header(self, state):
+        system = state.to_dict()
+        return {
+            "schema": QUARANTINE_HEADER_SCHEMA,
+            "applications": system["applications"],
+            "architecture": system["architecture"],
+        }
+
+    def _record(self, state):
+        return {
+            "stage": "evaluate",
+            "error_type": "RuntimeError",
+            "error": "boom",
+            "attempts": 2,
+            "design": {
+                "allocation": sorted(set(state.mapping.as_dict().values())),
+                "dropped": [],
+                "plan": state.plan.to_dict(),
+                "mapping": state.mapping.as_dict(),
+            },
+        }
+
+    def test_from_quarantine(self, state):
+        reproducer = Reproducer.from_quarantine(
+            self._header(state), self._record(state)
+        )
+        assert reproducer.kind == "quarantine"
+        assert reproducer.oracle == "guard-quarantine"
+        # the bare assignment dict is re-wrapped into the codec envelope
+        rebuilt = reproducer.state()
+        assert rebuilt.mapping.as_dict() == state.mapping.as_dict()
+
+    def test_header_schema_enforced(self, state):
+        with pytest.raises(ReproError):
+            Reproducer.from_quarantine({"schema": "old"}, self._record(state))
+
+    def test_jsonl_loading(self, state, tmp_path):
+        path = tmp_path / "quarantine.jsonl"
+        lines = [
+            json.dumps(self._header(state)),
+            json.dumps(self._record(state)),
+            json.dumps({"stage": "decode", "design": None}),  # skipped
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        reproducers = load_quarantine_reproducers(path)
+        assert len(reproducers) == 1
+        assert reproducers[0].subject == "evaluate"
+
+    def test_headerless_log_yields_nothing(self, state, tmp_path):
+        path = tmp_path / "old.jsonl"
+        path.write_text(json.dumps(self._record(state)) + "\n")
+        assert load_quarantine_reproducers(path) == []
+
+    def test_healthy_design_replays_fixed(self, state):
+        reproducer = Reproducer.from_quarantine(
+            self._header(state), self._record(state)
+        )
+        outcome = reproducer.replay()
+        assert not outcome.reproduced

@@ -1,0 +1,84 @@
+"""Unit tests for scenario generation."""
+
+import random
+
+from repro.verify.oracles import OracleRunner
+from repro.verify.scenarios import (
+    Scenario,
+    directed_scenarios,
+    exhaustive_scenarios,
+    fault_candidates,
+    generate_scenarios,
+    random_scenarios,
+)
+from repro.sim.faults import FaultProfile
+
+
+class TestScenarioSerialization:
+    def test_round_trip(self):
+        scenario = Scenario(
+            name="s",
+            origin="directed",
+            profile=FaultProfile([("a", 0, 1)], label="x"),
+            sampler_spec={"kind": "biased", "worst_probability": 0.7},
+            sampler_seed=42,
+            hyperperiods=2,
+        )
+        clone = Scenario.from_dict(scenario.to_dict())
+        assert clone.key() == scenario.key()
+        assert clone.profile == scenario.profile
+        assert clone.to_dict() == scenario.to_dict()
+
+    def test_sampler_rebuilds_from_spec(self):
+        scenario = Scenario(
+            name="s",
+            origin="random",
+            profile=FaultProfile(),
+            sampler_spec={"kind": "worst"},
+        )
+        assert scenario.sampler().describe() == {"kind": "worst"}
+
+
+class TestGeneration:
+    def test_budget_respected_and_deduplicated(self, state):
+        hardened = state.hardened()
+        analysis = OracleRunner().analyze(state)
+        scenarios = generate_scenarios(hardened, analysis, budget=25, seed=1)
+        assert len(scenarios) == 25
+        keys = [s.key() for s in scenarios]
+        assert len(set(keys)) == len(keys)
+
+    def test_fault_free_scenario_first(self, state):
+        analysis = OracleRunner().analyze(state)
+        scenarios = generate_scenarios(state.hardened(), analysis, budget=10)
+        assert len(scenarios[0].profile) == 0
+
+    def test_deterministic_in_seed(self, state):
+        hardened = state.hardened()
+        analysis = OracleRunner().analyze(state)
+        first = generate_scenarios(hardened, analysis, budget=30, seed=9)
+        second = generate_scenarios(hardened, analysis, budget=30, seed=9)
+        assert [s.to_dict() for s in first] == [s.to_dict() for s in second]
+        third = generate_scenarios(hardened, analysis, budget=30, seed=10)
+        assert [s.key() for s in first] != [s.key() for s in third]
+
+    def test_directed_scenarios_target_transitions(self, state):
+        analysis = OracleRunner().analyze(state)
+        scenarios = directed_scenarios(state.hardened(), analysis)
+        assert scenarios
+        assert all(s.origin.startswith("directed") for s in scenarios)
+        # every directed profile injects at least one fault
+        assert all(len(s.profile) >= 1 for s in scenarios)
+
+    def test_exhaustive_covers_every_single_fault(self, state):
+        hardened = state.hardened()
+        candidates = fault_candidates(hardened)
+        scenarios = exhaustive_scenarios(hardened, limit=len(candidates))
+        singles = {next(iter(s.profile)) for s in scenarios if len(s.profile) == 1}
+        assert singles == set(candidates)
+
+    def test_random_scenarios_reproducible(self, state):
+        hardened = state.hardened()
+        first = random_scenarios(hardened, 5, random.Random(3), max_faults=3)
+        second = random_scenarios(hardened, 5, random.Random(3), max_faults=3)
+        assert [s.to_dict() for s in first] == [s.to_dict() for s in second]
