@@ -37,6 +37,7 @@ from repro.hardening.transform import harden
 from repro.model.application import ApplicationSet
 from repro.model.mapping import Mapping
 from repro.model.serialization import SystemBundle, load_system
+from repro.obs.trace import span
 from repro.sched.comm import CommModel
 from repro.sched.wcrt import SchedBackend
 
@@ -148,25 +149,28 @@ def analyze(
     ``window``/``fast``/``holistic`` (or a back-end instance), both
     routed through :func:`repro.core.factory.make_analysis`.
     """
-    bundle = load(system)
-    mapping = mapping if mapping is not None else bundle.mapping
-    if mapping is None:
-        raise ReproError(
-            "system carries no mapping; pass mapping=... or run explore()"
+    with span("api.analyze", method=method, granularity=granularity):
+        bundle = load(system)
+        mapping = mapping if mapping is not None else bundle.mapping
+        if mapping is None:
+            raise ReproError(
+                "system carries no mapping; pass mapping=... or run explore()"
+            )
+        plan = plan if plan is not None else (bundle.plan or HardeningPlan())
+        hardened = harden(bundle.applications, plan)
+        drop_set = validate_dropped(bundle.applications, dropped)
+        analysis = make_analysis(
+            method=method,
+            backend=backend,
+            granularity=granularity,
+            comm=comm,
+            policy=policy,
+            bus_contention=bus_contention,
+            fast_path=fast_path,
         )
-    plan = plan if plan is not None else (bundle.plan or HardeningPlan())
-    hardened = harden(bundle.applications, plan)
-    drop_set = validate_dropped(bundle.applications, dropped)
-    analysis = make_analysis(
-        method=method,
-        backend=backend,
-        granularity=granularity,
-        comm=comm,
-        policy=policy,
-        bus_contention=bus_contention,
-        fast_path=fast_path,
-    )
-    return analysis.analyze(hardened, bundle.architecture, mapping, drop_set)
+        return analysis.analyze(
+            hardened, bundle.architecture, mapping, drop_set
+        )
 
 
 def simulate(
@@ -192,22 +196,24 @@ def simulate(
     """
     from repro.sim import BiasedSampler, MonteCarloEstimator, Simulator
 
-    bundle = load(system)
-    mapping = mapping if mapping is not None else bundle.mapping
-    if mapping is None:
-        raise ReproError(
-            "system carries no mapping; pass mapping=... or run explore()"
+    with span("api.simulate", profiles=profiles, policy=policy):
+        bundle = load(system)
+        mapping = mapping if mapping is not None else bundle.mapping
+        if mapping is None:
+            raise ReproError(
+                "system carries no mapping; pass mapping=... or run explore()"
+            )
+        plan = plan if plan is not None else (bundle.plan or HardeningPlan())
+        hardened = harden(bundle.applications, plan)
+        drop_set = validate_dropped(bundle.applications, dropped)
+        simulator = Simulator(
+            hardened, bundle.architecture, mapping,
+            dropped=drop_set, policy=policy,
         )
-    plan = plan if plan is not None else (bundle.plan or HardeningPlan())
-    hardened = harden(bundle.applications, plan)
-    drop_set = validate_dropped(bundle.applications, dropped)
-    simulator = Simulator(
-        hardened, bundle.architecture, mapping, dropped=drop_set, policy=policy
-    )
-    estimator = MonteCarloEstimator(
-        simulator, sampler=BiasedSampler(worst_bias), max_faults=max_faults
-    )
-    return estimator.estimate(profiles=profiles, seed=seed, rng=rng)
+        estimator = MonteCarloEstimator(
+            simulator, sampler=BiasedSampler(worst_bias), max_faults=max_faults
+        )
+        return estimator.estimate(profiles=profiles, seed=seed, rng=rng)
 
 
 def verify(
@@ -313,8 +319,14 @@ def explore(
             ),
         )
     explorer = Explorer(problem, config, evaluator=evaluator)
-    try:
-        return explorer.run()
-    finally:
-        if explorer.quarantine is not None:
-            explorer.quarantine.close()
+    with span(
+        "api.explore",
+        generations=config.generations,
+        population=config.population_size,
+        workers=config.workers,
+    ):
+        try:
+            return explorer.run()
+        finally:
+            if explorer.quarantine is not None:
+                explorer.quarantine.close()

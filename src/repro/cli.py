@@ -23,8 +23,11 @@ Examples::
 
 Every command accepts the observability flags ``--log-level``,
 ``--progress``, ``--metrics-out PATH`` (JSON metrics + per-generation
-records) and ``--trace-out PATH`` (JSONL event trace); final results go
-to stdout, telemetry to stderr/files.
+records) and ``--trace-out PATH`` (JSONL event + span trace); final
+results go to stdout, telemetry to stderr/files.  A recorded trace is
+inspected offline with ``repro trace summarize <file>`` (per-phase
+self-time and critical path) or converted for Perfetto with
+``repro trace chrome <file> <out.json>``.
 """
 
 import argparse
@@ -51,6 +54,7 @@ from repro.obs.events import (
 from repro.obs.logging import configure as configure_logging
 from repro.obs.logging import get_logger
 from repro.obs.metrics import metrics
+from repro.obs.trace import tracer
 from repro.sim import BiasedSampler, MonteCarloEstimator, Simulator
 from repro.suites import benchmark_names, get_benchmark
 
@@ -501,6 +505,32 @@ def _cmd_submit_cancel(args) -> int:
     return 0
 
 
+def _cmd_trace_summarize(args) -> int:
+    from repro.obs.export import format_summary, read_spans, summarize
+
+    spans = read_spans(args.trace_file)
+    if not spans:
+        print(f"no spans in {args.trace_file}", file=sys.stderr)
+        return 1
+    print(format_summary(summarize(spans), top=args.top))
+    return 0
+
+
+def _cmd_trace_chrome(args) -> int:
+    from repro.obs.export import read_spans, write_chrome_trace
+
+    spans = read_spans(args.trace_file)
+    if not spans:
+        print(f"no spans in {args.trace_file}", file=sys.stderr)
+        return 1
+    write_chrome_trace(spans, args.out)
+    print(
+        f"wrote {len(spans)} span(s) to {args.out} "
+        "(load in Perfetto or chrome://tracing)"
+    )
+    return 0
+
+
 def observability_options() -> argparse.ArgumentParser:
     """Parent parser carrying the shared observability flags."""
     common = argparse.ArgumentParser(add_help=False)
@@ -525,7 +555,8 @@ def observability_options() -> argparse.ArgumentParser:
     group.add_argument(
         "--trace-out",
         metavar="PATH",
-        help="write every telemetry event as a JSON line to PATH",
+        help="write every telemetry event and span as a JSON line to "
+        "PATH (inspect with `repro trace summarize`)",
     )
     return common
 
@@ -819,6 +850,29 @@ def build_parser() -> argparse.ArgumentParser:
     submit_common(s_cancel)
     s_cancel.set_defaults(handler=_cmd_submit_cancel)
 
+    trace = sub.add_parser(
+        "trace", help="inspect a span trace written by --trace-out"
+    )
+    trace_sub = trace.add_subparsers(dest="action", required=True)
+    t_summarize = trace_sub.add_parser(
+        "summarize",
+        help="per-phase self-time table and critical-path breakdown",
+        parents=obs,
+    )
+    t_summarize.add_argument("trace_file", help="JSONL trace file")
+    t_summarize.add_argument(
+        "--top", type=int, default=20, help="phases to list"
+    )
+    t_summarize.set_defaults(handler=_cmd_trace_summarize)
+    t_chrome = trace_sub.add_parser(
+        "chrome",
+        help="convert to Chrome trace-event JSON (Perfetto-loadable)",
+        parents=obs,
+    )
+    t_chrome.add_argument("trace_file", help="JSONL trace file")
+    t_chrome.add_argument("out", help="Chrome trace JSON output path")
+    t_chrome.set_defaults(handler=_cmd_trace_chrome)
+
     return parser
 
 
@@ -861,7 +915,7 @@ def main(argv=None) -> int:
         bus.subscribe(GenerationCompleted, progress)
         bus.subscribe(EarlyStopped, progress)
         subscribers.append(progress)
-    if args.trace_out:
+    if getattr(args, "trace_out", None):
         try:
             trace_writer = JsonlTraceWriter(args.trace_out)
         except OSError as error:
@@ -869,6 +923,9 @@ def main(argv=None) -> int:
             return 2
         bus.subscribe_all(trace_writer)
         subscribers.append(trace_writer)
+        # Events and spans interleave in one JSONL stream; the span
+        # records carry a "span" key, event records an "event" key.
+        tracer().enable(trace_writer.write_record)
 
     try:
         code = args.handler(args)
@@ -889,4 +946,5 @@ def main(argv=None) -> int:
         for subscriber in subscribers:
             bus.unsubscribe(subscriber)
         if trace_writer is not None:
+            tracer().reset()
             trace_writer.close()

@@ -53,6 +53,7 @@ from repro.model.mapping import Mapping
 from repro.obs import events as obs_events
 from repro.obs.events import ScenarioAnalyzed
 from repro.obs.metrics import metrics
+from repro.obs.trace import annotate, span as trace_span
 from repro.sched.comm import CommModel
 from repro.sched.jobs import JobId, JobSet, unroll
 from repro.sched.priority import assign_priorities
@@ -214,11 +215,28 @@ class MixedCriticalityAnalysis:
         dropped: Iterable[str] = (),
     ) -> MCAnalysisResult:
         """Run Algorithm 1 for a hardened system under a drop set ``T_d``."""
+        with trace_span("analysis.run", granularity=self._granularity) as sp:
+            result = self._analyze_impl(hardened, architecture, mapping, dropped)
+            sp.set_attributes(
+                transitions=result.transitions_analyzed,
+                transitions_pruned=result.transitions_pruned,
+                schedulable=result.schedulable,
+            )
+            return result
+
+    def _analyze_impl(
+        self,
+        hardened: HardenedSystem,
+        architecture: Architecture,
+        mapping: Mapping,
+        dropped: Iterable[str] = (),
+    ) -> MCAnalysisResult:
         registry = metrics()
         registry.counter("analysis.runs").inc()
         dropped_set = hardened.source.validate_drop_set(dropped)
         base = self._base_jobset(hardened, architecture, mapping)
-        normal = self._sched(base)
+        with trace_span("analysis.normal"):
+            normal = self._sched(base)
 
         graph_wcrt: Dict[str, float] = {}
         normal_wcrt: Dict[str, float] = {}
@@ -265,7 +283,10 @@ class MixedCriticalityAnalysis:
                     transitions_pruned += 1
                     continue
                 pruner.record(overrides)
-            bounds = self._sched(base.with_bounds(overrides), seed=warm_seed)
+            with trace_span("analysis.transition", trigger=label):
+                bounds = self._sched(
+                    base.with_bounds(overrides), seed=warm_seed
+                )
             transition_wcrt: Dict[str, float] = {}
             for graph in hardened.applications.graphs:
                 if graph.name in dropped_set:
@@ -347,8 +368,10 @@ class MixedCriticalityAnalysis:
             cached = fast.cache.get(key)
             if cached is not None:
                 registry.counter("analysis.cache.hits").inc()
+                annotate(cache_hit=True)
                 return cached
             registry.counter("analysis.cache.misses").inc()
+            annotate(cache_hit=False)
         registry.counter("sched.invocations").inc()
         with registry.timer("sched.seconds").time():
             if seed is not None and getattr(
@@ -358,6 +381,7 @@ class MixedCriticalityAnalysis:
             else:
                 bounds = self._backend.analyze(jobset)
         registry.histogram("sched.sweeps").observe(bounds.sweeps)
+        annotate(sweeps=bounds.sweeps)
         if key is not None:
             fast.cache.put(key, bounds)
             registry.gauge("analysis.cache.size").set(len(fast.cache))

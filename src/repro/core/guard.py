@@ -40,6 +40,7 @@ from repro.obs import events as obs_events
 from repro.obs.events import BackendFellBack, EvaluationFailed
 from repro.obs.logging import get_logger, kv
 from repro.obs.metrics import metrics
+from repro.obs.trace import span as trace_span
 
 _LOG = get_logger("guard")
 
@@ -208,6 +209,18 @@ class GuardedEvaluator:
         self, design: DesignPoint, context: Any = None
     ) -> EvaluationResult:
         """Evaluate ``design``; never raises (except ``KeyboardInterrupt``)."""
+        with trace_span("eval.guarded") as sp:
+            result = self._evaluate_impl(design, context)
+            sp.set_attributes(
+                feasible=result.feasible,
+                fallback=result.fallback is not None,
+                guarded_failure=result.guard_error is not None,
+            )
+            return result
+
+    def _evaluate_impl(
+        self, design: DesignPoint, context: Any = None
+    ) -> EvaluationResult:
         config = self._config
         attempts = 1 + config.retries
         retry_counter = metrics().counter("eval.guard.retries")

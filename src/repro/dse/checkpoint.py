@@ -43,6 +43,7 @@ from repro.obs import events as obs_events
 from repro.obs.events import CheckpointWritten
 from repro.obs.logging import get_logger, kv
 from repro.obs.metrics import metrics
+from repro.obs.trace import span as trace_span
 
 _LOG = get_logger("checkpoint")
 
@@ -103,6 +104,10 @@ class RunSnapshot:
     cache: List[Tuple[Tuple, EvaluationResult]] = field(default_factory=list)
     #: Counterfactual feasibility cache: ``(chromosome key, feasible)``.
     without_drop_cache: List[Tuple[Tuple, bool]] = field(default_factory=list)
+    #: Trace context of the interrupted run (``SpanContext.to_dict``
+    #: shape), so a resumed run continues the same trace.  Optional and
+    #: backward-compatible: absent in pre-trace snapshots.
+    trace: Optional[dict] = None
 
 
 # ---------------------------------------------------------------------------
@@ -198,6 +203,7 @@ def snapshot_to_dict(snapshot: RunSnapshot, digest: str) -> dict:
             {"key": _key_to_dict(key), "feasible": feasible}
             for key, feasible in snapshot.without_drop_cache
         ],
+        "trace": snapshot.trace,
     }
 
 
@@ -224,6 +230,7 @@ def snapshot_from_dict(payload: dict) -> RunSnapshot:
             (_key_from_dict(item["key"]), item["feasible"])
             for item in payload.get("without_drop_cache", ())
         ],
+        trace=payload.get("trace"),
     )
 
 
@@ -276,23 +283,24 @@ class CheckpointManager:
     def save(self, snapshot: RunSnapshot) -> Path:
         """Atomically commit one snapshot; returns its path."""
         started = time.perf_counter()
-        payload = snapshot_to_dict(snapshot, self._digest)
-        target = self.path_for(snapshot.generation)
-        tmp = target.with_name(target.name + ".tmp")
-        try:
-            with open(tmp, "w") as handle:
-                json.dump(payload, handle, sort_keys=True)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp, target)
-        except OSError as error:
+        with trace_span("dse.checkpoint", generation=snapshot.generation):
+            payload = snapshot_to_dict(snapshot, self._digest)
+            target = self.path_for(snapshot.generation)
+            tmp = target.with_name(target.name + ".tmp")
             try:
-                tmp.unlink(missing_ok=True)
-            except OSError:
-                pass
-            raise CheckpointError(
-                f"cannot write checkpoint {target}: {error}"
-            ) from error
+                with open(tmp, "w") as handle:
+                    json.dump(payload, handle, sort_keys=True)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp, target)
+            except OSError as error:
+                try:
+                    tmp.unlink(missing_ok=True)
+                except OSError:
+                    pass
+                raise CheckpointError(
+                    f"cannot write checkpoint {target}: {error}"
+                ) from error
         seconds = time.perf_counter() - started
         size = target.stat().st_size
         metrics().counter("dse.checkpoints").inc()

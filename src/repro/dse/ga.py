@@ -35,6 +35,13 @@ from repro.obs.events import (
 )
 from repro.obs.logging import get_logger, kv
 from repro.obs.metrics import metrics
+from repro.obs.trace import (
+    SpanContext,
+    activate,
+    annotate,
+    capture_context,
+    span as trace_span,
+)
 from repro.dse.checkpoint import (
     CheckpointManager,
     RunSnapshot,
@@ -224,9 +231,33 @@ class Explorer:
         ``KeyboardInterrupt`` commits a final checkpoint and returns the
         partial result instead of losing the run.
         """
+        # One root span per run so every generation hangs off a single
+        # tree even when the Explorer is driven directly (CLI, jobs)
+        # rather than through the api.explore facade.
+        with trace_span(
+            "dse.run",
+            generations=self._config.generations,
+            population=self._config.population_size,
+            workers=self._config.workers,
+        ) as run_span:
+            result = self._run_impl(progress)
+            run_span.set_attributes(
+                generations_run=result.generations_run,
+                evaluations=result.statistics.evaluations,
+                interrupted=result.statistics.interrupted,
+            )
+            return result
+
+    def _run_impl(
+        self,
+        progress: Optional[Callable[[int, ExplorationStatistics], None]] = None,
+    ) -> ExplorationResult:
         config = self._config
         rng = random.Random(config.seed)
         selector = Spea2Selector(config.archive_size)
+        # The run's trace position, serialized into checkpoints so a
+        # resumed run can rejoin the same trace.
+        self._trace_ctx = capture_context()
 
         manager: Optional[CheckpointManager] = None
         if config.checkpoint_dir is not None:
@@ -258,6 +289,16 @@ class Explorer:
             self._without_drop_cache = dict(snapshot.without_drop_cache)
             start_generation = snapshot.generation + 1
             metrics().counter("dse.resumes").inc()
+            restored_ctx = SpanContext.from_dict(snapshot.trace)
+            if restored_ctx is not None:
+                if self._trace_ctx is None:
+                    # No enclosing span: adopt the checkpointed trace as
+                    # this thread's root so the resumed generations
+                    # continue the original trace.
+                    activate(restored_ctx).__enter__()
+                    self._trace_ctx = restored_ctx
+                else:
+                    annotate(resumed_trace_id=restored_ctx.trace_id)
             if bus.wants(RunResumed):
                 bus.publish(
                     RunResumed(
@@ -310,153 +351,156 @@ class Explorer:
 
         try:
             for generation in range(start_generation, config.generations + 1):
-                pool = _unique(archive + population)
-                results = [self._cache[c.key()] for c in pool]
-                objectives = [r.objectives for r in results]
-                archive = [pool[i] for i in selector.select(objectives)]
-
-                feasible_in_archive = [
-                    self._cache[c.key()]
-                    for c in archive
-                    if self._cache[c.key()].feasible
-                ]
-                generation_best = (
-                    min(r.power for r in feasible_in_archive)
-                    if feasible_in_archive
-                    else None
-                )
-                history.append(
-                    (generation, generation_best, len(feasible_in_archive))
-                )
-                if progress is not None:
-                    progress(generation, self._stats)
-
-                improved = generation_best is not None and (
-                    best_power is None or generation_best < best_power - 1e-12
-                )
-                now = time.perf_counter()
-                wall_seconds = now - generation_started
-                generation_started = now
-                generation_counter.inc()
-                generation_timer.observe(wall_seconds)
-                if bus.wants(GenerationCompleted):
-                    bus.publish(
-                        GenerationCompleted(
-                            generation=generation,
-                            archive_size=len(archive),
-                            feasible_in_archive=len(feasible_in_archive),
-                            best_power=generation_best,
-                            hypervolume=_hypervolume_proxy(
-                                [
-                                    (r.power, r.service)
-                                    for r in feasible_in_archive
-                                ]
-                            ),
-                            evaluations=self._stats.evaluations,
-                            cache_hits=self._stats.cache_hits,
-                            cache_hit_rate=self._stats.cache_hit_rate,
-                            repair_failures=self._stats.repair_failures,
-                            wall_seconds=wall_seconds,
-                        )
-                    )
-                if bus.wants(ArchiveUpdated):
-                    bus.publish(
-                        ArchiveUpdated(
-                            generation=generation,
-                            size=len(archive),
-                            feasible=len(feasible_in_archive),
-                            improved=improved,
-                        )
-                    )
-                _LOG.debug(
-                    "generation done %s",
-                    kv(
-                        generation=generation,
-                        archive=len(archive),
-                        feasible=len(feasible_in_archive),
-                        best=generation_best,
-                        wall_seconds=wall_seconds,
-                    ),
-                )
-
-                if improved:
-                    best_power = generation_best
-                    stagnation = 0
-                else:
-                    stagnation += 1
-                if (
-                    config.stagnation_limit is not None
-                    and stagnation >= config.stagnation_limit
+                with trace_span(
+                    "ga.generation", generation=generation
                 ):
-                    self._stats.stopped_early = True
-                    self._stats.stopping_generation = generation
-                    registry.counter("dse.early_stops").inc()
-                    bus.publish(
-                        EarlyStopped(
-                            generation=generation,
-                            stagnation=stagnation,
-                            best_power=best_power,
-                        )
+                    pool = _unique(archive + population)
+                    results = [self._cache[c.key()] for c in pool]
+                    objectives = [r.objectives for r in results]
+                    archive = [pool[i] for i in selector.select(objectives)]
+
+                    feasible_in_archive = [
+                        self._cache[c.key()]
+                        for c in archive
+                        if self._cache[c.key()].feasible
+                    ]
+                    generation_best = (
+                        min(r.power for r in feasible_in_archive)
+                        if feasible_in_archive
+                        else None
                     )
-                    _LOG.info(
-                        "early stop %s",
+                    history.append(
+                        (generation, generation_best, len(feasible_in_archive))
+                    )
+                    if progress is not None:
+                        progress(generation, self._stats)
+
+                    improved = generation_best is not None and (
+                        best_power is None or generation_best < best_power - 1e-12
+                    )
+                    now = time.perf_counter()
+                    wall_seconds = now - generation_started
+                    generation_started = now
+                    generation_counter.inc()
+                    generation_timer.observe(wall_seconds)
+                    if bus.wants(GenerationCompleted):
+                        bus.publish(
+                            GenerationCompleted(
+                                generation=generation,
+                                archive_size=len(archive),
+                                feasible_in_archive=len(feasible_in_archive),
+                                best_power=generation_best,
+                                hypervolume=_hypervolume_proxy(
+                                    [
+                                        (r.power, r.service)
+                                        for r in feasible_in_archive
+                                    ]
+                                ),
+                                evaluations=self._stats.evaluations,
+                                cache_hits=self._stats.cache_hits,
+                                cache_hit_rate=self._stats.cache_hit_rate,
+                                repair_failures=self._stats.repair_failures,
+                                wall_seconds=wall_seconds,
+                            )
+                        )
+                    if bus.wants(ArchiveUpdated):
+                        bus.publish(
+                            ArchiveUpdated(
+                                generation=generation,
+                                size=len(archive),
+                                feasible=len(feasible_in_archive),
+                                improved=improved,
+                            )
+                        )
+                    _LOG.debug(
+                        "generation done %s",
                         kv(
                             generation=generation,
-                            stagnation=stagnation,
-                            limit=config.stagnation_limit,
-                            best=best_power,
+                            archive=len(archive),
+                            feasible=len(feasible_in_archive),
+                            best=generation_best,
+                            wall_seconds=wall_seconds,
                         ),
                     )
-                    break
-                if generation == config.generations:
-                    break
 
-                archive_objectives = [
-                    self._cache[c.key()].objectives for c in archive
-                ]
-                fitness = selector.fitness(archive_objectives)
-                offspring: List[Chromosome] = []
-                for _ in range(config.offspring_size):
-                    parent_a = archive[selector.tournament(fitness, rng)]
-                    parent_b = archive[selector.tournament(fitness, rng)]
-                    if rng.random() < config.crossover_probability:
-                        child = crossover(parent_a, parent_b, rng)
+                    if improved:
+                        best_power = generation_best
+                        stagnation = 0
                     else:
-                        child = parent_a
-                    child = mutate(
-                        child,
-                        self._problem,
-                        rng,
-                        allocation_rate=config.mutation_allocation_rate,
-                        keep_alive_rate=config.mutation_keep_alive_rate,
-                        gene_rate=config.mutation_gene_rate,
-                    )
-                    child = repair(
-                        child,
-                        self._problem,
-                        rng,
-                        reliability_rounds=config.reliability_repair_rounds,
-                    )
-                    offspring.append(self._finalize(child))
-                self._evaluate_all(offspring)
-                population = offspring
+                        stagnation += 1
+                    if (
+                        config.stagnation_limit is not None
+                        and stagnation >= config.stagnation_limit
+                    ):
+                        self._stats.stopped_early = True
+                        self._stats.stopping_generation = generation
+                        registry.counter("dse.early_stops").inc()
+                        bus.publish(
+                            EarlyStopped(
+                                generation=generation,
+                                stagnation=stagnation,
+                                best_power=best_power,
+                            )
+                        )
+                        _LOG.info(
+                            "early stop %s",
+                            kv(
+                                generation=generation,
+                                stagnation=stagnation,
+                                limit=config.stagnation_limit,
+                                best=best_power,
+                            ),
+                        )
+                        break
+                    if generation == config.generations:
+                        break
 
-                if manager is not None:
-                    boundary = _Boundary(
-                        generation=generation,
-                        population=population,
-                        archive=archive,
-                        rng_state=rng.getstate(),
-                        best_power=best_power,
-                        stagnation=stagnation,
-                        history_len=len(history),
-                        statistics=self._stats.to_dict(),
-                        cache_size=len(self._cache),
-                        without_drop_size=len(self._without_drop_cache),
-                    )
-                    if generation % config.checkpoint_every == 0:
-                        self._write_checkpoint(manager, boundary, history)
-                        last_checkpoint = generation
+                    archive_objectives = [
+                        self._cache[c.key()].objectives for c in archive
+                    ]
+                    fitness = selector.fitness(archive_objectives)
+                    offspring: List[Chromosome] = []
+                    for _ in range(config.offspring_size):
+                        parent_a = archive[selector.tournament(fitness, rng)]
+                        parent_b = archive[selector.tournament(fitness, rng)]
+                        if rng.random() < config.crossover_probability:
+                            child = crossover(parent_a, parent_b, rng)
+                        else:
+                            child = parent_a
+                        child = mutate(
+                            child,
+                            self._problem,
+                            rng,
+                            allocation_rate=config.mutation_allocation_rate,
+                            keep_alive_rate=config.mutation_keep_alive_rate,
+                            gene_rate=config.mutation_gene_rate,
+                        )
+                        child = repair(
+                            child,
+                            self._problem,
+                            rng,
+                            reliability_rounds=config.reliability_repair_rounds,
+                        )
+                        offspring.append(self._finalize(child))
+                    self._evaluate_all(offspring)
+                    population = offspring
+
+                    if manager is not None:
+                        boundary = _Boundary(
+                            generation=generation,
+                            population=population,
+                            archive=archive,
+                            rng_state=rng.getstate(),
+                            best_power=best_power,
+                            stagnation=stagnation,
+                            history_len=len(history),
+                            statistics=self._stats.to_dict(),
+                            cache_size=len(self._cache),
+                            without_drop_size=len(self._without_drop_cache),
+                        )
+                        if generation % config.checkpoint_every == 0:
+                            self._write_checkpoint(manager, boundary, history)
+                            last_checkpoint = generation
         except KeyboardInterrupt:
             self._stats.interrupted = True
             registry.counter("dse.interrupts").inc()
@@ -517,6 +561,11 @@ class Explorer:
                     self._without_drop_cache.items(),
                     boundary.without_drop_size,
                 )
+            ),
+            trace=(
+                self._trace_ctx.to_dict()
+                if getattr(self, "_trace_ctx", None) is not None
+                else None
             ),
         )
         return manager.save(snapshot)
@@ -587,10 +636,15 @@ class Explorer:
                 fresh.append((key, chromosome))
         if not fresh:
             return
-        if self._config.workers > 1:
-            results = self._evaluate_parallel(fresh)
-        else:
-            results = [self._evaluate_one(c) for _key, c in fresh]
+        with trace_span(
+            "ga.evaluate_batch",
+            batch=len(fresh),
+            workers=self._config.workers,
+        ):
+            if self._config.workers > 1:
+                results = self._evaluate_parallel(fresh)
+            else:
+                results = [self._evaluate_one(c) for _key, c in fresh]
         for (key, chromosome), result in zip(fresh, results):
             self._cache[key] = result
             self._record(key, chromosome, result)
@@ -606,9 +660,13 @@ class Explorer:
         evaluator, say) poisons only its own candidate, not the batch.
         """
         results: List[EvaluationResult] = []
+        # Capture the batch's trace position once; each worker re-roots
+        # its spans there, so parent links stay intact across threads
+        # and the span tree matches the serial run's shape.
+        ctx = capture_context()
         with ThreadPoolExecutor(max_workers=self._config.workers) as pool:
             futures = [
-                pool.submit(self._evaluate_one, chromosome)
+                pool.submit(self._evaluate_one_in_context, ctx, chromosome)
                 for _key, chromosome in fresh
             ]
             try:
@@ -627,6 +685,13 @@ class Explorer:
                 pool.shutdown(wait=False, cancel_futures=True)
                 raise
         return results
+
+    def _evaluate_one_in_context(
+        self, ctx: Optional[SpanContext], chromosome: Chromosome
+    ) -> EvaluationResult:
+        """Worker-thread wrapper adopting the submitter's trace context."""
+        with activate(ctx):
+            return self._evaluate_one(chromosome)
 
     def _evaluate_one(self, chromosome: Chromosome) -> EvaluationResult:
         try:

@@ -1,6 +1,6 @@
-"""Observability: metrics registry, typed event bus, structured logging.
+"""Observability: metrics, typed events, structured logging, span traces.
 
-The three pillars (see ``docs/observability.md`` for the full schema):
+The four pillars (see ``docs/observability.md`` for the full schema):
 
 * :mod:`repro.obs.metrics` — process-wide counters, gauges, timers and
   fixed-bucket histograms with JSON/JSONL export; near-zero overhead
@@ -11,6 +11,9 @@ The three pillars (see ``docs/observability.md`` for the full schema):
   pluggable subscribers.
 * :mod:`repro.obs.logging` — the ``repro.*`` structured logger
   hierarchy.
+* :mod:`repro.obs.trace` / :mod:`repro.obs.export` — hierarchical
+  spans with cross-thread and cross-process context propagation, JSONL
+  and Chrome trace-event exporters, and per-phase self-time summaries.
 """
 
 from repro.obs.events import (
@@ -31,6 +34,14 @@ from repro.obs.events import (
     event_from_dict,
     event_to_dict,
 )
+from repro.obs.export import (
+    JsonlSpanExporter,
+    format_summary,
+    read_spans,
+    spans_to_chrome,
+    summarize,
+    write_chrome_trace,
+)
 from repro.obs.logging import configure, get_logger, kv
 from repro.obs.metrics import (
     Counter,
@@ -40,6 +51,18 @@ from repro.obs.metrics import (
     MetricsRegistry,
     Timer,
     metrics,
+)
+from repro.obs.trace import (
+    Span,
+    SpanContext,
+    Tracer,
+    activate,
+    capture_context,
+    current_context,
+    from_traceparent,
+    span,
+    to_traceparent,
+    tracer,
 )
 
 __all__ = [
@@ -55,18 +78,34 @@ __all__ = [
     "GenerationCompleted",
     "Histogram",
     "InMemoryCollector",
+    "JsonlSpanExporter",
     "JsonlTraceWriter",
     "MetricError",
     "MetricsRegistry",
     "ProgressLogger",
     "ScenarioAnalyzed",
+    "Span",
+    "SpanContext",
     "Timer",
+    "Tracer",
+    "activate",
     "bus",
     "capture",
+    "capture_context",
     "configure",
+    "current_context",
     "event_from_dict",
     "event_to_dict",
+    "format_summary",
+    "from_traceparent",
     "get_logger",
     "kv",
     "metrics",
+    "read_spans",
+    "span",
+    "spans_to_chrome",
+    "summarize",
+    "to_traceparent",
+    "tracer",
+    "write_chrome_trace",
 ]

@@ -412,16 +412,32 @@ class InMemoryCollector:
 
 
 class JsonlTraceWriter:
-    """Writes one JSON line per event; use as a context manager."""
+    """Writes one JSON line per record; use as a context manager.
+
+    Explicitly thread-safe: serialization happens outside the lock, but
+    the write *and* the flush of each line hold one lock together, so
+    concurrent emitters (bus subscribers on worker threads, the span
+    exporter) can never interleave partial lines in the output file.
+    Accepts bus events via :meth:`__call__` and raw dict records (span
+    records from :mod:`repro.obs.trace`) via :meth:`write_record`, so
+    one file carries both streams.
+    """
 
     def __init__(self, path):
         self._handle = open(path, "w")
         self._lock = threading.Lock()
 
     def __call__(self, event: Event) -> None:
-        line = json.dumps(event_to_dict(event), sort_keys=True)
+        self.write_record(event_to_dict(event))
+
+    def write_record(self, record: dict) -> None:
+        """Append one JSON-ready dict as a single line (thread-safe)."""
+        line = json.dumps(record, sort_keys=True)
         with self._lock:
+            if self._handle.closed:
+                return
             self._handle.write(line + "\n")
+            self._handle.flush()
 
     def close(self) -> None:
         with self._lock:

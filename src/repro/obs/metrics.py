@@ -25,6 +25,7 @@ benchmarking).
 
 import json
 import os
+import re
 import threading
 import time
 from bisect import bisect_left
@@ -173,10 +174,112 @@ class Timer(_Instrument):
         }
 
 
-class Histogram(_Instrument):
-    """Fixed-bucket histogram (bucket = upper bound, inclusive)."""
+class _P2Quantile:
+    """Streaming quantile estimate via the P² algorithm.
 
-    __slots__ = ("buckets", "counts", "overflow", "count", "total", "min", "max")
+    Jain & Chlamtac (1985): five markers track the running quantile in
+    O(1) space, adjusted with a piecewise-parabolic fit on every
+    observation.  Exact for the first five samples, then an estimate
+    whose error shrinks with the stream; no samples are retained.
+    """
+
+    __slots__ = ("quantile", "_initial", "_heights", "_positions", "_desired")
+
+    def __init__(self, quantile: float):
+        self.quantile = quantile
+        self._initial: List[float] = []
+        self._heights: Optional[List[float]] = None
+        self._positions: Optional[List[float]] = None
+        self._desired: Optional[List[float]] = None
+
+    def observe(self, value: float) -> None:
+        q = self.quantile
+        if self._heights is None:
+            self._initial.append(value)
+            if len(self._initial) == 5:
+                self._initial.sort()
+                self._heights = list(self._initial)
+                self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+                self._desired = [
+                    1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0
+                ]
+            return
+        h, n, d = self._heights, self._positions, self._desired
+        if value < h[0]:
+            h[0] = value
+            cell = 0
+        elif value >= h[4]:
+            h[4] = value
+            cell = 3
+        else:
+            cell = 3
+            for i in range(4):
+                if value < h[i + 1]:
+                    cell = i
+                    break
+        for i in range(cell + 1, 5):
+            n[i] += 1.0
+        increments = (0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0)
+        for i in range(5):
+            d[i] += increments[i]
+        for i in (1, 2, 3):
+            delta = d[i] - n[i]
+            if (delta >= 1.0 and n[i + 1] - n[i] > 1.0) or (
+                delta <= -1.0 and n[i - 1] - n[i] < -1.0
+            ):
+                step = 1 if delta >= 1.0 else -1
+                candidate = self._parabolic(i, step)
+                if h[i - 1] < candidate < h[i + 1]:
+                    h[i] = candidate
+                else:
+                    h[i] = self._linear(i, step)
+                n[i] += step
+
+    def _parabolic(self, i: int, step: int) -> float:
+        h, n = self._heights, self._positions
+        return h[i] + step / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + step) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - step) * (h[i] - h[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, step: int) -> float:
+        h, n = self._heights, self._positions
+        return h[i] + step * (h[i + step] - h[i]) / (n[i + step] - n[i])
+
+    @property
+    def value(self) -> Optional[float]:
+        """Current estimate (exact below five samples; None when empty)."""
+        if self._heights is not None:
+            return self._heights[2]
+        if not self._initial:
+            return None
+        ordered = sorted(self._initial)
+        position = self.quantile * (len(ordered) - 1)
+        low = int(position)
+        high = min(low + 1, len(ordered) - 1)
+        fraction = position - low
+        return ordered[low] + (ordered[high] - ordered[low]) * fraction
+
+
+#: Quantiles every histogram estimates online (name -> q).
+QUANTILES: Tuple[Tuple[str, float], ...] = (
+    ("p50", 0.50), ("p95", 0.95), ("p99", 0.99),
+)
+
+
+class Histogram(_Instrument):
+    """Fixed-bucket histogram (bucket = upper bound, inclusive).
+
+    Alongside the buckets, three streaming :class:`_P2Quantile`
+    estimators (p50/p95/p99) are fed on every observation, giving
+    latency percentiles without retaining samples or assuming the
+    bucket layout matches the distribution.
+    """
+
+    __slots__ = (
+        "buckets", "counts", "overflow", "count", "total", "min", "max",
+        "_quantiles",
+    )
 
     def __init__(
         self,
@@ -197,6 +300,7 @@ class Histogram(_Instrument):
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self._quantiles = tuple(_P2Quantile(q) for _name, q in QUANTILES)
 
     def observe(self, value: float) -> None:
         registry = self._registry
@@ -214,14 +318,23 @@ class Histogram(_Instrument):
                 self.min = value
             if self.max is None or value > self.max:
                 self.max = value
+            for estimator in self._quantiles:
+                estimator.observe(value)
 
     @property
     def mean(self) -> float:
         """Mean observed value (0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
-    def as_dict(self) -> dict:
+    def quantiles(self) -> Dict[str, Optional[float]]:
+        """Streaming estimates ``{"p50": ..., "p95": ..., "p99": ...}``."""
         return {
+            name: estimator.value
+            for (name, _q), estimator in zip(QUANTILES, self._quantiles)
+        }
+
+    def as_dict(self) -> dict:
+        payload = {
             "type": "histogram",
             "buckets": list(self.buckets),
             "counts": list(self.counts),
@@ -232,6 +345,23 @@ class Histogram(_Instrument):
             "min": self.min,
             "max": self.max,
         }
+        payload.update(self.quantiles())
+        return payload
+
+
+def _prometheus_name(name: str) -> str:
+    """``serve.latency_ms`` -> ``repro_serve_latency_ms``."""
+    return "repro_" + re.sub(r"[^a-zA-Z0-9_]", "_", name)
+
+
+def _prometheus_value(value) -> str:
+    """A number in Prometheus text syntax (integers stay integral)."""
+    if value is None:
+        return "NaN"
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
 
 
 class MetricsRegistry:
@@ -328,6 +458,45 @@ class MetricsRegistry:
             else:
                 out[kind][name] = payload
         return out
+
+    def prometheus_lines(self) -> Iterator[str]:
+        """Prometheus text exposition (format 0.0.4) of every instrument.
+
+        Names are sanitized to ``repro_<name>`` with non-identifier
+        characters collapsed to underscores.  Counters gain the
+        conventional ``_total`` suffix; timers export as summaries
+        (``_sum``/``_count``); histograms export cumulative
+        ``_bucket{le=...}`` series plus ``_sum``/``_count`` and their
+        streaming p50/p95/p99 estimates as gauges.
+        """
+        with self._lock:
+            items = sorted(self._instruments.items())
+        for name, instrument in items:
+            metric = _prometheus_name(name)
+            if isinstance(instrument, Counter):
+                yield f"# TYPE {metric}_total counter"
+                yield f"{metric}_total {instrument.value}"
+            elif isinstance(instrument, Gauge):
+                yield f"# TYPE {metric} gauge"
+                yield f"{metric} {_prometheus_value(instrument.value)}"
+            elif isinstance(instrument, Histogram):
+                yield f"# TYPE {metric} histogram"
+                cumulative = 0
+                for bound, count in zip(instrument.buckets, instrument.counts):
+                    cumulative += count
+                    le = _prometheus_value(bound)
+                    yield f'{metric}_bucket{{le="{le}"}} {cumulative}'
+                yield f'{metric}_bucket{{le="+Inf"}} {instrument.count}'
+                yield f"{metric}_sum {_prometheus_value(instrument.total)}"
+                yield f"{metric}_count {instrument.count}"
+                for qname, value in instrument.quantiles().items():
+                    if value is not None:
+                        yield f"# TYPE {metric}_{qname} gauge"
+                        yield f"{metric}_{qname} {_prometheus_value(value)}"
+            elif isinstance(instrument, Timer):
+                yield f"# TYPE {metric} summary"
+                yield f"{metric}_sum {_prometheus_value(instrument.total)}"
+                yield f"{metric}_count {instrument.count}"
 
     def jsonl_lines(self) -> Iterator[str]:
         """One JSON object per instrument (JSONL export)."""

@@ -18,6 +18,7 @@ from typing import List
 import numpy as np
 
 from repro.errors import AnalysisError
+from repro.obs.trace import span as trace_span
 from repro.sched.jobs import JobSet
 from repro.sched.wcrt import ScheduleBounds
 
@@ -143,57 +144,59 @@ class FastWindowAnalysisBackend:
 
         converged = False
         sweeps = 0
-        for sweeps in range(1, self._max_sweeps + 1):
-            # Batch caps from the previous state (vectorised reductions).
-            batch_arrival = pre.batch_release.copy()
-            if pre.ext_src.size:
+        with trace_span("sched.fast.fixed_point", jobs=count) as fp_span:
+            for sweeps in range(1, self._max_sweeps + 1):
+                # Batch caps from the previous state (vectorised reductions).
+                batch_arrival = pre.batch_release.copy()
+                if pre.ext_src.size:
+                    np.maximum.at(
+                        batch_arrival,
+                        pre.ext_batch,
+                        max_finish[pre.ext_src] + pre.ext_comm,
+                    )
+                batch_window_end = np.full(pre.batch_count, -np.inf)
                 np.maximum.at(
-                    batch_arrival,
-                    pre.ext_batch,
-                    max_finish[pre.ext_src] + pre.ext_comm,
+                    batch_window_end, pre.member_batch, max_finish[pre.member_flat]
                 )
-            batch_window_end = np.full(pre.batch_count, -np.inf)
-            np.maximum.at(
-                batch_window_end, pre.member_batch, max_finish[pre.member_flat]
-            )
-            batch_interference = np.zeros(pre.batch_count)
-            if pre.int_other.size:
-                overlap = (
-                    min_start[pre.int_other] < batch_window_end[pre.int_batch]
-                ) & (max_finish[pre.int_other] > batch_window_start[pre.int_batch])
-                np.add.at(
-                    batch_interference,
-                    pre.int_batch,
-                    np.where(overlap, wcet[pre.int_other], 0.0),
+                batch_interference = np.zeros(pre.batch_count)
+                if pre.int_other.size:
+                    overlap = (
+                        min_start[pre.int_other] < batch_window_end[pre.int_batch]
+                    ) & (max_finish[pre.int_other] > batch_window_start[pre.int_batch])
+                    np.add.at(
+                        batch_interference,
+                        pre.int_batch,
+                        np.where(overlap, wcet[pre.int_other], 0.0),
+                    )
+                batch_bound = batch_arrival + batch_work + batch_interference
+                batch_cap = np.full(count, np.inf)
+                np.minimum.at(
+                    batch_cap, pre.member_flat, batch_bound[pre.member_batch]
                 )
-            batch_bound = batch_arrival + batch_work + batch_interference
-            batch_cap = np.full(count, np.inf)
-            np.minimum.at(
-                batch_cap, pre.member_flat, batch_bound[pre.member_batch]
-            )
 
-            # Per-job arrivals from the previous state.
-            arrival = pre.release.copy()
-            if pre.pred_src.size:
-                candidate = max_finish[pre.pred_src] + pre.pred_comm_worst
-                np.maximum.at(arrival, pre.pred_dst, candidate)
+                # Per-job arrivals from the previous state.
+                arrival = pre.release.copy()
+                if pre.pred_src.size:
+                    candidate = max_finish[pre.pred_src] + pre.pred_comm_worst
+                    np.maximum.at(arrival, pre.pred_dst, candidate)
 
-            # Interference sums over overlapping higher-priority jobs.
-            interference = np.zeros(count)
-            if pre.hp_victim.size:
-                overlap = (
-                    min_start[pre.hp_other] < max_finish[pre.hp_victim]
-                ) & (max_finish[pre.hp_other] > min_start[pre.hp_victim])
-                contributions = np.where(overlap, wcet[pre.hp_other], 0.0)
-                np.add.at(interference, pre.hp_victim, contributions)
+                # Interference sums over overlapping higher-priority jobs.
+                interference = np.zeros(count)
+                if pre.hp_victim.size:
+                    overlap = (
+                        min_start[pre.hp_other] < max_finish[pre.hp_victim]
+                    ) & (max_finish[pre.hp_other] > min_start[pre.hp_victim])
+                    contributions = np.where(overlap, wcet[pre.hp_other], 0.0)
+                    np.add.at(interference, pre.hp_victim, contributions)
 
-            job_bound = arrival + wcet + interference
-            candidate = np.minimum(job_bound, batch_cap)
-            new_finish = np.maximum(max_finish, candidate)
-            if np.all(new_finish <= max_finish + 1e-12):
-                converged = True
-                break
-            max_finish = new_finish
+                job_bound = arrival + wcet + interference
+                candidate = np.minimum(job_bound, batch_cap)
+                new_finish = np.maximum(max_finish, candidate)
+                if np.all(new_finish <= max_finish + 1e-12):
+                    converged = True
+                    break
+                max_finish = new_finish
+            fp_span.set_attributes(sweeps=sweeps, converged=converged)
 
         if not converged:
             # Trivially safe fallback, as in the reference backend.

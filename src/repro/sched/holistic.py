@@ -27,6 +27,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.errors import AnalysisError
 from repro.obs.metrics import metrics
+from repro.obs.trace import annotate, span as trace_span
 from repro.sched.jobs import JobSet
 from repro.sched.wcrt import ScheduleBounds
 
@@ -110,30 +111,36 @@ class HolisticAnalysisBackend:
                     response[name] = max(response[name], state["response"][name])
                 seeded = True
                 registry.counter("analysis.warmstart.seeded").inc()
+                annotate(warmstart="seeded")
             else:
                 registry.counter("analysis.warmstart.rejected").inc()
-        for _round in range(_MAX_ROUNDS):
-            changed = False
-            for name, info in tasks.items():
-                new_jitter = 0.0
-                for pred_name, comm_worst in info["preds"]:
-                    candidate = (
-                        jitter[pred_name] + response[pred_name] + comm_worst
-                    )
-                    if candidate > new_jitter:
-                        new_jitter = candidate
-                new_jitter = min(new_jitter, cap)
-                if new_jitter > jitter[name] + 1e-12:
-                    jitter[name] = new_jitter
-                    changed = True
-                new_response = self._busy_period(name, info, tasks, jitter)
-                if new_response > response[name] + 1e-12:
-                    response[name] = new_response
-                    changed = True
-            if not changed:
-                break
-        else:
-            raise AnalysisError("holistic analysis did not converge")
+                annotate(warmstart="rejected")
+        with trace_span(
+            "sched.holistic.fixed_point", tasks=len(tasks), warm=seeded
+        ) as fp_span:
+            for _round in range(_MAX_ROUNDS):
+                changed = False
+                for name, info in tasks.items():
+                    new_jitter = 0.0
+                    for pred_name, comm_worst in info["preds"]:
+                        candidate = (
+                            jitter[pred_name] + response[pred_name] + comm_worst
+                        )
+                        if candidate > new_jitter:
+                            new_jitter = candidate
+                    new_jitter = min(new_jitter, cap)
+                    if new_jitter > jitter[name] + 1e-12:
+                        jitter[name] = new_jitter
+                        changed = True
+                    new_response = self._busy_period(name, info, tasks, jitter)
+                    if new_response > response[name] + 1e-12:
+                        response[name] = new_response
+                        changed = True
+                if not changed:
+                    break
+            else:
+                raise AnalysisError("holistic analysis did not converge")
+            fp_span.set_attribute("sweeps", _round + 1)
 
         registry.counter("sched.holistic.invocations").inc()
         registry.counter("sched.holistic.sweeps_total").inc(_round + 1)

@@ -16,6 +16,13 @@ Endpoints
 ``POST /v1/jobs/<id>/cancel``  cooperative cancel (also DELETE)
 ``GET  /healthz``         liveness + queue depth
 ``GET  /metrics``         metrics registry + shared-cache stats + jobs
+                          (``?format=prometheus`` for text exposition)
+
+Tracing: a ``traceparent`` request header (W3C syntax) makes the
+request's spans continue the caller's trace; every response carries the
+serving trace ID in ``X-Repro-Trace``.  Trace context rides *headers
+only* — request bodies stay untouched, so dedup keys and the
+byte-identity guarantee are unaffected.
 
 Error contract: 400 malformed/invalid request, 404 unknown route or
 job, 429 + ``Retry-After`` when the admission queue is full, 504 when a
@@ -27,11 +34,20 @@ import json
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
+from urllib.parse import parse_qs
 
 from repro.errors import ReproError
 from repro.obs.logging import get_logger, kv
 from repro.obs.metrics import metrics
+from repro.obs.trace import (
+    RESPONSE_TRACE_HEADER,
+    TRACEPARENT_HEADER,
+    activate,
+    capture_context,
+    from_traceparent,
+    span as trace_span,
+)
 from repro.serve.batcher import Batcher
 from repro.serve.encoding import (
     analysis_result_to_dict,
@@ -86,6 +102,19 @@ class ServeConfig:
         #: Whether a request's ``system`` field may name a server-local
         #: file (off by default: clients could read arbitrary paths).
         self.allow_local_paths = allow_local_paths
+
+
+def _run_in_context(ctx, fn: Callable[[Dict[str, Any]], bytes], params) -> bytes:
+    """Run one request body under the submitting request's trace context.
+
+    The computation executes on a pool worker thread; ``ctx`` was
+    captured on the request thread, so activating it here re-roots the
+    worker and the ``api.*`` spans join the request's trace.  Deduped
+    waiters attach to the first submitter's entry, so shared work is
+    attributed to the trace that actually ran it.
+    """
+    with activate(ctx):
+        return fn(params)
 
 
 def _run_analyze(params: Dict[str, Any]) -> bytes:
@@ -243,9 +272,10 @@ class ReproServer:
             payload, allow_paths=self.config.allow_local_paths
         )
         key = request_digest("analyze", params)
+        ctx = capture_context()
         entry = self.batcher.submit(
             key,
-            lambda: _run_analyze(params),
+            lambda: _run_in_context(ctx, _run_analyze, params),
             deadline_seconds=params["deadline_seconds"],
         )
         body = entry.result(
@@ -258,9 +288,10 @@ class ReproServer:
             payload, allow_paths=self.config.allow_local_paths
         )
         key = request_digest("simulate", params)
+        ctx = capture_context()
         entry = self.batcher.submit(
             key,
-            lambda: _run_simulate(params),
+            lambda: _run_in_context(ctx, _run_simulate, params),
             deadline_seconds=params["deadline_seconds"],
         )
         body = entry.result(
@@ -277,7 +308,10 @@ class ReproServer:
         params = parse_explore_request(
             payload, allow_paths=self.config.allow_local_paths
         )
-        job = self.jobs.create(params)
+        ctx = capture_context()
+        job = self.jobs.create(
+            params, trace=ctx.to_dict() if ctx is not None else None
+        )
         body = canonical_bytes(
             {"id": job.id, "status": job.status, "url": f"/v1/jobs/{job.id}"}
         )
@@ -323,6 +357,20 @@ class ReproServer:
         )
         return 200, body
 
+    def handle_metrics_prometheus(self) -> Tuple[int, bytes, str]:
+        """``GET /metrics?format=prometheus`` — text exposition 0.0.4."""
+        lines = list(metrics().prometheus_lines())
+        lines.append("# TYPE repro_uptime_seconds gauge")
+        lines.append(
+            f"repro_uptime_seconds {round(time.time() - self.started, 3)}"
+        )
+        if self.jobs is not None:
+            lines.append("# TYPE repro_jobs gauge")
+            for state, count in sorted(self.jobs.counts().items()):
+                lines.append(f'repro_jobs{{state="{state}"}} {count}')
+        body = ("\n".join(lines) + "\n").encode("utf-8")
+        return 200, body, "text/plain; version=0.0.4; charset=utf-8"
+
 
 class _NotFound(ReproError):
     """Route or resource does not exist (404)."""
@@ -334,6 +382,9 @@ class _RequestHandler(BaseHTTPRequestHandler):
     app: ReproServer  # bound by the per-server subclass
     protocol_version = "HTTP/1.1"
     server_version = "repro-serve"
+    #: Per-request trace headers (``X-Repro-Trace``); reset at the top
+    #: of every ``do_*`` so kept-alive connections never leak a stale ID.
+    _trace_headers: Optional[Dict[str, str]] = None
 
     # -- plumbing --------------------------------------------------------
 
@@ -386,15 +437,18 @@ class _RequestHandler(BaseHTTPRequestHandler):
         status: int,
         body: bytes,
         extra_headers: Optional[Dict[str, str]] = None,
+        content_type: str = "application/json",
     ) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         if self.close_connection:
             # Tell the client, too — BaseHTTPRequestHandler only stops
             # its own keep-alive loop, it never advertises the close.
             self.send_header("Connection", "close")
-        for name, value in (extra_headers or {}).items():
+        headers = dict(self._trace_headers or {})
+        headers.update(extra_headers or {})
+        for name, value in headers.items():
             self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
@@ -421,9 +475,23 @@ class _RequestHandler(BaseHTTPRequestHandler):
         started = time.monotonic()
         endpoint = handler.__name__.replace("handle_", "")
         registry.counter(f"serve.requests.{endpoint}").inc()
+        remote_ctx = from_traceparent(self.headers.get(TRACEPARENT_HEADER))
         try:
-            status, body = handler(*args)
-            self._send(status, body)
+            # The request span adopts the caller's traceparent (if any)
+            # and covers the handler body — including the wait on the
+            # batcher entry, so queue time is attributed to the request.
+            with activate(remote_ctx), trace_span(
+                "serve.request", endpoint=endpoint
+            ) as request_span:
+                trace_id = getattr(request_span, "trace_id", None)
+                if trace_id:
+                    self._trace_headers = {RESPONSE_TRACE_HEADER: trace_id}
+                result = handler(*args)
+            status, body = result[0], result[1]
+            content_type = (
+                result[2] if len(result) > 2 else "application/json"
+            )
+            self._send(status, body, content_type=content_type)
         except PoolSaturated as error:
             self._send_error(
                 429, error, {"Retry-After": str(error.retry_after)}
@@ -455,12 +523,18 @@ class _RequestHandler(BaseHTTPRequestHandler):
     # -- routing ---------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 — stdlib naming
-        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        self._trace_headers = None
+        raw_path, _, query = self.path.partition("?")
+        path = raw_path.rstrip("/") or "/"
         app = self.app
         if path == "/healthz":
             self._dispatch(app.handle_healthz)
         elif path == "/metrics":
-            self._dispatch(app.handle_metrics)
+            wants = parse_qs(query).get("format", [""])[-1]
+            if wants == "prometheus":
+                self._dispatch(app.handle_metrics_prometheus)
+            else:
+                self._dispatch(app.handle_metrics)
         elif path.startswith("/v1/jobs/"):
             job_id = path[len("/v1/jobs/"):]
             if "/" in job_id or not job_id:
@@ -471,6 +545,7 @@ class _RequestHandler(BaseHTTPRequestHandler):
             self._send_error(404, _NotFound(f"no such route: {path}"))
 
     def do_POST(self) -> None:  # noqa: N802 — stdlib naming
+        self._trace_headers = None
         path = self.path.split("?", 1)[0].rstrip("/")
         app = self.app
         try:
@@ -492,6 +567,7 @@ class _RequestHandler(BaseHTTPRequestHandler):
             self._send_error(400, error)
 
     def do_DELETE(self) -> None:  # noqa: N802 — stdlib naming
+        self._trace_headers = None
         path = self.path.split("?", 1)[0].rstrip("/")
         self._discard_body()
         if path.startswith("/v1/jobs/"):

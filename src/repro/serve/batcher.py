@@ -31,6 +31,7 @@ from typing import Any, Callable, Dict, List, Optional
 from repro.errors import ReproError
 from repro.obs.logging import get_logger, kv
 from repro.obs.metrics import metrics
+from repro.obs.trace import span as trace_span
 from repro.serve.pool import DeadlineExceeded, WorkerPool
 
 _LOG = get_logger("serve")
@@ -190,23 +191,29 @@ class Batcher:
             # identical requests.  Here an expired entry is first
             # unregistered (so new submissions start a fresh entry) and
             # then failed, while its batchmates still run.
-            for entry in entries:
-                with self._lock:
-                    expired = (
-                        entry.deadline is not None
-                        and time.monotonic() > entry.deadline
-                    )
+            with trace_span(
+                "serve.batch", size=len(entries), window_ms=self._window * 1000
+            ) as batch_span:
+                executed = 0
+                for entry in entries:
+                    with self._lock:
+                        expired = (
+                            entry.deadline is not None
+                            and time.monotonic() > entry.deadline
+                        )
+                        if expired:
+                            self._inflight.pop(entry.key, None)
                     if expired:
+                        registry.counter("serve.deadline_expired").inc()
+                        entry.resolve_error(
+                            DeadlineExceeded("deadline elapsed while queued")
+                        )
+                        continue
+                    entry.run()
+                    executed += 1
+                    with self._lock:
                         self._inflight.pop(entry.key, None)
-                if expired:
-                    registry.counter("serve.deadline_expired").inc()
-                    entry.resolve_error(
-                        DeadlineExceeded("deadline elapsed while queued")
-                    )
-                    continue
-                entry.run()
-                with self._lock:
-                    self._inflight.pop(entry.key, None)
+                batch_span.set_attribute("executed", executed)
 
         try:
             self._pool.submit(run_batch)

@@ -4,6 +4,11 @@ Backs the ``repro submit`` CLI and the serve test/smoke harnesses.
 Everything rides on :mod:`urllib.request`; errors surface as
 :class:`ServeError` carrying the HTTP status and, for 429 responses,
 the server's ``Retry-After`` hint.
+
+When tracing is enabled, every request opens a ``client.request`` span
+and ships its context in a ``traceparent`` header, so the server-side
+spans join the caller's trace; the trace ID the server answered under
+(``X-Repro-Trace``) is kept on :attr:`ServeClient.last_trace_id`.
 """
 
 import json
@@ -14,6 +19,13 @@ from typing import Any, Dict, Optional, Union
 
 from repro.errors import ReproError
 from repro.model.serialization import SystemBundle
+from repro.obs.trace import (
+    RESPONSE_TRACE_HEADER,
+    TRACEPARENT_HEADER,
+    capture_context,
+    span as trace_span,
+    to_traceparent,
+)
 
 __all__ = ["ServeClient", "ServeError"]
 
@@ -50,6 +62,8 @@ class ServeClient:
     def __init__(self, base_url: str, timeout: float = 600.0):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        #: Trace ID of the most recent response (``X-Repro-Trace``).
+        self.last_trace_id: Optional[str] = None
 
     # -- plumbing --------------------------------------------------------
 
@@ -62,32 +76,50 @@ class ServeClient:
         body = (
             json.dumps(payload).encode("utf-8") if payload is not None else None
         )
-        request = urllib.request.Request(
-            self.base_url + path,
-            data=body,
-            method=method,
-            headers={"Content-Type": "application/json"} if body else {},
-        )
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
-                return resp.read()
-        except urllib.error.HTTPError as error:
-            raw = error.read()
+        with trace_span("client.request", method=method, path=path) as sp:
+            headers: Dict[str, str] = (
+                {"Content-Type": "application/json"} if body else {}
+            )
+            # Captured *inside* the span, so the server parents its
+            # serve.request on this client.request, not on our caller.
+            traceparent = to_traceparent(capture_context())
+            if traceparent is not None:
+                headers[TRACEPARENT_HEADER] = traceparent
+            request = urllib.request.Request(
+                self.base_url + path,
+                data=body,
+                method=method,
+                headers=headers,
+            )
             try:
-                detail = json.loads(raw).get("error", {})
-            except (json.JSONDecodeError, AttributeError):
-                detail = {}
-            retry_after = error.headers.get("Retry-After")
-            raise ServeError(
-                detail.get("message") or f"HTTP {error.code} on {path}",
-                status=error.code,
-                retry_after=int(retry_after) if retry_after else None,
-                error_type=detail.get("type"),
-            ) from None
-        except urllib.error.URLError as error:
-            raise ServeError(
-                f"cannot reach {self.base_url}: {error.reason}"
-            ) from None
+                with urllib.request.urlopen(
+                    request, timeout=self.timeout
+                ) as resp:
+                    served = resp.headers.get(RESPONSE_TRACE_HEADER)
+                    if served:
+                        self.last_trace_id = served
+                        sp.set_attribute("served_trace_id", served)
+                    return resp.read()
+            except urllib.error.HTTPError as error:
+                served = error.headers.get(RESPONSE_TRACE_HEADER)
+                if served:
+                    self.last_trace_id = served
+                raw = error.read()
+                try:
+                    detail = json.loads(raw).get("error", {})
+                except (json.JSONDecodeError, AttributeError):
+                    detail = {}
+                retry_after = error.headers.get("Retry-After")
+                raise ServeError(
+                    detail.get("message") or f"HTTP {error.code} on {path}",
+                    status=error.code,
+                    retry_after=int(retry_after) if retry_after else None,
+                    error_type=detail.get("type"),
+                ) from None
+            except urllib.error.URLError as error:
+                raise ServeError(
+                    f"cannot reach {self.base_url}: {error.reason}"
+                ) from None
 
     def _request_json(self, method, path, payload=None) -> Dict[str, Any]:
         return json.loads(self._request(method, path, payload))

@@ -36,6 +36,7 @@ from typing import Any, Dict, List, Optional
 from repro.errors import ReproError
 from repro.obs.logging import get_logger, kv
 from repro.obs.metrics import metrics
+from repro.obs.trace import SpanContext, activate, span as trace_span
 from repro.serve.encoding import exploration_result_to_dict, resolve_system
 
 _LOG = get_logger("serve")
@@ -64,6 +65,9 @@ class Job:
     cancel_requested: bool = False
     #: How often the record was re-queued after a server restart.
     restarts: int = 0
+    #: Trace context of the submitting request (``SpanContext.to_dict``
+    #: form), persisted so a restarted job continues the same trace.
+    trace: Optional[Dict[str, Any]] = None
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -87,6 +91,7 @@ class Job:
                 "checkpoint_generation": self.checkpoint_generation,
                 "cancel_requested": self.cancel_requested,
                 "restarts": self.restarts,
+                "trace": self.trace,
                 "error": self.error,
                 "params": self.params,
             }
@@ -112,6 +117,7 @@ class Job:
             error=payload.get("error"),
             cancel_requested=payload.get("cancel_requested", False),
             restarts=payload.get("restarts", 0),
+            trace=payload.get("trace"),
         )
 
 
@@ -230,12 +236,17 @@ class JobStore:
 
     # -- API -------------------------------------------------------------
 
-    def create(self, params: Dict[str, Any]) -> Job:
+    def create(
+        self,
+        params: Dict[str, Any],
+        trace: Optional[Dict[str, Any]] = None,
+    ) -> Job:
         """Accept a validated explore request as a new pending job."""
         job = Job(
             id=f"job-{uuid.uuid4().hex[:12]}",
             params=params,
             created=time.time(),
+            trace=trace,
         )
         with self._lock:
             if self._closed:
@@ -363,8 +374,17 @@ class JobStore:
 
         explorer = Explorer(problem, config)
         timer = metrics().timer("serve.job_seconds")
+        # A restarted job carries the submitting request's trace context
+        # in its record, so the resumed run continues the original trace
+        # instead of starting a fresh root.
+        trace_ctx = SpanContext.from_dict(job.trace)
         try:
-            with timer.time():
+            with activate(trace_ctx), trace_span(
+                "serve.job",
+                job=job.id,
+                resume=config.resume,
+                restarts=job.restarts,
+            ), timer.time():
                 result = explorer.run(progress=progress)
         finally:
             if explorer.quarantine is not None:

@@ -24,6 +24,7 @@ from typing import Any, Callable, List, Optional
 from repro.errors import ReproError
 from repro.obs.logging import get_logger, kv
 from repro.obs.metrics import metrics
+from repro.obs.trace import span as trace_span
 
 _LOG = get_logger("serve")
 
@@ -83,12 +84,19 @@ class WorkItem:
             ))
             return
         started = time.monotonic()
-        try:
-            value = self._fn()
-        except BaseException as error:  # noqa: BLE001 — resolved, not lost
-            self._resolve(error=error)
-        else:
-            self._resolve(value=value)
+        # A root span on the worker thread: request work re-roots itself
+        # onto its own trace, so this records pool mechanics (queue wait,
+        # work wall time), not request semantics.
+        with trace_span(
+            "serve.pool_work",
+            queue_seconds=round(started - self.enqueued, 6),
+        ):
+            try:
+                value = self._fn()
+            except BaseException as error:  # noqa: BLE001 — resolved, not lost
+                self._resolve(error=error)
+            else:
+                self._resolve(value=value)
         if (
             self._deadline is not None
             and time.monotonic() > self._deadline

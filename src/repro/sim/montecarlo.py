@@ -12,6 +12,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from repro.obs.trace import span as trace_span
 from repro.sim.engine import Simulator
 from repro.sim.faults import no_fault_profile, random_profile
 from repro.sim.sampler import BiasedSampler, ExecutionSampler
@@ -136,27 +137,36 @@ class MonteCarloEstimator:
             for _ in range(profiles)
         )
 
-        for profile in runs:
-            sim_result = self._simulator.run(
-                profile=profile,
-                sampler=self._sampler,
-                rng=random.Random(rng.getrandbits(32)),
-                hyperperiods=hyperperiods,
-            )
-            result.profiles += 1
-            if sim_result.entered_critical_state:
-                result.critical_runs += 1
-            if sim_result.dropped_instances():
-                result.runs_with_drops += 1
-            for graph, response in sim_result.response_times().items():
-                if response is None:
-                    continue
-                result.samples.setdefault(graph, []).append(response)
-                best = result.worst_response.get(graph)
-                if best is None or response > best:
-                    result.worst_response[graph] = response
-            for outcome in sim_result.deadline_misses():
-                result.deadline_miss_runs[outcome.graph] = (
-                    result.deadline_miss_runs.get(outcome.graph, 0) + 1
+        with trace_span(
+            "sim.campaign",
+            profiles=len(runs),
+            max_faults=self._max_faults,
+        ) as campaign_span:
+            for profile in runs:
+                sim_result = self._simulator.run(
+                    profile=profile,
+                    sampler=self._sampler,
+                    rng=random.Random(rng.getrandbits(32)),
+                    hyperperiods=hyperperiods,
                 )
+                result.profiles += 1
+                if sim_result.entered_critical_state:
+                    result.critical_runs += 1
+                if sim_result.dropped_instances():
+                    result.runs_with_drops += 1
+                for graph, response in sim_result.response_times().items():
+                    if response is None:
+                        continue
+                    result.samples.setdefault(graph, []).append(response)
+                    best = result.worst_response.get(graph)
+                    if best is None or response > best:
+                        result.worst_response[graph] = response
+                for outcome in sim_result.deadline_misses():
+                    result.deadline_miss_runs[outcome.graph] = (
+                        result.deadline_miss_runs.get(outcome.graph, 0) + 1
+                    )
+            campaign_span.set_attributes(
+                critical_runs=result.critical_runs,
+                runs_with_drops=result.runs_with_drops,
+            )
         return result

@@ -1,5 +1,6 @@
 import io
 import json
+import threading
 
 import pytest
 
@@ -207,6 +208,56 @@ class TestJsonlTraceWriter:
         writer = JsonlTraceWriter(tmp_path / "trace.jsonl")
         writer.close()
         writer.close()
+
+    def test_write_record_after_close_is_noop(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        writer = JsonlTraceWriter(path)
+        writer.close()
+        writer.write_record({"span": "late"})
+        assert path.read_text() == ""
+
+    def test_concurrent_hammer_produces_valid_unmixed_jsonl(self, tmp_path):
+        """N threads writing events and span records concurrently must
+        yield one valid JSON object per line, never interleaved."""
+        path = tmp_path / "trace.jsonl"
+        threads_n, per_thread = 8, 100
+        writer = JsonlTraceWriter(path)
+        barrier = threading.Barrier(threads_n)
+
+        def hammer(worker):
+            barrier.wait()
+            for i in range(per_thread):
+                if i % 2:
+                    writer(_generation_event(generation=i))
+                else:
+                    writer.write_record(
+                        {
+                            "span": "w",
+                            "attrs": {"worker": worker, "i": i,
+                                      "pad": "x" * 200},
+                        }
+                    )
+
+        threads = [
+            threading.Thread(target=hammer, args=(w,))
+            for w in range(threads_n)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        writer.close()
+
+        lines = path.read_text().splitlines()
+        assert len(lines) == threads_n * per_thread
+        records = [json.loads(line) for line in lines]  # raises if mixed
+        spans = [r for r in records if "span" in r]
+        events = [r for r in records if "event" in r]
+        assert len(spans) == threads_n * per_thread // 2
+        assert len(events) == threads_n * per_thread // 2
+        # Every span record arrived intact, not spliced with another.
+        seen = {(r["attrs"]["worker"], r["attrs"]["i"]) for r in spans}
+        assert len(seen) == len(spans)
 
 
 class TestProgressLogger:

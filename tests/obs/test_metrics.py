@@ -156,3 +156,78 @@ class TestExport:
         payload = json.loads(path.read_text())
         assert payload["command"] == "explore"
         assert payload["metrics"]["counters"]["c"] == 1
+
+
+class TestStreamingQuantiles:
+    def test_empty_histogram_has_none_quantiles(self, registry):
+        quantiles = registry.histogram("h").quantiles()
+        assert quantiles == {"p50": None, "p95": None, "p99": None}
+
+    def test_exact_below_five_samples(self, registry):
+        histogram = registry.histogram("h", buckets=(100,))
+        for value in (1.0, 3.0, 2.0):
+            histogram.observe(value)
+        assert histogram.quantiles()["p50"] == pytest.approx(2.0)
+
+    def test_median_of_uniform_stream(self, registry):
+        histogram = registry.histogram("h", buckets=(2000,))
+        for i in range(1, 1001):
+            histogram.observe(float(i))
+        quantiles = histogram.quantiles()
+        assert quantiles["p50"] == pytest.approx(500.0, rel=0.05)
+        assert quantiles["p95"] == pytest.approx(950.0, rel=0.05)
+        assert quantiles["p99"] == pytest.approx(990.0, rel=0.05)
+
+    def test_quantiles_ordered(self, registry):
+        import random
+
+        rng = random.Random(7)
+        histogram = registry.histogram("h", buckets=(10,))
+        for _ in range(500):
+            histogram.observe(rng.expovariate(1.0))
+        quantiles = histogram.quantiles()
+        assert quantiles["p50"] <= quantiles["p95"] <= quantiles["p99"]
+
+    def test_as_dict_and_snapshot_carry_quantiles(self, registry):
+        histogram = registry.histogram("h")
+        for i in range(20):
+            histogram.observe(float(i))
+        payload = histogram.as_dict()
+        assert "p50" in payload and "p95" in payload and "p99" in payload
+        snap = registry.snapshot()["histograms"]["h"]
+        assert snap["p50"] == payload["p50"]
+
+    def test_disabled_registry_records_nothing(self):
+        quiet = MetricsRegistry(enabled=False)
+        histogram = quiet.histogram("h")
+        histogram.observe(5.0)
+        assert histogram.quantiles()["p50"] is None
+
+
+class TestPrometheusExposition:
+    def test_counter_gauge_timer_lines(self, registry):
+        registry.counter("dse.evaluations").inc(4)
+        registry.gauge("serve.queue_depth").set(2)
+        registry.timer("serve.latency.analyze").observe(0.25)
+        lines = list(registry.prometheus_lines())
+        assert "# TYPE repro_dse_evaluations_total counter" in lines
+        assert "repro_dse_evaluations_total 4" in lines
+        assert "repro_serve_queue_depth 2" in lines
+        assert "repro_serve_latency_analyze_sum 0.25" in lines
+        assert "repro_serve_latency_analyze_count 1" in lines
+
+    def test_histogram_buckets_are_cumulative(self, registry):
+        histogram = registry.histogram("lat", buckets=(1, 5, 10))
+        for value in (0.5, 0.7, 3.0, 20.0):
+            histogram.observe(value)
+        lines = list(registry.prometheus_lines())
+        assert 'repro_lat_bucket{le="1"} 2' in lines
+        assert 'repro_lat_bucket{le="5"} 3' in lines
+        assert 'repro_lat_bucket{le="10"} 3' in lines
+        assert 'repro_lat_bucket{le="+Inf"} 4' in lines
+        assert "repro_lat_count 4" in lines
+
+    def test_names_sanitized(self, registry):
+        registry.counter("a.b-c d").inc()
+        lines = list(registry.prometheus_lines())
+        assert "repro_a_b_c_d_total 1" in lines

@@ -1,0 +1,241 @@
+"""Tracer core: no-op path, nesting, propagation, traceparent syntax."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.obs.trace import (
+    RESPONSE_TRACE_HEADER,
+    TRACEPARENT_HEADER,
+    SpanContext,
+    activate,
+    annotate,
+    capture_context,
+    current_context,
+    from_traceparent,
+    span,
+    to_traceparent,
+    tracer,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracer():
+    tracer().reset()
+    yield
+    tracer().reset()
+
+
+@pytest.fixture
+def sink():
+    records = []
+    tracer().enable(records.append)
+    return records
+
+
+class TestDisabledPath:
+    def test_span_is_shared_noop_object(self):
+        first = span("a")
+        second = span("b", key=1)
+        assert first is second  # one shared instance, nothing allocated
+
+    def test_noop_span_accepts_attributes(self):
+        with span("a") as sp:
+            sp.set_attribute("k", 1)
+            sp.set_attributes(x=2, y=3)
+
+    def test_no_context_while_disabled(self):
+        assert current_context() is None
+        assert capture_context() is None
+
+    def test_annotate_is_noop(self):
+        annotate(anything="goes")
+
+    def test_activate_returns_null_activation(self):
+        ctx = SpanContext("ab" * 16, "cd" * 8)
+        with activate(ctx):
+            assert current_context() is None
+
+
+class TestSpanRecords:
+    def test_record_schema(self, sink):
+        with span("phase.one", widgets=3):
+            pass
+        assert len(sink) == 1
+        record = sink[0]
+        assert record["span"] == "phase.one"
+        assert len(record["trace_id"]) == 32
+        assert len(record["span_id"]) == 16
+        assert record["parent_id"] is None
+        assert record["duration_us"] >= 0
+        assert record["attrs"] == {"widgets": 3}
+        assert record["thread"] == threading.current_thread().name
+
+    def test_nested_spans_share_trace_and_link_parents(self, sink):
+        with span("outer"):
+            with span("inner"):
+                pass
+        inner, outer = sink  # children finish first
+        assert inner["span"] == "inner"
+        assert inner["trace_id"] == outer["trace_id"]
+        assert inner["parent_id"] == outer["span_id"]
+        assert outer["parent_id"] is None
+
+    def test_siblings_get_distinct_span_ids(self, sink):
+        with span("outer"):
+            with span("a"):
+                pass
+            with span("b"):
+                pass
+        a, b, _outer = sink
+        assert a["span_id"] != b["span_id"]
+        assert a["parent_id"] == b["parent_id"]
+
+    def test_exception_sets_error_attr_and_unwinds(self, sink):
+        with pytest.raises(ValueError):
+            with span("boom"):
+                raise ValueError("nope")
+        assert sink[0]["attrs"]["error"] == "ValueError"
+        assert tracer().current_span() is None
+
+    def test_annotate_enriches_innermost_span(self, sink):
+        with span("outer"):
+            with span("inner"):
+                annotate(cache_hit=True)
+        inner, outer = sink
+        assert inner["attrs"] == {"cache_hit": True}
+        assert outer["attrs"] == {}
+
+    def test_set_attributes_after_creation(self, sink):
+        with span("s") as sp:
+            sp.set_attribute("a", 1)
+            sp.set_attributes(b=2)
+        assert sink[0]["attrs"] == {"a": 1, "b": 2}
+
+
+class TestPropagation:
+    def test_capture_and_activate_across_threads(self, sink):
+        with span("parent"):
+            ctx = capture_context()
+
+            def work():
+                with activate(ctx):
+                    with span("child"):
+                        pass
+
+            thread = threading.Thread(target=work)
+            thread.start()
+            thread.join()
+        child = next(r for r in sink if r["span"] == "child")
+        parent = next(r for r in sink if r["span"] == "parent")
+        assert child["trace_id"] == parent["trace_id"]
+        assert child["parent_id"] == parent["span_id"]
+
+    def test_activation_reroots_over_live_infrastructure_spans(self, sink):
+        """Request work on a pool worker must join the request's trace,
+        not nest under the worker's own open spans."""
+        request_ctx = SpanContext("11" * 16, "22" * 8)
+        with span("worker.infra"):
+            with activate(request_ctx):
+                with span("request.work"):
+                    pass
+            with span("infra.child"):
+                pass
+        work = next(r for r in sink if r["span"] == "request.work")
+        infra_child = next(r for r in sink if r["span"] == "infra.child")
+        infra = next(r for r in sink if r["span"] == "worker.infra")
+        assert work["trace_id"] == request_ctx.trace_id
+        assert work["parent_id"] == request_ctx.span_id
+        # After the activation exits, the worker's own stack is restored.
+        assert infra_child["parent_id"] == infra["span_id"]
+
+    def test_executor_fanout_parents_all_tasks_on_submitter(self, sink):
+        with span("batch"):
+            ctx = capture_context()
+
+            def work(i):
+                with activate(ctx):
+                    with span("item", index=i):
+                        pass
+
+            with ThreadPoolExecutor(max_workers=3) as pool:
+                list(pool.map(work, range(6)))
+        batch = next(r for r in sink if r["span"] == "batch")
+        items = [r for r in sink if r["span"] == "item"]
+        assert len(items) == 6
+        assert {r["parent_id"] for r in items} == {batch["span_id"]}
+        assert {r["trace_id"] for r in items} == {batch["trace_id"]}
+
+    def test_context_roundtrip_through_dict(self):
+        ctx = SpanContext("aa" * 16, "bb" * 8)
+        restored = SpanContext.from_dict(ctx.to_dict())
+        assert restored.trace_id == ctx.trace_id
+        assert restored.span_id == ctx.span_id
+
+    def test_context_from_junk_is_none(self):
+        assert SpanContext.from_dict(None) is None
+        assert SpanContext.from_dict("garbage") is None
+        assert SpanContext.from_dict({}) is None
+        assert SpanContext.from_dict({"trace_id": "x"}) is None
+
+
+class TestTraceparent:
+    def test_roundtrip(self):
+        ctx = SpanContext("ab" * 16, "cd" * 8)
+        header = to_traceparent(ctx)
+        assert header == f"00-{'ab' * 16}-{'cd' * 8}-01"
+        parsed = from_traceparent(header)
+        assert parsed.trace_id == ctx.trace_id
+        assert parsed.span_id == ctx.span_id
+
+    def test_none_in_none_out(self):
+        assert to_traceparent(None) is None
+        assert from_traceparent(None) is None
+        assert from_traceparent("") is None
+
+    @pytest.mark.parametrize(
+        "header",
+        [
+            "junk",
+            "00-short-abcdefabcdefabcd-01",
+            "00-" + "g" * 32 + "-" + "ab" * 8 + "-01",  # not hex
+            "00-" + "0" * 32 + "-" + "ab" * 8 + "-01",  # zero trace id
+            "00-" + "ab" * 16 + "-" + "0" * 16 + "-01",  # zero span id
+        ],
+    )
+    def test_malformed_headers_rejected(self, header):
+        assert from_traceparent(header) is None
+
+    def test_header_names(self):
+        assert TRACEPARENT_HEADER == "traceparent"
+        assert RESPONSE_TRACE_HEADER == "X-Repro-Trace"
+
+
+class TestTracerLifecycle:
+    def test_sink_added_once(self):
+        records = []
+        tracer().add_sink(records.append)
+        tracer().add_sink(records.append)
+        tracer().enable()
+        with span("s"):
+            pass
+        assert len(records) == 1
+
+    def test_remove_sink(self):
+        records = []
+        tracer().enable(records.append)
+        tracer().remove_sink(records.append)
+        with span("s"):
+            pass
+        assert records == []
+
+    def test_reset_disables_and_clears_state(self):
+        records = []
+        tracer().enable(records.append)
+        with span("s"):
+            tracer().reset()
+        # The open span still exits cleanly; nothing is recorded.
+        assert records == []
+        assert not tracer().enabled
+        assert current_context() is None
