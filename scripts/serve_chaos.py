@@ -1,0 +1,23 @@
+"""Standalone chaos campaign against the serving tier (CI chaos-smoke).
+
+Thin wrapper over :func:`repro.serve.chaos.run_chaos` — kills workers
+mid-request, breaks connections, drains gracefully, and asserts zero
+wrong answers, a resumable exploration job, and a re-warmed disk cache.
+
+Run from the repository root:
+
+    PYTHONPATH=src python scripts/serve_chaos.py --seed 0 --duration 20
+
+Exit code 0 iff every campaign check passed; ``--report out.json``
+writes the machine-readable verdict.  Same flags as ``repro chaos``.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main(["chaos", *sys.argv[1:]]))

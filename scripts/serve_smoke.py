@@ -10,13 +10,23 @@ Drives a real server subprocess through the full surface:
 4. explore job lifecycle: submit, poll, cancel;
 5. SIGKILL the server mid-exploration, restart it on the same state
    dir, and assert the job resumes from its checkpoint and finishes
-   with the same Pareto front as an uninterrupted run.
+   with the same Pareto front as an uninterrupted run;
+6. SIGTERM the server mid-exploration and assert the graceful path:
+   exit code 0, the job parked resumable, and the restarted server
+   finishing it identically to an uninterrupted run.
 
 Run from the repository root:
 
     PYTHONPATH=src python scripts/serve_smoke.py
+
+``--soak SECONDS`` switches to a sustained-load soak instead: N client
+threads hammer the server for the given duration, latencies stream
+through a P^2 histogram, and a ``BENCH_serve.json`` report (throughput
++ p50/p95/p99) is written when ``REPRO_BENCH_DIR`` or ``--bench-dir``
+names a directory.
 """
 
+import argparse
 import json
 import os
 import signal
@@ -24,6 +34,7 @@ import socket
 import subprocess
 import sys
 import tempfile
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
@@ -33,7 +44,13 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.api import analyze, load  # noqa: E402
 from repro.model.mapping import Mapping  # noqa: E402
 from repro.model.serialization import SystemBundle  # noqa: E402
-from repro.serve.client import ServeClient, ServeError  # noqa: E402
+from repro.obs.bench import write_bench_report  # noqa: E402
+from repro.obs.metrics import metrics  # noqa: E402
+from repro.serve.client import (  # noqa: E402
+    RetryPolicy,
+    ServeClient,
+    ServeError,
+)
 from repro.serve.encoding import (  # noqa: E402
     analysis_result_to_dict,
     bundle_to_payload,
@@ -158,6 +175,27 @@ def check_job_cancel(client: ServeClient) -> None:
     print("ok: explore job cancelled cooperatively")
 
 
+_REFERENCE_FRONTS = {}
+
+
+def reference_front(params: dict):
+    """The uninterrupted cruise exploration front for ``params``."""
+    key = tuple(sorted(params.items()))
+    if key not in _REFERENCE_FRONTS:
+        import repro
+
+        result = repro.explore(
+            mapped_suite("cruise"),
+            generations=params["generations"],
+            population=params["population"],
+            seed=params["seed"],
+        )
+        _REFERENCE_FRONTS[key] = [
+            (p.power, p.service, tuple(p.dropped)) for p in result.pareto
+        ]
+    return _REFERENCE_FRONTS[key]
+
+
 def check_kill_resume(port: int, state_dir: str, process: subprocess.Popen):
     client = ServeClient(f"http://127.0.0.1:{port}", timeout=300.0)
     mapped = bundle_to_payload(mapped_suite("cruise"))
@@ -186,18 +224,7 @@ def check_kill_resume(port: int, state_dir: str, process: subprocess.Popen):
             (p["power"], p["service"], tuple(p["dropped"]))
             for p in final["result"]["pareto"]
         ]
-        import repro
-
-        source = mapped_suite("cruise")
-        reference = repro.explore(
-            source,
-            generations=params["generations"],
-            population=params["population"],
-            seed=params["seed"],
-        )
-        expected = [
-            (p.power, p.service, tuple(p.dropped)) for p in reference.pareto
-        ]
+        expected = reference_front(params)
         assert front == expected, "resumed front differs from reference"
         print(
             f"ok: job resumed after SIGKILL and matches the uninterrupted "
@@ -205,10 +232,162 @@ def check_kill_resume(port: int, state_dir: str, process: subprocess.Popen):
         )
     finally:
         process.terminate()
-        process.wait(timeout=10)
+        process.wait(timeout=30)
 
 
-def main() -> int:
+def check_sigterm_drain(port: int, state_dir: str) -> None:
+    """SIGTERM mid-explore: clean exit 0, job parked, resume identical."""
+    process = start_server(port, state_dir)
+    client = ServeClient(f"http://127.0.0.1:{port}", timeout=300.0)
+    mapped = bundle_to_payload(mapped_suite("cruise"))
+    params = dict(generations=40, population=16, seed=7, checkpoint_every=2)
+    stub = client.explore(mapped, **params)
+    job_id = stub["id"]
+
+    ckpt_dir = Path(state_dir) / job_id / "ckpt"
+    deadline = time.monotonic() + 120.0
+    while not list(ckpt_dir.glob("checkpoint-*.json")):
+        assert time.monotonic() < deadline, "no checkpoint appeared"
+        time.sleep(0.1)
+    process.send_signal(signal.SIGTERM)
+    code = process.wait(timeout=60)
+    assert code == 0, f"graceful drain exited {code}"
+    record = json.loads((Path(state_dir) / job_id / "job.json").read_text())
+    assert record["status"] == "pending", record["status"]
+    print(f"ok: SIGTERM drained to exit 0 (job {job_id} parked as pending)")
+
+    process = start_server(port, state_dir)
+    try:
+        final = client.wait_job(job_id, timeout=300.0)
+        assert final["status"] == "done", final
+        assert final["restarts"] >= 1, "job did not go through recovery"
+        front = [
+            (p["power"], p["service"], tuple(p["dropped"]))
+            for p in final["result"]["pareto"]
+        ]
+        assert front == reference_front(params), (
+            "drained-and-resumed front differs from reference"
+        )
+        print(
+            f"ok: parked job resumed after drain and matches the "
+            f"uninterrupted run ({len(front)} Pareto points)"
+        )
+    finally:
+        process.terminate()
+        assert process.wait(timeout=60) == 0, "idle drain exited nonzero"
+
+
+def run_soak(args) -> int:
+    """Sustained mixed load; emits BENCH_serve.json when configured."""
+    port = free_port()
+    state_dir = tempfile.mkdtemp(prefix="repro-serve-soak-")
+    process = start_server(port, state_dir)
+    url = f"http://127.0.0.1:{port}"
+    cruise = bundle_to_payload(mapped_suite("cruise"))
+    dt_med = bundle_to_payload(mapped_suite("dt-med"))
+    latency = metrics().histogram("bench.serve.request_seconds")
+    stop = threading.Event()
+    lock = threading.Lock()
+    counts = {"requests": 0, "errors": 0}
+    failures = []
+
+    def worker(index: int) -> None:
+        client = ServeClient(
+            url, timeout=120.0, retry=RetryPolicy(retries=4, seed=index)
+        )
+        i = 0
+        try:
+            while not stop.is_set():
+                kind = (index + i) % 3
+                i += 1
+                begin = time.perf_counter()
+                try:
+                    if kind == 0:
+                        client.analyze_raw(cruise)
+                    elif kind == 1:
+                        client.analyze_raw(cruise, dropped=["info", "log"])
+                    else:
+                        client.analyze_raw(dt_med)
+                except ServeError as error:
+                    with lock:
+                        counts["errors"] += 1
+                        if len(failures) < 5:
+                            failures.append(str(error))
+                else:
+                    latency.observe(time.perf_counter() - begin)
+                    with lock:
+                        counts["requests"] += 1
+        finally:
+            client.close()
+
+    threads = [
+        threading.Thread(target=worker, args=(i,), name=f"soak-{i}")
+        for i in range(args.soak_clients)
+    ]
+    begin = time.monotonic()
+    for thread in threads:
+        thread.start()
+    time.sleep(args.soak)
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=150.0)
+    elapsed = time.monotonic() - begin
+    process.terminate()
+    assert process.wait(timeout=60) == 0, "soak server drain exited nonzero"
+
+    quantiles = latency.quantiles()
+    throughput = counts["requests"] / elapsed if elapsed else 0.0
+    payload = {
+        "duration_seconds": round(elapsed, 3),
+        "clients": args.soak_clients,
+        "requests": counts["requests"],
+        "errors": counts["errors"],
+        "throughput_rps": round(throughput, 3),
+        "latency_seconds": {
+            "mean": round(latency.mean, 6),
+            "max": latency.max,
+            **quantiles,
+        },
+    }
+    path = write_bench_report("serve", payload, out_dir=args.bench_dir)
+
+    def fmt(value):
+        return f"{value * 1000:.1f}ms" if value is not None else "n/a"
+
+    print(
+        f"soak: {counts['requests']} requests in {elapsed:.1f}s "
+        f"({throughput:.1f} rps, {args.soak_clients} clients), "
+        f"p50={fmt(quantiles['p50'])} p95={fmt(quantiles['p95'])} "
+        f"p99={fmt(quantiles['p99'])}"
+    )
+    if path:
+        print(f"wrote {path}")
+    assert counts["errors"] == 0, "soak errors:\n" + "\n".join(failures)
+    print("serve soak: passed")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="serve smoke test / sustained-load soak"
+    )
+    parser.add_argument(
+        "--soak", type=float, default=0.0,
+        help="run a sustained-load soak for N seconds instead of the "
+        "smoke checks",
+    )
+    parser.add_argument(
+        "--soak-clients", type=int, default=8,
+        help="concurrent client threads during the soak",
+    )
+    parser.add_argument(
+        "--bench-dir", default=None,
+        help="directory for BENCH_serve.json (default: $REPRO_BENCH_DIR)",
+    )
+    args = parser.parse_args(argv)
+    if args.soak:
+        return run_soak(args)
+
     port = free_port()
     state_dir = tempfile.mkdtemp(prefix="repro-serve-smoke-")
     process = start_server(port, state_dir)
@@ -226,6 +405,7 @@ def main() -> int:
         raise
     # check_kill_resume kills and restarts the server itself.
     check_kill_resume(port, state_dir, process)
+    check_sigterm_drain(port, state_dir)
     print("serve smoke: all checks passed")
     return 0
 

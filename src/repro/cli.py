@@ -11,8 +11,12 @@ Operates on JSON system files (written by
   metamorphic properties, counterexample shrinking, corpus replay);
 * ``export``   — write a built-in benchmark suite to a system file;
 * ``generate`` — write a random TGFF-style system to a file;
-* ``serve``    — run the JSON-over-HTTP analysis/exploration service;
-* ``submit``   — send a request to a running ``repro serve`` instance.
+* ``serve``    — run the JSON-over-HTTP analysis/exploration service
+  (``--processes N`` pre-forks a supervised SO_REUSEPORT fleet);
+* ``submit``   — send a request to a running ``repro serve`` instance
+  (retries 429/503/transport faults idempotently by default);
+* ``chaos``    — fault-injection campaign against a supervised fleet,
+  asserting zero wrong answers under worker kills and broken sockets.
 
 Examples::
 
@@ -351,10 +355,65 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _serve_cache_dir(args):
+    """The disk-cache directory: explicit flag, else under state-dir."""
+    if args.cache_dir:
+        return args.cache_dir
+    if args.state_dir:
+        return str(Path(args.state_dir) / "cache")
+    return None
+
+
+def _cmd_serve_supervised(args) -> int:
+    """Run a pre-fork fleet: N ``repro serve`` workers on one port."""
+    from repro.serve.supervisor import Supervisor, SupervisorConfig
+
+    worker_argv = [
+        sys.executable, "-m", "repro", "serve",
+        "--processes", "1",
+        "--workers", str(args.workers),
+        "--queue-size", str(args.queue_size),
+        "--max-batch", str(args.max_batch),
+        "--batch-window-ms", str(args.batch_window_ms),
+        "--job-workers", str(args.job_workers),
+        "--drain-timeout", str(args.drain_timeout),
+    ]
+    if args.state_dir:
+        worker_argv += ["--state-dir", args.state_dir]
+    cache_dir = _serve_cache_dir(args)
+    if cache_dir:
+        worker_argv += ["--cache-dir", cache_dir]
+    if args.cache_size is not None:
+        worker_argv += ["--cache-size", str(args.cache_size)]
+    if args.allow_local_paths:
+        worker_argv.append("--allow-local-paths")
+    status_path = args.status_file
+    if status_path is None and args.state_dir:
+        status_path = str(Path(args.state_dir) / "supervisor.json")
+    supervisor = Supervisor(SupervisorConfig(
+        worker_argv,
+        processes=args.processes,
+        host=args.host,
+        port=args.port,
+        status_path=status_path,
+        drain_timeout=args.drain_timeout,
+    ))
+    supervisor.start()
+    print(
+        f"supervising {args.processes} workers on {supervisor.url}",
+        file=sys.stderr,
+    )
+    return supervisor.run()
+
+
 def _cmd_serve(args) -> int:
-    import time
+    import signal
+    import threading
 
     from repro.serve.app import ReproServer, ServeConfig
+
+    if args.processes > 1:
+        return _cmd_serve_supervised(args)
 
     config = ServeConfig(
         host=args.host,
@@ -367,18 +426,49 @@ def _cmd_serve(args) -> int:
         job_workers=args.job_workers,
         cache_capacity=args.cache_size,
         allow_local_paths=args.allow_local_paths,
+        cache_dir=_serve_cache_dir(args),
+        reuse_port=args.reuse_port,
+        drain_timeout=args.drain_timeout,
+        worker_id=args._worker_id,
+        supervisor_status_path=args._status_file,
     )
     server = ReproServer(config)
+    stop = threading.Event()
+
+    def _on_signal(_signum, _frame):
+        stop.set()
+
+    # SIGTERM drains exactly like Ctrl-C: finish/park in-flight work,
+    # commit checkpoints, exit 0 (the supervisor relies on this).
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
     server.start()
     print(f"serving on {server.url}", file=sys.stderr)
     try:
-        while True:
-            time.sleep(3600)
+        while not stop.wait(0.5):
+            pass
     except KeyboardInterrupt:
         pass
-    finally:
-        server.close()
-    return 0
+    clean = server.drain(timeout=args.drain_timeout)
+    return 0 if clean else 1
+
+
+def _cmd_chaos(args) -> int:
+    from repro.serve.chaos import ChaosConfig, run_chaos
+
+    config = ChaosConfig(
+        seed=args.seed,
+        processes=args.processes,
+        duration_seconds=args.duration,
+        clients=args.clients,
+        kill_every_seconds=args.kill_every,
+        mischief_every_seconds=args.mischief_every,
+        state_dir=args.state_dir,
+        report_path=args.report,
+    )
+    report = run_chaos(config)
+    print(report.render())
+    return 0 if report.ok else 1
 
 
 def _submit_system(spec: str):
@@ -394,9 +484,11 @@ def _submit_system(spec: str):
 
 
 def _submit_client(args):
-    from repro.serve.client import ServeClient
+    from repro.serve.client import RetryPolicy, ServeClient
 
-    return ServeClient(args.server, timeout=args.timeout)
+    retries = getattr(args, "retries", 0)
+    retry = RetryPolicy(retries=retries) if retries else None
+    return ServeClient(args.server, timeout=args.timeout, retry=retry)
 
 
 def _cmd_submit_analyze(args) -> int:
@@ -769,7 +861,72 @@ def build_parser() -> argparse.ArgumentParser:
         help="let a request's system field name a server-local file "
         "(off by default: any client could read arbitrary paths)",
     )
+    serve.add_argument(
+        "--processes", type=int, default=1,
+        help="worker processes; >1 runs a pre-fork SO_REUSEPORT "
+        "supervisor with crash-restart and graceful fleet drain",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        help="disk tier of the schedule cache, shared across worker "
+        "processes and restarts (default: <state-dir>/cache)",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=30.0,
+        help="seconds granted to finish/park in-flight work on "
+        "SIGTERM/SIGINT before hard shutdown",
+    )
+    serve.add_argument(
+        "--reuse-port", action="store_true",
+        help="bind with SO_REUSEPORT so multiple server processes can "
+        "share the port",
+    )
+    serve.add_argument(
+        "--status-file",
+        help="supervisor status JSON path "
+        "(default: <state-dir>/supervisor.json)",
+    )
+    serve.add_argument(
+        "--_worker-id", dest="_worker_id", type=int, default=None,
+        help=argparse.SUPPRESS,
+    )
+    serve.add_argument(
+        "--_status-file", dest="_status_file", default=None,
+        help=argparse.SUPPRESS,
+    )
     serve.set_defaults(handler=_cmd_serve)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault-injection campaign against a supervised serve fleet",
+        parents=obs,
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--processes", type=int, default=2, help="fleet worker processes"
+    )
+    chaos.add_argument(
+        "--duration", type=float, default=20.0,
+        help="campaign duration in seconds",
+    )
+    chaos.add_argument(
+        "--clients", type=int, default=4, help="concurrent client threads"
+    )
+    chaos.add_argument(
+        "--kill-every", type=float, default=3.0,
+        help="mean seconds between SIGKILLs of a random worker",
+    )
+    chaos.add_argument(
+        "--mischief-every", type=float, default=0.5,
+        help="mean seconds between connection-level faults (garbage "
+        "bytes, half-close, RST, slow sends)",
+    )
+    chaos.add_argument(
+        "--state-dir",
+        help="durable state directory (default: a fresh temp dir)",
+    )
+    chaos.add_argument("--report", help="write the JSON report here")
+    chaos.set_defaults(handler=_cmd_chaos)
 
     submit = sub.add_parser(
         "submit", help="send a request to a running repro serve instance"
@@ -784,6 +941,10 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument(
             "--timeout", type=float, default=600.0,
             help="client-side request/poll timeout in seconds",
+        )
+        sp.add_argument(
+            "--retries", type=int, default=4,
+            help="retry budget for 429/503/transport faults (0 disables)",
         )
 
     s_analyze = submit_sub.add_parser(

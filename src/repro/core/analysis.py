@@ -365,7 +365,7 @@ class MixedCriticalityAnalysis:
         key: Optional[str] = None
         if fast is not None and fast.memoize:
             key = jobset.fingerprint()
-            cached = fast.cache.get(key)
+            cached = fast.cache.get(key, jobset)
             if cached is not None:
                 registry.counter("analysis.cache.hits").inc()
                 annotate(cache_hit=True)

@@ -44,6 +44,7 @@ __all__ = [
     "FastPathConfig",
     "ScheduleCache",
     "TransitionPruner",
+    "configure_shared_cache",
     "shared_cache",
 ]
 
@@ -76,8 +77,17 @@ class ScheduleCache:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def get(self, key: str) -> Optional[ScheduleBounds]:
-        """The cached bounds for ``key``, refreshing its LRU position."""
+    def get(
+        self, key: str, jobset: Optional[JobSet] = None
+    ) -> Optional[ScheduleBounds]:
+        """The cached bounds for ``key``, refreshing its LRU position.
+
+        ``jobset`` is the caller's job set for ``key``.  The in-memory
+        tier ignores it (entries already carry a job set with the same
+        fingerprint), but tiers that rehydrate bounds from storage — see
+        :class:`repro.serve.cachestore.TieredScheduleCache` — need it to
+        rebind the deserialized arrays onto live jobs.
+        """
         with self._lock:
             bounds = self._entries.get(key)
             if bounds is None:
@@ -247,4 +257,23 @@ def shared_cache(capacity: Optional[int] = None) -> ScheduleCache:
             _shared = ScheduleCache(
                 SHARED_CACHE_CAPACITY if capacity is None else capacity
             )
+        return _shared
+
+
+def configure_shared_cache(cache: Optional[ScheduleCache]) -> ScheduleCache:
+    """Install ``cache`` as the process-wide cache and return it.
+
+    The serving layer calls this at startup to replace the default
+    in-memory LRU with a disk-backed
+    :class:`~repro.serve.cachestore.TieredScheduleCache`, so every
+    :meth:`FastPathConfig.shared` analysis in the process shares warm
+    state across restarts and sibling worker processes.  Passing ``None``
+    installs a fresh default in-memory cache (used by tests to restore
+    isolation).
+    """
+    global _shared
+    with _shared_lock:
+        _shared = cache if cache is not None else ScheduleCache(
+            SHARED_CACHE_CAPACITY
+        )
         return _shared

@@ -25,12 +25,25 @@ only* — request bodies stay untouched, so dedup keys and the
 byte-identity guarantee are unaffected.
 
 Error contract: 400 malformed/invalid request, 404 unknown route or
-job, 429 + ``Retry-After`` when the admission queue is full, 504 when a
-request's deadline elapsed in the queue, 500 otherwise.  Every error
-body is ``{"error": {"type": ..., "message": ...}}``.
+job, 429 + ``Retry-After`` when the admission queue is full, 503 +
+``Retry-After`` while draining, 504 when a request's deadline elapsed
+in the queue, 500 otherwise.  Every error body is
+``{"error": {"type": ..., "message": ...}}``.
+
+Resilience: ``reuse_port=True`` binds with ``SO_REUSEPORT`` so a
+pre-fork supervisor (:mod:`repro.serve.supervisor`) can run N worker
+processes on one port with kernel load-balancing; ``cache_dir`` installs
+the disk-backed :class:`~repro.serve.cachestore.TieredScheduleCache`
+process-wide so warm analysis state survives restarts and is shared
+across workers; :meth:`ReproServer.drain` is the graceful-shutdown
+sequence (stop accepting, shed new compute with 503, finish in-flight
+work, park explore jobs on their final checkpoints, exit).
 """
 
 import json
+import os
+import socket
+import sys
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -63,7 +76,7 @@ from repro.serve.pool import DeadlineExceeded, PoolSaturated, WorkerPool
 
 _LOG = get_logger("serve")
 
-__all__ = ["ServeConfig", "ReproServer"]
+__all__ = ["ServeConfig", "ReproServer", "ServiceUnavailable"]
 
 #: Upper bound on accepted request bodies (64 MiB covers DT-large many
 #: times over; anything bigger is a client bug, not a workload).
@@ -89,6 +102,11 @@ class ServeConfig:
         job_workers: int = 1,
         cache_capacity: Optional[int] = None,
         allow_local_paths: bool = False,
+        cache_dir: Optional[str] = None,
+        reuse_port: bool = False,
+        drain_timeout: float = 30.0,
+        worker_id: Optional[int] = None,
+        supervisor_status_path: Optional[str] = None,
     ):
         self.host = host
         self.port = port
@@ -102,6 +120,19 @@ class ServeConfig:
         #: Whether a request's ``system`` field may name a server-local
         #: file (off by default: clients could read arbitrary paths).
         self.allow_local_paths = allow_local_paths
+        #: Directory of the disk-backed schedule-cache tier (shared
+        #: across worker processes and restarts); ``None`` keeps the
+        #: in-memory LRU only.
+        self.cache_dir = cache_dir
+        #: Bind with ``SO_REUSEPORT`` (pre-fork workers share the port).
+        self.reuse_port = reuse_port
+        #: Default budget of :meth:`ReproServer.drain`.
+        self.drain_timeout = drain_timeout
+        #: Identity under a supervisor (reported in ``/healthz``).
+        self.worker_id = worker_id
+        #: The supervisor's status file, surfaced in ``/healthz`` and
+        #: ``/metrics`` so any worker can report fleet state.
+        self.supervisor_status_path = supervisor_status_path
 
 
 def _run_in_context(ctx, fn: Callable[[Dict[str, Any]], bytes], params) -> bytes:
@@ -168,12 +199,35 @@ class ReproServer:
     """Owns the HTTP listener and the concurrency machinery behind it."""
 
     def __init__(self, config: Optional[ServeConfig] = None):
-        from repro.core.fastpath import shared_cache
+        from repro.core.fastpath import (
+            SHARED_CACHE_CAPACITY,
+            configure_shared_cache,
+            shared_cache,
+        )
 
         self.config = config or ServeConfig()
-        # Touch the shared cache early so /metrics reports it from the
-        # first request and a capacity override applies.
-        shared_cache(self.config.cache_capacity)
+        if self.config.cache_dir:
+            from repro.serve.cachestore import (
+                DiskCacheStore,
+                TieredScheduleCache,
+            )
+
+            store = DiskCacheStore(self.config.cache_dir)
+            configure_shared_cache(
+                TieredScheduleCache(
+                    store,
+                    capacity=(
+                        self.config.cache_capacity or SHARED_CACHE_CAPACITY
+                    ),
+                )
+            )
+        else:
+            # Touch the shared cache early so /metrics reports it from
+            # the first request and a capacity override applies.
+            shared_cache(self.config.cache_capacity)
+        self._draining = False
+        self._active = 0
+        self._active_lock = threading.Lock()
         self.pool = WorkerPool(
             workers=self.config.workers, queue_size=self.config.queue_size
         )
@@ -226,13 +280,15 @@ class ReproServer:
         _LOG.info("serving %s", kv(url=self.url))
 
     def serve_forever(self) -> None:
-        """Bind and serve on the calling thread (the CLI entry point)."""
+        """Bind and serve on the calling thread (the CLI entry point).
+
+        Returns when the serve loop is interrupted (``KeyboardInterrupt``
+        or :meth:`request_stop`); the caller decides between a graceful
+        :meth:`drain` and a hard :meth:`close`.
+        """
         self._bind()
         _LOG.info("serving %s", kv(url=self.url))
-        try:
-            self._httpd.serve_forever()
-        finally:
-            self.close()
+        self._httpd.serve_forever()
 
     def _bind(self) -> None:
         if self._httpd is not None:
@@ -244,17 +300,131 @@ class ReproServer:
 
         class Listener(ThreadingHTTPServer):
             daemon_threads = True
+            # Never join handler threads in server_close: kept-alive
+            # client connections sit in readline() until the peer closes
+            # and would block shutdown indefinitely.
+            block_on_close = False
             # The default accept backlog (5) resets connections under a
             # concurrent burst; admission control belongs to the worker
             # pool, not the TCP listen queue.
             request_queue_size = 128
 
+            def server_bind(self) -> None:
+                if server.config.reuse_port:
+                    if not hasattr(socket, "SO_REUSEPORT"):
+                        raise ReproError(
+                            "SO_REUSEPORT is not available on this platform"
+                        )
+                    self.socket.setsockopt(
+                        socket.SOL_SOCKET, socket.SO_REUSEPORT, 1
+                    )
+                super().server_bind()
+
+            def handle_error(self, request, client_address) -> None:
+                # Aborted/reset/half-open client connections are a
+                # normal hazard of serving (and a staple of the chaos
+                # harness) — one log line, not a stack trace.
+                kind = sys.exc_info()[0]
+                if kind is not None and issubclass(
+                    kind, (ConnectionError, TimeoutError, socket.timeout)
+                ):
+                    metrics().counter("serve.connection_errors").inc()
+                    _LOG.debug(
+                        "client connection error %s",
+                        kv(peer=client_address[0], error=kind.__name__),
+                    )
+                    return
+                super().handle_error(request, client_address)
+
         self._httpd = Listener((self.config.host, self.config.port), Handler)
 
+    # -- drain bookkeeping -----------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        """Whether the server is in its graceful-shutdown window."""
+        return self._draining
+
+    def _request_started(self) -> None:
+        with self._active_lock:
+            self._active += 1
+
+    def _request_finished(self) -> None:
+        with self._active_lock:
+            self._active -= 1
+
+    @property
+    def active_requests(self) -> int:
+        """HTTP requests currently inside a handler."""
+        with self._active_lock:
+            return self._active
+
+    def request_stop(self) -> None:
+        """Stop the serve loop from any thread (signal-handler safe).
+
+        Only flips the shutdown flag — never blocks — so it may run
+        inside a signal handler while :meth:`serve_forever` owns the
+        main thread.  The loop exits at its next poll tick.
+        """
+        httpd = self._httpd
+        if httpd is not None:
+            # BaseServer.shutdown() would deadlock called from the
+            # serving thread; setting the request flag is enough.
+            httpd._BaseServer__shutdown_request = True
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Graceful shutdown: stop accepting, finish or park, then stop.
+
+        Sequence: (1) mark draining — new compute requests are shed with
+        503 + ``Retry-After`` while job polls stay served; (2) stop the
+        accept loop; (3) wait for in-flight HTTP requests; (4) drain the
+        batcher and pool; (5) park running explore jobs on a final
+        committed checkpoint (status back to ``pending``) so the next
+        incarnation resumes identical trajectories.  Returns whether
+        everything stopped within ``timeout`` seconds.
+        """
+        timeout = self.config.drain_timeout if timeout is None else timeout
+        deadline = time.monotonic() + timeout
+        already = self._draining
+        self._draining = True
+        if not already:
+            metrics().counter("serve.drains").inc()
+            _LOG.info("draining %s", kv(timeout=timeout))
+        httpd = self._httpd
+        if httpd is not None and self._thread is not None:
+            # Background-thread mode: stop the accept loop from here.
+            httpd.shutdown()
+        clean = True
+        while True:
+            active = self.active_requests
+            if active <= 0:
+                break
+            if time.monotonic() > deadline:
+                clean = False
+                _LOG.warning(
+                    "drain timed out %s", kv(active_requests=active)
+                )
+                break
+            time.sleep(0.02)
+        self.batcher.shutdown()
+        self.pool.shutdown()
+        if self.jobs is not None:
+            remaining = max(5.0, deadline - time.monotonic())
+            clean = self.jobs.drain(timeout=remaining) and clean
+        if httpd is not None:
+            httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        _LOG.info("drained %s", kv(clean=clean))
+        return clean
+
     def close(self) -> None:
-        """Stop the listener and drain the machinery."""
+        """Stop the listener and the machinery (hard stop, no drain)."""
         if self._httpd is not None:
-            self._httpd.shutdown()
+            if self._thread is not None:
+                self._httpd.shutdown()
             self._httpd.server_close()
             self._httpd = None
         if self._thread is not None:
@@ -267,7 +437,18 @@ class ReproServer:
 
     # -- endpoint bodies -------------------------------------------------
 
+    def _shed_if_draining(self) -> None:
+        """Refuse new compute while draining (honest 503 + Retry-After).
+
+        Job polls and health/metrics stay served so clients can observe
+        the drain; only work that would extend it is shed.  The hint is
+        short: a supervisor restarts workers within its backoff window.
+        """
+        if self._draining:
+            raise ServiceUnavailable("server is draining", retry_after=1)
+
     def handle_analyze(self, payload: Dict[str, Any]) -> Tuple[int, bytes]:
+        self._shed_if_draining()
         params = parse_analyze_request(
             payload, allow_paths=self.config.allow_local_paths
         )
@@ -284,6 +465,7 @@ class ReproServer:
         return 200, body
 
     def handle_simulate(self, payload: Dict[str, Any]) -> Tuple[int, bytes]:
+        self._shed_if_draining()
         params = parse_simulate_request(
             payload, allow_paths=self.config.allow_local_paths
         )
@@ -300,6 +482,7 @@ class ReproServer:
         return 200, body
 
     def handle_explore(self, payload: Dict[str, Any]) -> Tuple[int, bytes]:
+        self._shed_if_draining()
         if self.jobs is None:
             raise ReproError(
                 "exploration jobs need a durable state dir; "
@@ -310,7 +493,9 @@ class ReproServer:
         )
         ctx = capture_context()
         job = self.jobs.create(
-            params, trace=ctx.to_dict() if ctx is not None else None
+            params,
+            trace=ctx.to_dict() if ctx is not None else None,
+            idempotency_key=params.get("idempotency_key"),
         )
         body = canonical_bytes(
             {"id": job.id, "status": job.status, "url": f"/v1/jobs/{job.id}"}
@@ -333,13 +518,36 @@ class ReproServer:
             raise _NotFound(f"unknown job {job_id!r}")
         return 200, canonical_bytes(job.to_dict(with_result=False))
 
+    def _supervisor_status(self) -> Optional[Dict[str, Any]]:
+        """The supervisor's status-file contents, if one manages us."""
+        path = self.config.supervisor_status_path
+        if not path:
+            return None
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def _worker_info(self) -> Dict[str, Any]:
+        """This process's identity and health, for ``/healthz``."""
+        return {
+            "id": self.config.worker_id,
+            "pid": os.getpid(),
+            "draining": self._draining,
+            "active_requests": self.active_requests,
+        }
+
     def handle_healthz(self) -> Tuple[int, bytes]:
         body = canonical_bytes(
             {
-                "status": "ok",
+                "status": "draining" if self._draining else "ok",
                 "uptime_seconds": round(time.time() - self.started, 3),
                 "queue_depth": self.pool.queue_depth,
                 "jobs": self.jobs.counts() if self.jobs is not None else None,
+                "worker": self._worker_info(),
+                "supervisor": self._supervisor_status(),
             }
         )
         return 200, body
@@ -353,6 +561,8 @@ class ReproServer:
                 "metrics": metrics().snapshot(),
                 "schedule_cache": cache_stats(),
                 "jobs": self.jobs.counts() if self.jobs is not None else None,
+                "worker": self._worker_info(),
+                "supervisor": self._supervisor_status(),
             }
         )
         return 200, body
@@ -368,6 +578,24 @@ class ReproServer:
             lines.append("# TYPE repro_jobs gauge")
             for state, count in sorted(self.jobs.counts().items()):
                 lines.append(f'repro_jobs{{state="{state}"}} {count}')
+        lines.append("# TYPE repro_draining gauge")
+        lines.append(f"repro_draining {1 if self._draining else 0}")
+        supervisor = self._supervisor_status()
+        if supervisor is not None:
+            lines.append("# TYPE repro_supervisor_restarts_total counter")
+            lines.append(
+                "repro_supervisor_restarts_total "
+                f"{supervisor.get('restarts_total', 0)}"
+            )
+            states: Dict[str, int] = {}
+            for worker in supervisor.get("workers", []):
+                state = str(worker.get("state", "unknown"))
+                states[state] = states.get(state, 0) + 1
+            lines.append("# TYPE repro_supervisor_workers gauge")
+            for state, count in sorted(states.items()):
+                lines.append(
+                    f'repro_supervisor_workers{{state="{state}"}} {count}'
+                )
         body = ("\n".join(lines) + "\n").encode("utf-8")
         return 200, body, "text/plain; version=0.0.4; charset=utf-8"
 
@@ -376,12 +604,24 @@ class _NotFound(ReproError):
     """Route or resource does not exist (404)."""
 
 
+class ServiceUnavailable(ReproError):
+    """The server is draining; retry after ``retry_after`` seconds (503)."""
+
+    def __init__(self, message: str, retry_after: int = 1):
+        super().__init__(message)
+        self.retry_after = max(1, int(retry_after))
+
+
 class _RequestHandler(BaseHTTPRequestHandler):
     """Routes requests into the owning :class:`ReproServer`."""
 
     app: ReproServer  # bound by the per-server subclass
     protocol_version = "HTTP/1.1"
     server_version = "repro-serve"
+    #: Per-socket timeout: a peer that stops sending mid-request (slow
+    #: read, half-open connection) cannot pin a handler thread forever —
+    #: ``handle_one_request`` turns the timeout into a connection close.
+    timeout = 30.0
     #: Per-request trace headers (``X-Repro-Trace``); reset at the top
     #: of every ``do_*`` so kept-alive connections never leak a stale ID.
     _trace_headers: Optional[Dict[str, str]] = None
@@ -476,6 +716,7 @@ class _RequestHandler(BaseHTTPRequestHandler):
         endpoint = handler.__name__.replace("handle_", "")
         registry.counter(f"serve.requests.{endpoint}").inc()
         remote_ctx = from_traceparent(self.headers.get(TRACEPARENT_HEADER))
+        self.app._request_started()
         try:
             # The request span adopts the caller's traceparent (if any)
             # and covers the handler body — including the wait on the
@@ -496,6 +737,10 @@ class _RequestHandler(BaseHTTPRequestHandler):
             self._send_error(
                 429, error, {"Retry-After": str(error.retry_after)}
             )
+        except ServiceUnavailable as error:
+            self._send_error(
+                503, error, {"Retry-After": str(error.retry_after)}
+            )
         except DeadlineExceeded as error:
             self._send_error(504, error)
         except _NotFound as error:
@@ -511,6 +756,7 @@ class _RequestHandler(BaseHTTPRequestHandler):
             )
             self._send_error(500, error)
         finally:
+            self.app._request_finished()
             registry.timer(f"serve.latency.{endpoint}").observe(
                 time.monotonic() - started
             )

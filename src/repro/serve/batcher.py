@@ -84,6 +84,11 @@ class BatchEntry:
         self._error = error
         self._event.set()
 
+    @property
+    def done(self) -> bool:
+        """Whether the entry has resolved (value or error)."""
+        return self._event.is_set()
+
     def result(self, timeout: Optional[float] = None) -> Any:
         """Block until the shared computation resolves."""
         if not self._event.wait(timeout):
@@ -191,29 +196,51 @@ class Batcher:
             # identical requests.  Here an expired entry is first
             # unregistered (so new submissions start a fresh entry) and
             # then failed, while its batchmates still run.
-            with trace_span(
-                "serve.batch", size=len(entries), window_ms=self._window * 1000
-            ) as batch_span:
-                executed = 0
-                for entry in entries:
-                    with self._lock:
-                        expired = (
-                            entry.deadline is not None
-                            and time.monotonic() > entry.deadline
-                        )
+            try:
+                with trace_span(
+                    "serve.batch",
+                    size=len(entries),
+                    window_ms=self._window * 1000,
+                ) as batch_span:
+                    executed = 0
+                    for entry in entries:
+                        with self._lock:
+                            expired = (
+                                entry.deadline is not None
+                                and time.monotonic() > entry.deadline
+                            )
+                            if expired:
+                                self._inflight.pop(entry.key, None)
                         if expired:
+                            registry.counter("serve.deadline_expired").inc()
+                            entry.resolve_error(
+                                DeadlineExceeded("deadline elapsed while queued")
+                            )
+                            continue
+                        entry.run()
+                        executed += 1
+                        with self._lock:
                             self._inflight.pop(entry.key, None)
-                    if expired:
-                        registry.counter("serve.deadline_expired").inc()
-                        entry.resolve_error(
-                            DeadlineExceeded("deadline elapsed while queued")
-                        )
-                        continue
-                    entry.run()
-                    executed += 1
+                    batch_span.set_attribute("executed", executed)
+            finally:
+                # ``entry.run`` contains entry failures, so reaching here
+                # with unresolved entries means the worker thread itself
+                # is dying (infrastructure error, injected kill).  Fail
+                # and unregister them: a waiter must get a typed,
+                # retryable error, never a hang, and the dedup key must
+                # not stay poisoned for future identical requests.
+                unresolved = [e for e in entries if not e.done]
+                if unresolved:
+                    registry.counter("serve.batch.orphaned").inc(
+                        len(unresolved)
+                    )
                     with self._lock:
-                        self._inflight.pop(entry.key, None)
-                batch_span.set_attribute("executed", executed)
+                        for entry in unresolved:
+                            self._inflight.pop(entry.key, None)
+                    for entry in unresolved:
+                        entry.resolve_error(
+                            ReproError("batch worker died mid-batch")
+                        )
 
         try:
             self._pool.submit(run_batch)

@@ -1,24 +1,48 @@
-"""Thin stdlib client for a running ``repro serve`` instance.
+"""Retrying, keep-alive stdlib client for ``repro serve``.
 
-Backs the ``repro submit`` CLI and the serve test/smoke harnesses.
-Everything rides on :mod:`urllib.request`; errors surface as
-:class:`ServeError` carrying the HTTP status and, for 429 responses,
-the server's ``Retry-After`` hint.
+Backs the ``repro submit`` CLI, the serve test/smoke harnesses, and the
+chaos harness.  Everything rides on :mod:`http.client` with one
+persistent connection per thread; errors surface as
+:class:`ServeError` carrying the HTTP status, the server's
+``Retry-After`` hint, and whether the failure was transport-level.
 
-When tracing is enabled, every request opens a ``client.request`` span
+Retries are **safe by construction** and **opt-in** via
+:class:`RetryPolicy`:
+
+* ``analyze``/``simulate`` are pure functions of their canonical body;
+  the server dedups them by sha256 request digest, so a replayed
+  request coalesces with the in-flight computation and can never
+  compute twice or diverge (byte-identical responses for all waiters).
+* ``explore`` submissions carry a client-generated ``idempotency_key``;
+  the server binds the key to the first accepted job, so a retried
+  submission returns the same job instead of launching a duplicate
+  exploration.
+* ``cancel`` and every ``GET`` are idempotent by nature.
+
+Retryable: HTTP 429 and 503 (honoring ``Retry-After`` as the *floor*
+of the jittered exponential backoff) and transport failures (connection
+refused/reset, timeouts, mid-response disconnects).  Never retried:
+400, 404, 500, 504 — those are answers, not interference.
+
+When tracing is enabled, every attempt opens a ``client.request`` span
 and ships its context in a ``traceparent`` header, so the server-side
 spans join the caller's trace; the trace ID the server answered under
 (``X-Repro-Trace``) is kept on :attr:`ServeClient.last_trace_id`.
 """
 
+import http.client
 import json
+import random
+import socket
+import threading
 import time
-import urllib.error
-import urllib.request
-from typing import Any, Dict, Optional, Union
+import uuid
+from typing import Any, Dict, Optional, Tuple, Union
+from urllib.parse import urlsplit
 
 from repro.errors import ReproError
 from repro.model.serialization import SystemBundle
+from repro.obs.metrics import metrics
 from repro.obs.trace import (
     RESPONSE_TRACE_HEADER,
     TRACEPARENT_HEADER,
@@ -27,13 +51,13 @@ from repro.obs.trace import (
     to_traceparent,
 )
 
-__all__ = ["ServeClient", "ServeError"]
+__all__ = ["ServeClient", "ServeError", "RetryPolicy"]
 
 SystemSpec = Union[str, Dict[str, Any], SystemBundle]
 
 
 class ServeError(ReproError):
-    """An HTTP-level failure reported by the server."""
+    """An HTTP- or transport-level failure reported by the client."""
 
     def __init__(
         self,
@@ -41,11 +65,60 @@ class ServeError(ReproError):
         status: int = 0,
         retry_after: Optional[int] = None,
         error_type: Optional[str] = None,
+        transport: bool = False,
     ):
         super().__init__(message)
         self.status = status
         self.retry_after = retry_after
         self.error_type = error_type
+        #: Whether the failure happened below HTTP (connect, reset,
+        #: timeout, mid-response disconnect) — always retryable for this
+        #: API because every endpoint is idempotent (see module docs).
+        self.transport = transport
+
+
+class RetryPolicy:
+    """Jittered exponential backoff with ``Retry-After`` as the floor.
+
+    ``delay(attempt)`` grows ``backoff_base * 2**attempt`` up to
+    ``backoff_cap``, multiplied by ``1 + U(0, jitter)`` so synchronized
+    clients spread out.  A server-provided ``Retry-After`` can only
+    *raise* the delay — the server's estimate is honest (EWMA of work
+    durations times backlog) and sleeping less would just earn another
+    429.  ``seed`` pins the jitter stream for reproducible harnesses.
+    """
+
+    def __init__(
+        self,
+        retries: int = 4,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 10.0,
+        jitter: float = 0.5,
+        seed: Optional[int] = None,
+    ):
+        if retries < 0:
+            raise ReproError("retries must be >= 0")
+        if backoff_base < 0 or backoff_cap < 0 or jitter < 0:
+            raise ReproError("backoff parameters must be >= 0")
+        self.retries = retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.jitter = jitter
+        self._rng = random.Random(seed)
+        self._rng_lock = threading.Lock()
+
+    def should_retry(self, error: ServeError) -> bool:
+        """Whether this failure class is worth another attempt."""
+        return error.transport or error.status in (429, 503)
+
+    def delay(self, attempt: int, retry_after: Optional[int] = None) -> float:
+        """Seconds to sleep before retry number ``attempt`` (0-based)."""
+        base = min(self.backoff_cap, self.backoff_base * (2.0 ** attempt))
+        with self._rng_lock:
+            delay = base * (1.0 + self.jitter * self._rng.random())
+        if retry_after:
+            delay = max(delay, float(retry_after))
+        return delay
 
 
 def _system_payload(system: SystemSpec) -> Union[str, Dict[str, Any]]:
@@ -56,73 +129,192 @@ def _system_payload(system: SystemSpec) -> Union[str, Dict[str, Any]]:
     return system
 
 
-class ServeClient:
-    """One server endpoint plus request plumbing."""
+class _TransportFailure(Exception):
+    """Internal: an attempt died below HTTP; carries the cause."""
 
-    def __init__(self, base_url: str, timeout: float = 600.0):
+    def __init__(self, cause: BaseException):
+        super().__init__(str(cause))
+        self.cause = cause
+
+
+class ServeClient:
+    """One server endpoint plus request plumbing.
+
+    The client keeps one persistent connection per thread (keep-alive),
+    reconnecting transparently when the server closed an idle one.
+    ``retry=None`` (the default) fails fast on the first error —
+    harnesses and the CLI opt into a :class:`RetryPolicy` explicitly.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 600.0,
+        retry: Optional[RetryPolicy] = None,
+    ):
         self.base_url = base_url.rstrip("/")
+        parts = urlsplit(self.base_url)
+        if parts.scheme not in ("http", ""):
+            raise ReproError(
+                f"unsupported scheme {parts.scheme!r} in {base_url!r}"
+            )
+        self._host = parts.hostname or "127.0.0.1"
+        self._port = parts.port or 80
         self.timeout = timeout
+        self.retry = retry
+        self._local = threading.local()
         #: Trace ID of the most recent response (``X-Repro-Trace``).
         self.last_trace_id: Optional[str] = None
 
+    # -- connection management -------------------------------------------
+
+    def _connection(self, timeout: float) -> http.client.HTTPConnection:
+        conn = getattr(self._local, "conn", None)
+        if conn is not None and conn.timeout != timeout:
+            self._drop_connection()
+            conn = None
+        if conn is None:
+            conn = http.client.HTTPConnection(
+                self._host, self._port, timeout=timeout
+            )
+            self._local.conn = conn
+        return conn
+
+    def _drop_connection(self) -> None:
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+            self._local.conn = None
+
+    def close(self) -> None:
+        """Close this thread's persistent connection (if any)."""
+        self._drop_connection()
+
     # -- plumbing --------------------------------------------------------
+
+    def _attempt(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes],
+        headers: Dict[str, str],
+        timeout: float,
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """One transport round trip, with transparent stale-connection
+        recovery: a request that dies on a *reused* keep-alive connection
+        (the server may have closed it while idle) is re-sent once on a
+        fresh connection before the failure counts as an attempt.  Safe
+        because every endpoint is idempotent (see module docs).
+        """
+        for fresh in (False, True):
+            reused = getattr(self._local, "conn", None) is not None
+            conn = self._connection(timeout)
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                resp = conn.getresponse()
+                data = resp.read()
+            except (
+                http.client.HTTPException,
+                ConnectionError,
+                socket.timeout,
+                OSError,
+            ) as error:
+                self._drop_connection()
+                if reused and not fresh:
+                    metrics().counter("client.reconnects").inc()
+                    continue
+                raise _TransportFailure(error) from error
+            resp_headers = {k: v for k, v in resp.getheaders()}
+            if resp.will_close:
+                self._drop_connection()
+            return resp.status, resp_headers, data
+        raise _TransportFailure(OSError("unreachable"))  # pragma: no cover
 
     def _request(
         self,
         method: str,
         path: str,
         payload: Optional[Dict[str, Any]] = None,
+        timeout: Optional[float] = None,
     ) -> bytes:
         body = (
             json.dumps(payload).encode("utf-8") if payload is not None else None
         )
-        with trace_span("client.request", method=method, path=path) as sp:
-            headers: Dict[str, str] = (
-                {"Content-Type": "application/json"} if body else {}
-            )
+        timeout = self.timeout if timeout is None else timeout
+        retry = self.retry
+        attempts = 1 + (retry.retries if retry is not None else 0)
+        last_error: Optional[ServeError] = None
+        for attempt in range(attempts):
+            try:
+                return self._attempt_with_span(
+                    method, path, body, timeout, attempt
+                )
+            except ServeError as error:
+                last_error = error
+                if retry is None or not retry.should_retry(error):
+                    raise
+                if attempt + 1 >= attempts:
+                    break
+                metrics().counter("client.retries").inc()
+                time.sleep(retry.delay(attempt, error.retry_after))
+        assert last_error is not None
+        raise last_error
+
+    def _attempt_with_span(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes],
+        timeout: float,
+        attempt: int,
+    ) -> bytes:
+        with trace_span(
+            "client.request", method=method, path=path, attempt=attempt
+        ) as sp:
+            headers: Dict[str, str] = {}
+            if body is not None:
+                headers["Content-Type"] = "application/json"
             # Captured *inside* the span, so the server parents its
             # serve.request on this client.request, not on our caller.
             traceparent = to_traceparent(capture_context())
             if traceparent is not None:
                 headers[TRACEPARENT_HEADER] = traceparent
-            request = urllib.request.Request(
-                self.base_url + path,
-                data=body,
-                method=method,
-                headers=headers,
-            )
             try:
-                with urllib.request.urlopen(
-                    request, timeout=self.timeout
-                ) as resp:
-                    served = resp.headers.get(RESPONSE_TRACE_HEADER)
-                    if served:
-                        self.last_trace_id = served
-                        sp.set_attribute("served_trace_id", served)
-                    return resp.read()
-            except urllib.error.HTTPError as error:
-                served = error.headers.get(RESPONSE_TRACE_HEADER)
-                if served:
-                    self.last_trace_id = served
-                raw = error.read()
+                status, resp_headers, data = self._attempt(
+                    method, path, body, headers, timeout
+                )
+            except _TransportFailure as failure:
+                cause = failure.cause
+                raise ServeError(
+                    f"cannot reach {self.base_url}: "
+                    f"{type(cause).__name__}: {cause}",
+                    transport=True,
+                ) from None
+            served = resp_headers.get(RESPONSE_TRACE_HEADER)
+            if served:
+                self.last_trace_id = served
+                sp.set_attribute("served_trace_id", served)
+            if status >= 400:
                 try:
-                    detail = json.loads(raw).get("error", {})
+                    detail = json.loads(data).get("error", {})
                 except (json.JSONDecodeError, AttributeError):
                     detail = {}
-                retry_after = error.headers.get("Retry-After")
+                retry_after = resp_headers.get("Retry-After")
                 raise ServeError(
-                    detail.get("message") or f"HTTP {error.code} on {path}",
-                    status=error.code,
+                    detail.get("message") or f"HTTP {status} on {path}",
+                    status=status,
                     retry_after=int(retry_after) if retry_after else None,
                     error_type=detail.get("type"),
-                ) from None
-            except urllib.error.URLError as error:
-                raise ServeError(
-                    f"cannot reach {self.base_url}: {error.reason}"
-                ) from None
+                )
+            return data
 
-    def _request_json(self, method, path, payload=None) -> Dict[str, Any]:
-        return json.loads(self._request(method, path, payload))
+    def _request_json(
+        self, method, path, payload=None, timeout=None
+    ) -> Dict[str, Any]:
+        return json.loads(self._request(method, path, payload, timeout))
 
     # -- endpoints -------------------------------------------------------
 
@@ -130,24 +322,39 @@ class ServeClient:
         """``POST /v1/analyze``, returning the raw response bytes.
 
         The raw form exists so byte-identity (dedup, facade equality) can
-        be asserted without a decode/re-encode round trip.
+        be asserted without a decode/re-encode round trip.  A reserved
+        ``request_timeout`` kwarg overrides the client timeout for this
+        request only; everything else goes into the request body.
         """
+        timeout = params.pop("request_timeout", None)
         payload = {"system": _system_payload(system), **params}
-        return self._request("POST", "/v1/analyze", payload)
+        return self._request("POST", "/v1/analyze", payload, timeout)
 
     def analyze(self, system: SystemSpec, **params) -> Dict[str, Any]:
         """``POST /v1/analyze`` decoded to a dict."""
         return json.loads(self.analyze_raw(system, **params))
 
+    def simulate_raw(self, system: SystemSpec, **params) -> bytes:
+        """``POST /v1/simulate``, returning the raw response bytes."""
+        timeout = params.pop("request_timeout", None)
+        payload = {"system": _system_payload(system), **params}
+        return self._request("POST", "/v1/simulate", payload, timeout)
+
     def simulate(self, system: SystemSpec, **params) -> Dict[str, Any]:
         """``POST /v1/simulate`` decoded to a dict."""
-        payload = {"system": _system_payload(system), **params}
-        return self._request_json("POST", "/v1/simulate", payload)
+        return json.loads(self.simulate_raw(system, **params))
 
     def explore(self, system: SystemSpec, **params) -> Dict[str, Any]:
-        """``POST /v1/explore``; returns the 202 job stub (``id`` etc.)."""
+        """``POST /v1/explore``; returns the 202 job stub (``id`` etc.).
+
+        An ``idempotency_key`` is generated when the caller does not
+        supply one, so retried submissions (explicit or via the retry
+        policy) always coalesce onto one server-side job.
+        """
+        timeout = params.pop("request_timeout", None)
+        params.setdefault("idempotency_key", f"ck-{uuid.uuid4().hex}")
         payload = {"system": _system_payload(system), **params}
-        return self._request_json("POST", "/v1/explore", payload)
+        return self._request_json("POST", "/v1/explore", payload, timeout)
 
     def job(self, job_id: str) -> Dict[str, Any]:
         """``GET /v1/jobs/<id>``."""

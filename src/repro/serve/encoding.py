@@ -178,7 +178,33 @@ _SIMULATE_FIELDS = {
 _EXPLORE_FIELDS = {
     "system", "generations", "population", "seed", "workers",
     "checkpoint_every", "eval_retries", "eval_budget", "deadline_seconds",
+    "idempotency_key",
 }
+
+#: Idempotency keys become marker-file names, so they must be
+#: filesystem-safe: short and limited to [A-Za-z0-9._-].
+_IDEMPOTENCY_KEY_MAX = 128
+_IDEMPOTENCY_KEY_CHARS = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-"
+)
+
+
+def _idempotency_key_field(payload: Dict[str, Any]) -> Optional[str]:
+    value = payload.get("idempotency_key")
+    if value is None:
+        return None
+    if (
+        not isinstance(value, str)
+        or not value
+        or len(value) > _IDEMPOTENCY_KEY_MAX
+        or not set(value) <= _IDEMPOTENCY_KEY_CHARS
+        or value.startswith(".")
+    ):
+        raise ReproError(
+            "idempotency_key must be 1-128 characters of [A-Za-z0-9._-] "
+            "and must not start with '.'"
+        )
+    return value
 
 
 def _reject_unknown(payload: Dict[str, Any], allowed: set, endpoint: str):
@@ -312,6 +338,7 @@ def parse_explore_request(
         "eval_retries": _int_field(payload, "eval_retries", 1, 0),
         "eval_budget": eval_budget,
         "deadline_seconds": _deadline_field(payload),
+        "idempotency_key": _idempotency_key_field(payload),
     }
 
 

@@ -22,10 +22,30 @@ Cancellation is cooperative: the explorer's per-generation progress
 callback raises ``KeyboardInterrupt`` when a cancel (or the job's
 deadline) is observed, which the explorer converts into a final
 checkpoint plus a partial result.
+
+Multi-process coordination (the pre-fork supervisor runs N workers over
+one shared state dir) rides on three kinds of marker files per job:
+
+* ``claim`` — created ``O_EXCL`` with the owner's pid before a job
+  starts running; :meth:`JobStore.recover` skips records claimed by a
+  live process, so a restarted sibling cannot double-run a job.  Claims
+  of dead pids are stale and are broken.
+* ``cancel`` — dropped by any worker that receives the cancel request;
+  the owning worker's progress callback polls it each generation.
+* ``.idem/<key>`` — maps a client idempotency key to its job id
+  (``O_EXCL``), so a retried ``POST /v1/explore`` coalesces onto the
+  first accepted job instead of spawning a duplicate exploration.
+
+Graceful drain (:meth:`JobStore.drain`) interrupts running jobs the
+same way a cancel does, but *parks* them: the final checkpoint commits,
+the record goes back to ``pending``, and the claim is released — so the
+next incarnation's :meth:`~JobStore.recover` resumes the identical
+trajectory.
 """
 
 import json
 import os
+import shutil
 import threading
 import time
 import uuid
@@ -44,7 +64,25 @@ _LOG = get_logger("serve")
 __all__ = ["Job", "JobStore", "JOB_STATES"]
 
 #: Lifecycle: pending -> running -> done | failed | cancelled.
+#: A drained (parked) job goes back to pending with its checkpoints.
 JOB_STATES = ("pending", "running", "done", "failed", "cancelled")
+
+_TERMINAL_STATES = ("done", "failed", "cancelled")
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process we could signal."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    except OSError:
+        return False
+    return True
 
 
 @dataclass
@@ -143,6 +181,10 @@ class JobStore:
         self._queue: List[str] = []
         self._wakeup = threading.Condition(self._lock)
         self._closed = False
+        self._draining = False
+        #: Jobs this process has claimed and run (their in-memory record
+        #: is authoritative; everything else may be refreshed from disk).
+        self._owned: set = set()
         self._threads = [
             threading.Thread(
                 target=self._runner, name=f"serve-job-{i}", daemon=True
@@ -164,6 +206,71 @@ class JobStore:
     def checkpoint_dir(self, job_id: str) -> Path:
         """Where the job's exploration snapshots go."""
         return self.job_dir(job_id) / "ckpt"
+
+    def _claim_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / "claim"
+
+    def _cancel_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / "cancel"
+
+    def _idem_path(self, key: str) -> Path:
+        return self._dir / ".idem" / key
+
+    # -- cross-process markers -------------------------------------------
+
+    def _claim_pid(self, job_id: str) -> Optional[int]:
+        """The pid recorded in the job's claim file, if any."""
+        try:
+            return int(self._claim_path(job_id).read_text().strip() or 0)
+        except (OSError, ValueError):
+            return None
+
+    def _try_claim(self, job_id: str) -> bool:
+        """Atomically claim the job for this process (break stale claims)."""
+        path = self._claim_path(job_id)
+        for _attempt in range(2):
+            try:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+            except FileExistsError:
+                pid = self._claim_pid(job_id)
+                if pid is not None and pid != os.getpid() and _pid_alive(pid):
+                    return False
+                # Stale (dead owner) or unreadable: break it and retry.
+                try:
+                    path.unlink(missing_ok=True)
+                except OSError:
+                    return False
+                continue
+            except OSError:
+                return False
+            with os.fdopen(fd, "w") as handle:
+                handle.write(str(os.getpid()))
+            return True
+        return False
+
+    def _release_claim(self, job_id: str) -> None:
+        try:
+            self._claim_path(job_id).unlink(missing_ok=True)
+        except OSError:
+            pass
+
+    def _cancel_marked(self, job_id: str) -> bool:
+        try:
+            return self._cancel_path(job_id).exists()
+        except OSError:
+            return False
+
+    def _mark_cancel(self, job_id: str) -> None:
+        try:
+            path = self._cancel_path(job_id)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.touch()
+        except OSError as error:
+            _LOG.warning(
+                "cannot write cancel marker %s",
+                kv(job=job_id, error=str(error)),
+            )
 
     # -- persistence -----------------------------------------------------
 
@@ -193,6 +300,9 @@ class JobStore:
 
         Returns the re-queued job ids.  Corrupt records are skipped with
         a warning; finished jobs are loaded for serving but not re-run.
+        Records claimed by a live sibling worker are loaded for serving
+        but left alone — the owner is still running them; stale claims
+        (dead owners) are broken and the job re-queued.
         """
         requeued: List[str] = []
         for record in sorted(self._dir.glob("*/job.json")):
@@ -205,6 +315,15 @@ class JobStore:
                     kv(path=str(record), error=str(error)),
                 )
                 continue
+            if job.status in ("pending", "running"):
+                pid = self._claim_pid(job.id)
+                if pid is not None and pid != os.getpid() and _pid_alive(pid):
+                    with self._lock:
+                        if job.id not in self._jobs:
+                            self._jobs[job.id] = job
+                    continue
+                if pid is not None:
+                    self._release_claim(job.id)
             with self._lock:
                 if job.id in self._jobs:
                     continue
@@ -240,8 +359,20 @@ class JobStore:
         self,
         params: Dict[str, Any],
         trace: Optional[Dict[str, Any]] = None,
+        idempotency_key: Optional[str] = None,
     ) -> Job:
-        """Accept a validated explore request as a new pending job."""
+        """Accept a validated explore request as a new pending job.
+
+        With an ``idempotency_key``, a retried submission returns the
+        job the first submission created instead of a duplicate: the key
+        is bound to the winning job id via an ``O_EXCL`` marker file, so
+        the race is settled identically in every worker process.
+        """
+        if idempotency_key:
+            existing = self._idem_lookup(idempotency_key)
+            if existing is not None:
+                metrics().counter("serve.jobs.idempotent_replays").inc()
+                return existing
         job = Job(
             id=f"job-{uuid.uuid4().hex[:12]}",
             params=params,
@@ -252,36 +383,138 @@ class JobStore:
             if self._closed:
                 raise ReproError("job store is shut down")
             self._jobs[job.id] = job
+        # Persist before publishing the idempotency marker, so a marker
+        # never points at a job without a durable record.
+        self._save(job)
+        if idempotency_key:
+            winner = self._idem_claim(idempotency_key, job.id)
+            if winner != job.id:
+                # Lost the race: discard our record, adopt the winner.
+                with self._lock:
+                    self._jobs.pop(job.id, None)
+                shutil.rmtree(self.job_dir(job.id), ignore_errors=True)
+                adopted = self.get(winner)
+                if adopted is not None:
+                    metrics().counter("serve.jobs.idempotent_replays").inc()
+                    return adopted
+                # Winner's record is unreadable; fall back to running
+                # ours (re-register and proceed).
+                with self._lock:
+                    self._jobs[job.id] = job
+                self._save(job)
+        with self._lock:
+            if self._closed:
+                raise ReproError("job store is shut down")
             self._queue.append(job.id)
             self._wakeup.notify()
-        self._save(job)
         metrics().counter("serve.jobs.created").inc()
         return job
 
+    def _idem_lookup(self, key: str) -> Optional[Job]:
+        try:
+            job_id = self._idem_path(key).read_text().strip()
+        except OSError:
+            return None
+        return self.get(job_id) if job_id else None
+
+    def _idem_claim(self, key: str, job_id: str) -> str:
+        """Bind ``key`` to ``job_id``; returns the id that owns the key."""
+        path = self._idem_path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+        except FileExistsError:
+            try:
+                existing = path.read_text().strip()
+            except OSError:
+                existing = ""
+            if existing and self.get(existing) is not None:
+                return existing
+            # Orphaned marker (job record lost): take it over.
+            try:
+                path.write_text(job_id)
+            except OSError:
+                pass
+            return job_id
+        except OSError:
+            return job_id
+        with os.fdopen(fd, "w") as handle:
+            handle.write(job_id)
+        return job_id
+
+    def _load_record(self, job_id: str) -> Optional[Job]:
+        """Read a job record straight from disk (no registration)."""
+        try:
+            payload = json.loads(self._record_path(job_id).read_text())
+            return Job.from_dict(payload)
+        except (OSError, json.JSONDecodeError, KeyError, TypeError):
+            return None
+
     def get(self, job_id: str) -> Optional[Job]:
-        """The job record, or ``None`` for an unknown id."""
+        """The job record, or ``None`` for an unknown id.
+
+        Records this process owns (it ran them) or that reached a
+        terminal state are served from memory; anything else may be
+        progressing in a sibling worker, so the on-disk record — the
+        cross-process source of truth — is re-read.
+        """
         with self._lock:
-            return self._jobs.get(job_id)
+            job = self._jobs.get(job_id)
+            owned = job_id in self._owned
+        if job is not None and (owned or job.status in _TERMINAL_STATES):
+            return job
+        loaded = self._load_record(job_id)
+        if loaded is None:
+            return job
+        with self._lock:
+            if job_id in self._owned:
+                return self._jobs.get(job_id, loaded)
+            if job_id in self._jobs:
+                # Keep queue membership intact; just swap the record so
+                # pollers see the freshest cross-process state.
+                self._jobs[job_id] = loaded
+        return loaded
 
     def cancel(self, job_id: str) -> Optional[Job]:
         """Request cancellation; pending jobs cancel immediately.
 
         Running jobs observe the flag at their next generation boundary
-        and finish as ``cancelled`` with a partial result.
+        and finish as ``cancelled`` with a partial result.  The request
+        also drops a durable ``cancel`` marker, so a job running in a
+        sibling worker process (or resumed after a restart) observes it
+        too.
         """
+        job = self.get(job_id)
+        if job is None:
+            return None
+        if job.status in _TERMINAL_STATES:
+            return job
+        self._mark_cancel(job_id)
         with self._lock:
-            job = self._jobs.get(job_id)
-            if job is None:
-                return None
+            known = self._jobs.get(job_id)
+            owned = job_id in self._owned
+        if known is None:
+            # Disk-only record owned by a sibling; the marker is the
+            # cancellation. Reflect the request in the returned copy.
+            job.cancel_requested = True
+            metrics().counter("serve.jobs.cancelled").inc()
+            return job
+        job = known
+        finalize = False
+        with self._lock:
             job.cancel_requested = True
             if job.status == "pending":
-                job.status = "cancelled"
-                job.finished = time.time()
-                if job_id in self._queue:
-                    self._queue.remove(job_id)
-        if job is not None:
+                # Only cancel in place if no sibling has claimed it.
+                if owned or self._try_claim(job_id):
+                    job.status = "cancelled"
+                    job.finished = time.time()
+                    if job_id in self._queue:
+                        self._queue.remove(job_id)
+                    finalize = True
+        if finalize:
             self._save(job)
-            metrics().counter("serve.jobs.cancelled").inc()
+            self._release_claim(job_id)
+        metrics().counter("serve.jobs.cancelled").inc()
         return job
 
     def counts(self) -> Dict[str, int]:
@@ -308,15 +541,34 @@ class JobStore:
     def _runner(self) -> None:
         while True:
             with self._lock:
-                while not self._queue and not self._closed:
+                while not self._queue and not self._closed and not self._draining:
                     self._wakeup.wait()
-                if self._closed and not self._queue:
+                if self._draining or (self._closed and not self._queue):
+                    # On drain, queued jobs stay durable on disk as
+                    # pending — the next incarnation re-queues them.
                     return
                 job = self._jobs[self._queue.pop(0)]
                 if job.status != "pending":
                     continue
+            # Claim outside the lock (file I/O); a sibling worker that
+            # recovered the same record may be racing us for it.
+            if not self._try_claim(job.id):
+                continue
+            fresh = self._load_record(job.id)
+            if fresh is not None and fresh.status not in ("pending", "running"):
+                # Finished or cancelled elsewhere while queued here.
+                with self._lock:
+                    if job.id not in self._owned:
+                        self._jobs[job.id] = fresh
+                self._release_claim(job.id)
+                continue
+            with self._lock:
+                if job.status != "pending":
+                    self._release_claim(job.id)
+                    continue
                 job.status = "running"
                 job.started = time.time()
+                self._owned.add(job.id)
             self._save(job)
             try:
                 self._run_job(job)
@@ -329,6 +581,12 @@ class JobStore:
                     "job failed %s", kv(job=job.id, error=job.error)
                 )
             self._save(job)
+            self._release_claim(job.id)
+            if job.status == "pending":
+                # Parked by a drain: disown so later polls re-read disk
+                # (the next incarnation owns its progress).
+                with self._lock:
+                    self._owned.discard(job.id)
 
     def _run_job(self, job: Job) -> None:
         from repro.core.problem import Problem
@@ -365,7 +623,14 @@ class JobStore:
 
         def progress(generation: int, _stats) -> None:
             job.generations_run = generation
+            if not job.cancel_requested and self._cancel_marked(job.id):
+                # Cancel arrived at a sibling worker (or a previous
+                # incarnation); the marker file is the relay.
+                job.cancel_requested = True
             if job.cancel_requested:
+                raise KeyboardInterrupt
+            if self._draining:
+                # Drain, not cancel: commit a final checkpoint and park.
                 raise KeyboardInterrupt
             if deadline is not None and time.monotonic() > deadline:
                 job.cancel_requested = True
@@ -391,6 +656,25 @@ class JobStore:
                 explorer.quarantine.close()
         job.generations_run = result.generations_run
         job.checkpoint_generation = self._latest_checkpoint(job.id)
+        if (
+            result.statistics.interrupted
+            and self._draining
+            and not job.cancel_requested
+        ):
+            # Drained mid-run: the explorer committed a final checkpoint,
+            # so park the job for the next incarnation to resume the
+            # identical trajectory (PR-2 determinism carried through a
+            # graceful shutdown, not just a crash).
+            job.result = None
+            job.started = None
+            job.finished = None
+            job.status = "pending"
+            metrics().counter("serve.jobs.parked").inc()
+            _LOG.info(
+                "parked job for resume %s",
+                kv(job=job.id, checkpoint=job.checkpoint_generation),
+            )
+            return
         job.result = exploration_result_to_dict(result)
         job.finished = time.time()
         if result.statistics.interrupted and job.cancel_requested:
@@ -399,6 +683,33 @@ class JobStore:
         else:
             job.status = "done"
             metrics().counter("serve.jobs.done").inc()
+
+    def drain(self, timeout: float = 60.0) -> bool:
+        """Gracefully stop: park running jobs, keep pending jobs durable.
+
+        Every running job is interrupted at its next generation
+        boundary, commits a final checkpoint, and goes back to
+        ``pending`` on disk; queued jobs are already durable as
+        ``pending``.  After a drain, :meth:`recover` in a fresh process
+        resumes every one of them on its recorded trajectory.  Returns
+        whether all runner threads stopped within ``timeout``.
+        """
+        with self._lock:
+            self._draining = True
+            self._closed = True
+            self._wakeup.notify_all()
+        deadline = time.monotonic() + timeout
+        clean = True
+        for thread in self._threads:
+            thread.join(timeout=max(0.0, deadline - time.monotonic()))
+            if thread.is_alive():
+                clean = False
+        if not clean:
+            _LOG.warning(
+                "drain timed out with runner threads alive %s",
+                kv(timeout=timeout),
+            )
+        return clean
 
     def shutdown(self) -> None:
         """Stop the runner threads (running jobs keep their checkpoints)."""

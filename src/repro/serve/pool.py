@@ -123,7 +123,10 @@ class WorkerPool:
         self._ewma_lock = threading.Lock()
         self._threads: List[threading.Thread] = [
             threading.Thread(
-                target=self._worker, name=f"serve-worker-{i}", daemon=True
+                target=self._worker_loop,
+                args=(i,),
+                name=f"serve-worker-{i}",
+                daemon=True,
             )
             for i in range(workers)
         ]
@@ -171,6 +174,28 @@ class WorkerPool:
             ) from None
         metrics().gauge("serve.queue_depth").set(self._queue.qsize())
         return item
+
+    def _worker_loop(self, index: int) -> None:
+        """Self-healing wrapper: a worker that dies is brought back.
+
+        :meth:`WorkItem._run` already contains item failures, so an
+        escape here means infrastructure trouble (telemetry failure,
+        ``MemoryError``, a poisoned item).  Losing the thread would
+        silently shrink the pool until nothing drains the queue, so the
+        loop logs, counts, and resumes instead.
+        """
+        while True:
+            try:
+                self._worker()
+                return  # sentinel: clean shutdown
+            except BaseException as error:  # noqa: BLE001 — must survive
+                if self._closed:
+                    return
+                metrics().counter("serve.pool.worker_respawns").inc()
+                _LOG.warning(
+                    "pool worker died, resuming %s",
+                    kv(worker=index, error=f"{type(error).__name__}: {error}"),
+                )
 
     def _worker(self) -> None:
         while True:

@@ -1,0 +1,364 @@
+"""Pre-fork supervisor: N worker processes behind one SO_REUSEPORT port.
+
+One Python process cannot exploit many cores for CPU-bound analysis
+(the GIL serializes ``sched()`` fixed points), and a single process is
+a single fault domain — one segfault, OOM kill, or stuck thread takes
+the whole service down.  The supervisor runs ``repro serve`` N times as
+child processes that all bind the *same* port with ``SO_REUSEPORT``;
+the kernel load-balances incoming connections across them, so no
+userspace proxy is needed and a dying worker only drops its own
+connections (the retrying :class:`~repro.serve.client.ServeClient`
+re-sends those to a surviving sibling).
+
+Crash handling: a worker that exits unexpectedly is restarted with
+bounded exponential backoff (``backoff_base * 2**consecutive`` capped
+at ``backoff_cap``); a worker that stays up ``healthy_after_seconds``
+resets its failure streak.  Fleet state is published atomically to a
+JSON status file that the workers surface under ``/healthz`` and
+``/metrics`` (``supervisor`` section), and that the chaos harness reads
+to find victim pids.
+
+Graceful shutdown: SIGTERM/SIGINT forwards SIGTERM to every worker,
+whose own handler runs the drain sequence (finish in-flight work, park
+explore jobs on committed checkpoints).  Workers still alive after
+``drain_timeout`` are SIGKILLed.  The supervisor exits 0 iff every
+worker drained cleanly.
+
+Durable work survives all of this by construction: explore jobs live in
+the shared ``state_dir`` (claim files prevent double-runs, see
+:mod:`repro.serve.jobs`) and warm analysis state lives in the shared
+``cache_dir`` disk tier (:mod:`repro.serve.cachestore`).
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.obs.logging import get_logger, kv
+
+_LOG = get_logger("serve")
+
+__all__ = ["Supervisor", "SupervisorConfig"]
+
+
+class SupervisorConfig:
+    """Tuning knobs of one supervised fleet."""
+
+    def __init__(
+        self,
+        worker_argv: List[str],
+        processes: int = 2,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        status_path: Optional[str] = None,
+        drain_timeout: float = 30.0,
+        backoff_base: float = 0.5,
+        backoff_cap: float = 10.0,
+        healthy_after_seconds: float = 30.0,
+        poll_seconds: float = 0.2,
+    ):
+        if processes < 1:
+            raise ReproError("supervisor needs >= 1 worker process")
+        if backoff_base <= 0 or backoff_cap < backoff_base:
+            raise ReproError("need 0 < backoff_base <= backoff_cap")
+        #: Base command of one worker (``[sys.executable, -m, repro,
+        #: serve, ...]`` without port/identity flags — those are
+        #: appended per worker).
+        self.worker_argv = list(worker_argv)
+        self.processes = processes
+        self.host = host
+        #: 0 picks a free port once; all workers share the choice.
+        self.port = port
+        self.status_path = status_path
+        self.drain_timeout = drain_timeout
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.healthy_after_seconds = healthy_after_seconds
+        self.poll_seconds = poll_seconds
+
+
+@dataclass
+class _WorkerSlot:
+    """Book-keeping for one worker process slot."""
+
+    id: int
+    process: Optional[subprocess.Popen] = None
+    started: float = 0.0
+    restarts: int = 0
+    consecutive_failures: int = 0
+    #: Monotonic time before which the slot must not respawn.
+    backoff_until: float = 0.0
+    last_exit_code: Optional[int] = None
+    state: str = "starting"
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "id": self.id,
+            "pid": self.process.pid if self.process is not None else None,
+            "state": self.state,
+            "restarts": self.restarts,
+            "last_exit_code": self.last_exit_code,
+            "started": self.started,
+        }
+
+
+class Supervisor:
+    """Runs and heals a fleet of SO_REUSEPORT ``repro serve`` workers."""
+
+    def __init__(self, config: SupervisorConfig):
+        self.config = config
+        self._slots = [_WorkerSlot(id=i) for i in range(config.processes)]
+        self._placeholder: Optional[socket.socket] = None
+        self._port: Optional[int] = None
+        self._stopping = False
+        self._started = time.time()
+        self._restarts_total = 0
+
+    # -- port reservation ------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The concrete port the fleet serves on (after :meth:`reserve`)."""
+        if self._port is None:
+            raise ReproError("supervisor has not reserved a port yet")
+        return self._port
+
+    @property
+    def url(self) -> str:
+        """Base URL of the fleet."""
+        return f"http://{self.config.host}:{self.port}"
+
+    def reserve(self) -> int:
+        """Pin the fleet's port with a bound (never listening) socket.
+
+        ``port=0`` must resolve to *one* concrete port that every worker
+        can bind; the placeholder holds the kernel's choice without
+        receiving connections (only listening sockets do), so the port
+        cannot be lost to another process between worker restarts.
+        """
+        if self._port is not None:
+            return self._port
+        if not hasattr(socket, "SO_REUSEPORT"):
+            raise ReproError(
+                "the pre-fork supervisor needs SO_REUSEPORT "
+                "(unavailable on this platform); run with --processes 1"
+            )
+        placeholder = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        placeholder.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        placeholder.bind((self.config.host, self.config.port))
+        self._placeholder = placeholder
+        self._port = placeholder.getsockname()[1]
+        return self._port
+
+    # -- status file -----------------------------------------------------
+
+    def status(self) -> Dict[str, Any]:
+        """The fleet state as published to the status file."""
+        return {
+            "pid": os.getpid(),
+            "started": self._started,
+            "host": self.config.host,
+            "port": self._port,
+            "processes": self.config.processes,
+            "stopping": self._stopping,
+            "restarts_total": self._restarts_total,
+            "workers": [slot.snapshot() for slot in self._slots],
+        }
+
+    def _publish_status(self) -> None:
+        path = self.config.status_path
+        if not path:
+            return
+        target = Path(path)
+        tmp = target.with_name(target.name + f".tmp.{os.getpid()}")
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(json.dumps(self.status(), sort_keys=True))
+            os.replace(tmp, target)
+        except OSError as error:
+            _LOG.warning(
+                "cannot publish supervisor status %s",
+                kv(path=path, error=str(error)),
+            )
+
+    # -- worker lifecycle ------------------------------------------------
+
+    def _spawn(self, slot: _WorkerSlot) -> None:
+        argv = list(self.config.worker_argv) + [
+            "--host",
+            self.config.host,
+            "--port",
+            str(self.port),
+            "--reuse-port",
+            "--_worker-id",
+            str(slot.id),
+        ]
+        if self.config.status_path:
+            argv += ["--_status-file", self.config.status_path]
+        slot.process = subprocess.Popen(argv)
+        slot.started = time.monotonic()
+        slot.state = "running"
+        _LOG.info(
+            "spawned worker %s",
+            kv(worker=slot.id, pid=slot.process.pid, restarts=slot.restarts),
+        )
+
+    def _reap_and_heal(self) -> None:
+        now = time.monotonic()
+        for slot in self._slots:
+            process = slot.process
+            if process is not None:
+                code = process.poll()
+                if code is None:
+                    if (
+                        slot.consecutive_failures
+                        and now - slot.started
+                        > self.config.healthy_after_seconds
+                    ):
+                        slot.consecutive_failures = 0
+                    continue
+                # Unexpected death (we are not stopping): schedule a
+                # respawn with bounded exponential backoff.
+                slot.process = None
+                slot.last_exit_code = code
+                slot.state = "restarting"
+                backoff = min(
+                    self.config.backoff_cap,
+                    self.config.backoff_base
+                    * (2.0 ** slot.consecutive_failures),
+                )
+                slot.consecutive_failures += 1
+                slot.backoff_until = now + backoff
+                _LOG.warning(
+                    "worker died %s",
+                    kv(
+                        worker=slot.id,
+                        exit_code=code,
+                        backoff_seconds=round(backoff, 3),
+                    ),
+                )
+            if slot.process is None and now >= slot.backoff_until:
+                slot.restarts += 1
+                self._restarts_total += 1
+                self._spawn(slot)
+
+    # -- main loop -------------------------------------------------------
+
+    def start(self) -> None:
+        """Reserve the port and launch the initial fleet."""
+        self.reserve()
+        for slot in self._slots:
+            self._spawn(slot)
+        self._publish_status()
+
+    def run(self, install_signals: bool = True) -> int:
+        """Supervise until stopped; returns the process exit code.
+
+        SIGTERM/SIGINT triggers :meth:`stop` (graceful fleet drain).
+        Exit code 0 means every worker drained cleanly.
+        """
+        if self._port is None:
+            self.start()
+        if install_signals:
+
+            def _on_signal(signum, _frame):
+                _LOG.info("supervisor received %s", kv(signal=signum))
+                self._stopping = True
+
+            signal.signal(signal.SIGTERM, _on_signal)
+            signal.signal(signal.SIGINT, _on_signal)
+        last_publish = 0.0
+        try:
+            while not self._stopping:
+                self._reap_and_heal()
+                now = time.monotonic()
+                if now - last_publish >= 1.0:
+                    self._publish_status()
+                    last_publish = now
+                time.sleep(self.config.poll_seconds)
+        except KeyboardInterrupt:
+            pass
+        return self.stop()
+
+    def request_stop(self) -> None:
+        """Ask :meth:`run` to exit its loop and drain (thread-safe).
+
+        The signal-free twin of SIGTERM, for harnesses driving the
+        supervisor from a thread where signal handlers cannot be
+        installed.
+        """
+        self._stopping = True
+
+    def stop(self) -> int:
+        """Drain the fleet: SIGTERM all, wait, SIGKILL stragglers.
+
+        Returns 0 iff every *live* worker exited 0 within
+        ``drain_timeout``.  A slot that crashed earlier and sits in
+        restart backoff has nothing in flight to drain — the crash is
+        already on record in ``restarts_total``/``last_exit_code``, so
+        it does not mark the drain itself unclean.
+        """
+        self._stopping = True
+        for slot in self._slots:
+            slot.state = "draining"
+            if slot.process is not None and slot.process.poll() is None:
+                try:
+                    slot.process.send_signal(signal.SIGTERM)
+                except OSError:
+                    pass
+        deadline = time.monotonic() + self.config.drain_timeout
+        clean = True
+        for slot in self._slots:
+            process = slot.process
+            if process is None:
+                slot.state = "stopped"
+                continue
+            remaining = max(0.0, deadline - time.monotonic())
+            try:
+                code = process.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                _LOG.warning(
+                    "worker ignored drain, killing %s",
+                    kv(worker=slot.id, pid=process.pid),
+                )
+                process.kill()
+                try:
+                    code = process.wait(timeout=5.0)
+                except subprocess.TimeoutExpired:  # pragma: no cover
+                    code = -9
+                clean = False
+            slot.last_exit_code = code
+            slot.state = "stopped"
+            # -SIGTERM means the worker died from our own drain signal
+            # before installing its handler (startup window) — it had
+            # no work in flight, so the drain is still clean.  Once the
+            # handler is up, SIGTERM always drains to exit 0.
+            if code not in (0, -signal.SIGTERM):
+                clean = False
+        if self._placeholder is not None:
+            try:
+                self._placeholder.close()
+            except OSError:
+                pass
+            self._placeholder = None
+        self._publish_status()
+        _LOG.info("supervisor stopped %s", kv(clean=clean))
+        return 0 if clean else 1
+
+    # -- helpers for harnesses -------------------------------------------
+
+    def worker_pids(self) -> List[int]:
+        """Pids of the currently live workers."""
+        return [
+            slot.process.pid
+            for slot in self._slots
+            if slot.process is not None and slot.process.poll() is None
+        ]

@@ -1,0 +1,265 @@
+"""Client retry semantics against a scripted raw-socket server.
+
+Covers the S1 regression: a 429 with ``Retry-After`` must be honored
+as a backoff *floor* and the retry must succeed on the same keep-alive
+connection (the server keeps the connection open after shedding — a
+reconnect per shed would amplify overload).
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.metrics import metrics
+from repro.serve.app import ServiceUnavailable
+from repro.serve.client import RetryPolicy, ServeClient, ServeError
+from repro.serve.pool import WorkerPool
+
+_REASONS = {
+    200: "OK",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def _read_http_request(conn):
+    """One request off the wire, or None when the peer closed."""
+    data = b""
+    while b"\r\n\r\n" not in data:
+        chunk = conn.recv(4096)
+        if not chunk:
+            return None
+        data += chunk
+    head, _, rest = data.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0"))
+    while len(rest) < length:
+        chunk = conn.recv(4096)
+        if not chunk:
+            return None
+        rest += chunk
+    return lines[0], headers, rest[:length]
+
+
+class ScriptedServer:
+    """Plays a fixed per-request script of responses and faults.
+
+    Actions, consumed one per request across all connections:
+
+    * ``("respond", status, headers, body)`` — full keep-alive response
+    * ``("respond_then_close", status, headers, body)`` — respond, then
+      silently close the connection (stale keep-alive for the client)
+    * ``("abort",)`` — read the request, close without responding
+    """
+
+    def __init__(self, actions):
+        self._actions = list(actions)
+        self._lock = threading.Lock()
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(8)
+        self.port = self._sock.getsockname()[1]
+        self.url = f"http://127.0.0.1:{self.port}"
+        self.connections = 0
+        self.requests = []
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        while True:
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return
+            self.connections += 1
+            self._handle(conn)
+
+    def _handle(self, conn):
+        with conn:
+            while True:
+                request = _read_http_request(conn)
+                if request is None:
+                    return
+                self.requests.append(request[0])
+                with self._lock:
+                    action = (
+                        self._actions.pop(0)
+                        if self._actions
+                        else ("respond", 200, {}, b"{}")
+                    )
+                if action[0] == "abort":
+                    return
+                _, status, headers, body = action
+                head = [
+                    f"HTTP/1.1 {status} {_REASONS.get(status, 'Scripted')}",
+                    "Content-Type: application/json",
+                    f"Content-Length: {len(body)}",
+                ]
+                head += [f"{k}: {v}" for k, v in headers.items()]
+                conn.sendall(
+                    ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body
+                )
+                if action[0] == "respond_then_close":
+                    return
+
+    def close(self):
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+@pytest.fixture
+def scripted():
+    servers = []
+
+    def factory(actions):
+        server = ScriptedServer(actions)
+        servers.append(server)
+        return server
+
+    yield factory
+    for server in servers:
+        server.close()
+
+
+class TestRetryAfterFloor:
+    def test_429_retries_on_same_connection_after_retry_after(
+        self, scripted
+    ):
+        """S1 regression: shed -> honest wait -> success, one connection."""
+        server = scripted(
+            [
+                (
+                    "respond",
+                    429,
+                    {"Retry-After": "1"},
+                    b'{"error": {"type": "PoolSaturated",'
+                    b' "message": "scripted shed"}}',
+                ),
+                ("respond", 200, {}, b'{"status": "ok"}'),
+            ]
+        )
+        # backoff_base=0 isolates the Retry-After floor: without the
+        # floor the retry would fire immediately.
+        client = ServeClient(
+            server.url,
+            timeout=10.0,
+            retry=RetryPolicy(retries=2, backoff_base=0.0, jitter=0.0),
+        )
+        retries_before = metrics().counter("client.retries").value
+        started = time.monotonic()
+        body = client.healthz()
+        elapsed = time.monotonic() - started
+        assert body == {"status": "ok"}
+        assert elapsed >= 0.95, "Retry-After: 1 must floor the backoff"
+        assert server.connections == 1, (
+            "the 429 retry must reuse the keep-alive connection"
+        )
+        assert metrics().counter("client.retries").value == retries_before + 1
+        client.close()
+
+    def test_server_side_retry_after_is_never_zero(self):
+        # A fresh pool has no latency history and an empty queue — the
+        # naive estimate is 0 seconds, which a client would interpret
+        # as "hammer me again immediately".
+        pool = WorkerPool(workers=2, queue_size=1)
+        try:
+            assert pool.retry_after() >= 1
+        finally:
+            pool.shutdown()
+        assert ServiceUnavailable("draining", retry_after=0).retry_after >= 1
+        assert ServiceUnavailable("draining", retry_after=-3).retry_after >= 1
+
+
+class TestTransportRecovery:
+    def test_aborted_request_is_retried_on_fresh_connection(self, scripted):
+        server = scripted(
+            [("abort",), ("respond", 200, {}, b'{"status": "ok"}')]
+        )
+        client = ServeClient(
+            server.url,
+            timeout=10.0,
+            retry=RetryPolicy(retries=2, backoff_base=0.0, jitter=0.0),
+        )
+        assert client.healthz() == {"status": "ok"}
+        assert server.connections == 2
+        client.close()
+
+    def test_stale_keep_alive_resend_needs_no_retry_policy(self, scripted):
+        # The server closes an idle keep-alive connection between
+        # requests; the client must resend transparently even with
+        # retry=None (it is below-HTTP recovery, not a retry).
+        server = scripted(
+            [
+                ("respond_then_close", 200, {}, b'{"status": "ok"}'),
+                ("respond", 200, {}, b'{"status": "again"}'),
+            ]
+        )
+        client = ServeClient(server.url, timeout=10.0, retry=None)
+        reconnects_before = metrics().counter("client.reconnects").value
+        assert client.healthz() == {"status": "ok"}
+        assert client.healthz() == {"status": "again"}
+        assert server.connections == 2
+        assert (
+            metrics().counter("client.reconnects").value
+            == reconnects_before + 1
+        )
+        client.close()
+
+    def test_fail_fast_without_retry_policy(self, scripted):
+        server = scripted([("abort",)])
+        client = ServeClient(server.url, timeout=10.0, retry=None)
+        with pytest.raises(ServeError) as excinfo:
+            client.healthz()
+        assert excinfo.value.transport
+        client.close()
+
+
+class TestRetryPolicy:
+    def test_delay_grows_and_caps(self):
+        policy = RetryPolicy(
+            retries=8, backoff_base=0.1, backoff_cap=0.8, jitter=0.0
+        )
+        delays = [policy.delay(attempt) for attempt in range(6)]
+        assert delays[:4] == pytest.approx([0.1, 0.2, 0.4, 0.8])
+        assert all(d == pytest.approx(0.8) for d in delays[3:])
+
+    def test_retry_after_only_raises_the_delay(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_cap=10.0, jitter=0.0)
+        assert policy.delay(0, retry_after=2) == pytest.approx(2.0)
+        # A Retry-After below the computed backoff must not shrink it.
+        assert policy.delay(6, retry_after=1) == pytest.approx(6.4)
+
+    def test_jitter_is_bounded_and_seeded(self):
+        policy = RetryPolicy(backoff_base=1.0, backoff_cap=1.0, jitter=0.5,
+                             seed=42)
+        twin = RetryPolicy(backoff_base=1.0, backoff_cap=1.0, jitter=0.5,
+                           seed=42)
+        for attempt in range(20):
+            delay = policy.delay(attempt)
+            assert 1.0 <= delay <= 1.5
+            assert delay == twin.delay(attempt)
+
+    def test_should_retry_matrix(self):
+        policy = RetryPolicy()
+        assert policy.should_retry(ServeError("reset", transport=True))
+        assert policy.should_retry(ServeError("shed", status=429))
+        assert policy.should_retry(ServeError("draining", status=503))
+        assert not policy.should_retry(ServeError("bad request", status=400))
+        assert not policy.should_retry(ServeError("missing", status=404))
+        assert not policy.should_retry(ServeError("boom", status=500))
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ReproError):
+            RetryPolicy(retries=-1)
+        with pytest.raises(ReproError):
+            RetryPolicy(backoff_base=-0.1)

@@ -1,0 +1,165 @@
+"""Supervisor mechanics with scripted stand-in workers.
+
+Real ``repro serve`` workers take seconds to import and bind; these
+tests drive the supervisor with tiny ``python -c`` stand-ins (the
+appended ``--host/--port/...`` flags land in ``sys.argv`` unread) so
+spawn, restart-backoff, drain, and kill paths run in milliseconds.
+"""
+
+import json
+import os
+import signal
+import sys
+import time
+
+import pytest
+
+from repro.errors import ReproError
+from repro.serve.supervisor import Supervisor, SupervisorConfig
+
+_GRACEFUL = (
+    "import signal, sys, time\n"
+    "signal.signal(signal.SIGTERM, lambda *a: sys.exit(0))\n"
+    "while True:\n"
+    "    time.sleep(0.05)\n"
+)
+
+_STUBBORN = (
+    "import signal, time\n"
+    "signal.signal(signal.SIGTERM, signal.SIG_IGN)\n"
+    "while True:\n"
+    "    time.sleep(0.05)\n"
+)
+
+
+def _config(script, **overrides):
+    defaults = dict(
+        processes=2,
+        drain_timeout=10.0,
+        backoff_base=0.05,
+        backoff_cap=0.2,
+        poll_seconds=0.01,
+    )
+    defaults.update(overrides)
+    return SupervisorConfig([sys.executable, "-c", script], **defaults)
+
+
+class TestLifecycle:
+    def test_fleet_starts_publishes_status_and_drains_clean(self, tmp_path):
+        status_path = tmp_path / "supervisor.json"
+        supervisor = Supervisor(
+            _config(_GRACEFUL, status_path=str(status_path))
+        )
+        try:
+            supervisor.start()
+            assert supervisor.port > 0
+            assert supervisor.url.endswith(str(supervisor.port))
+            pids = supervisor.worker_pids()
+            assert len(pids) == 2 and len(set(pids)) == 2
+
+            published = json.loads(status_path.read_text())
+            assert published["pid"] == os.getpid()
+            assert published["port"] == supervisor.port
+            assert published["stopping"] is False
+            assert [w["state"] for w in published["workers"]] == [
+                "running",
+                "running",
+            ]
+            # Give the stand-ins a beat to install their SIGTERM
+            # handlers, then drain.
+            time.sleep(0.3)
+            assert supervisor.stop() == 0
+        finally:
+            supervisor.stop()
+
+        final = json.loads(status_path.read_text())
+        assert final["stopping"] is True
+        assert all(w["state"] == "stopped" for w in final["workers"])
+        assert supervisor.worker_pids() == []
+
+    def test_crashing_worker_restarts_with_backoff(self, tmp_path):
+        supervisor = Supervisor(
+            _config(
+                "import sys; sys.exit(3)",
+                processes=1,
+                backoff_base=0.2,
+                backoff_cap=10.0,
+            )
+        )
+        try:
+            supervisor.start()
+            started = time.monotonic()
+            deadline = started + 30.0
+            while supervisor._restarts_total < 3:
+                assert time.monotonic() < deadline, "no restarts observed"
+                supervisor._reap_and_heal()
+                time.sleep(0.02)
+            elapsed = time.monotonic() - started
+            slot = supervisor._slots[0]
+            assert slot.last_exit_code == 3
+            assert slot.restarts >= 3
+            assert supervisor.status()["restarts_total"] >= 3
+            # Exponential backoff: three respawns at base 0.2 wait at
+            # least 0.2 + 0.4 in total (loose bound for slow CI).
+            assert elapsed >= 0.5
+        finally:
+            supervisor.stop()
+
+    def test_healthy_uptime_resets_failure_streak(self):
+        supervisor = Supervisor(
+            _config(_GRACEFUL, processes=1, healthy_after_seconds=0.05)
+        )
+        try:
+            supervisor.start()
+            slot = supervisor._slots[0]
+            slot.consecutive_failures = 4
+            deadline = time.monotonic() + 10.0
+            while slot.consecutive_failures:
+                assert time.monotonic() < deadline
+                time.sleep(0.02)
+                supervisor._reap_and_heal()
+        finally:
+            supervisor.stop()
+
+    def test_sigterm_ignoring_worker_is_killed_and_drain_unclean(self):
+        supervisor = Supervisor(
+            _config(_STUBBORN, processes=1, drain_timeout=0.5)
+        )
+        supervisor.start()
+        time.sleep(0.3)  # let the stand-in install SIG_IGN
+        assert supervisor.stop() == 1
+        slot = supervisor._slots[0]
+        assert slot.last_exit_code == -signal.SIGKILL
+        assert slot.state == "stopped"
+
+
+class TestPortReservation:
+    def test_port_before_reserve_is_an_error(self):
+        supervisor = Supervisor(_config(_GRACEFUL))
+        with pytest.raises(ReproError):
+            _ = supervisor.port
+
+    @pytest.mark.skipif(
+        not hasattr(__import__("socket"), "SO_REUSEPORT"),
+        reason="platform lacks SO_REUSEPORT",
+    )
+    def test_reserve_is_idempotent(self):
+        supervisor = Supervisor(_config(_GRACEFUL))
+        try:
+            first = supervisor.reserve()
+            assert first > 0
+            assert supervisor.reserve() == first
+        finally:
+            supervisor.stop()
+
+
+class TestConfigValidation:
+    def test_rejects_zero_processes(self):
+        with pytest.raises(ReproError):
+            SupervisorConfig(["x"], processes=0)
+
+    def test_rejects_bad_backoff(self):
+        with pytest.raises(ReproError):
+            SupervisorConfig(["x"], backoff_base=0.0)
+        with pytest.raises(ReproError):
+            SupervisorConfig(["x"], backoff_base=1.0, backoff_cap=0.5)
