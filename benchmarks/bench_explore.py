@@ -1,0 +1,253 @@
+"""Island-model exploration benchmark: wall-clock and front quality.
+
+Run as a script (CI bench smoke job)::
+
+    PYTHONPATH=src python benchmarks/bench_explore.py --quick --out bench-out
+
+or under pytest::
+
+    pytest benchmarks/bench_explore.py -s
+
+The full report runs DT-large twice: a single-process exploration
+(``islands=1``) as the quality reference, and the 8-island engine in
+worker processes.  The headline target: the island run must reach *at
+least* the single-process run's final front hypervolume in at least
+``_TARGET_SPEEDUP`` times less wall-clock.  On a one-core box that
+speedup is algorithmic, not parallel — each island evolves and selects
+over a 1/8th shard, so its SPEA2 pool, its repair churn, and its
+evaluator working set all shrink, while migration keeps the shards
+converging on one front.
+
+Determinism is asserted alongside: the multi-process island front must
+be byte-identical to the inline serial reference of the same request,
+and re-running the same request must reproduce it.
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from repro.dse import ExploreRequest
+from repro.dse.islands import run_explore
+from repro.obs.bench import bench_timer, write_bench_report
+from repro.serve.encoding import exploration_result_to_dict
+
+_SEED = 7
+
+#: The 8-island run must reach the single-process front quality at
+#: least this many times faster (wall-clock, same box, same seed).
+_TARGET_SPEEDUP = 3.0
+
+#: Full-mode configuration (DT-large).
+_SUITE = "dt-large"
+_POPULATION = 128
+#: The single-process reference runs until its front has effectively
+#: converged (it no longer changes from generation 14 to 16), so the
+#: quality bar the islands must clear is the baseline's best.
+_SINGLE_GENERATIONS = 16
+_ISLANDS = 8
+_ISLAND_GENERATIONS = 4
+#: Full-mode islands broadcast elites all-to-all at every second
+#: generation: on DT-large the injected migrants are what pulls the
+#: small shards past the reference front this early in the run.
+_MIGRATION_EVERY = 2
+_TOPOLOGY = "all"
+
+#: Quick-mode configuration (CI smoke, cruise).
+_QUICK_SUITE = "cruise"
+_QUICK_POPULATION = 16
+_QUICK_GENERATIONS = 6
+_QUICK_ISLANDS = 4
+_QUICK_MIGRATION_EVERY = 3
+
+
+def front_hypervolume(pareto, ref_power: float) -> float:
+    """Dominated power x service area w.r.t. ``(ref_power, 0)``.
+
+    The reference power must be shared between compared fronts; pass
+    the maximum over all of them (scaled up) so every point dominates
+    the reference.
+    """
+    best = {}
+    for point in pareto:
+        if point.service not in best or point.power < best[point.service]:
+            best[point.service] = point.power
+    services = sorted(best, reverse=True)
+    hv, min_power = 0.0, float("inf")
+    for index, service in enumerate(services):
+        # Between this service level and the next lower one, the front's
+        # power is the best among all points serving at least this much.
+        min_power = min(min_power, best[service])
+        floor = services[index + 1] if index + 1 < len(services) else 0.0
+        width = ref_power - min_power
+        if width > 0 and service > floor:
+            hv += width * (service - floor)
+    return hv
+
+
+def _canonical(result) -> str:
+    return json.dumps(exploration_result_to_dict(result), sort_keys=True)
+
+
+def _run(request, execution, timer_name):
+    started = time.perf_counter()
+    with bench_timer(timer_name).time():
+        result = run_explore(request, execution=execution)
+    return result, time.perf_counter() - started
+
+
+def _row(label, islands, generations, result, seconds, hypervolume):
+    return {
+        "label": label,
+        "islands": islands,
+        "generations": generations,
+        "evaluations": result.statistics.evaluations,
+        "seconds": seconds,
+        "hypervolume": hypervolume,
+        "front_size": len(result.pareto),
+    }
+
+
+def run_report(quick: bool = False) -> dict:
+    """Single-process vs. island rows plus the headline verdicts."""
+    if quick:
+        suite, population = _QUICK_SUITE, _QUICK_POPULATION
+        islands, single_generations = _QUICK_ISLANDS, _QUICK_GENERATIONS
+        island_generations = _QUICK_GENERATIONS
+        migration_every = _QUICK_MIGRATION_EVERY
+        topology = "ring"
+    else:
+        suite, population = _SUITE, _POPULATION
+        islands, single_generations = _ISLANDS, _SINGLE_GENERATIONS
+        island_generations = _ISLAND_GENERATIONS
+        migration_every = _MIGRATION_EVERY
+        topology = _TOPOLOGY
+
+    def request(count, generations):
+        return ExploreRequest.from_options(
+            suite,
+            generations=generations,
+            population=population,
+            seed=_SEED,
+            islands=count,
+            migration_every=migration_every,
+            migrants=2,
+            topology=topology,
+        )
+
+    single, single_seconds = _run(
+        request(1, single_generations), "inline", f"explore.{suite}.single"
+    )
+    island_request = request(islands, island_generations)
+    processed, island_seconds = _run(
+        island_request, "process", f"explore.{suite}.islands"
+    )
+    # The serial in-process reference of the identical request: the
+    # multi-process trajectory must match it bit for bit.
+    reference, _ = _run(
+        island_request, "inline", f"explore.{suite}.islands_ref"
+    )
+    byte_identical = _canonical(processed) == _canonical(reference)
+
+    fronts = single.pareto + processed.pareto
+    ref_power = max((p.power for p in fronts), default=1.0) * 1.05 + 1.0
+    single_hv = front_hypervolume(single.pareto, ref_power)
+    island_hv = front_hypervolume(processed.pareto, ref_power)
+    speedup = single_seconds / island_seconds if island_seconds else None
+    return {
+        "suite": suite,
+        "seed": _SEED,
+        "rows": [
+            _row("single-process", 1, single_generations, single,
+                 single_seconds, single_hv),
+            _row(f"{islands}-island", islands, island_generations,
+                 processed, island_seconds, island_hv),
+        ],
+        "reference_power": ref_power,
+        "speedup": speedup,
+        "target_speedup": _TARGET_SPEEDUP,
+        "quality_reached": island_hv >= single_hv,
+        "byte_identical": byte_identical,
+        "quick": quick,
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+
+
+def test_island_front_deterministic_and_quality_holds():
+    payload = run_report(quick=True)
+    assert payload["byte_identical"]
+    assert payload["quality_reached"]
+    write_bench_report("explore", payload)
+
+
+# ----------------------------------------------------------------------
+# script entry point (CI bench smoke job)
+# ----------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small cruise run, determinism/quality checks only (CI smoke)",
+    )
+    parser.add_argument(
+        "--out", help="directory for BENCH_explore.json (or REPRO_BENCH_DIR)"
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_report(quick=args.quick)
+    path = write_bench_report("explore", payload, out_dir=args.out)
+
+    print(f"{'configuration':>16} | {'gens':>4} | {'evals':>6} | "
+          f"{'seconds':>8} | {'hv':>8} | front")
+    print("-" * 62)
+    for row in payload["rows"]:
+        print(
+            f"{row['label']:>16} | {row['generations']:>4} | "
+            f"{row['evaluations']:>6} | {row['seconds']:>8.2f} | "
+            f"{row['hypervolume']:>8.2f} | {row['front_size']}"
+        )
+    if path is not None:
+        print(f"\nwrote {path}")
+
+    if not payload["byte_identical"]:
+        print(
+            "FAIL: multi-process front differs from the serial reference",
+            file=sys.stderr,
+        )
+        return 1
+    if not payload["quality_reached"]:
+        print(
+            "FAIL: island front quality below the single-process reference",
+            file=sys.stderr,
+        )
+        return 1
+    if not payload["quick"] and payload["speedup"] < _TARGET_SPEEDUP:
+        print(
+            f"FAIL: island speedup {payload['speedup']:.2f}x < "
+            f"{_TARGET_SPEEDUP}x",
+            file=sys.stderr,
+        )
+        return 1
+    if payload["quick"]:
+        print(
+            "\nquick smoke: island front byte-identical across executions "
+            "and at least reference quality (speedup not asserted)"
+        )
+    else:
+        print(
+            f"\nDT-large: islands reached the reference front quality "
+            f"{payload['speedup']:.2f}x faster (target >= "
+            f"{_TARGET_SPEEDUP}x), byte-identical across executions"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

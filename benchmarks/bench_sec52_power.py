@@ -81,12 +81,8 @@ def test_benchmark_dse_generation(benchmark):
     from repro.suites import get_benchmark
 
     problem = get_benchmark("dt-med").problem
-    config = ExplorerConfig(
-        population_size=12,
-        offspring_size=12,
-        archive_size=12,
-        generations=3,
-        seed=1,
+    config = ExplorerConfig.from_options(
+        population=12, generations=3, seed=1
     )
     benchmark.pedantic(
         lambda: Explorer(problem, config).run(), rounds=1, iterations=1

@@ -82,13 +82,8 @@ def test_benchmark_tracked_exploration(benchmark):
     from repro.suites import get_benchmark
 
     problem = get_benchmark("synth-2").problem
-    config = ExplorerConfig(
-        population_size=12,
-        offspring_size=12,
-        archive_size=12,
-        generations=3,
-        seed=1,
-        track_dropping_gain=True,
+    config = ExplorerConfig.from_options(
+        population=12, generations=3, seed=1, track_dropping_gain=True
     )
     benchmark.pedantic(
         lambda: Explorer(problem, config).run(), rounds=1, iterations=1

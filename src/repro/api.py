@@ -273,60 +273,89 @@ def verify(
 
 
 def explore(
-    system: SystemLike,
+    system,
     *,
     generations: int = 25,
     population: int = 32,
     seed: int = 0,
     workers: int = 1,
-    backend: Union[SchedBackend, str, None] = None,
+    backend: Optional[str] = None,
     config=None,
+    islands: int = 1,
+    migration_every: int = 10,
+    migrants: int = 2,
+    topology: str = "ring",
+    execution: Optional[str] = None,
+    fleet: Optional[str] = None,
 ):
     """GA design-space exploration (the CLI ``explore`` flow).
 
-    Returns the :class:`~repro.dse.results.ExplorationResult`.  Pass a
-    full :class:`~repro.dse.ga.ExplorerConfig` as ``config`` to override
-    more than the common knobs (it wins over the keyword shortcuts);
-    ``backend`` switches the evaluator's back-end (default: the
-    vectorised fast window analysis with the DSE fast path).
-    """
-    from repro.core.evaluator import Evaluator
-    from repro.core.problem import Problem
-    from repro.dse import Explorer, ExplorerConfig
+    The canonical call passes one :class:`~repro.dse.request
+    .ExploreRequest` — the same typed value the CLI and the HTTP job
+    layer build — and returns the
+    :class:`~repro.dse.results.ExplorationResult`::
 
-    bundle = load(system)
-    problem = Problem(
-        applications=bundle.applications, architecture=bundle.architecture
-    )
-    if config is None:
-        config = ExplorerConfig(
-            population_size=population,
-            offspring_size=population,
-            archive_size=population,
-            generations=generations,
-            seed=seed,
-            workers=workers,
+        request = repro.dse.ExploreRequest.from_options(
+            "cruise", generations=50, population=64, islands=4,
         )
-    evaluator = None
-    if backend is not None and backend != "fast":
-        evaluator = Evaluator(
-            problem,
-            analysis=make_analysis(
+        result = repro.api.explore(request)
+
+    The keyword shortcuts (``generations=...``, ``population=...``,
+    ``config=...``) remain as thin deprecated shims: they build the
+    equivalent request through the same ``ExplorerConfig.from_options``
+    path and emit a :class:`DeprecationWarning`.
+
+    ``backend`` names the evaluator's schedulability back-end (one
+    validation path with serve and the CLI, via
+    :func:`repro.core.factory.make_dse_evaluator`); ``islands`` > 1
+    shards the run over island worker processes (``execution`` picks
+    ``process``/``inline``/``serve``; ``fleet`` is the serve base URL
+    for the durable-job fleet mode).
+    """
+    import warnings
+
+    from repro.dse.islands import run_explore
+    from repro.dse.request import ExploreRequest, IslandTopology
+
+    if isinstance(system, ExploreRequest):
+        request = system
+    else:
+        warnings.warn(
+            "api.explore(system, **kwargs) is deprecated; build a "
+            "repro.dse.ExploreRequest (e.g. ExploreRequest.from_options)"
+            " and pass it as the single argument",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        shape = IslandTopology(
+            islands=islands,
+            migration_every=migration_every,
+            migrants=migrants,
+            kind=topology,
+        )
+        if config is not None:
+            request = ExploreRequest(
+                system=system, config=config, topology=shape,
                 backend=backend,
-                granularity="task",
-                comm=problem.comm_model(),
-                fast_path=FastPathConfig.for_dse(),
-            ),
-        )
-    explorer = Explorer(problem, config, evaluator=evaluator)
+            )
+        else:
+            request = ExploreRequest.from_options(
+                system,
+                backend=backend,
+                islands=islands,
+                migration_every=migration_every,
+                migrants=migrants,
+                topology=topology,
+                generations=generations,
+                population=population,
+                seed=seed,
+                workers=workers,
+            )
     with span(
         "api.explore",
-        generations=config.generations,
-        population=config.population_size,
-        workers=config.workers,
+        generations=request.config.generations,
+        population=request.config.population_size,
+        workers=request.config.workers,
+        islands=request.topology.islands,
     ):
-        try:
-            return explorer.run()
-        finally:
-            if explorer.quarantine is not None:
-                explorer.quarantine.close()
+        return run_explore(request, execution=execution, fleet=fleet)

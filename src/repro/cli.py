@@ -136,51 +136,42 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
-def _cmd_explore(args) -> int:
-    from repro.core.evaluator import Evaluator
-    from repro.core.problem import Problem
-    from repro.dse import Explorer, ExplorerConfig
+def _explore_request_from_args(args):
+    """The ``ExploreRequest`` an ``explore`` argv resolves to.
 
-    bundle = load_system(args.system)
-    problem = Problem(
-        applications=bundle.applications, architecture=bundle.architecture
-    )
-    if args.resume and not args.checkpoint_dir:
-        raise ReproError("--resume requires --checkpoint-dir")
-    quarantine_path = args.quarantine
-    if quarantine_path is None and args.checkpoint_dir:
-        quarantine_path = str(Path(args.checkpoint_dir) / "quarantine.jsonl")
-    config = ExplorerConfig(
-        population_size=args.population,
-        offspring_size=args.population,
-        archive_size=args.population,
+    Split out so the config-parity tests can assert that a flag vector,
+    the equivalent HTTP payload and the equivalent ``api`` call all land
+    on the same request.
+    """
+    from repro.dse import ExploreRequest
+
+    return ExploreRequest.from_options(
+        args.system,
+        backend=args.backend,
+        islands=args.islands,
+        migration_every=args.migration_every,
+        migrants=args.migrants,
+        topology=args.topology,
         generations=args.generations,
+        population=args.population,
         seed=args.seed,
         workers=args.workers,
         eval_retries=args.eval_retries,
-        eval_soft_budget_seconds=args.eval_budget,
-        quarantine_path=quarantine_path,
+        eval_budget=args.eval_budget,
+        quarantine=args.quarantine,
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=args.checkpoint_every,
         resume=args.resume,
     )
-    evaluator = None
-    if args.backend != "fast":
-        evaluator = Evaluator(
-            problem,
-            analysis=make_analysis(
-                backend=args.backend,
-                granularity="task",
-                comm=problem.comm_model(),
-                fast_path=FastPathConfig.for_dse(),
-            ),
-        )
-    explorer = Explorer(problem, config, evaluator=evaluator)
-    try:
-        result = explorer.run()
-    finally:
-        if explorer.quarantine is not None:
-            explorer.quarantine.close()
+
+
+def _cmd_explore(args) -> int:
+    from repro.dse.islands import run_explore
+
+    request = _explore_request_from_args(args)
+    result = run_explore(
+        request, execution=args.execution, fleet=args.fleet
+    )
     print(f"evaluations: {result.statistics.evaluations}, "
           f"feasible: {result.statistics.feasible}")
     if result.statistics.guard_failures:
@@ -557,6 +548,11 @@ def _cmd_submit_explore(args) -> int:
         seed=args.seed,
         workers=args.workers,
         checkpoint_every=args.checkpoint_every,
+        islands=args.islands,
+        migration_every=args.migration_every,
+        migrants=args.migrants,
+        topology=args.topology,
+        backend=args.backend,
     )
     print(f"job accepted: {stub['id']}")
     if not args.wait:
@@ -710,7 +706,7 @@ def build_parser() -> argparse.ArgumentParser:
     explore = sub.add_parser(
         "explore", help="design-space exploration", parents=obs
     )
-    explore.add_argument("system")
+    explore.add_argument("system", help="system JSON path or suite name")
     explore.add_argument("--generations", type=int, default=25)
     explore.add_argument("--population", type=int, default=32)
     explore.add_argument("--seed", type=int, default=0)
@@ -747,6 +743,30 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument(
         "--eval-budget", type=float, default=None,
         help="per-evaluation wall-clock soft budget in seconds",
+    )
+    explore.add_argument(
+        "--islands", type=int, default=1,
+        help="island-model shards evolving in parallel (1 = plain GA)",
+    )
+    explore.add_argument(
+        "--migration-every", type=int, default=10,
+        help="generations between archive-migrant exchanges",
+    )
+    explore.add_argument(
+        "--migrants", type=int, default=2,
+        help="archive members each island donates per exchange",
+    )
+    explore.add_argument(
+        "--topology", choices=("ring", "all", "none"), default="ring",
+        help="island migration topology",
+    )
+    explore.add_argument(
+        "--execution", choices=("process", "inline"), default=None,
+        help="island execution mode (default: worker processes)",
+    )
+    explore.add_argument(
+        "--fleet",
+        help="serve base URL; fan island epochs out as durable jobs",
     )
     explore.set_defaults(handler=_cmd_explore)
 
@@ -990,6 +1010,15 @@ def build_parser() -> argparse.ArgumentParser:
     s_explore.add_argument("--seed", type=int, default=0)
     s_explore.add_argument("--workers", type=int, default=1)
     s_explore.add_argument("--checkpoint-every", type=int, default=2)
+    s_explore.add_argument("--islands", type=int, default=1)
+    s_explore.add_argument("--migration-every", type=int, default=10)
+    s_explore.add_argument("--migrants", type=int, default=2)
+    s_explore.add_argument(
+        "--topology", choices=("ring", "all", "none"), default="ring"
+    )
+    s_explore.add_argument(
+        "--backend", choices=("fast", "window", "holistic"), default="fast"
+    )
     s_explore.add_argument(
         "--wait", action="store_true",
         help="poll until the job finishes and print its front",

@@ -31,6 +31,7 @@ from repro.core.factory import (
     AnalysisMethod,
     make_analysis,
     make_backend,
+    make_dse_evaluator,
 )
 from repro.core.fastpath import (
     FastPathConfig,
@@ -60,6 +61,7 @@ __all__ = [
     "ANALYSIS_METHODS",
     "SCHED_BACKENDS",
     "make_analysis",
+    "make_dse_evaluator",
     "make_backend",
     "FastPathConfig",
     "ScheduleCache",

@@ -38,6 +38,7 @@ __all__ = [
     "AnalysisMethod",
     "make_analysis",
     "make_backend",
+    "make_dse_evaluator",
 ]
 
 #: Method names accepted by :func:`make_analysis`.
@@ -128,3 +129,30 @@ def make_analysis(
             bus_contention=bus_contention,
         )
     return AdhocAnalysis(comm=comm, policy=policy)
+
+
+def make_dse_evaluator(problem, backend: Optional[str] = None):
+    """The GA's design-point evaluator for a named sched back-end.
+
+    One validation path for CLI, HTTP, and the api facade: unknown names
+    raise with the registry listed, and ``None``/``"fast"`` build the
+    same evaluator the Explorer would default to (task granularity, the
+    DSE fast path, the problem's communication model).
+    """
+    from repro.core.evaluator import Evaluator
+
+    if backend is None or backend == "fast":
+        return Evaluator(problem)
+    if backend not in SCHED_BACKENDS:
+        raise AnalysisError(
+            f"unknown sched backend {backend!r}; available: {SCHED_BACKENDS}"
+        )
+    return Evaluator(
+        problem,
+        analysis=make_analysis(
+            backend=backend,
+            granularity="task",
+            comm=problem.comm_model(),
+            fast_path=FastPathConfig.for_dse(),
+        ),
+    )

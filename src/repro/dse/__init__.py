@@ -22,8 +22,12 @@ from repro.dse.repair import repair
 from repro.dse.spea2 import Spea2Selector, dominates
 from repro.dse.results import ExplorationResult, ExplorationStatistics, ParetoPoint
 from repro.dse.ga import Explorer, ExplorerConfig
+from repro.dse.request import ExploreRequest, IslandTopology, TOPOLOGY_KINDS
 
 __all__ = [
+    "ExploreRequest",
+    "IslandTopology",
+    "TOPOLOGY_KINDS",
     "Chromosome",
     "TaskGene",
     "random_chromosome",

@@ -149,6 +149,84 @@ class ExplorerConfig:
         if self.checkpoint_every < 1:
             raise ExplorationError("checkpoint interval must be >= 1")
 
+    @classmethod
+    def from_options(
+        cls,
+        *,
+        population: int = 32,
+        generations: int = 25,
+        seed: int = 0,
+        workers: int = 1,
+        population_size: Optional[int] = None,
+        offspring_size: Optional[int] = None,
+        archive_size: Optional[int] = None,
+        crossover_probability: float = 0.9,
+        mutation_allocation_rate: float = 0.05,
+        mutation_keep_alive_rate: float = 0.1,
+        mutation_gene_rate: float = 0.15,
+        track_dropping_gain: bool = False,
+        reliability_repair_rounds: int = 16,
+        stagnation_limit: Optional[int] = None,
+        seed_heuristics: bool = True,
+        disable_dropping: bool = False,
+        eval_retries: int = 1,
+        eval_budget: Optional[float] = None,
+        eval_soft_budget_seconds: Optional[float] = None,
+        eval_fallback: bool = True,
+        quarantine: Optional[str] = None,
+        quarantine_path: Optional[str] = None,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_every: int = 10,
+        resume: bool = False,
+    ) -> "ExplorerConfig":
+        """The one construction path shared by CLI, HTTP, api, experiments.
+
+        ``population`` expands to the paper's population = parents =
+        offspring = archive triple unless the individual sizes are given
+        explicitly, ``eval_budget``/``quarantine`` are the user-facing
+        spellings of ``eval_soft_budget_seconds``/``quarantine_path``,
+        and checkpointed runs get a quarantine log beside their
+        snapshots unless one is configured explicitly.  Because every
+        entry point funnels through here, the same logical inputs
+        provably yield identical configs everywhere.
+        """
+        if resume and not checkpoint_dir:
+            raise ExplorationError("resume requires a checkpoint directory")
+        if eval_soft_budget_seconds is None:
+            eval_soft_budget_seconds = eval_budget
+        if quarantine_path is None:
+            quarantine_path = quarantine
+        if quarantine_path is None and checkpoint_dir:
+            quarantine_path = str(Path(checkpoint_dir) / "quarantine.jsonl")
+        return cls(
+            population_size=(
+                population if population_size is None else population_size
+            ),
+            offspring_size=(
+                population if offspring_size is None else offspring_size
+            ),
+            archive_size=population if archive_size is None else archive_size,
+            generations=generations,
+            crossover_probability=crossover_probability,
+            mutation_allocation_rate=mutation_allocation_rate,
+            mutation_keep_alive_rate=mutation_keep_alive_rate,
+            mutation_gene_rate=mutation_gene_rate,
+            seed=seed,
+            track_dropping_gain=track_dropping_gain,
+            reliability_repair_rounds=reliability_repair_rounds,
+            workers=workers,
+            stagnation_limit=stagnation_limit,
+            seed_heuristics=seed_heuristics,
+            disable_dropping=disable_dropping,
+            eval_retries=eval_retries,
+            eval_soft_budget_seconds=eval_soft_budget_seconds,
+            eval_fallback=eval_fallback,
+            quarantine_path=quarantine_path,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+            resume=resume,
+        )
+
 
 @dataclass
 class _Boundary:
@@ -186,7 +264,9 @@ class Explorer:
         evaluator: Optional[Evaluator] = None,
     ):
         self._problem = problem
-        self._config = config or ExplorerConfig()
+        self._config = config or ExplorerConfig.from_options(
+            population=100, generations=5000
+        )
         base = evaluator or Evaluator(problem)
         if isinstance(base, GuardedEvaluator):
             self._evaluator = base

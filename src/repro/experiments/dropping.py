@@ -73,10 +73,8 @@ def _config(
     track: bool = False,
     disable_dropping: bool = False,
 ) -> ExplorerConfig:
-    return ExplorerConfig(
-        population_size=population,
-        offspring_size=population,
-        archive_size=population,
+    return ExplorerConfig.from_options(
+        population=population,
         generations=generations,
         seed=seed,
         track_dropping_gain=track,

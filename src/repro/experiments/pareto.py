@@ -19,12 +19,8 @@ def run_fig5(
 ) -> ExplorationResult:
     """Run the two-objective exploration for the Figure 5 front."""
     problem = get_benchmark(benchmark).problem
-    config = ExplorerConfig(
-        population_size=population,
-        offspring_size=population,
-        archive_size=population,
-        generations=generations,
-        seed=seed,
+    config = ExplorerConfig.from_options(
+        population=population, generations=generations, seed=seed
     )
     return Explorer(problem, config).run()
 

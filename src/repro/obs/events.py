@@ -225,6 +225,35 @@ class RunInterrupted(Event):
 
 
 @dataclass(frozen=True)
+class IslandEpochCompleted(Event):
+    """One island finished an epoch (ran up to a migration barrier)."""
+
+    kind: ClassVar[str] = "island-epoch"
+
+    island: int
+    #: The barrier generation the island ran up to (== total generations
+    #: for the final epoch).
+    barrier: int
+    #: Execution backend that ran the epoch (``inline``/``process``).
+    execution: str
+    #: Wall-clock seconds for the epoch wave member.
+    seconds: float
+
+
+@dataclass(frozen=True)
+class MigrationCompleted(Event):
+    """Archive migrants were exchanged between islands at a barrier."""
+
+    kind: ClassVar[str] = "island-migration"
+
+    barrier: int
+    islands: int
+    #: Chromosomes actually injected (duplicates are skipped).
+    migrants: int
+    topology: str
+
+
+@dataclass(frozen=True)
 class ViolationFound(Event):
     """A verification oracle observed a soundness inversion."""
 

@@ -12,6 +12,8 @@ Endpoints
 ``POST /v1/analyze``      synchronous WCRT analysis (batched, deduped)
 ``POST /v1/simulate``     synchronous Monte-Carlo campaign (ditto)
 ``POST /v1/explore``      async exploration job -> 202 + job id
+``POST /v1/shard``        one island-coordination step (epoch/migrate/
+                          merge) as a durable job -> 202 + job id
 ``GET  /v1/jobs/<id>``    job status/result
 ``POST /v1/jobs/<id>/cancel``  cooperative cancel (also DELETE)
 ``GET  /healthz``         liveness + queue depth
@@ -68,6 +70,7 @@ from repro.serve.encoding import (
     montecarlo_result_to_dict,
     parse_analyze_request,
     parse_explore_request,
+    parse_shard_request,
     parse_simulate_request,
     request_digest,
 )
@@ -502,6 +505,35 @@ class ReproServer:
         )
         return 202, body
 
+    def handle_shard(self, payload: Dict[str, Any]) -> Tuple[int, bytes]:
+        """One island-coordination step as a durable job (202 + id).
+
+        The building block of fleet-mode exploration: a client-side
+        coordinator posts ``epoch``/``migrate``/``merge`` steps sharing
+        a ``run_id`` and deterministic idempotency keys, so a restarted
+        coordinator re-attaches to finished steps instead of re-running
+        them.
+        """
+        self._shed_if_draining()
+        if self.jobs is None:
+            raise ReproError(
+                "shard jobs need a durable state dir; "
+                "restart the server with --state-dir"
+            )
+        params = parse_shard_request(
+            payload, allow_paths=self.config.allow_local_paths
+        )
+        ctx = capture_context()
+        job = self.jobs.create(
+            params,
+            trace=ctx.to_dict() if ctx is not None else None,
+            idempotency_key=params.get("idempotency_key"),
+        )
+        body = canonical_bytes(
+            {"id": job.id, "status": job.status, "url": f"/v1/jobs/{job.id}"}
+        )
+        return 202, body
+
     def handle_job(self, job_id: str) -> Tuple[int, bytes]:
         if self.jobs is None:
             raise _NotFound("no job store configured")
@@ -801,6 +833,8 @@ class _RequestHandler(BaseHTTPRequestHandler):
                 self._dispatch(app.handle_simulate, self._read_json())
             elif path == "/v1/explore":
                 self._dispatch(app.handle_explore, self._read_json())
+            elif path == "/v1/shard":
+                self._dispatch(app.handle_shard, self._read_json())
             elif path.startswith("/v1/jobs/") and path.endswith("/cancel"):
                 job_id = path[len("/v1/jobs/"):-len("/cancel")]
                 self._discard_body()

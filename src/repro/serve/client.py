@@ -356,6 +356,21 @@ class ServeClient:
         payload = {"system": _system_payload(system), **params}
         return self._request_json("POST", "/v1/explore", payload, timeout)
 
+    def shard(self, system: SystemSpec, **params) -> Dict[str, Any]:
+        """``POST /v1/shard``; returns the 202 job stub.
+
+        Shard jobs are the island coordinator's durable building blocks
+        (``op`` = ``epoch``/``migrate``/``merge`` against a shared
+        ``run_id``).  The coordinator supplies deterministic
+        ``idempotency_key`` values, so resubmitting a step after a
+        client crash coalesces onto the original job; a random key is
+        generated only when the caller set none.
+        """
+        timeout = params.pop("request_timeout", None)
+        params.setdefault("idempotency_key", f"ck-{uuid.uuid4().hex}")
+        payload = {"system": _system_payload(system), **params}
+        return self._request_json("POST", "/v1/shard", payload, timeout)
+
     def job(self, job_id: str) -> Dict[str, Any]:
         """``GET /v1/jobs/<id>``."""
         return self._request_json("GET", f"/v1/jobs/{job_id}")

@@ -19,7 +19,13 @@ import json
 from typing import Any, Dict, Optional, Tuple, Union
 
 from repro.core.analysis import MCAnalysisResult, TransitionInfo
-from repro.dse.results import ExplorationResult
+from repro.core.problem import DesignPoint
+from repro.dse.request import ExploreRequest, IslandTopology, TOPOLOGY_KINDS
+from repro.dse.results import (
+    ExplorationResult,
+    ExplorationStatistics,
+    ParetoPoint,
+)
 from repro.errors import ReproError
 from repro.model.serialization import (
     FORMAT_VERSION,
@@ -44,9 +50,12 @@ __all__ = [
     "parse_analyze_request",
     "parse_simulate_request",
     "parse_explore_request",
+    "parse_shard_request",
+    "explore_request_from_params",
     "analysis_result_to_dict",
     "montecarlo_result_to_dict",
     "exploration_result_to_dict",
+    "exploration_result_from_dict",
 ]
 
 
@@ -176,10 +185,12 @@ _SIMULATE_FIELDS = {
     "worst_bias", "deadline_seconds",
 }
 _EXPLORE_FIELDS = {
-    "system", "generations", "population", "seed", "workers",
-    "checkpoint_every", "eval_retries", "eval_budget", "deadline_seconds",
-    "idempotency_key",
+    "system", "generations", "population", "offspring_size", "archive_size",
+    "seed", "workers", "checkpoint_every", "eval_retries", "eval_budget",
+    "deadline_seconds", "idempotency_key", "islands", "migration_every",
+    "migrants", "topology", "backend",
 }
+_SHARD_FIELDS = _EXPLORE_FIELDS | {"op", "run_id", "island", "stop"}
 
 #: Idempotency keys become marker-file names, so they must be
 #: filesystem-safe: short and limited to [A-Za-z0-9._-].
@@ -320,7 +331,17 @@ def parse_simulate_request(
 def parse_explore_request(
     payload: Dict[str, Any], allow_paths: bool = False
 ) -> Dict[str, Any]:
-    """Validate and normalize a ``/v1/explore`` body (async job)."""
+    """Validate and normalize a ``/v1/explore`` body (async job).
+
+    The returned params are the request's *canonical* form: the system
+    is inlined, ``backend`` defaults to the explicit ``"fast"``, and the
+    island topology is normalized through
+    :meth:`~repro.dse.request.IslandTopology.normalized` — so every
+    spelling of the same exploration (one island with a ring vs. an
+    explicit ``none`` topology, ``backend`` omitted vs. ``"fast"``)
+    digests identically and coalesces in the dedup layer, exactly like
+    analyze payloads do.
+    """
     if not isinstance(payload, dict):
         raise ReproError("request body must be a JSON object")
     _reject_unknown(payload, _EXPLORE_FIELDS, "/v1/explore")
@@ -328,18 +349,129 @@ def parse_explore_request(
     eval_budget = _float_field(payload, "eval_budget", None)
     if eval_budget is not None and eval_budget <= 0:
         raise ReproError("eval_budget must be positive")
+    topology = IslandTopology(
+        islands=_int_field(payload, "islands", 1, 1),
+        migration_every=_int_field(payload, "migration_every", 10, 1),
+        migrants=_int_field(payload, "migrants", 2, 0),
+        kind=_choice_field(payload, "topology", "ring", TOPOLOGY_KINDS),
+    ).normalized()
+    population = _int_field(payload, "population", 32, 2)
     return {
         "system": canonical_system(payload["system"], allow_paths=allow_paths),
         "generations": _int_field(payload, "generations", 25, 0),
-        "population": _int_field(payload, "population", 32, 2),
+        "population": population,
+        # The offspring/archive sizes default to the population (the CLI
+        # triple), resolved here so omitting them and spelling them out
+        # digest identically.
+        "offspring_size": _int_field(
+            payload, "offspring_size", population, 1
+        ),
+        "archive_size": _int_field(payload, "archive_size", population, 1),
         "seed": _int_field(payload, "seed", 0, 0),
         "workers": _int_field(payload, "workers", 1, 1),
         "checkpoint_every": _int_field(payload, "checkpoint_every", 2, 1),
         "eval_retries": _int_field(payload, "eval_retries", 1, 0),
         "eval_budget": eval_budget,
+        "islands": topology.islands,
+        "migration_every": topology.migration_every,
+        "migrants": topology.migrants,
+        "topology": topology.kind,
+        "backend": _choice_field(
+            payload, "backend", "fast", (None, "window", "fast", "holistic")
+        ) or "fast",
         "deadline_seconds": _deadline_field(payload),
         "idempotency_key": _idempotency_key_field(payload),
     }
+
+
+def _safe_name(value: Any, label: str) -> str:
+    if (
+        not isinstance(value, str)
+        or not value
+        or len(value) > _IDEMPOTENCY_KEY_MAX
+        or not set(value) <= _IDEMPOTENCY_KEY_CHARS
+        or value.startswith(".")
+    ):
+        raise ReproError(
+            f"{label} must be 1-128 characters of [A-Za-z0-9._-] "
+            f"and must not start with '.'"
+        )
+    return value
+
+
+def parse_shard_request(
+    payload: Dict[str, Any], allow_paths: bool = False
+) -> Dict[str, Any]:
+    """Validate and normalize a ``/v1/shard`` body (island fleet op).
+
+    A shard is one step of a client-coordinated island run: an ``epoch``
+    (advance one island to a stop generation), a ``migrate`` barrier, or
+    the final ``merge``.  All shards of a run share a filesystem-safe
+    ``run_id`` that scopes their state under the server's job directory.
+    """
+    if not isinstance(payload, dict):
+        raise ReproError("request body must be a JSON object")
+    _reject_unknown(payload, _SHARD_FIELDS, "/v1/shard")
+    base = parse_explore_request(
+        {k: v for k, v in payload.items() if k in _EXPLORE_FIELDS},
+        allow_paths=allow_paths,
+    )
+    op = _choice_field(payload, "op", None, ("epoch", "migrate", "merge"))
+    if op is None:
+        raise ReproError("shard requests need op: epoch, migrate, or merge")
+    params = dict(base)
+    params["op"] = op
+    params["run_id"] = _safe_name(payload.get("run_id"), "run_id")
+    params["island"] = None
+    params["stop"] = None
+    if op == "epoch":
+        if "island" not in payload:
+            raise ReproError("epoch shards need an island index")
+        island = _int_field(payload, "island", 0, 0)
+        if island >= base["islands"]:
+            raise ReproError(
+                f"island {island} out of range for {base['islands']} islands"
+            )
+        params["island"] = island
+    if op in ("epoch", "migrate"):
+        if "stop" not in payload:
+            raise ReproError(f"{op} shards need a stop generation")
+        stop = _int_field(payload, "stop", 0, 0 if op == "epoch" else 1)
+        if stop > base["generations"] or (
+            op == "migrate" and stop >= base["generations"]
+        ):
+            raise ReproError(
+                f"stop generation {stop} exceeds the run's "
+                f"{base['generations']} generations"
+            )
+        params["stop"] = stop
+    return params
+
+
+def explore_request_from_params(params: Dict[str, Any]) -> ExploreRequest:
+    """The typed :class:`ExploreRequest` behind canonical job params.
+
+    Accepts both the canonical layout and legacy pre-island job records
+    (which simply lack the island/backend keys), so durable jobs written
+    by older servers still resume.
+    """
+    return ExploreRequest.from_options(
+        params["system"],
+        backend=params.get("backend", "fast"),
+        islands=params.get("islands", 1),
+        migration_every=params.get("migration_every", 10),
+        migrants=params.get("migrants", 2),
+        topology=params.get("topology", "ring"),
+        generations=params.get("generations", 25),
+        population=params.get("population", 32),
+        offspring_size=params.get("offspring_size"),
+        archive_size=params.get("archive_size"),
+        seed=params.get("seed", 0),
+        workers=params.get("workers", 1),
+        checkpoint_every=params.get("checkpoint_every", 2),
+        eval_retries=params.get("eval_retries", 1),
+        eval_budget=params.get("eval_budget"),
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -423,4 +555,49 @@ def exploration_result_to_dict(result: ExplorationResult) -> Dict[str, Any]:
             for point in result.pareto
         ],
         "history": [list(entry) for entry in result.history],
+        "best_by_drop_set": [
+            {
+                "power": point.power,
+                "service": point.service,
+                "design": point.design.to_dict(),
+            }
+            for _key, point in sorted(result.best_by_drop_set.items())
+        ],
     }
+
+
+def _pareto_point_from_dict(entry: Dict[str, Any]) -> ParetoPoint:
+    return ParetoPoint(
+        power=entry["power"],
+        service=entry["service"],
+        design=DesignPoint.from_dict(entry["design"]),
+    )
+
+
+def exploration_result_from_dict(payload: Dict[str, Any]) -> ExplorationResult:
+    """Inverse of :func:`exploration_result_to_dict`.
+
+    Island workers persist their results through this round-trip, and
+    the fleet coordinator rebuilds merged results from job records —
+    JSON round-trips Python floats exactly, so a result that travelled
+    through a file or the wire merges byte-identically.
+    """
+    best: Dict[tuple, ParetoPoint] = {}
+    for entry in payload.get("best_by_drop_set", ()):
+        point = _pareto_point_from_dict(entry)
+        best[point.dropped] = point
+    return ExplorationResult(
+        pareto=[
+            _pareto_point_from_dict(entry)
+            for entry in payload.get("pareto", ())
+        ],
+        statistics=ExplorationStatistics.from_dict(
+            payload.get("statistics", {})
+        ),
+        history=[
+            (entry[0], entry[1], entry[2])
+            for entry in payload.get("history", ())
+        ],
+        generations_run=payload.get("generations_run", 0),
+        best_by_drop_set=best,
+    )

@@ -57,7 +57,7 @@ from repro.errors import ReproError
 from repro.obs.logging import get_logger, kv
 from repro.obs.metrics import metrics
 from repro.obs.trace import SpanContext, activate, span as trace_span
-from repro.serve.encoding import exploration_result_to_dict, resolve_system
+from repro.serve.encoding import exploration_result_to_dict
 
 _LOG = get_logger("serve")
 
@@ -120,7 +120,7 @@ class Job:
         with self._lock:
             payload = {
                 "id": self.id,
-                "kind": "explore",
+                "kind": "shard" if self.params.get("op") else "explore",
                 "status": self.status,
                 "created": self.created,
                 "started": self.started,
@@ -589,32 +589,31 @@ class JobStore:
                     self._owned.discard(job.id)
 
     def _run_job(self, job: Job) -> None:
-        from repro.core.problem import Problem
-        from repro.dse import Explorer, ExplorerConfig
+        from dataclasses import replace
 
+        from repro.dse.islands import has_island_state, run_explore
+        from repro.serve.encoding import explore_request_from_params
+
+        if job.params.get("op"):
+            self._run_shard(job)
+            return
         params = job.params
-        bundle = resolve_system(params["system"])
-        problem = Problem(
-            applications=bundle.applications,
-            architecture=bundle.architecture,
-        )
+        base = explore_request_from_params(params)
         ckpt_dir = self.checkpoint_dir(job.id)
-        config = ExplorerConfig(
-            population_size=params["population"],
-            offspring_size=params["population"],
-            archive_size=params["population"],
-            generations=params["generations"],
-            seed=params["seed"],
-            workers=params["workers"],
-            eval_retries=params["eval_retries"],
-            eval_soft_budget_seconds=params["eval_budget"],
+        multi = base.topology.normalized().islands > 1
+        config = replace(
+            base.config,
             quarantine_path=str(self.job_dir(job.id) / "quarantine.jsonl"),
             checkpoint_dir=str(ckpt_dir),
-            checkpoint_every=params["checkpoint_every"],
             # A restarted job continues its recorded trajectory; a fresh
             # one starts clean (no spurious no-snapshot warning).
-            resume=self._latest_checkpoint(job.id) is not None,
+            resume=(
+                has_island_state(ckpt_dir)
+                if multi
+                else self._latest_checkpoint(job.id) is not None
+            ),
         )
+        request = replace(base, config=config)
         deadline = (
             time.monotonic() + params["deadline_seconds"]
             if params.get("deadline_seconds") is not None
@@ -637,23 +636,23 @@ class JobStore:
                 job.error = "deadline exceeded"
                 raise KeyboardInterrupt
 
-        explorer = Explorer(problem, config)
         timer = metrics().timer("serve.job_seconds")
         # A restarted job carries the submitting request's trace context
         # in its record, so the resumed run continues the original trace
-        # instead of starting a fresh root.
+        # instead of starting a fresh root.  Island runs execute inline —
+        # the job thread IS the coordinator — and their progress hook
+        # fires at migration barriers instead of every generation, which
+        # keeps cancel/drain/deadline handling cooperative either way.
         trace_ctx = SpanContext.from_dict(job.trace)
-        try:
-            with activate(trace_ctx), trace_span(
-                "serve.job",
-                job=job.id,
-                resume=config.resume,
-                restarts=job.restarts,
-            ), timer.time():
-                result = explorer.run(progress=progress)
-        finally:
-            if explorer.quarantine is not None:
-                explorer.quarantine.close()
+        with activate(trace_ctx), trace_span(
+            "serve.job",
+            job=job.id,
+            resume=config.resume,
+            restarts=job.restarts,
+        ), timer.time():
+            result = run_explore(
+                request, execution="inline", progress=progress
+            )
         job.generations_run = result.generations_run
         job.checkpoint_generation = self._latest_checkpoint(job.id)
         if (
@@ -683,6 +682,54 @@ class JobStore:
         else:
             job.status = "done"
             metrics().counter("serve.jobs.done").inc()
+
+    def _run_shard(self, job: Job) -> None:
+        """One durable island-coordination step (``POST /v1/shard``).
+
+        A client-side fleet coordinator decomposes an island run into
+        ``epoch``/``migrate``/``merge`` jobs sharing a ``run_id``; all
+        state lives under ``<state_dir>/islands/<run_id>`` so any worker
+        of the fleet can pick up any step.  Steps are idempotent (epochs
+        resume from island checkpoints, migration rewrites snapshots
+        atomically at the same generation), so retried jobs converge on
+        identical state.
+        """
+        from repro.dse import islands as island_mod
+        from repro.serve.encoding import explore_request_from_params
+
+        params = job.params
+        request = explore_request_from_params(params)
+        state_dir = self._dir / "islands" / params["run_id"]
+        op = params["op"]
+        timer = metrics().timer("serve.job_seconds")
+        trace_ctx = SpanContext.from_dict(job.trace)
+        with activate(trace_ctx), trace_span(
+            "serve.shard", job=job.id, op=op, run=params["run_id"]
+        ), timer.time():
+            if op == "epoch":
+                island_mod.run_shard_epoch(
+                    request, state_dir, params["island"], params["stop"]
+                )
+                job.generations_run = params["stop"]
+                job.result = {
+                    "op": op,
+                    "island": params["island"],
+                    "stop": params["stop"],
+                }
+            elif op == "migrate":
+                moved = island_mod.run_shard_migration(
+                    request, state_dir, params["stop"]
+                )
+                job.generations_run = params["stop"]
+                job.result = {"op": op, "stop": params["stop"],
+                              "migrants": moved}
+            else:  # merge
+                result = island_mod.run_shard_merge(request, state_dir)
+                job.generations_run = result.generations_run
+                job.result = exploration_result_to_dict(result)
+        job.finished = time.time()
+        job.status = "done"
+        metrics().counter("serve.jobs.done").inc()
 
     def drain(self, timeout: float = 60.0) -> bool:
         """Gracefully stop: park running jobs, keep pending jobs durable.

@@ -1,0 +1,171 @@
+"""Island-model exploration: determinism, fault tolerance, merging.
+
+The contract under test (see :mod:`repro.dse.islands`): for a fixed
+``ExploreRequest`` (topology + seed included) the final front is
+byte-identical regardless of execution mode, scheduling interleaving,
+or mid-run island crashes followed by a resume.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.problem import Problem
+from repro.dse import ExploreRequest, Explorer, ExplorerConfig, IslandTopology
+from repro.dse.islands import (
+    has_island_state,
+    island_seed,
+    merge_island_results,
+    run_explore,
+    shard_config,
+)
+from repro.errors import ExplorationError
+from repro.serve.encoding import exploration_result_to_dict
+
+
+def _request(tmp_path=None, **overrides):
+    options = dict(
+        generations=6,
+        population=12,
+        seed=3,
+        islands=3,
+        migration_every=3,
+        migrants=1,
+    )
+    options.update(overrides)
+    if tmp_path is not None:
+        options["checkpoint_dir"] = str(tmp_path / "state")
+    return ExploreRequest.from_options("cruise", **options)
+
+
+def _canonical(result) -> str:
+    return json.dumps(exploration_result_to_dict(result), sort_keys=True)
+
+
+class TestSingleIsland:
+    def test_one_island_equals_plain_explorer(self, cruise_problem):
+        request = _request(islands=1, generations=3, population=8, seed=5)
+        via_islands = run_explore(request, execution="inline")
+        direct = Explorer(cruise_problem, request.config).run()
+        assert _canonical(via_islands) == _canonical(direct)
+
+
+class TestDeterminism:
+    def test_fixed_request_reproduces_byte_identically(self):
+        first = run_explore(_request(), execution="inline")
+        second = run_explore(_request(), execution="inline")
+        assert _canonical(first) == _canonical(second)
+
+    def test_inline_equals_process_execution(self):
+        inline = run_explore(_request(), execution="inline")
+        forked = run_explore(_request(), execution="process")
+        assert _canonical(inline) == _canonical(forked)
+
+    def test_all_topology_reproduces(self):
+        first = run_explore(_request(topology="all"), execution="inline")
+        second = run_explore(_request(topology="all"), execution="inline")
+        assert _canonical(first) == _canonical(second)
+
+    def test_topology_changes_trajectory_metadata(self):
+        ring = run_explore(_request(), execution="inline")
+        none = run_explore(_request(topology="none"), execution="inline")
+        # Both are valid fronts; the point is they are *defined* by the
+        # topology — equal requests reproduce, different ones may not.
+        assert ring.generations_run == none.generations_run == 6
+
+
+class TestFaultTolerance:
+    def test_sigkilled_island_self_heals_to_identical_front(self, tmp_path):
+        """SIGKILL one island mid-epoch; the retry resumes its checkpoints.
+
+        The fault hook kills the worker exactly once (a marker file keeps
+        the retried attempt alive), so the coordinator's retry replays
+        the island from its last committed snapshot — and the final front
+        must equal the uninterrupted run bit for bit.
+        """
+        reference = run_explore(_request(), execution="inline")
+
+        env_key = "REPRO_ISLANDS_FAULT"
+        os.environ[env_key] = "1:2"  # SIGKILL island 1 at generation 2
+        try:
+            healed = run_explore(_request(tmp_path), execution="process")
+        finally:
+            os.environ.pop(env_key, None)
+        assert _canonical(healed) == _canonical(reference)
+
+    def test_killed_coordinator_resumes_to_identical_front(self, tmp_path):
+        """Partial island state + resume == the uninterrupted run.
+
+        Emulates a coordinator killed after the first barrier: the
+        islands' epoch checkpoints and the migration rewrite are on disk,
+        the journal is not.  A resume picks up exactly there.
+        """
+        from repro.dse.islands import run_shard_epoch, run_shard_migration
+
+        reference = run_explore(_request(), execution="inline")
+        state = tmp_path / "state"
+        partial = _request(tmp_path)
+        for index in range(partial.topology.islands):
+            run_shard_epoch(partial, state, index, 3)
+        run_shard_migration(partial, state, 3)
+        assert has_island_state(state)
+
+        resumed = run_explore(
+            _request(tmp_path, resume=True), execution="inline"
+        )
+        assert _canonical(resumed) == _canonical(reference)
+
+    def test_fresh_run_wipes_stale_island_state(self, tmp_path):
+        request = _request(tmp_path)
+        first = run_explore(request, execution="inline")
+        # Not resuming: the second run must not be contaminated by the
+        # first run's completed state.
+        again = run_explore(_request(tmp_path), execution="inline")
+        assert _canonical(first) == _canonical(again)
+
+    def test_journal_rejects_foreign_request(self, tmp_path):
+        run_explore(_request(tmp_path), execution="inline")
+        altered = _request(tmp_path, seed=4, resume=True)
+        with pytest.raises(ExplorationError):
+            run_explore(altered, execution="inline")
+
+
+class TestSharding:
+    def test_island_seeds_are_distinct_and_stable(self):
+        seeds = [island_seed(3, i) for i in range(8)]
+        assert len(set(seeds)) == 8
+        assert seeds[0] == 3  # island 0 keeps the base seed
+        assert seeds == [island_seed(3, i) for i in range(8)]
+
+    def test_shard_config_splits_population(self, tmp_path):
+        config = ExplorerConfig.from_options(population=32, generations=10)
+        topology = IslandTopology(islands=4)
+        shard = shard_config(config, topology, 2, str(tmp_path))
+        assert shard.population_size == 8
+        assert shard.archive_size == 8
+        assert shard.generations == 10  # islands run the full horizon
+        assert shard.seed == island_seed(config.seed, 2)
+        assert shard.resume is True
+
+    def test_merge_is_order_invariant(self):
+        request = _request()
+        result = run_explore(request, execution="inline")
+        # Merging the merged result with itself in any order is stable.
+        merged_ab = merge_island_results(
+            [result, result], request.config.archive_size
+        )
+        merged_ba = merge_island_results(
+            [result, result], request.config.archive_size
+        )
+        assert _canonical(merged_ab) == _canonical(merged_ba)
+
+
+@pytest.fixture
+def cruise_problem():
+    from repro.suites import get_benchmark
+
+    return Problem(
+        applications=get_benchmark("cruise").problem.applications,
+        architecture=get_benchmark("cruise").problem.architecture,
+    )

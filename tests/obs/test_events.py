@@ -18,7 +18,9 @@ from repro.obs.events import (
     FaultInjected,
     GenerationCompleted,
     InMemoryCollector,
+    IslandEpochCompleted,
     JsonlTraceWriter,
+    MigrationCompleted,
     ProgressLogger,
     RunInterrupted,
     RunResumed,
@@ -75,6 +77,8 @@ SAMPLE_EVENTS = [
         generation=10, path="ckpt/checkpoint-00000010.json", cache_entries=64
     ),
     RunInterrupted(generation=11, checkpoint_path=None),
+    IslandEpochCompleted(island=1, barrier=10, execution="process", seconds=2.5),
+    MigrationCompleted(barrier=10, islands=4, migrants=6, topology="ring"),
     ViolationFound(
         oracle="sim-le-proposed",
         subject="hi",
