@@ -1,0 +1,98 @@
+"""Communication-backend benchmarks on a comm-dominated family.
+
+Run:  pytest benchmarks/bench_comm.py --benchmark-only -s
+
+The contention-aware backends (shared-bus, tdma, noc-xy) pay for their
+wider bounds with extra bind-time work (busy periods, slot tables, XY
+routes).  These benchmarks time one full Proposed analysis per backend
+on the comm-dominated synthetic family (bulk payloads, slow four-PE
+fabric) and record the resulting per-graph WCRT bounds, so regressions
+in either cost or tightness show up in ``BENCH_comm.json``.  The lattice
+(`flat <= contended`, ARQ monotonicity) is asserted on the recorded
+bounds as a safety net.
+"""
+
+import pytest
+
+from repro.benchgen.tgff import comm_dominated_problem
+from repro.comm import COMM_BACKENDS
+from repro.core.factory import make_analysis
+from repro.model.serialization import SystemBundle
+from repro.obs.bench import bench_timer, write_bench_report
+from repro.verify.campaign import scatter_state, state_from_bundle
+
+_PAYLOAD = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _bench_telemetry():
+    yield
+    write_bench_report("comm", _PAYLOAD)
+
+
+@pytest.fixture(scope="module")
+def state():
+    problem = comm_dominated_problem()
+    bundle = SystemBundle(
+        applications=problem.applications,
+        architecture=problem.architecture,
+        mapping=None,
+        plan=None,
+    )
+    return scatter_state(state_from_bundle(bundle, seed=7))
+
+
+def _analyze(state, backend_name, arq=0, arq_timeout=0.0):
+    analysis = make_analysis(
+        comm=backend_name, comm_arq=arq, comm_arq_timeout=arq_timeout
+    )
+    return analysis.analyze(
+        state.hardened(), state.architecture, state.mapping, state.dropped
+    )
+
+
+def _bounds(result):
+    return {
+        graph: verdict.wcrt
+        for graph, verdict in sorted(result.verdicts.items())
+        if not verdict.dropped
+    }
+
+
+@pytest.fixture(scope="module")
+def backend_bounds(state):
+    per_backend = {
+        name: _bounds(_analyze(state, name)) for name in COMM_BACKENDS
+    }
+    _PAYLOAD["wcrt"] = per_backend
+    return per_backend
+
+
+def test_flat_bounds_dominated(backend_bounds):
+    flat = backend_bounds["flat"]
+    for name in COMM_BACKENDS:
+        for graph, wcrt in backend_bounds[name].items():
+            assert flat[graph] <= wcrt + 1e-9, (name, graph)
+
+
+def test_arq_bounds_monotone(state):
+    ladder = [
+        _bounds(_analyze(state, "shared-bus", arq=k, arq_timeout=0.5))
+        for k in range(4)
+    ]
+    for tighter, wider in zip(ladder, ladder[1:]):
+        for graph, wcrt in tighter.items():
+            assert wcrt <= wider[graph] + 1e-9, graph
+    _PAYLOAD["arq_wcrt"] = {
+        f"shared-bus:k={k}": bounds for k, bounds in enumerate(ladder)
+    }
+
+
+@pytest.mark.parametrize("name", COMM_BACKENDS)
+def test_benchmark_backend_analysis(benchmark, state, name):
+    def run():
+        with bench_timer(f"comm.analyze.{name}").time():
+            return _analyze(state, name)
+
+    result = benchmark(run)
+    assert result.verdicts

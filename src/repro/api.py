@@ -128,6 +128,34 @@ def cache_clear() -> None:
     shared_cache().clear()
 
 
+def _apply_comm_overrides(
+    bundle: SystemBundle,
+    comm_backend: Optional[str],
+    comm_arq: Optional[int],
+    comm_arq_timeout: Optional[float],
+) -> SystemBundle:
+    """Rewrite the bundle's fabric comm configuration (``--comm-*``).
+
+    Overrides land on the interconnect itself (not just the model
+    object), so everything downstream — default comm resolution, job-set
+    fingerprints, the verification oracles — sees one consistent
+    configuration.  All-``None`` is the no-op fast path.
+    """
+    if comm_backend is None and comm_arq is None and comm_arq_timeout is None:
+        return bundle
+    from repro.comm import with_comm
+
+    architecture = with_comm(
+        bundle.architecture,
+        backend=comm_backend,
+        arq_retries=comm_arq,
+        arq_timeout=comm_arq_timeout,
+    )
+    return SystemBundle(
+        bundle.applications, architecture, bundle.mapping, bundle.plan
+    )
+
+
 def analyze(
     system: SystemLike,
     *,
@@ -139,7 +167,10 @@ def analyze(
     mapping: Optional[Mapping] = None,
     policy: str = "fp",
     bus_contention: bool = False,
-    comm: Optional[CommModel] = None,
+    comm: Union[CommModel, str, None] = None,
+    comm_backend: Optional[str] = None,
+    comm_arq: Optional[int] = None,
+    comm_arq_timeout: Optional[float] = None,
     fast_path: Union[FastPathConfig, bool, None] = None,
 ) -> MCAnalysisResult:
     """WCRT analysis of a mapped system (the CLI ``analyze`` flow).
@@ -148,9 +179,18 @@ def analyze(
     of ``proposed``/``naive``/``adhoc`` and ``backend`` one of
     ``window``/``fast``/``holistic`` (or a back-end instance), both
     routed through :func:`repro.core.factory.make_analysis`.
+
+    ``comm_backend``/``comm_arq``/``comm_arq_timeout`` rewrite the
+    system's interconnect comm configuration before analysis (the CLI's
+    ``--comm-backend``/``--comm-arq`` flags; names are validated against
+    :data:`repro.comm.COMM_BACKENDS`).  ``comm`` still accepts a
+    ready-made model/backend instance, which then wins outright.
     """
     with span("api.analyze", method=method, granularity=granularity):
         bundle = load(system)
+        bundle = _apply_comm_overrides(
+            bundle, comm_backend, comm_arq, comm_arq_timeout
+        )
         mapping = mapping if mapping is not None else bundle.mapping
         if mapping is None:
             raise ReproError(
@@ -185,6 +225,9 @@ def simulate(
     policy: str = "fp",
     max_faults: int = 3,
     worst_bias: float = 0.5,
+    comm_backend: Optional[str] = None,
+    comm_arq: Optional[int] = None,
+    comm_arq_timeout: Optional[float] = None,
 ):
     """Monte-Carlo fault-injection campaign (the CLI ``simulate`` flow).
 
@@ -192,12 +235,17 @@ def simulate(
     WC-Sim estimator over ``profiles`` random fault profiles.  Pass an
     externally owned ``random.Random`` as ``rng`` to share a generator
     with a larger campaign; it takes precedence over ``seed`` and the
-    result records ``seed=None``.
+    result records ``seed=None``.  ``comm_backend``/``comm_arq``/
+    ``comm_arq_timeout`` rewrite the fabric comm configuration exactly
+    as in :func:`analyze`.
     """
     from repro.sim import BiasedSampler, MonteCarloEstimator, Simulator
 
     with span("api.simulate", profiles=profiles, policy=policy):
         bundle = load(system)
+        bundle = _apply_comm_overrides(
+            bundle, comm_backend, comm_arq, comm_arq_timeout
+        )
         mapping = mapping if mapping is not None else bundle.mapping
         if mapping is None:
             raise ReproError(
@@ -230,6 +278,9 @@ def verify(
     backend: Optional[SchedBackend] = None,
     label: Optional[str] = None,
     config=None,
+    comm_backend: Optional[str] = None,
+    comm_arq: Optional[int] = None,
+    comm_arq_timeout: Optional[float] = None,
 ):
     """Adversarial soundness campaign (the CLI ``verify`` flow).
 
@@ -254,6 +305,9 @@ def verify(
     )
 
     bundle = load(system)
+    bundle = _apply_comm_overrides(
+        bundle, comm_backend, comm_arq, comm_arq_timeout
+    )
     state = state_from_bundle(bundle, seed=seed)
     if config is None:
         config = CampaignConfig(

@@ -10,6 +10,7 @@ complete problem instances with mixed criticality.
 from repro.benchgen.tgff import (
     GraphShape,
     TgffConfig,
+    comm_dominated_problem,
     generate_application_set,
     generate_architecture,
     generate_problem,
@@ -19,6 +20,7 @@ from repro.benchgen.tgff import (
 __all__ = [
     "GraphShape",
     "TgffConfig",
+    "comm_dominated_problem",
     "generate_task_graph",
     "generate_application_set",
     "generate_architecture",

@@ -59,6 +59,15 @@ class TgffConfig:
     detection_overhead_factor: float = 0.05
     voting_overhead_factor: float = 0.05
     comm_size_range: Tuple[float, float] = (16.0, 256.0)
+    #: Channel payload distribution: ``uniform`` draws every size from
+    #: ``comm_size_range`` (the historical behaviour, draw-for-draw);
+    #: ``bimodal`` models control-vs-bulk traffic — most channels stay
+    #: in ``comm_size_range`` (control), a seeded fraction draw from
+    #: ``comm_bulk_range`` (bulk DMA-style transfers).
+    comm_size_distribution: str = "uniform"
+    comm_bulk_range: Tuple[float, float] = (2048.0, 8192.0)
+    #: Probability that a ``bimodal`` channel is a bulk transfer.
+    comm_bulk_probability: float = 0.25
     #: Period = critical-path WCET times a factor from this range; small
     #: factors make deadlines tight.
     period_slack_range: Tuple[float, float] = (2.0, 4.0)
@@ -75,6 +84,32 @@ class TgffConfig:
             raise ModelError("invalid bcet factor range")
         if self.period_quantum <= 0:
             raise ModelError("period quantum must be positive")
+        if self.comm_size_distribution not in ("uniform", "bimodal"):
+            raise ModelError(
+                "comm_size_distribution must be 'uniform' or 'bimodal', "
+                f"got {self.comm_size_distribution!r}"
+            )
+        if (
+            self.comm_bulk_range[0] <= 0
+            or self.comm_bulk_range[0] > self.comm_bulk_range[1]
+        ):
+            raise ModelError("invalid comm bulk range")
+        if not 0.0 <= self.comm_bulk_probability <= 1.0:
+            raise ModelError("comm bulk probability must lie in [0, 1]")
+
+
+def _draw_channel_size(rng: random.Random, config: TgffConfig) -> float:
+    """One channel payload draw under the configured distribution.
+
+    ``uniform`` consumes exactly one ``rng.uniform`` call, preserving the
+    historical draw sequence — seeds generated before the distribution
+    knob existed keep producing byte-identical systems.
+    """
+    if config.comm_size_distribution == "uniform":
+        return round(rng.uniform(*config.comm_size_range), 1)
+    if rng.random() < config.comm_bulk_probability:
+        return round(rng.uniform(*config.comm_bulk_range), 1)
+    return round(rng.uniform(*config.comm_size_range), 1)
 
 
 def generate_task_graph(
@@ -123,7 +158,7 @@ def generate_task_graph(
             return
         existing.add((src, dst))
         channels.append(
-            Channel(src=src, dst=dst, size=round(rng.uniform(*config.comm_size_range), 1))
+            Channel(src=src, dst=dst, size=_draw_channel_size(rng, config))
         )
 
     # Mandatory connectivity.
@@ -231,8 +266,16 @@ def generate_architecture(
     fault_rate_range: Tuple[float, float] = (1e-6, 1e-4),
     bandwidth: float = 1_000.0,
     base_latency: float = 0.1,
+    comm_backend: str = "flat",
+    arq_retries: int = 0,
+    arq_timeout: float = 0.0,
 ) -> Architecture:
-    """Generate a random heterogeneous platform."""
+    """Generate a random heterogeneous platform.
+
+    ``comm_backend``/``arq_retries``/``arq_timeout`` configure the
+    fabric's contention model (see :mod:`repro.comm`); the defaults keep
+    the historical flat fabric and byte-identical serialized output.
+    """
     if processors < 1:
         raise ModelError("need at least one processor")
     if types < 1:
@@ -253,6 +296,9 @@ def generate_architecture(
         bandwidth=bandwidth,
         base_latency=base_latency,
         kind=InterconnectKind.SHARED_BUS,
+        comm_backend=comm_backend,
+        arq_retries=arq_retries,
+        arq_timeout=arq_timeout,
     )
     return Architecture(pes, interconnect)
 
@@ -275,4 +321,38 @@ def generate_problem(
         name_prefix=name_prefix,
     )
     architecture = generate_architecture(rng, processors)
+    return Problem(applications=applications, architecture=architecture)
+
+
+def comm_dominated_problem(
+    seed: int = 7,
+    comm_backend: str = "shared-bus",
+    arq_retries: int = 2,
+    arq_timeout: float = 0.5,
+    processors: int = 4,
+) -> Problem:
+    """A comm-dominated instance: bulk payloads over a slow small fabric.
+
+    Bimodal channel sizes skewed toward bulk transfers, paired with a
+    low-bandwidth four-PE platform, make communication (not computation)
+    the response-time driver — the workload class the contention-aware
+    backends in :mod:`repro.comm` exist for.  Deterministic in ``seed``.
+    """
+    config = TgffConfig(
+        comm_size_distribution="bimodal",
+        comm_bulk_probability=0.6,
+    )
+    rng = random.Random(seed)
+    applications = generate_application_set(
+        rng, critical_graphs=2, droppable_graphs=2, config=config
+    )
+    architecture = generate_architecture(
+        rng,
+        processors,
+        bandwidth=200.0,
+        base_latency=0.5,
+        comm_backend=comm_backend,
+        arq_retries=arq_retries,
+        arq_timeout=arq_timeout,
+    )
     return Problem(applications=applications, architecture=architecture)

@@ -79,7 +79,47 @@ def _load_mapped_system(args):
         plan = HardeningPlan()
     hardened = harden(bundle.applications, plan)
     dropped = validate_dropped(bundle.applications, args.dropped or "")
-    return hardened, bundle.architecture, bundle.mapping, dropped
+    architecture = _comm_overridden(bundle.architecture, args)
+    return hardened, architecture, bundle.mapping, dropped
+
+
+def _add_comm_flags(parser) -> None:
+    """The ``--comm-*`` flag group shared by analyze/simulate/verify.
+
+    ``--comm-backend`` validates against the registry via argparse
+    ``choices`` — unknown names list every registered backend, the same
+    UX as ``--method``.
+    """
+    from repro.comm import COMM_BACKENDS
+
+    parser.add_argument(
+        "--comm-backend", choices=COMM_BACKENDS, default=None,
+        help="interconnect contention model (overrides the system's "
+        "comm_backend field)",
+    )
+    parser.add_argument(
+        "--comm-arq", type=int, default=None, metavar="K",
+        help="message-fault budget: lost transfers are re-sent up to K "
+        "times (overrides the system's arq_retries field)",
+    )
+    parser.add_argument(
+        "--comm-arq-timeout", type=float, default=None, metavar="T",
+        help="loss-detection overhead charged per ARQ retransmission",
+    )
+
+
+def _comm_overridden(architecture, args):
+    """Apply the ``--comm-backend``/``--comm-arq`` flags to the fabric."""
+    backend = getattr(args, "comm_backend", None)
+    arq = getattr(args, "comm_arq", None)
+    timeout = getattr(args, "comm_arq_timeout", None)
+    if backend is None and arq is None and timeout is None:
+        return architecture
+    from repro.comm import with_comm
+
+    return with_comm(
+        architecture, backend=backend, arq_retries=arq, arq_timeout=timeout
+    )
 
 
 def _cmd_analyze(args) -> int:
@@ -242,6 +282,9 @@ def _cmd_verify(args) -> int:
         shrink=not args.no_shrink,
         metamorphic=not args.no_metamorphic,
         corpus_dir=args.corpus,
+        comm_backend=args.comm_backend,
+        comm_arq=args.comm_arq,
+        comm_arq_timeout=args.comm_arq_timeout,
     )
     print(f"{'oracle':>26} | {'checks':>6} | violations")
     print("-" * 50)
@@ -685,6 +728,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable sched() memoization and warm-started fixed points "
         "(results are identical either way)",
     )
+    _add_comm_flags(analyze)
     analyze.set_defaults(handler=_cmd_analyze)
 
     simulate = sub.add_parser(
@@ -701,6 +745,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--policy", choices=("fp", "edf"), default="fp",
         help="per-processor scheduling policy",
     )
+    _add_comm_flags(simulate)
     simulate.set_defaults(handler=_cmd_simulate)
 
     explore = sub.add_parser(
@@ -801,6 +846,7 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--out", help="write the report JSON to this file")
     verify.add_argument("--no-shrink", action="store_true",
                         help="skip counterexample minimization")
+    _add_comm_flags(verify)
     verify.add_argument("--no-metamorphic", action="store_true",
                         help="skip the metamorphic mutation properties")
     verify.set_defaults(handler=_cmd_verify)

@@ -1,0 +1,190 @@
+"""Pluggable contention-aware communication backends.
+
+This package grows the paper's flat guaranteed-bandwidth fabric
+(§2.1 ``bw_nw``, reproduced by :class:`repro.sched.comm.CommModel`) into
+a registry of interchangeable latency models:
+
+``flat``
+    The reference oracle — binds to the plain :class:`CommModel` when no
+    ARQ budget is set, byte-identical to the legacy path.
+``shared-bus``
+    Fixed-priority (rate-monotonic) arbitration over one medium;
+    busy-period queueing delay from competing channels.
+``tdma``
+    Static slot table; slot-alignment worst case, contention-free.
+``noc-xy``
+    2D-mesh wormhole NoC with XY routing; per-link contention sets.
+
+All backends keep best-case latencies at the uncontended transfer time
+and only widen worst cases, so ``flat <= contended`` holds bound-wise —
+the differential oracle in :mod:`repro.verify.oracles` enforces this,
+alongside ARQ ``k -> k+1`` monotonicity.  Select a backend per system
+via ``Interconnect.comm_backend`` or per run via ``--comm-backend``.
+"""
+
+from typing import Optional, Union
+
+from repro.comm.base import ArqPolicy, BoundComm, ChannelSite, CommBackend
+from repro.comm.flat import FlatBackend
+from repro.comm.noc import NocXYBackend
+from repro.comm.sharedbus import SharedBusBackend
+from repro.comm.tdma import TdmaBackend
+from repro.errors import AnalysisError
+from repro.model.architecture import Architecture, Interconnect
+from repro.sched.comm import CommModel
+
+_REGISTRY = {}
+
+
+def register_backend(backend_cls) -> None:
+    """Register a :class:`CommBackend` subclass under its ``name``."""
+    name = backend_cls.name
+    if not name or name == "abstract":
+        raise AnalysisError(f"comm backend {backend_cls!r} has no usable name")
+    _REGISTRY[name] = backend_cls
+
+
+for _cls in (FlatBackend, SharedBusBackend, TdmaBackend, NocXYBackend):
+    register_backend(_cls)
+
+#: Registered backend names, registration-ordered (``flat`` first).
+COMM_BACKENDS = tuple(_REGISTRY)
+
+
+class _DeferredBackend(CommBackend):
+    """Backend whose *name* is read off the interconnect at bind time.
+
+    Lets ARQ overrides (``--comm-arq``) apply to whatever backend each
+    analyzed architecture declares, without forcing a topology choice.
+    """
+
+    name = "auto"
+
+    def bind(self, applications, mapping, architecture: Architecture):
+        backend = make_comm(
+            architecture.interconnect.comm_backend,
+            arq_retries=self._arq_retries,
+            arq_timeout=self._arq_timeout,
+        )
+        return backend.bind(applications, mapping, architecture)
+
+
+def make_comm(
+    name: Optional[str] = None,
+    arq_retries: Optional[int] = None,
+    arq_timeout: Optional[float] = None,
+) -> CommBackend:
+    """Instantiate a backend by registry name.
+
+    ``name=None`` defers to the interconnect's ``comm_backend`` field at
+    bind time; explicit ARQ arguments override the interconnect's
+    serialized budget.  Unknown names raise an :class:`AnalysisError`
+    listing every registered backend.
+    """
+    if name is None:
+        return _DeferredBackend(
+            arq_retries=arq_retries, arq_timeout=arq_timeout
+        )
+    try:
+        backend_cls = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise AnalysisError(
+            f"unknown comm backend {name!r}; available: {known}"
+        ) from None
+    return backend_cls(arq_retries=arq_retries, arq_timeout=arq_timeout)
+
+
+def default_comm(
+    architecture: Architecture,
+) -> Union[CommModel, CommBackend]:
+    """The comm model/backend an architecture asks for.
+
+    Flat with no ARQ budget returns the plain :class:`CommModel` —
+    the exact object the legacy call sites constructed — so systems
+    that never opt into contention keep byte-identical behaviour and
+    fingerprints.  Anything else returns the unbound backend, which
+    :func:`repro.sched.jobs.unroll` binds to the hardened task set.
+    """
+    interconnect = architecture.interconnect
+    if interconnect.comm_backend == "flat" and interconnect.arq_retries == 0:
+        return CommModel(interconnect)
+    return make_comm(interconnect.comm_backend)
+
+
+def resolve_comm(
+    comm: Union[None, str, CommModel, CommBackend],
+    architecture: Architecture,
+    arq_retries: Optional[int] = None,
+    arq_timeout: Optional[float] = None,
+) -> Union[CommModel, CommBackend]:
+    """Normalise the ``comm`` argument accepted across the public API.
+
+    Accepts ``None`` (architecture decides), a registry name, an
+    already-built :class:`CommModel`, or an unbound backend.  Explicit
+    ARQ overrides force the backend path even for ``flat`` (the margin
+    must be folded somewhere).
+    """
+    if isinstance(comm, str):
+        return make_comm(comm, arq_retries=arq_retries, arq_timeout=arq_timeout)
+    if comm is not None:
+        return comm
+    if arq_retries is not None or arq_timeout is not None:
+        return make_comm(
+            architecture.interconnect.comm_backend,
+            arq_retries=arq_retries,
+            arq_timeout=arq_timeout,
+        )
+    return default_comm(architecture)
+
+
+def with_comm(
+    architecture: Architecture,
+    backend: Optional[str] = None,
+    arq_retries: Optional[int] = None,
+    arq_timeout: Optional[float] = None,
+) -> Architecture:
+    """Rewrite the fabric's comm configuration, keeping everything else.
+
+    Used by the API/CLI ``--comm-backend``/``--comm-arq`` overrides and
+    by the verification oracles' ``k -> k+1`` probes.  ``None`` leaves a
+    field untouched; a backend name is validated against the registry.
+    """
+    ic = architecture.interconnect
+    name = ic.comm_backend if backend is None else backend
+    if name not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY))
+        raise AnalysisError(
+            f"unknown comm backend {name!r}; available: {known}"
+        )
+    rewritten = Interconnect(
+        bandwidth=ic.bandwidth,
+        base_latency=ic.base_latency,
+        kind=ic.kind,
+        comm_backend=name,
+        arq_retries=ic.arq_retries if arq_retries is None else arq_retries,
+        arq_timeout=ic.arq_timeout if arq_timeout is None else arq_timeout,
+        mesh_columns=ic.mesh_columns,
+        hop_latency=ic.hop_latency,
+        slot_length=ic.slot_length,
+        slot_count=ic.slot_count,
+    )
+    return architecture.with_interconnect(rewritten)
+
+
+__all__ = [
+    "ArqPolicy",
+    "BoundComm",
+    "COMM_BACKENDS",
+    "ChannelSite",
+    "CommBackend",
+    "FlatBackend",
+    "NocXYBackend",
+    "SharedBusBackend",
+    "TdmaBackend",
+    "default_comm",
+    "make_comm",
+    "register_backend",
+    "resolve_comm",
+    "with_comm",
+]

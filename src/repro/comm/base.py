@@ -1,0 +1,312 @@
+"""Protocol and shared machinery of the contention-aware comm backends.
+
+A :class:`CommBackend` is an *unbound* latency-model recipe selected by
+name from the registry (see :mod:`repro.comm`).  At unroll time
+:func:`repro.sched.jobs.unroll` *binds* it to the concrete
+``(applications, mapping, architecture)`` triple, which is when the
+backend learns which channels actually cross the fabric and therefore
+compete — the hardened task set (replica/voter channels included) is
+what gets bound, not the source graphs.
+
+A bound model answers per-channel latency queries through
+``channel_bounds(src, dst, size, same_processor) -> (best, worst)``.
+Best-case latencies are always the *uncontended* transfer time (the same
+safe lower bound the flat :class:`~repro.sched.comm.CommModel` uses);
+contention and the ARQ message-fault margin widen the worst case only.
+
+**ARQ message faults.**  A cross-processor transfer can be hit by a
+transient fault and be re-sent up to ``k = arq_retries`` times, each
+retransmission costing one more worst-case attempt plus the fixed
+loss-detection ``arq_timeout`` — the communication analog of the paper's
+task re-execution (Eq. (1)):
+
+    ``worst(k) = (k + 1) * worst_attempt + k * arq_timeout``
+
+which is monotonically non-decreasing in ``k`` (the ARQ-monotonicity
+oracle of :mod:`repro.verify.oracles` pins this).  Best-case transfers
+are fault-free and keep the single-attempt bound.
+
+Bound models expose :attr:`~BoundComm.fingerprint_token`, a canonical
+string that :meth:`repro.sched.jobs.JobSet.fingerprint` folds into the
+structural digest, so two systems differing only in their comm
+configuration can never collide in the ScheduleCache.  The flat model
+with no ARQ binds to the plain :class:`~repro.sched.comm.CommModel`
+(empty token), keeping every legacy digest byte-identical.
+"""
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ModelError
+from repro.model.architecture import Architecture, Interconnect
+from repro.model.mapping import Mapping
+
+#: Iteration cap of busy-period fixed points; on non-convergence the
+#: backends fall back to a saturated (hyperperiod-census) bound.
+BUSY_PERIOD_ITERATIONS = 256
+
+
+@dataclass(frozen=True)
+class ArqPolicy:
+    """Message-level transient-fault budget of a channel transfer."""
+
+    #: Maximum retransmissions after a lost transfer.
+    retries: int = 0
+    #: Loss-detection overhead (timeout + re-arbitration) per resend.
+    timeout: float = 0.0
+
+    def __post_init__(self):
+        if self.retries < 0:
+            raise ModelError(f"ARQ retries must be >= 0, got {self.retries}")
+        if self.timeout < 0:
+            raise ModelError(f"ARQ timeout must be >= 0, got {self.timeout}")
+
+    def fold_worst(self, worst_attempt: float) -> float:
+        """Worst-case latency with all ``k`` retransmissions consumed."""
+        if self.retries == 0:
+            return worst_attempt
+        return (self.retries + 1) * worst_attempt + self.retries * self.timeout
+
+    @property
+    def active(self) -> bool:
+        """Whether the fault model changes any bound."""
+        return self.retries > 0
+
+    def token(self) -> str:
+        """Canonical fingerprint fragment."""
+        return f"arq={self.retries}:{self.timeout.hex()}"
+
+
+@dataclass(frozen=True)
+class ChannelSite:
+    """One cross-processor channel as seen by the fabric arbiter."""
+
+    src: str
+    dst: str
+    size: float
+    #: Period of the owning graph (the channel's minimum inter-arrival).
+    period: float
+    src_pe: str
+    dst_pe: str
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.src, self.dst)
+
+
+def channel_sites(
+    applications, mapping: Mapping, architecture: Architecture
+) -> List[ChannelSite]:
+    """Every channel that actually crosses the fabric, arbitration-ordered.
+
+    The list is sorted rate-monotonically — smaller period first, ties
+    broken by ``(src, dst)`` — which is the fixed-priority order the
+    ``shared-bus`` backend arbitrates in.  Same-processor channels never
+    touch the fabric and are excluded.
+    """
+    sites: List[ChannelSite] = []
+    for graph in applications.graphs:
+        for channel in graph.channels:
+            src_pe = mapping[channel.src]
+            dst_pe = mapping[channel.dst]
+            if src_pe == dst_pe:
+                continue
+            sites.append(
+                ChannelSite(
+                    src=channel.src,
+                    dst=channel.dst,
+                    size=channel.size,
+                    period=graph.period,
+                    src_pe=src_pe,
+                    dst_pe=dst_pe,
+                )
+            )
+    sites.sort(key=lambda s: (s.period, s.src, s.dst))
+    return sites
+
+
+def attempt_cost(interconnect: Interconnect, size: float) -> float:
+    """Uncontended fabric occupancy of one transfer attempt.
+
+    Sized transfers occupy the medium for ``base_latency + size / bw``;
+    zero-size transfers are pure synchronisation tokens that still pay
+    the arbitration ``base_latency`` in the worst case (the same
+    asymmetry :class:`~repro.sched.comm.CommModel` pins).
+    """
+    if size <= 0:
+        return interconnect.base_latency
+    return interconnect.transfer_time(size)
+
+
+def _ceil_div(value: float, period: float) -> int:
+    """``ceil(value / period)`` with a guard against float-noise overshoot."""
+    return max(1, math.ceil(value / period - 1e-12))
+
+
+class BoundComm:
+    """Base of every bound contention model.
+
+    Subclasses implement :meth:`attempt_worst` (single-attempt
+    worst-case latency of a known cross-processor channel) and
+    :meth:`describe` (the backend-specific fingerprint fragment).
+    """
+
+    def __init__(self, interconnect: Interconnect, arq: ArqPolicy):
+        self._interconnect = interconnect
+        self._arq = arq
+
+    # -- protocol ------------------------------------------------------
+
+    @property
+    def arq_retries(self) -> int:
+        """Retransmission budget folded into worst-case bounds."""
+        return self._arq.retries
+
+    @property
+    def arq_timeout(self) -> float:
+        """Per-retransmission loss-detection overhead."""
+        return self._arq.timeout
+
+    @property
+    def fingerprint_token(self) -> str:
+        """Canonical comm identity folded into job-set fingerprints."""
+        return f"{self.describe()}|{self._arq.token()}"
+
+    def channel_bounds(
+        self, src: str, dst: str, size: float, same_processor: bool
+    ) -> Tuple[float, float]:
+        """``(best, worst)`` latency of the ``src -> dst`` channel.
+
+        Best is the uncontended transfer time; worst folds contention
+        and the full ARQ retransmission margin.
+        """
+        best, worst = self.attempt_bounds(src, dst, size, same_processor)
+        if same_processor:
+            return best, worst
+        return best, self._arq.fold_worst(worst)
+
+    def attempt_bounds(
+        self, src: str, dst: str, size: float, same_processor: bool
+    ) -> Tuple[float, float]:
+        """``(best, worst)`` of one transfer attempt (no ARQ margin).
+
+        The simulator unrolls with these so it can charge retransmission
+        delays per injected message fault instead of always paying the
+        folded worst case.
+        """
+        if same_processor:
+            return 0.0, 0.0
+        best = 0.0 if size <= 0 else self._interconnect.transfer_time(size)
+        return best, self.attempt_worst(src, dst, size)
+
+    def without_arq(self) -> "BoundComm":
+        """This model with the fault margin stripped (for the simulator)."""
+        if not self._arq.active:
+            return self
+        import copy
+
+        clone = copy.copy(self)
+        clone._arq = ArqPolicy()
+        return clone
+
+    # -- subclass hooks ------------------------------------------------
+
+    def attempt_worst(self, src: str, dst: str, size: float) -> float:
+        """Worst-case single-attempt latency of a cross-PE channel."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def describe(self) -> str:
+        """Backend-specific canonical parameter string."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+
+class CommBackend:
+    """An unbound contention-model recipe (registry entry).
+
+    ``arq_retries``/``arq_timeout`` overrides win over the interconnect's
+    serialized fields; ``None`` defers to the model (so a backend built
+    from a name alone picks up whatever the system file declares).
+    """
+
+    #: Registry name; subclasses override.
+    name = "abstract"
+
+    def __init__(
+        self,
+        arq_retries: Optional[int] = None,
+        arq_timeout: Optional[float] = None,
+    ):
+        self._arq_retries = arq_retries
+        self._arq_timeout = arq_timeout
+
+    def resolve_arq(self, interconnect: Interconnect) -> ArqPolicy:
+        """The effective fault budget for a given fabric."""
+        retries = (
+            interconnect.arq_retries
+            if self._arq_retries is None
+            else self._arq_retries
+        )
+        timeout = (
+            interconnect.arq_timeout
+            if self._arq_timeout is None
+            else self._arq_timeout
+        )
+        return ArqPolicy(retries=retries, timeout=timeout)
+
+    def bind(
+        self, applications, mapping: Mapping, architecture: Architecture
+    ):
+        """Bind to a concrete system; returns the per-channel model."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def busy_period_worst(
+    own_cost: float,
+    blocking: float,
+    higher_priority: List[Tuple[float, float]],
+    hyperperiod_cap: float,
+) -> float:
+    """Non-preemptive fixed-priority busy-period response of one message.
+
+    ``higher_priority`` lists ``(cost, period)`` of every competing
+    channel that wins arbitration; ``blocking`` is the longest
+    lower-priority transfer already occupying the medium (transfers are
+    not preempted mid-flight).  Iterates the classic recurrence
+
+        ``w = blocking + own + sum_j ceil(w / T_j) * C_j``
+
+    and, if the fixed point does not settle within
+    :data:`BUSY_PERIOD_ITERATIONS`, saturates to a census bound charging
+    every competitor once per release in ``hyperperiod_cap`` — larger but
+    still finite and safe.
+    """
+    if not higher_priority:
+        return blocking + own_cost
+    width = blocking + own_cost
+    for _ in range(BUSY_PERIOD_ITERATIONS):
+        interference = sum(
+            _ceil_div(width, period) * cost for cost, period in higher_priority
+        )
+        updated = blocking + own_cost + interference
+        if updated <= width + 1e-12:
+            return updated
+        width = updated
+    # An overloaded medium never settles (the recurrence grows without
+    # bound), so saturate over the hyperperiod window instead of the
+    # diverged iterate: every competitor is charged one release per
+    # period in the window plus one carry-in — wide, but finite.
+    horizon = max(hyperperiod_cap, blocking + own_cost)
+    saturated = blocking + own_cost + sum(
+        (_ceil_div(horizon, period) + 1) * cost
+        for cost, period in higher_priority
+    )
+    return saturated
+
+
+#: Interference map: for every site key, the ``(cost, period)`` list of
+#: the sites that can delay it.  Shared by the bus and NoC backends.
+InterferenceTable = Dict[Tuple[str, str], float]

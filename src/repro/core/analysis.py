@@ -54,6 +54,7 @@ from repro.obs import events as obs_events
 from repro.obs.events import ScenarioAnalyzed
 from repro.obs.metrics import metrics
 from repro.obs.trace import annotate, span as trace_span
+from repro.comm import default_comm
 from repro.sched.comm import CommModel
 from repro.sched.jobs import JobId, JobSet, unroll
 from repro.sched.priority import assign_priorities
@@ -399,7 +400,7 @@ class MixedCriticalityAnalysis:
             bounds[task.name] = hardened.nominal_bounds(task.name)
         for passive in hardened.passive_tasks:
             bounds[passive] = (0.0, 0.0)
-        comm = self._comm or CommModel(architecture.interconnect)
+        comm = self._comm if self._comm is not None else default_comm(architecture)
         priorities = assign_priorities(hardened.applications)
         return unroll(
             hardened.applications,

@@ -84,7 +84,9 @@ def make_analysis(
     method: str = "proposed",
     backend: Union[SchedBackend, str, None] = None,
     granularity: str = "job",
-    comm: Optional[CommModel] = None,
+    comm: Union[CommModel, str, None] = None,
+    comm_arq: Optional[int] = None,
+    comm_arq_timeout: Optional[float] = None,
     policy: str = "fp",
     bus_contention: bool = False,
     zero_dropped_bcet: bool = False,
@@ -98,6 +100,10 @@ def make_analysis(
     trace (no back-end at all).
 
     ``backend`` accepts an instance or one of :data:`SCHED_BACKENDS`;
+    ``comm`` accepts a model/backend instance or one of
+    :data:`repro.comm.COMM_BACKENDS` (with optional ``comm_arq`` /
+    ``comm_arq_timeout`` ARQ overrides — giving only the overrides
+    applies them to whatever backend each analyzed architecture names);
     ``fast_path`` accepts a config, ``True`` for the defaults, or
     ``None``/``False`` for the historical cold path.
     """
@@ -107,6 +113,18 @@ def make_analysis(
         )
     if isinstance(backend, str):
         backend = make_backend(backend)
+    if isinstance(comm, str):
+        from repro.comm import make_comm
+
+        comm = make_comm(
+            comm, arq_retries=comm_arq, arq_timeout=comm_arq_timeout
+        )
+    elif comm is None and (comm_arq is not None or comm_arq_timeout is not None):
+        from repro.comm import make_comm
+
+        comm = make_comm(
+            None, arq_retries=comm_arq, arq_timeout=comm_arq_timeout
+        )
     if fast_path is True:
         fast_path = FastPathConfig()
     elif fast_path is False:

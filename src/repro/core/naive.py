@@ -15,6 +15,7 @@ from repro.core.analysis import GraphVerdict, MCAnalysisResult
 from repro.hardening.transform import HardenedSystem
 from repro.model.architecture import Architecture
 from repro.model.mapping import Mapping
+from repro.comm import default_comm
 from repro.sched.comm import CommModel
 from repro.sched.jobs import unroll
 from repro.sched.priority import assign_priorities
@@ -79,7 +80,7 @@ class NaiveAnalysis:
                 else:
                     bounds[task.name] = (nominal_bcet, worst)
 
-        comm = self._comm or CommModel(architecture.interconnect)
+        comm = self._comm if self._comm is not None else default_comm(architecture)
         priorities = assign_priorities(hardened.applications)
         jobset = unroll(
             hardened.applications,

@@ -30,10 +30,18 @@ class Problem:
     comm: Optional[CommModel] = None
 
     def comm_model(self) -> CommModel:
-        """The effective communication model."""
+        """The effective communication model.
+
+        Defaults to whatever the architecture's interconnect selects:
+        the plain flat :class:`CommModel` for legacy systems, or the
+        unbound contention backend named by ``comm_backend`` (bound at
+        unroll time, see :mod:`repro.comm`).
+        """
         if self.comm is not None:
             return self.comm
-        return CommModel(self.architecture.interconnect)
+        from repro.comm import default_comm
+
+        return default_comm(self.architecture)
 
 
 @dataclass(frozen=True)

@@ -84,17 +84,62 @@ class Interconnect:
         Topology family; a :attr:`InterconnectKind.SHARED_BUS` serialises
         all transfers when the contention-aware timing model is selected,
         while crossbars/NoCs only serialise per endpoint pair.
+    comm_backend:
+        Name of the contention model in :data:`repro.comm.COMM_BACKENDS`
+        (``"flat"``, ``"shared-bus"``, ``"tdma"``, ``"noc-xy"``).  The
+        default ``"flat"`` is the paper's guaranteed-bandwidth pipe; the
+        name is validated lazily by :func:`repro.comm.make_comm` so the
+        model layer stays independent of the backend registry.
+    arq_retries:
+        Transient message faults: a cross-processor transfer may be lost
+        and re-sent up to this many times (the communication analog of
+        task re-execution).  0 disables the message-fault model.
+    arq_timeout:
+        Fixed loss-detection overhead paid per retransmission (timeout +
+        re-arbitration), in time units.
+    mesh_columns:
+        Mesh width for the ``noc-xy`` backend; 0 derives a square-ish
+        mesh from the processor count.
+    hop_latency:
+        Per-hop router latency for ``noc-xy``; 0 falls back to
+        ``base_latency``.
+    slot_length:
+        TDMA slot duration for the ``tdma`` backend; 0 derives a default
+        64-byte-payload slot (``base_latency + 64 / bandwidth``).
+    slot_count:
+        TDMA slot-table length (slots per revolution); 0 uses one slot
+        per processor.
     """
 
     bandwidth: float
     base_latency: float = 0.0
     kind: InterconnectKind = InterconnectKind.SHARED_BUS
+    comm_backend: str = "flat"
+    arq_retries: int = 0
+    arq_timeout: float = 0.0
+    mesh_columns: int = 0
+    hop_latency: float = 0.0
+    slot_length: float = 0.0
+    slot_count: int = 0
 
     def __post_init__(self):
         if self.bandwidth <= 0:
             raise ModelError(f"interconnect bandwidth must be positive, got {self.bandwidth}")
         if self.base_latency < 0:
             raise ModelError("interconnect base latency must be >= 0")
+        if not self.comm_backend or not isinstance(self.comm_backend, str):
+            raise ModelError("comm backend must be a non-empty string")
+        if not isinstance(self.arq_retries, int) or self.arq_retries < 0:
+            raise ModelError(
+                f"ARQ retransmission budget must be an int >= 0, "
+                f"got {self.arq_retries!r}"
+            )
+        if self.arq_timeout < 0:
+            raise ModelError("ARQ timeout must be >= 0")
+        if self.mesh_columns < 0 or self.slot_count < 0:
+            raise ModelError("mesh columns / slot count must be >= 0")
+        if self.hop_latency < 0 or self.slot_length < 0:
+            raise ModelError("hop latency / slot length must be >= 0")
 
     def transfer_time(self, size: float) -> float:
         """Uncontended time to move ``size`` bytes across the fabric."""
@@ -151,6 +196,15 @@ class Architecture:
     def processors_of_type(self, ptype: str) -> Tuple[Processor, ...]:
         """All processors of a given type label."""
         return tuple(p for p in self.processors if p.ptype == ptype)
+
+    def with_interconnect(self, interconnect: Interconnect) -> "Architecture":
+        """A copy of this platform with the interconnect replaced.
+
+        Used to rewrite fabric contention/ARQ settings without touching
+        the processor set (e.g. ``--comm-backend`` overrides and the
+        ARQ-monotonicity oracle's ``k -> k+1`` probe).
+        """
+        return Architecture(self.processors, interconnect)
 
     def max_static_power(self) -> float:
         """Static power with every processor allocated."""

@@ -127,9 +127,31 @@ def application_set_from_dict(data: Dict[str, Any]) -> ApplicationSet:
 # Architecture
 # ----------------------------------------------------------------------
 
+#: Contention/ARQ fields of :class:`Interconnect`, serialized only when
+#: they differ from the default so legacy system files stay byte-stable.
+_INTERCONNECT_OPTIONALS = (
+    ("comm_backend", "flat"),
+    ("arq_retries", 0),
+    ("arq_timeout", 0.0),
+    ("mesh_columns", 0),
+    ("hop_latency", 0.0),
+    ("slot_length", 0.0),
+    ("slot_count", 0),
+)
+
+
 def architecture_to_dict(architecture: Architecture) -> Dict[str, Any]:
     """Serialize an architecture."""
     fabric = architecture.interconnect
+    fabric_data: Dict[str, Any] = {
+        "bandwidth": fabric.bandwidth,
+        "base_latency": fabric.base_latency,
+        "kind": fabric.kind.value,
+    }
+    for field_name, default in _INTERCONNECT_OPTIONALS:
+        value = getattr(fabric, field_name)
+        if value != default:
+            fabric_data[field_name] = value
     return {
         "format_version": FORMAT_VERSION,
         "processors": [
@@ -143,11 +165,7 @@ def architecture_to_dict(architecture: Architecture) -> Dict[str, Any]:
             }
             for p in architecture.processors
         ],
-        "interconnect": {
-            "bandwidth": fabric.bandwidth,
-            "base_latency": fabric.base_latency,
-            "kind": fabric.kind.value,
-        },
+        "interconnect": fabric_data,
     }
 
 
@@ -170,6 +188,10 @@ def architecture_from_dict(data: Dict[str, Any]) -> Architecture:
         bandwidth=fabric_data["bandwidth"],
         base_latency=fabric_data.get("base_latency", 0.0),
         kind=InterconnectKind(fabric_data.get("kind", "shared_bus")),
+        **{
+            field_name: fabric_data.get(field_name, default)
+            for field_name, default in _INTERCONNECT_OPTIONALS
+        },
     )
     return Architecture(processors, interconnect)
 

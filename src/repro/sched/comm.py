@@ -14,6 +14,19 @@ Two worst-case regimes are supported:
 
 Best-case transfers always use the uncontended time, which keeps the
 best-case bounds safe lower bounds.
+
+**Zero-size semantics.**  A ``size <= 0`` channel is a pure
+synchronisation token (a precedence edge with no payload).  Off
+processor it is *intentionally asymmetric*: the best case is ``0.0`` —
+an empty message can ride an already-open arbitration window for free —
+while the worst case charges ``base_latency * contention_factor``,
+because even a payload-free message must win one arbitration round on
+the fabric before the dependent task may start.  Collapsing either side
+(charging ``base_latency`` best-case, or making empty messages free
+worst-case) would respectively inflate the best-case lower bound past
+observable schedules or let a contended fabric deliver infinitely many
+sync tokens in zero time.  Both sides are pinned by regression tests in
+``tests/sched/test_comm.py``.
 """
 
 from dataclasses import dataclass
@@ -44,13 +57,24 @@ class CommModel:
             )
 
     def best_case(self, size: float, same_processor: bool) -> float:
-        """Safe lower bound on the channel latency."""
+        """Safe lower bound on the channel latency.
+
+        Off-processor ``size <= 0`` transfers are free: an empty sync
+        token can piggyback on an open arbitration window (see the
+        module docstring for why this is asymmetric with
+        :meth:`worst_case`).
+        """
         if same_processor or size <= 0:
             return 0.0
         return self.interconnect.transfer_time(size)
 
     def worst_case(self, size: float, same_processor: bool) -> float:
-        """Safe upper bound on the channel latency."""
+        """Safe upper bound on the channel latency.
+
+        Off-processor ``size <= 0`` transfers still pay one arbitration
+        round (``base_latency * contention_factor``): a payload-free
+        message must acquire the fabric before its consumer may start.
+        """
         if same_processor:
             return 0.0
         if size <= 0:

@@ -86,12 +86,14 @@ class JobSet:
         mapping: Mapping,
         topo_order: Sequence[int],
         hyperperiods: int = 2,
+        comm_token: str = "",
     ):
         self._jobs: Tuple[Job, ...] = tuple(jobs)
         self._hyperperiod = hyperperiod
         self._hyperperiods = hyperperiods
         self._applications = applications
         self._mapping = mapping
+        self._comm_token = comm_token
         self._topo_order: Tuple[int, ...] = tuple(topo_order)
         self._by_id: Dict[JobId, int] = {
             job.job_id: job.index for job in self._jobs
@@ -252,6 +254,17 @@ class JobSet:
         """Job indices in a precedence-compatible order."""
         return self._topo_order
 
+    @property
+    def comm_token(self) -> str:
+        """Canonical identity of the comm model the set was unrolled with.
+
+        Empty for the legacy flat model (fingerprints stay byte-stable);
+        non-empty tokens enter :meth:`fingerprint` so two systems
+        differing only in their comm configuration can never collide in
+        the ScheduleCache.
+        """
+        return self._comm_token
+
     def __len__(self) -> int:
         return len(self._jobs)
 
@@ -312,6 +325,8 @@ class JobSet:
                 repr((self._hyperperiod.hex(), self._hyperperiods)),
                 repr(self._topo_order),
             ]
+            if self._comm_token:
+                parts.append(f"comm={self._comm_token}")
             for job in self._jobs:
                 parts.append(
                     repr(
@@ -371,6 +386,7 @@ class JobSet:
         clone._hyperperiods = self._hyperperiods
         clone._applications = self._applications
         clone._mapping = self._mapping
+        clone._comm_token = self._comm_token
         clone._topo_order = self._topo_order
         clone._by_id = self._by_id
         clone._by_task = self._by_task
@@ -404,7 +420,12 @@ def unroll(
         The platform; provides processor speeds and the interconnect.
     comm:
         Channel latency model; defaults to the uncontended latency model of
-        the platform interconnect.
+        the platform interconnect.  An *unbound*
+        :class:`repro.comm.CommBackend` (anything exposing ``bind``) is
+        bound here against the hardened application set, so replica and
+        voter channels participate in its contention analysis; bound
+        models answering ``channel_bounds`` are queried per channel and
+        their ``fingerprint_token`` enters the job-set fingerprint.
     priorities:
         Task priorities (smaller = higher); defaults to
         :func:`repro.sched.priority.assign_priorities`.
@@ -436,6 +457,10 @@ def unroll(
     mapping.validate(applications, architecture)
     if comm is None:
         comm = CommModel(architecture.interconnect)
+    elif hasattr(comm, "bind"):
+        comm = comm.bind(applications, mapping, architecture)
+    channel_bounds = getattr(comm, "channel_bounds", None)
+    comm_token = getattr(comm, "fingerprint_token", "")
     if priorities is None:
         priorities = assign_priorities(applications)
     if hyperperiods < 1:
@@ -553,13 +578,15 @@ def unroll(
                         )
                         continue
                     same_pe = mapping[channel.src] == mapping[task_name]
-                    preds.append(
-                        (
-                            index_of[pred_id],
-                            comm.best_case(channel.size, same_pe),
-                            comm.worst_case(channel.size, same_pe),
-                            channel.on_demand,
+                    if channel_bounds is not None:
+                        best, worst = channel_bounds(
+                            channel.src, task_name, channel.size, same_pe
                         )
+                    else:
+                        best = comm.best_case(channel.size, same_pe)
+                        worst = comm.worst_case(channel.size, same_pe)
+                    preds.append(
+                        (index_of[pred_id], best, worst, channel.on_demand)
                     )
                 job = Job(
                     index=len(jobs),
@@ -580,7 +607,15 @@ def unroll(
                 jobs.append(job)
                 topo_order.append(job.index)
 
-    return JobSet(jobs, hyperperiod, applications, mapping, topo_order, hyperperiods)
+    return JobSet(
+        jobs,
+        hyperperiod,
+        applications,
+        mapping,
+        topo_order,
+        hyperperiods,
+        comm_token=comm_token,
+    )
 
 
 def _message_name(src: str, dst: str) -> str:

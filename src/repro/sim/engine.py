@@ -26,6 +26,7 @@ import heapq
 import random
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.comm import default_comm
 from repro.errors import SimulationError
 from repro.hardening.transform import HardenedSystem
 from repro.model.architecture import Architecture
@@ -62,8 +63,13 @@ class Simulator:
     dropped:
         The dropped application set ``T_d``.
     comm:
-        Channel latency model (defaults to the platform's uncontended
-        model).
+        Channel latency model or unbound :class:`repro.comm.CommBackend`
+        (defaults to whatever the platform's interconnect configuration
+        selects).  Backends are bound against the hardened task set; the
+        engine unrolls with single-attempt (no-ARQ) channel bounds and
+        charges each injected message loss an explicit retransmission
+        delay, so simulated latencies stay below the analysis's folded
+        ARQ worst case.
     collect_trace:
         When ``True`` every scheduler event is recorded in the result's
         ``trace`` list (slower; off by default).
@@ -86,7 +92,15 @@ class Simulator:
         self._architecture = architecture
         self._mapping = mapping
         self._dropped = hardened.source.validate_drop_set(dropped)
-        self._comm = comm or CommModel(architecture.interconnect)
+        comm = comm if comm is not None else default_comm(architecture)
+        if hasattr(comm, "bind"):
+            comm = comm.bind(hardened.applications, mapping, architecture)
+        # The analysis folds the full ARQ margin into channel bounds; the
+        # engine instead unrolls single-attempt bounds and pays each
+        # injected loss explicitly, so fault-free runs see no margin.
+        self._arq_retries = getattr(comm, "arq_retries", 0)
+        self._arq_timeout = getattr(comm, "arq_timeout", 0.0)
+        self._comm = comm.without_arq() if hasattr(comm, "without_arq") else comm
         self._collect_trace = collect_trace
         self._policy = policy
         self._priorities = assign_priorities(hardened.applications)
@@ -194,11 +208,15 @@ class _RunState:
             self.required_now.append(non_demand)
             self.required_all.append(len(job.preds))
 
-        # Successor adjacency.
-        self.succs: List[List[Tuple[int, float]]] = [[] for _ in range(count)]
+        # Successor adjacency; cross-PE edges are the ones an injected
+        # message fault can hit.
+        self.succs: List[List[Tuple[int, float, bool]]] = [
+            [] for _ in range(count)
+        ]
         for job in jobs:
             for pred_index, _best, worst, _on_demand in job.preds:
-                self.succs[pred_index].append((job.index, worst))
+                cross_pe = jobs[pred_index].processor != job.processor
+                self.succs[pred_index].append((job.index, worst, cross_pe))
 
         # Per-PE ready heaps and running job.
         self.ready: Dict[str, List[Tuple[int, int, int]]] = {}
@@ -366,9 +384,52 @@ class _RunState:
         if task_name in self.sim._voter_groups:
             self.finish_voter(time, index)
 
-        for dst, comm_worst in self.succs[index]:
-            self.push(time + comm_worst, "arrival", dst, index)
+        for dst, comm_worst, cross_pe in self.succs[index]:
+            delay = comm_worst
+            if cross_pe and self.profile.has_message_faults:
+                delay = self.message_delay(time, index, dst, comm_worst)
+            self.push(time + delay, "arrival", dst, index)
         self.schedule(time, processor)
+
+    def message_delay(
+        self, time: float, src_index: int, dst_index: int, worst: float
+    ) -> float:
+        """Channel latency of one delivery under injected message losses.
+
+        Each lost transmission costs one more worst-case attempt plus the
+        ARQ timeout.  A channel whose entire budget (original send plus
+        ``k`` retransmissions) is lost still *delivers* — at the full
+        ``(k+1) * worst + k * timeout`` cost, matching the analysis fold —
+        but the payload is corrupt, recorded as an unsafe event (the
+        communication analog of exhausted re-execution).
+        """
+        jobs = self.jobset.jobs
+        src = jobs[src_index]
+        dst = jobs[dst_index]
+        budget = self.sim._arq_retries
+        timeout = self.sim._arq_timeout
+        losses = 0
+        while losses <= budget and self.profile.is_message_lost(
+            src.task_name, dst.task_name, src.instance, losses
+        ):
+            losses += 1
+        if losses == 0:
+            return worst
+        self.faults_observed += losses
+        self.record(
+            time,
+            "msg-loss",
+            src_index,
+            detail=f"{src.task_name}>{dst.task_name} x{losses}",
+        )
+        if losses > budget:
+            # ARQ exhausted: corrupt delivery at the folded worst case.
+            self.unsafe.append(
+                (f"{src.task_name}>{dst.task_name}", src.instance)
+            )
+            self.record(time, "msg-unsafe", src_index)
+            return (budget + 1) * worst + budget * timeout
+        return (losses + 1) * worst + losses * timeout
 
     # ------------------------------------------------------------------
     # Readiness and scheduling

@@ -16,20 +16,55 @@ from repro.hardening.transform import HardenedSystem
 #: One faulty execution: ``(task name, graph instance, attempt index)``.
 FaultKey = Tuple[str, int, int]
 
+#: One lost channel transfer: ``(src task, dst task, graph instance,
+#: transmission attempt)``.  Attempt 0 is the original send; attempts
+#: ``1..k`` are the ARQ retransmissions.
+MessageFaultKey = Tuple[str, str, int, int]
+
 
 class FaultProfile:
-    """An explicit set of faulty execution attempts."""
+    """An explicit set of faulty execution attempts and lost messages.
 
-    def __init__(self, faults: Iterable[FaultKey] = (), label: str = ""):
+    Computation faults (``faults``) corrupt a task's execution attempt;
+    message faults (``message_faults``) drop a cross-processor channel
+    transfer, which the engine re-sends up to the fabric's ARQ budget
+    (the communication analog of task re-execution).
+    """
+
+    def __init__(
+        self,
+        faults: Iterable[FaultKey] = (),
+        label: str = "",
+        message_faults: Iterable[MessageFaultKey] = (),
+    ):
         self._faults: FrozenSet[FaultKey] = frozenset(faults)
+        self._message_faults: FrozenSet[MessageFaultKey] = frozenset(
+            message_faults
+        )
         self.label = label
 
     def is_faulty(self, task_name: str, instance: int, attempt: int) -> bool:
         """Whether the given execution attempt is corrupted."""
         return (task_name, instance, attempt) in self._faults
 
+    def is_message_lost(
+        self, src: str, dst: str, instance: int, attempt: int
+    ) -> bool:
+        """Whether transmission ``attempt`` of channel ``src->dst`` is lost."""
+        return (src, dst, instance, attempt) in self._message_faults
+
+    @property
+    def message_faults(self) -> FrozenSet[MessageFaultKey]:
+        """The lost-transfer quadruples."""
+        return self._message_faults
+
+    @property
+    def has_message_faults(self) -> bool:
+        """Whether any channel transfer is hit."""
+        return bool(self._message_faults)
+
     def __len__(self) -> int:
-        return len(self._faults)
+        return len(self._faults) + len(self._message_faults)
 
     def __iter__(self):
         return iter(sorted(self._faults))
@@ -37,17 +72,30 @@ class FaultProfile:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, FaultProfile):
             return NotImplemented
-        return self._faults == other._faults and self.label == other.label
+        return (
+            self._faults == other._faults
+            and self._message_faults == other._message_faults
+            and self.label == other.label
+        )
 
     def __hash__(self) -> int:
-        return hash((self._faults, self.label))
+        return hash((self._faults, self._message_faults, self.label))
 
     def to_dict(self) -> Dict[str, Any]:
-        """Canonical JSON form: sorted fault triples plus the label."""
-        return {
+        """Canonical JSON form: sorted fault tuples plus the label.
+
+        ``message_faults`` is emitted only when non-empty, so replay
+        corpora written before the message-fault model stay byte-stable.
+        """
+        payload: Dict[str, Any] = {
             "label": self.label,
             "faults": [list(key) for key in sorted(self._faults)],
         }
+        if self._message_faults:
+            payload["message_faults"] = [
+                list(key) for key in sorted(self._message_faults)
+            ]
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "FaultProfile":
@@ -56,11 +104,24 @@ class FaultProfile:
         for entry in payload.get("faults", ()):
             task, instance, attempt = entry
             faults.append((str(task), int(instance), int(attempt)))
-        return cls(faults, label=str(payload.get("label", "")))
+        message_faults = []
+        for entry in payload.get("message_faults", ()):
+            src, dst, instance, attempt = entry
+            message_faults.append(
+                (str(src), str(dst), int(instance), int(attempt))
+            )
+        return cls(
+            faults,
+            label=str(payload.get("label", "")),
+            message_faults=message_faults,
+        )
 
     def __repr__(self) -> str:
         tag = f" {self.label!r}" if self.label else ""
-        return f"FaultProfile({len(self._faults)} faults{tag})"
+        messages = (
+            f" +{len(self._message_faults)} msg" if self._message_faults else ""
+        )
+        return f"FaultProfile({len(self._faults)} faults{messages}{tag})"
 
 
 def no_fault_profile() -> FaultProfile:

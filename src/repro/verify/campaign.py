@@ -191,6 +191,30 @@ def state_from_bundle(bundle: SystemBundle, seed: int = 0) -> SystemState:
     )
 
 
+def scatter_state(state: SystemState) -> SystemState:
+    """A copy of ``state`` remapped round-robin across all processors.
+
+    The seeded default design is locality-first: whole graphs collapse
+    onto one processor, so no channel ever crosses the fabric and the
+    contention-aware comm backends degenerate to the flat reference.
+    Comm verification wants the opposite — deterministic round-robin
+    over the hardened task set maximises cross-processor channels, so
+    arbitration, ARQ folding and message-loss scenarios are actually
+    exercised.
+    """
+    hardened = state.hardened()
+    processors = state.architecture.processor_names
+    assignment = {}
+    index = 0
+    for graph in hardened.applications.graphs:
+        for task in graph.tasks:
+            assignment[task.name] = processors[index % len(processors)]
+            index += 1
+    from repro.model.mapping import Mapping
+
+    return replace(state, mapping=Mapping(assignment))
+
+
 # ----------------------------------------------------------------------
 # Findings: a violation plus everything needed to re-check it
 # ----------------------------------------------------------------------
@@ -285,6 +309,15 @@ def run_campaign(
                 report,
                 findings,
             )
+            if _comm_active(state):
+                _run_profile_free(
+                    runner.check_comm,
+                    ("flat-le-contended", "arq-monotone"),
+                    runner,
+                    state,
+                    report,
+                    findings,
+                )
         if config.consistency:
             _run_profile_free(
                 runner.check_consistency,
@@ -348,6 +381,20 @@ def _record_violation(
         )
 
 
+def _comm_active(state: SystemState) -> bool:
+    """Whether the state's fabric opted into contention or ARQ.
+
+    Gates the comm oracles and message-loss scenarios so legacy systems
+    (flat backend, no retransmission budget) keep byte-identical
+    campaign reports.
+    """
+    interconnect = state.architecture.interconnect
+    return (
+        getattr(interconnect, "comm_backend", "flat") != "flat"
+        or getattr(interconnect, "arq_retries", 0) > 0
+    )
+
+
 def _run_scenarios(
     runner: OracleRunner,
     state: SystemState,
@@ -356,6 +403,7 @@ def _run_scenarios(
     report: VerificationReport,
     findings: List[_Finding],
 ) -> None:
+    comm_active = _comm_active(state)
     scenarios = generate_scenarios(
         state.hardened(),
         analysis,
@@ -364,6 +412,10 @@ def _run_scenarios(
         max_faults=config.max_faults,
         exhaustive_limit=config.exhaustive_limit,
         hyperperiods=config.hyperperiods,
+        mapping=state.mapping if comm_active else None,
+        arq_retries=state.architecture.interconnect.arq_retries
+        if comm_active
+        else 0,
     )
     counter = metrics().counter("verify.scenarios")
     for scenario in scenarios:
@@ -627,5 +679,6 @@ __all__ = [
     "VerificationReport",
     "replay_corpus",
     "run_campaign",
+    "scatter_state",
     "state_from_bundle",
 ]

@@ -11,7 +11,13 @@ The soundness claims under test, for a fixed system state:
 * **fastpath-identical** — enabling memoization/warm-start/pruning may
   not change a single result value;
 * **warmstart-identical** — holistic fixed points seeded with the
-  normal-state solution must converge to the cold-start solution.
+  normal-state solution must converge to the cold-start solution;
+* **flat-le-contended** — every contention-aware comm backend only
+  widens channel worst cases over the flat fabric, so re-analyzing the
+  same state under the ``flat`` backend must never yield a larger WCRT;
+* **arq-monotone** — granting one more ARQ retransmission (``k -> k+1``)
+  widens every cross-processor channel bound, so it may never tighten a
+  graph's WCRT.
 
 Any inversion is recorded as a :class:`Violation`.  The metamorphic
 properties live in :mod:`repro.verify.metamorphic`; both feed the same
@@ -19,7 +25,7 @@ violation type so the campaign and the shrinker treat them uniformly.
 """
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.analysis import MCAnalysisResult
@@ -53,6 +59,8 @@ ORACLES = (
     "metamorphic-wcet-monotone",
     "metamorphic-drop-monotone",
     "metamorphic-harden-sound",
+    "flat-le-contended",
+    "arq-monotone",
 )
 
 
@@ -287,6 +295,81 @@ class OracleRunner:
                         expected=verdict.wcrt,
                         actual=adhoc_response,
                         detail="Adhoc worst trace exceeds the Proposed bound",
+                    )
+                )
+        return violations
+
+    def check_comm(
+        self,
+        state: SystemState,
+        analysis: Optional[MCAnalysisResult] = None,
+    ) -> List[Violation]:
+        """**flat-le-contended** and **arq-monotone**.
+
+        Both probes rewrite only the fabric's comm configuration via
+        :func:`repro.comm.with_comm` and re-analyze: the flat reference
+        (no ARQ) must bound every contended WCRT from below, and one
+        extra retransmission in the ARQ budget must never tighten a
+        bound.  No-op (empty list) for states whose architecture never
+        opted into contention — the flat/no-ARQ configuration *is* the
+        reference, so there is nothing to compare.
+        """
+        from repro.comm import with_comm
+
+        ic = state.architecture.interconnect
+        if ic.comm_backend == "flat" and ic.arq_retries == 0:
+            return []
+        if analysis is None:
+            analysis = self.analyze(state)
+        violations: List[Violation] = []
+        flat_state = replace(
+            state,
+            architecture=with_comm(
+                state.architecture,
+                backend="flat",
+                arq_retries=0,
+                arq_timeout=0.0,
+            ),
+        )
+        flat = self.analyze(flat_state)
+        wider_state = replace(
+            state,
+            architecture=with_comm(
+                state.architecture, arq_retries=ic.arq_retries + 1
+            ),
+        )
+        wider = self.analyze(wider_state)
+        for graph, verdict in sorted(analysis.verdicts.items()):
+            if verdict.dropped:
+                continue
+            flat_bound = flat.verdicts[graph].wcrt
+            if flat_bound > verdict.wcrt + self._tolerance:
+                violations.append(
+                    Violation(
+                        oracle="flat-le-contended",
+                        subject=graph,
+                        expected=verdict.wcrt,
+                        actual=flat_bound,
+                        detail=(
+                            f"flat reference bound exceeds the "
+                            f"{ic.comm_backend!r} backend bound "
+                            f"(arq_retries={ic.arq_retries})"
+                        ),
+                    )
+                )
+            wider_bound = wider.verdicts[graph].wcrt
+            if verdict.wcrt > wider_bound + self._tolerance:
+                violations.append(
+                    Violation(
+                        oracle="arq-monotone",
+                        subject=graph,
+                        expected=verdict.wcrt,
+                        actual=wider_bound,
+                        detail=(
+                            f"raising the ARQ budget "
+                            f"{ic.arq_retries} -> {ic.arq_retries + 1} "
+                            f"tightened the WCRT bound"
+                        ),
                     )
                 )
         return violations

@@ -14,6 +14,9 @@ result* and generates scenarios at those boundaries instead:
   exhaustion (every attempt faulty);
 * pairs of triggers whose normal-state windows overlap (the second fault
   arrives while the drop decision of the first is still in flight);
+* message-loss profiles for every cross-processor channel of the mapped
+  system (single lost transmission and full ARQ-budget exhaustion),
+  when the fabric opted into contention or retransmission;
 * exhaustive small-``k`` enumeration (every single fault, then every
   fault pair) when the candidate space is small enough;
 * seeded random profiles to fill the remaining budget.
@@ -47,8 +50,8 @@ class Scenario:
 
     name: str
     #: Provenance: ``fault-free``, ``adhoc``, ``directed-boundary``,
-    #: ``directed-recovery``, ``directed-pair``, ``exhaustive`` or
-    #: ``random``.
+    #: ``directed-recovery``, ``directed-pair``, ``directed-message``,
+    #: ``exhaustive`` or ``random``.
     origin: str
     profile: FaultProfile
     #: Canonical sampler spec (``sampler.describe()``); rebuilt via
@@ -66,6 +69,7 @@ class Scenario:
         """Deduplication identity (everything that affects the run)."""
         return (
             tuple(self.profile),
+            tuple(sorted(self.profile.message_faults)),
             tuple(sorted(self.sampler_spec.items())),
             self.sampler_seed,
             self.hyperperiods,
@@ -334,6 +338,80 @@ def exhaustive_scenarios(
     return scenarios
 
 
+def message_loss_scenarios(
+    hardened: HardenedSystem,
+    mapping,
+    arq_retries: int,
+    hyperperiods: int = 1,
+    max_channels: int = 16,
+) -> List[Scenario]:
+    """Directed message-fault profiles for every cross-processor channel.
+
+    For each channel of the hardened task set whose endpoints map to
+    different processors (deterministic channel order, capped at
+    ``max_channels``):
+
+    * a single lost first transmission (the ARQ re-send path), and
+    * full budget exhaustion — attempts ``0..k`` all lost, probing the
+      corrupt-delivery analog of re-execution exhaustion (only when the
+      fabric grants retransmissions, ``k >= 1``).
+
+    Returns an empty list when the mapping keeps every channel local or
+    the caller passes no mapping.
+    """
+    if mapping is None:
+        return []
+    scenarios: List[Scenario] = []
+    channels: List[Tuple[str, str]] = []
+    seen: Set[Tuple[str, str]] = set()
+    for graph in hardened.applications.graphs:
+        for channel in graph.channels:
+            pair = (channel.src, channel.dst)
+            if pair in seen:
+                continue
+            seen.add(pair)
+            try:
+                cross = mapping[channel.src] != mapping[channel.dst]
+            except Exception:
+                continue  # mapping does not cover the channel (partial state)
+            if cross:
+                channels.append(pair)
+    for src, dst in channels[:max_channels]:
+        single = FaultProfile(
+            (),
+            label=f"msg-loss:{src}>{dst}",
+            message_faults=((src, dst, 0, 0),),
+        )
+        scenarios.append(
+            Scenario(
+                name=f"msg-loss:{src}>{dst}",
+                origin="directed-message",
+                profile=single,
+                sampler_spec={"kind": "worst"},
+                hyperperiods=hyperperiods,
+            )
+        )
+        if arq_retries >= 1:
+            exhausted = FaultProfile(
+                (),
+                label=f"msg-exhausted:{src}>{dst}",
+                message_faults=tuple(
+                    (src, dst, 0, attempt)
+                    for attempt in range(arq_retries + 1)
+                ),
+            )
+            scenarios.append(
+                Scenario(
+                    name=f"msg-exhausted:{src}>{dst}",
+                    origin="directed-message",
+                    profile=exhausted,
+                    sampler_spec={"kind": "worst"},
+                    hyperperiods=hyperperiods,
+                )
+            )
+    return scenarios
+
+
 def random_scenarios(
     hardened: HardenedSystem,
     count: int,
@@ -368,12 +446,15 @@ def generate_scenarios(
     max_faults: int = 3,
     exhaustive_limit: int = 64,
     hyperperiods: int = 1,
+    mapping=None,
+    arq_retries: int = 0,
 ) -> List[Scenario]:
     """The campaign's scenario list: directed first, random fill last.
 
     Deterministic in ``(analysis, seed, budget)``.  Order of precedence
     under the budget: the fault-free baseline, the adhoc worst trace,
-    directed boundary/recovery/pair scenarios, exhaustive small-k
+    directed boundary/recovery/pair scenarios, directed message-loss
+    profiles (when a ``mapping`` is given), exhaustive small-k
     enumeration, then seeded random profiles.  Duplicates (same profile,
     sampler and seed) are pruned before trimming to the budget.
     """
@@ -396,6 +477,11 @@ def generate_scenarios(
         ),
     ]
     ordered.extend(directed_scenarios(hardened, analysis, hyperperiods))
+    ordered.extend(
+        message_loss_scenarios(
+            hardened, mapping, arq_retries, hyperperiods=hyperperiods
+        )
+    )
     ordered.extend(exhaustive_scenarios(hardened, exhaustive_limit, hyperperiods))
 
     seen: Set[Tuple] = set()

@@ -1,0 +1,60 @@
+"""Comm configuration must participate in job-set fingerprints.
+
+The :class:`~repro.sched.cache.ScheduleCache` keys on
+``JobSet.fingerprint()``; if two systems differing only in their comm
+backend collided, a cached contended schedule could answer a flat query
+(or vice versa).
+"""
+
+from repro.comm import make_comm
+from repro.model.mapping import Mapping
+from repro.sched.jobs import unroll
+
+
+def _cross_mapping(apps):
+    names = sorted(apps.all_task_names)
+    return Mapping(
+        {name: f"pe{i % 2}" for i, name in enumerate(names)}
+    )
+
+
+class TestFingerprint:
+    def test_flat_backend_keeps_the_legacy_fingerprint(self, apps, architecture):
+        mapping = _cross_mapping(apps)
+        legacy = unroll(apps, mapping, architecture)
+        explicit = unroll(
+            apps, mapping, architecture, comm=make_comm("flat")
+        )
+        assert explicit.comm_token == ""
+        assert explicit.fingerprint() == legacy.fingerprint()
+
+    def test_backend_only_difference_changes_the_fingerprint(
+        self, apps, architecture
+    ):
+        mapping = _cross_mapping(apps)
+        fingerprints = {
+            name: unroll(
+                apps, mapping, architecture, comm=make_comm(name)
+            ).fingerprint()
+            for name in ("flat", "shared-bus", "tdma", "noc-xy")
+        }
+        assert len(set(fingerprints.values())) == 4
+
+    def test_arq_budget_changes_the_fingerprint(self, apps, architecture):
+        mapping = _cross_mapping(apps)
+        one = unroll(
+            apps, mapping, architecture, comm=make_comm("flat", arq_retries=1)
+        )
+        two = unroll(
+            apps, mapping, architecture, comm=make_comm("flat", arq_retries=2)
+        )
+        assert one.comm_token != ""
+        assert one.fingerprint() != two.fingerprint()
+
+    def test_token_survives_with_bounds_clone(self, apps, architecture):
+        mapping = _cross_mapping(apps)
+        jobset = unroll(
+            apps, mapping, architecture, comm=make_comm("tdma")
+        )
+        clone = jobset.with_bounds({("a", 0): (0.0, 9.0)})
+        assert clone.comm_token == jobset.comm_token

@@ -1,0 +1,80 @@
+"""Round-trip of the comm/topology/ARQ interconnect fields.
+
+The serialized form only carries non-default fields, so legacy flat
+systems stay byte-identical; everything a backend can read must survive
+``architecture_to_dict`` / ``architecture_from_dict`` exactly.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.architecture import Architecture, Interconnect, Processor
+from repro.model.serialization import (
+    architecture_from_dict,
+    architecture_to_dict,
+)
+
+interconnects = st.builds(
+    Interconnect,
+    bandwidth=st.floats(min_value=1.0, max_value=1e6),
+    base_latency=st.floats(min_value=0.0, max_value=100.0),
+    comm_backend=st.sampled_from(("flat", "shared-bus", "tdma", "noc-xy")),
+    arq_retries=st.integers(min_value=0, max_value=8),
+    arq_timeout=st.floats(min_value=0.0, max_value=50.0),
+    mesh_columns=st.integers(min_value=0, max_value=8),
+    hop_latency=st.floats(min_value=0.0, max_value=10.0),
+    slot_length=st.floats(min_value=0.0, max_value=10.0),
+    slot_count=st.integers(min_value=0, max_value=16),
+)
+
+
+def _architecture(fabric):
+    return Architecture([Processor("pe0"), Processor("pe1")], fabric)
+
+
+@settings(max_examples=100, deadline=None)
+@given(interconnects)
+def test_comm_fields_round_trip(fabric):
+    restored = architecture_from_dict(
+        architecture_to_dict(_architecture(fabric))
+    )
+    assert restored.interconnect == fabric
+
+
+@settings(max_examples=50, deadline=None)
+@given(interconnects)
+def test_round_trip_is_a_fixed_point(fabric):
+    once = architecture_to_dict(_architecture(fabric))
+    twice = architecture_to_dict(architecture_from_dict(once))
+    assert once == twice
+
+
+def test_default_comm_fields_are_omitted():
+    fabric = Interconnect(bandwidth=100.0, base_latency=1.0)
+    payload = architecture_to_dict(_architecture(fabric))
+    for key in (
+        "comm_backend",
+        "arq_retries",
+        "arq_timeout",
+        "mesh_columns",
+        "hop_latency",
+        "slot_length",
+        "slot_count",
+    ):
+        assert key not in payload["interconnect"]
+
+
+def test_non_default_comm_fields_are_emitted():
+    fabric = Interconnect(
+        bandwidth=100.0,
+        base_latency=1.0,
+        comm_backend="noc-xy",
+        arq_retries=2,
+        mesh_columns=3,
+    )
+    payload = architecture_to_dict(_architecture(fabric))
+    fabric_data = payload["interconnect"]
+    assert fabric_data["comm_backend"] == "noc-xy"
+    assert fabric_data["arq_retries"] == 2
+    assert fabric_data["mesh_columns"] == 3
+    assert "slot_count" not in fabric_data

@@ -31,6 +31,21 @@ class TestLatencyModel:
         model = CommModel(fabric)
         assert model.worst_case(0.0, same_processor=False) == pytest.approx(1.0)
 
+    def test_zero_size_asymmetry_pinned(self, fabric):
+        """Regression pin for the documented zero-size semantics.
+
+        Off-processor ``size <= 0`` transfers are pure synchronisation
+        tokens: best-case they ride an open arbitration window (0.0),
+        worst-case they still pay one arbitration round —
+        ``base_latency * contention_factor`` — never the bandwidth term.
+        """
+        model = CommModel(fabric, contention_factor=2.5)
+        for size in (0.0, -1.0, -1e6):
+            assert model.best_case(size, same_processor=False) == 0.0
+            assert model.worst_case(size, same_processor=False) == (
+                pytest.approx(fabric.base_latency * 2.5)
+            )
+
 
 class TestContention:
     def test_factor_stretches_worst_case_only(self, fabric):

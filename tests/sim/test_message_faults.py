@@ -1,0 +1,133 @@
+"""Message-loss fault injection: profile semantics and engine timing."""
+
+import pytest
+
+from repro.core.factory import make_analysis
+from repro.hardening.spec import HardeningPlan
+from repro.hardening.transform import harden
+from repro.model.application import ApplicationSet
+from repro.model.architecture import Architecture, Interconnect, Processor
+from repro.model.mapping import Mapping
+from repro.model.task import Channel, Task
+from repro.model.taskgraph import TaskGraph
+from repro.sim.engine import Simulator
+from repro.sim.faults import FaultProfile
+from repro.sim.sampler import WorstCaseSampler
+
+
+class TestProfile:
+    def test_message_fault_lookup(self):
+        profile = FaultProfile(
+            (), message_faults=(("a", "b", 0, 0), ("a", "b", 0, 1))
+        )
+        assert profile.is_message_lost("a", "b", 0, 0)
+        assert profile.is_message_lost("a", "b", 0, 1)
+        assert not profile.is_message_lost("a", "b", 0, 2)
+        assert not profile.is_message_lost("a", "b", 1, 0)
+        assert profile.has_message_faults
+        assert len(profile) == 2
+
+    def test_round_trip(self):
+        profile = FaultProfile(
+            (("t", 0, 1),),
+            label="mixed",
+            message_faults=(("a", "b", 0, 0),),
+        )
+        restored = FaultProfile.from_dict(profile.to_dict())
+        assert restored == profile
+        assert restored.message_faults == frozenset({("a", "b", 0, 0)})
+
+    def test_serialization_omits_empty_message_faults(self):
+        payload = FaultProfile((("t", 0, 1),)).to_dict()
+        assert "message_faults" not in payload
+
+    def test_equality_includes_message_faults(self):
+        base = FaultProfile(())
+        lossy = FaultProfile((), message_faults=(("a", "b", 0, 0),))
+        assert base != lossy
+        assert hash(base) != hash(lossy)
+
+
+def _setup(arq_retries=1, arq_timeout=0.5):
+    graph = TaskGraph(
+        "g",
+        tasks=[Task("a", 1.0, 2.0), Task("b", 1.0, 2.0)],
+        channels=[Channel("a", "b", 200.0)],
+        period=100.0,
+        reliability_target=1e-6,
+    )
+    apps = ApplicationSet([graph])
+    arch = Architecture(
+        [Processor("pe0"), Processor("pe1")],
+        Interconnect(
+            bandwidth=100.0,
+            base_latency=1.0,
+            arq_retries=arq_retries,
+            arq_timeout=arq_timeout,
+        ),
+    )
+    hardened = harden(apps, HardeningPlan())
+    mapping = Mapping({"a": "pe0", "b": "pe1"})
+    return hardened, arch, mapping
+
+
+def _response(hardened, arch, mapping, profile=None):
+    simulator = Simulator(hardened, arch, mapping)
+    result = simulator.run(profile=profile, sampler=WorstCaseSampler())
+    return result, result.response_times()["g"]
+
+
+class TestEngine:
+    def test_single_loss_costs_one_resend(self):
+        hardened, arch, mapping = _setup()
+        _, baseline = _response(hardened, arch, mapping)
+        lossy = FaultProfile((), message_faults=(("a", "b", 0, 0),))
+        result, delayed = _response(hardened, arch, mapping, lossy)
+        # One lost attempt: one more worst-case send (3.0) + timeout.
+        assert delayed == pytest.approx(baseline + 3.0 + 0.5)
+        assert result.faults_observed == 1
+        assert not result.unsafe_events
+
+    def test_exhausted_budget_delivers_corrupt(self):
+        hardened, arch, mapping = _setup(arq_retries=1)
+        _, baseline = _response(hardened, arch, mapping)
+        exhausted = FaultProfile(
+            (), message_faults=(("a", "b", 0, 0), ("a", "b", 0, 1))
+        )
+        result, delayed = _response(hardened, arch, mapping, exhausted)
+        # Budget k=1: the delivery still happens at the folded
+        # (k+1)*worst + k*timeout cost, flagged unsafe.
+        assert delayed == pytest.approx(baseline + 3.0 + 0.5)
+        assert ("a>b", 0) in result.unsafe_events
+
+    def test_no_arq_budget_single_loss_is_unsafe(self):
+        hardened, arch, mapping = _setup(arq_retries=0, arq_timeout=0.0)
+        _, baseline = _response(hardened, arch, mapping)
+        lossy = FaultProfile((), message_faults=(("a", "b", 0, 0),))
+        result, delayed = _response(hardened, arch, mapping, lossy)
+        assert delayed == pytest.approx(baseline)
+        assert ("a>b", 0) in result.unsafe_events
+
+    def test_losses_never_exceed_the_analysis_bound(self):
+        hardened, arch, mapping = _setup(arq_retries=2, arq_timeout=0.5)
+        bound = (
+            make_analysis()
+            .analyze(hardened, arch, mapping)
+            .verdicts["g"]
+            .wcrt
+        )
+        worst_profile = FaultProfile(
+            (),
+            message_faults=tuple(("a", "b", 0, k) for k in range(3)),
+        )
+        _, delayed = _response(hardened, arch, mapping, worst_profile)
+        assert delayed <= bound + 1e-6
+
+    def test_same_processor_messages_ignore_losses(self):
+        hardened, arch, mapping = _setup()
+        local = Mapping({"a": "pe0", "b": "pe0"})
+        _, baseline = _response(hardened, arch, local)
+        lossy = FaultProfile((), message_faults=(("a", "b", 0, 0),))
+        result, delayed = _response(hardened, arch, local, lossy)
+        assert delayed == pytest.approx(baseline)
+        assert result.faults_observed == 0

@@ -52,6 +52,33 @@ class TestAnalyze:
             assert code in (0, 1)
             assert "hi" in capsys.readouterr().out
 
+    def test_comm_backend_selection(self, system_file, capsys):
+        for backend in ("flat", "shared-bus", "tdma", "noc-xy"):
+            code = main(
+                ["analyze", system_file, "--comm-backend", backend,
+                 "--dropped", "lo"]
+            )
+            assert code in (0, 1)
+            assert "hi" in capsys.readouterr().out
+
+    def test_comm_arq_flags(self, system_file, capsys):
+        code = main(
+            ["analyze", system_file, "--comm-backend", "shared-bus",
+             "--comm-arq", "2", "--comm-arq-timeout", "0.5",
+             "--dropped", "lo"]
+        )
+        assert code in (0, 1)
+        assert "hi" in capsys.readouterr().out
+
+    def test_unknown_comm_backend_lists_choices(self, system_file, capsys):
+        # Same UX as --method: argparse rejects the name and prints the
+        # full registry in the error message.
+        with pytest.raises(SystemExit):
+            main(["analyze", system_file, "--comm-backend", "token-ring"])
+        error = capsys.readouterr().err
+        for name in ("flat", "shared-bus", "tdma", "noc-xy"):
+            assert name in error
+
     def test_simulate_edf(self, system_file, capsys):
         assert main(
             ["simulate", system_file, "--profiles", "5", "--policy", "edf"]
