@@ -286,14 +286,28 @@ def run_soak(args) -> int:
     cruise = bundle_to_payload(mapped_suite("cruise"))
     dt_med = bundle_to_payload(mapped_suite("dt-med"))
     latency = metrics().histogram("bench.serve.request_seconds")
+    # Per-class percentiles: each soak client carries one criticality
+    # class end to end, so the report shows what each class experienced.
+    classes = ("critical", "standard", "best-effort")
+    class_latency = {
+        cls: metrics().histogram(
+            f"bench.serve.request_seconds.{cls.replace('-', '_')}"
+        )
+        for cls in classes
+    }
     stop = threading.Event()
     lock = threading.Lock()
     counts = {"requests": 0, "errors": 0}
     failures = []
 
     def worker(index: int) -> None:
+        criticality = classes[index % len(classes)]
         client = ServeClient(
-            url, timeout=120.0, retry=RetryPolicy(retries=4, seed=index)
+            url,
+            timeout=120.0,
+            retry=RetryPolicy(retries=4, seed=index),
+            criticality=criticality,
+            client_id=f"soak-{index}",
         )
         i = 0
         try:
@@ -314,7 +328,9 @@ def run_soak(args) -> int:
                         if len(failures) < 5:
                             failures.append(str(error))
                 else:
-                    latency.observe(time.perf_counter() - begin)
+                    elapsed_req = time.perf_counter() - begin
+                    latency.observe(elapsed_req)
+                    class_latency[criticality].observe(elapsed_req)
                     with lock:
                         counts["requests"] += 1
         finally:
@@ -347,6 +363,14 @@ def run_soak(args) -> int:
             "mean": round(latency.mean, 6),
             "max": latency.max,
             **quantiles,
+        },
+        "latency_seconds_by_class": {
+            cls: {
+                "count": hist.count,
+                "mean": round(hist.mean, 6) if hist.count else None,
+                **hist.quantiles(),
+            }
+            for cls, hist in class_latency.items()
         },
     }
     path = write_bench_report("serve", payload, out_dir=args.bench_dir)

@@ -411,7 +411,17 @@ def _cmd_serve_supervised(args) -> int:
         "--batch-window-ms", str(args.batch_window_ms),
         "--job-workers", str(args.job_workers),
         "--drain-timeout", str(args.drain_timeout),
+        "--brownout-enter", str(args.brownout_enter),
+        "--brownout-exit", str(args.brownout_exit),
+        "--brownout-dwell", str(args.brownout_dwell),
+        "--aging-floor", str(args.aging_floor),
     ]
+    if args.quota_rps is not None:
+        worker_argv += ["--quota-rps", str(args.quota_rps)]
+    if args.quota_burst is not None:
+        worker_argv += ["--quota-burst", str(args.quota_burst)]
+    if args.brownout:
+        worker_argv.append("--brownout")
     if args.state_dir:
         worker_argv += ["--state-dir", args.state_dir]
     cache_dir = _serve_cache_dir(args)
@@ -465,6 +475,13 @@ def _cmd_serve(args) -> int:
         drain_timeout=args.drain_timeout,
         worker_id=args._worker_id,
         supervisor_status_path=args._status_file,
+        quota_rps=args.quota_rps,
+        quota_burst=args.quota_burst,
+        brownout=args.brownout,
+        brownout_enter=args.brownout_enter,
+        brownout_exit=args.brownout_exit,
+        brownout_dwell=args.brownout_dwell,
+        aging_seconds=args.aging_floor,
     )
     server = ReproServer(config)
     stop = threading.Event()
@@ -488,6 +505,18 @@ def _cmd_serve(args) -> int:
 
 
 def _cmd_chaos(args) -> int:
+    if args.mode == "overload":
+        from repro.serve.chaos import OverloadConfig, run_overload
+
+        report = run_overload(OverloadConfig(
+            seed=args.seed,
+            duration_seconds=args.duration,
+            critical_budget_seconds=args.critical_budget,
+            report_path=args.report,
+        ))
+        print(report.render())
+        return 0 if report.ok else 1
+
     from repro.serve.chaos import ChaosConfig, run_chaos
 
     config = ChaosConfig(
@@ -522,7 +551,13 @@ def _submit_client(args):
 
     retries = getattr(args, "retries", 0)
     retry = RetryPolicy(retries=retries) if retries else None
-    return ServeClient(args.server, timeout=args.timeout, retry=retry)
+    return ServeClient(
+        args.server,
+        timeout=args.timeout,
+        retry=retry,
+        criticality=getattr(args, "criticality", None),
+        client_id=getattr(args, "client_id", None),
+    )
 
 
 def _cmd_submit_analyze(args) -> int:
@@ -565,6 +600,8 @@ def _cmd_submit_simulate(args) -> int:
     }
     if args.dropped:
         params["dropped"] = args.dropped
+    if args.deadline is not None:
+        params["deadline_seconds"] = args.deadline
     result = client.simulate(_submit_system(args.system), **params)
     print(f"{'application':>16} | {'max resp':>9} | {'p99':>9} | {'mean':>9}")
     print("-" * 54)
@@ -596,6 +633,7 @@ def _cmd_submit_explore(args) -> int:
         migrants=args.migrants,
         topology=args.topology,
         backend=args.backend,
+        deadline_seconds=args.deadline,
     )
     print(f"job accepted: {stub['id']}")
     if not args.wait:
@@ -953,6 +991,38 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: <state-dir>/supervisor.json)",
     )
     serve.add_argument(
+        "--quota-rps", type=float, default=None,
+        help="per-client token-bucket rate in requests/second "
+        "(keyed on X-Repro-Client; default: no quotas)",
+    )
+    serve.add_argument(
+        "--quota-burst", type=float, default=None,
+        help="token-bucket burst capacity (default: 2x the rate)",
+    )
+    serve.add_argument(
+        "--brownout", action="store_true",
+        help="enable the brownout controller: shed best-effort, then "
+        "degrade standard analyze when the queue delay grows",
+    )
+    serve.add_argument(
+        "--brownout-enter", type=float, default=0.75,
+        help="estimated queue delay (s) that enters brownout stage 1",
+    )
+    serve.add_argument(
+        "--brownout-exit", type=float, default=0.25,
+        help="delay (s) the system must stay under to recover a stage",
+    )
+    serve.add_argument(
+        "--brownout-dwell", type=float, default=2.0,
+        help="seconds the delay must stay under the exit threshold "
+        "before a stage clears (hysteresis)",
+    )
+    serve.add_argument(
+        "--aging-floor", type=float, default=5.0,
+        help="seconds after which a queued request outranks younger "
+        "higher-priority work (anti-starvation)",
+    )
+    serve.add_argument(
         "--_worker-id", dest="_worker_id", type=int, default=None,
         help=argparse.SUPPRESS,
     )
@@ -966,6 +1036,16 @@ def build_parser() -> argparse.ArgumentParser:
         "chaos",
         help="fault-injection campaign against a supervised serve fleet",
         parents=obs,
+    )
+    chaos.add_argument(
+        "--mode", choices=("faults", "overload"), default="faults",
+        help="faults: worker kills + connection mischief; overload: 4x "
+        "sustained load asserting the criticality rely-guarantee",
+    )
+    chaos.add_argument(
+        "--critical-budget", type=float, default=10.0,
+        help="overload mode: p99 latency budget (s) critical requests "
+        "must keep under sustained overload",
     )
     chaos.add_argument("--seed", type=int, default=0)
     chaos.add_argument(
@@ -1012,6 +1092,16 @@ def build_parser() -> argparse.ArgumentParser:
             "--retries", type=int, default=4,
             help="retry budget for 429/503/transport faults (0 disables)",
         )
+        sp.add_argument(
+            "--class", dest="criticality", default=None,
+            choices=("critical", "standard", "best-effort"),
+            help="criticality class sent as X-Repro-Class "
+            "(server default: standard)",
+        )
+        sp.add_argument(
+            "--client", dest="client_id", default=None,
+            help="client id sent as X-Repro-Client (quota-bucket key)",
+        )
 
     s_analyze = submit_sub.add_parser(
         "analyze", help="served WCRT analysis", parents=obs
@@ -1044,6 +1134,11 @@ def build_parser() -> argparse.ArgumentParser:
     s_simulate.add_argument("--max-faults", type=int, default=3)
     s_simulate.add_argument("--worst-bias", type=float, default=0.5)
     s_simulate.add_argument("--policy", choices=("fp", "edf"), default="fp")
+    s_simulate.add_argument(
+        "--deadline", type=float, default=None,
+        help="overall request budget in seconds (propagated as "
+        "X-Repro-Deadline; 504 when exceeded)",
+    )
     submit_common(s_simulate)
     s_simulate.set_defaults(handler=_cmd_submit_simulate)
 
@@ -1064,6 +1159,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     s_explore.add_argument(
         "--backend", choices=("fast", "window", "holistic"), default="fast"
+    )
+    s_explore.add_argument(
+        "--deadline", type=float, default=None,
+        help="overall budget in seconds (becomes the job's cooperative "
+        "deadline)",
     )
     s_explore.add_argument(
         "--wait", action="store_true",

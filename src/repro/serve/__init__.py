@@ -11,10 +11,24 @@ injection chaos harness (:mod:`repro.serve.chaos`).  Start one with
 :class:`~repro.serve.client.ServeClient`.  See ``docs/serving.md``.
 """
 
+from repro.serve.admission import (
+    AdmissionContext,
+    AdmissionController,
+    BrownoutController,
+    BrownoutShed,
+    ClientQuotas,
+    QuotaExceeded,
+    TokenBucket,
+)
 from repro.serve.app import ReproServer, ServeConfig, ServiceUnavailable
 from repro.serve.batcher import Batcher, BatchEntry
 from repro.serve.cachestore import DiskCacheStore, TieredScheduleCache
-from repro.serve.client import RetryPolicy, ServeClient, ServeError
+from repro.serve.client import (
+    DeadlineExhausted,
+    RetryPolicy,
+    ServeClient,
+    ServeError,
+)
 from repro.serve.jobs import Job, JobStore
 from repro.serve.pool import DeadlineExceeded, PoolSaturated, WorkerPool
 from repro.serve.supervisor import Supervisor, SupervisorConfig
@@ -26,6 +40,14 @@ __all__ = [
     "ServeClient",
     "ServeError",
     "RetryPolicy",
+    "DeadlineExhausted",
+    "AdmissionContext",
+    "AdmissionController",
+    "BrownoutController",
+    "BrownoutShed",
+    "ClientQuotas",
+    "QuotaExceeded",
+    "TokenBucket",
     "Batcher",
     "BatchEntry",
     "WorkerPool",

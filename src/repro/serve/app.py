@@ -63,6 +63,14 @@ from repro.obs.trace import (
     from_traceparent,
     span as trace_span,
 )
+from repro.serve.admission import (
+    AdmissionContext,
+    AdmissionController,
+    BrownoutController,
+    BrownoutShed,
+    ClientQuotas,
+    QuotaExceeded,
+)
 from repro.serve.batcher import Batcher
 from repro.serve.encoding import (
     analysis_result_to_dict,
@@ -110,6 +118,13 @@ class ServeConfig:
         drain_timeout: float = 30.0,
         worker_id: Optional[int] = None,
         supervisor_status_path: Optional[str] = None,
+        quota_rps: Optional[float] = None,
+        quota_burst: Optional[float] = None,
+        brownout: bool = False,
+        brownout_enter: float = 0.75,
+        brownout_exit: float = 0.25,
+        brownout_dwell: float = 2.0,
+        aging_seconds: float = 5.0,
     ):
         self.host = host
         self.port = port
@@ -136,6 +151,16 @@ class ServeConfig:
         #: The supervisor's status file, surfaced in ``/healthz`` and
         #: ``/metrics`` so any worker can report fleet state.
         self.supervisor_status_path = supervisor_status_path
+        #: Per-client token-bucket quota (``None`` disables quotas).
+        self.quota_rps = quota_rps
+        self.quota_burst = quota_burst
+        #: Brownout controller (overload shedding/degradation stages).
+        self.brownout = brownout
+        self.brownout_enter = brownout_enter
+        self.brownout_exit = brownout_exit
+        self.brownout_dwell = brownout_dwell
+        #: Aging floor of the strict-priority admission queue.
+        self.aging_seconds = aging_seconds
 
 
 def _run_in_context(ctx, fn: Callable[[Dict[str, Any]], bytes], params) -> bytes:
@@ -178,6 +203,35 @@ def _run_analyze(params: Dict[str, Any]) -> bytes:
         ),
     )
     return canonical_bytes(analysis_result_to_dict(result))
+
+
+def _run_analyze_degraded(params: Dict[str, Any]) -> bytes:
+    """Brownout fallback: bounded fast-window analysis, honestly marked.
+
+    Forces ``backend="fast"`` (the bounded fast-window heuristic the
+    analysis guard also falls back to) with no shared fast path, so a
+    degraded run can never write into the schedule cache that backs the
+    byte-identity guarantee.  The response carries ``"degraded": true``
+    and is keyed under a *separate* dedup digest, so degraded bytes can
+    never be replayed to a client that was promised full service.
+    """
+    from repro.api import analyze
+    from repro.serve.encoding import bundle_from_payload
+
+    bundle = bundle_from_payload(params["system"])
+    result = analyze(
+        bundle,
+        method="proposed",
+        backend="fast",
+        granularity=params["granularity"],
+        dropped=tuple(params["dropped"]),
+        policy=params["policy"],
+        bus_contention=params["bus_contention"],
+        fast_path=None,
+    )
+    payload = analysis_result_to_dict(result)
+    payload["degraded"] = True
+    return canonical_bytes(payload)
 
 
 def _run_simulate(params: Dict[str, Any]) -> bytes:
@@ -232,7 +286,28 @@ class ReproServer:
         self._active = 0
         self._active_lock = threading.Lock()
         self.pool = WorkerPool(
-            workers=self.config.workers, queue_size=self.config.queue_size
+            workers=self.config.workers,
+            queue_size=self.config.queue_size,
+            aging_seconds=self.config.aging_seconds,
+        )
+        self.admission = AdmissionController(
+            self.pool,
+            quotas=(
+                ClientQuotas(
+                    self.config.quota_rps, burst=self.config.quota_burst
+                )
+                if self.config.quota_rps is not None
+                else None
+            ),
+            brownout=(
+                BrownoutController(
+                    enter_seconds=self.config.brownout_enter,
+                    exit_seconds=self.config.brownout_exit,
+                    dwell_seconds=self.config.brownout_dwell,
+                )
+                if self.config.brownout
+                else None
+            ),
         )
         self.batcher = Batcher(
             self.pool,
@@ -450,50 +525,96 @@ class ReproServer:
         if self._draining:
             raise ServiceUnavailable("server is draining", retry_after=1)
 
-    def handle_analyze(self, payload: Dict[str, Any]) -> Tuple[int, bytes]:
+    def _admit(
+        self,
+        endpoint: str,
+        payload: Dict[str, Any],
+        admission: Optional[AdmissionContext],
+    ) -> AdmissionContext:
+        """Fold body admission fields into the context and admit.
+
+        Body fields (``criticality``/``client``) are *popped* from the
+        payload before canonical parsing, so admission metadata can
+        never split the dedup digest of an otherwise identical request.
+        Raises the typed rejections mapped by ``_dispatch`` (400 / 429 /
+        503 / 504).
+        """
+        ctx = admission if admission is not None else AdmissionContext()
+        ctx.absorb_body_fields(payload)
+        ctx.decision = self.admission.admit(endpoint, ctx)
+        return ctx
+
+    def handle_analyze(
+        self,
+        payload: Dict[str, Any],
+        admission: Optional[AdmissionContext] = None,
+    ) -> Tuple[int, bytes]:
         self._shed_if_draining()
+        actx = self._admit("analyze", payload, admission)
         params = parse_analyze_request(
             payload, allow_paths=self.config.allow_local_paths
         )
-        key = request_digest("analyze", params)
+        deadline = actx.merged_deadline(params["deadline_seconds"])
+        if actx.decision.degraded:
+            # Degraded bytes live under their own digest: they must
+            # never be replayed to a request admitted at full service.
+            key = request_digest("analyze-degraded", params)
+            run = _run_analyze_degraded
+        else:
+            key = request_digest("analyze", params)
+            run = _run_analyze
         ctx = capture_context()
         entry = self.batcher.submit(
             key,
-            lambda: _run_in_context(ctx, _run_analyze, params),
-            deadline_seconds=params["deadline_seconds"],
+            lambda: _run_in_context(ctx, run, params),
+            deadline_seconds=deadline,
+            priority=actx.decision.priority,
         )
-        body = entry.result(
-            params["deadline_seconds"] or DEFAULT_WAIT_SECONDS
-        )
+        body = entry.result(deadline or DEFAULT_WAIT_SECONDS)
         return 200, body
 
-    def handle_simulate(self, payload: Dict[str, Any]) -> Tuple[int, bytes]:
+    def handle_simulate(
+        self,
+        payload: Dict[str, Any],
+        admission: Optional[AdmissionContext] = None,
+    ) -> Tuple[int, bytes]:
         self._shed_if_draining()
+        actx = self._admit("simulate", payload, admission)
         params = parse_simulate_request(
             payload, allow_paths=self.config.allow_local_paths
         )
+        deadline = actx.merged_deadline(params["deadline_seconds"])
         key = request_digest("simulate", params)
         ctx = capture_context()
         entry = self.batcher.submit(
             key,
             lambda: _run_in_context(ctx, _run_simulate, params),
-            deadline_seconds=params["deadline_seconds"],
+            deadline_seconds=deadline,
+            priority=actx.decision.priority,
         )
-        body = entry.result(
-            params["deadline_seconds"] or DEFAULT_WAIT_SECONDS
-        )
+        body = entry.result(deadline or DEFAULT_WAIT_SECONDS)
         return 200, body
 
-    def handle_explore(self, payload: Dict[str, Any]) -> Tuple[int, bytes]:
+    def handle_explore(
+        self,
+        payload: Dict[str, Any],
+        admission: Optional[AdmissionContext] = None,
+    ) -> Tuple[int, bytes]:
         self._shed_if_draining()
         if self.jobs is None:
             raise ReproError(
                 "exploration jobs need a durable state dir; "
                 "restart the server with --state-dir"
             )
+        actx = self._admit("explore", payload, admission)
         params = parse_explore_request(
             payload, allow_paths=self.config.allow_local_paths
         )
+        deadline = actx.merged_deadline(params["deadline_seconds"])
+        if deadline is not None:
+            # The merged budget becomes the job's cooperative deadline
+            # (jobs check it at generation boundaries).
+            params["deadline_seconds"] = deadline
         ctx = capture_context()
         job = self.jobs.create(
             params,
@@ -505,7 +626,11 @@ class ReproServer:
         )
         return 202, body
 
-    def handle_shard(self, payload: Dict[str, Any]) -> Tuple[int, bytes]:
+    def handle_shard(
+        self,
+        payload: Dict[str, Any],
+        admission: Optional[AdmissionContext] = None,
+    ) -> Tuple[int, bytes]:
         """One island-coordination step as a durable job (202 + id).
 
         The building block of fleet-mode exploration: a client-side
@@ -520,9 +645,13 @@ class ReproServer:
                 "shard jobs need a durable state dir; "
                 "restart the server with --state-dir"
             )
+        actx = self._admit("shard", payload, admission)
         params = parse_shard_request(
             payload, allow_paths=self.config.allow_local_paths
         )
+        deadline = actx.merged_deadline(params["deadline_seconds"])
+        if deadline is not None:
+            params["deadline_seconds"] = deadline
         ctx = capture_context()
         job = self.jobs.create(
             params,
@@ -577,6 +706,11 @@ class ReproServer:
                 "status": "draining" if self._draining else "ok",
                 "uptime_seconds": round(time.time() - self.started, 3),
                 "queue_depth": self.pool.queue_depth,
+                "brownout_stage": (
+                    self.admission.brownout.stage
+                    if self.admission.brownout is not None
+                    else 0
+                ),
                 "jobs": self.jobs.counts() if self.jobs is not None else None,
                 "worker": self._worker_info(),
                 "supervisor": self._supervisor_status(),
@@ -591,6 +725,7 @@ class ReproServer:
             {
                 "uptime_seconds": round(time.time() - self.started, 3),
                 "metrics": metrics().snapshot(),
+                "admission": self.admission.snapshot(),
                 "schedule_cache": cache_stats(),
                 "jobs": self.jobs.counts() if self.jobs is not None else None,
                 "worker": self._worker_info(),
@@ -612,6 +747,41 @@ class ReproServer:
                 lines.append(f'repro_jobs{{state="{state}"}} {count}')
         lines.append("# TYPE repro_draining gauge")
         lines.append(f"repro_draining {1 if self._draining else 0}")
+        from repro.serve.admission import CLASSES
+
+        admission = self.admission.snapshot()
+        registry = metrics()
+        lines.append("# TYPE repro_admission_brownout_stage gauge")
+        lines.append(
+            f"repro_admission_brownout_stage {admission['brownout_stage']}"
+        )
+        depths = self.pool.class_depths()
+        lines.append("# TYPE repro_admission_queue_depth gauge")
+        for index, cls in enumerate(CLASSES):
+            lines.append(
+                f'repro_admission_queue_depth{{class="{cls}"}} '
+                f"{depths.get(index, 0)}"
+            )
+        lines.append("# TYPE repro_admission_shed_total counter")
+        for cls in CLASSES:
+            lines.append(
+                f'repro_admission_shed_total{{class="{cls}"}} '
+                f"{admission['shed'][cls]}"
+            )
+        lines.append("# TYPE repro_admission_degraded_total counter")
+        lines.append(
+            f"repro_admission_degraded_total {admission['degraded']}"
+        )
+        lines.append("# TYPE repro_admission_quota_rejected_total counter")
+        lines.append(
+            "repro_admission_quota_rejected_total "
+            f"{admission['quota_rejected']}"
+        )
+        lines.append("# TYPE repro_admission_expired_total counter")
+        lines.append(
+            "repro_admission_expired_total "
+            f"{registry.counter('serve.admission.expired').value}"
+        )
         supervisor = self._supervisor_status()
         if supervisor is not None:
             lines.append("# TYPE repro_supervisor_restarts_total counter")
@@ -769,6 +939,14 @@ class _RequestHandler(BaseHTTPRequestHandler):
             self._send_error(
                 429, error, {"Retry-After": str(error.retry_after)}
             )
+        except QuotaExceeded as error:
+            self._send_error(
+                429, error, {"Retry-After": str(error.retry_after)}
+            )
+        except BrownoutShed as error:
+            self._send_error(
+                503, error, {"Retry-After": str(error.retry_after)}
+            )
         except ServiceUnavailable as error:
             self._send_error(
                 503, error, {"Retry-After": str(error.retry_after)}
@@ -826,15 +1004,20 @@ class _RequestHandler(BaseHTTPRequestHandler):
         self._trace_headers = None
         path = self.path.split("?", 1)[0].rstrip("/")
         app = self.app
+        compute = {
+            "/v1/analyze": app.handle_analyze,
+            "/v1/simulate": app.handle_simulate,
+            "/v1/explore": app.handle_explore,
+            "/v1/shard": app.handle_shard,
+        }
         try:
-            if path == "/v1/analyze":
-                self._dispatch(app.handle_analyze, self._read_json())
-            elif path == "/v1/simulate":
-                self._dispatch(app.handle_simulate, self._read_json())
-            elif path == "/v1/explore":
-                self._dispatch(app.handle_explore, self._read_json())
-            elif path == "/v1/shard":
-                self._dispatch(app.handle_shard, self._read_json())
+            if path in compute:
+                # Body first, headers second: the body must be consumed
+                # before any 400 so a kept-alive connection stays in
+                # sync with the request framing.
+                payload = self._read_json()
+                admission = AdmissionContext.from_headers(self.headers)
+                self._dispatch(compute[path], payload, admission)
             elif path.startswith("/v1/jobs/") and path.endswith("/cancel"):
                 job_id = path[len("/v1/jobs/"):-len("/cancel")]
                 self._discard_body()

@@ -32,7 +32,12 @@ from repro.errors import ReproError
 from repro.obs.logging import get_logger, kv
 from repro.obs.metrics import metrics
 from repro.obs.trace import span as trace_span
-from repro.serve.pool import DeadlineExceeded, WorkerPool
+from repro.serve.pool import (
+    DEFAULT_PRIORITY,
+    PRIORITY_LEVELS,
+    DeadlineExceeded,
+    WorkerPool,
+)
 
 _LOG = get_logger("serve")
 
@@ -43,11 +48,16 @@ class BatchEntry:
     """One unique computation plus every request waiting on it."""
 
     __slots__ = (
-        "key", "_fn", "_event", "_value", "_error", "waiters", "deadline"
+        "key", "_fn", "_event", "_value", "_error", "waiters", "deadline",
+        "priority",
     )
 
     def __init__(
-        self, key: str, fn: Callable[[], Any], deadline: Optional[float] = None
+        self,
+        key: str,
+        fn: Callable[[], Any],
+        deadline: Optional[float] = None,
+        priority: int = DEFAULT_PRIORITY,
     ):
         self.key = key
         self._fn = fn
@@ -61,6 +71,11 @@ class BatchEntry:
         #: if any waiter set no deadline), so dedup can never tighten
         #: what an individual request asked for.
         self.deadline = deadline
+        #: Strict queue level — the *most urgent* over all attached
+        #: waiters, so dedup can never demote what a critical request
+        #: asked for (mirrors ``relax_deadline``, in the other
+        #: direction).
+        self.priority = priority
 
     def relax_deadline(self, deadline: Optional[float]) -> None:
         """Widen the entry deadline for a newly attached waiter."""
@@ -116,8 +131,15 @@ class Batcher:
         self._window = window_seconds
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
-        #: key -> entry, accepted but not yet dispatched to the pool.
-        self._pending: "OrderedDict[str, BatchEntry]" = OrderedDict()
+        #: Per-priority pending maps (key -> entry, accepted but not yet
+        #: dispatched).  Batches are single-priority and drained
+        #: most-urgent level first, so a batch's pool priority honestly
+        #: describes every entry inside it.
+        self._pending: List["OrderedDict[str, BatchEntry]"] = [
+            OrderedDict() for _ in range(PRIORITY_LEVELS)
+        ]
+        #: key -> entry, for every pending entry regardless of level.
+        self._pending_keys: Dict[str, BatchEntry] = {}
         #: key -> entry, dispatched and not yet resolved.
         self._inflight: Dict[str, BatchEntry] = {}
         self._closed = False
@@ -131,6 +153,7 @@ class Batcher:
         key: str,
         fn: Callable[[], Any],
         deadline_seconds: Optional[float] = None,
+        priority: int = DEFAULT_PRIORITY,
     ) -> BatchEntry:
         """Accept one request; identical in-flight requests are shared.
 
@@ -144,42 +167,62 @@ class Batcher:
             if deadline_seconds is not None
             else None
         )
+        priority = min(max(priority, 0), PRIORITY_LEVELS - 1)
         with self._lock:
             if self._closed:
                 raise ReproError("batcher is shut down")
-            entry = self._pending.get(key) or self._inflight.get(key)
+            entry = self._pending_keys.get(key) or self._inflight.get(key)
             if entry is not None:
                 entry.waiters += 1
                 entry.relax_deadline(deadline)
+                if priority < entry.priority and key in self._pending_keys:
+                    # A more critical waiter attached: promote the still
+                    # pending entry to its level (an in-flight entry is
+                    # already past queueing, nothing left to promote).
+                    del self._pending[entry.priority][key]
+                    entry.priority = priority
+                    self._pending[priority][key] = entry
+                    registry.counter("serve.dedup.promoted").inc()
                 registry.counter("serve.dedup.hits").inc()
                 return entry
             # The deadline is enforced per entry at batch pickup (see
             # ``_dispatch``) — never as a min over the whole batch, so
             # one short-deadline request cannot expire its batchmates.
-            entry = BatchEntry(key, fn, deadline=deadline)
-            self._pending[key] = entry
+            entry = BatchEntry(key, fn, deadline=deadline, priority=priority)
+            self._pending[priority][key] = entry
+            self._pending_keys[key] = entry
             self._wakeup.notify()
             return entry
 
     def _drain_loop(self) -> None:
         while True:
             with self._lock:
-                while not self._pending and not self._closed:
+                while not self._pending_keys and not self._closed:
                     self._wakeup.wait()
-                if self._closed and not self._pending:
+                if self._closed and not self._pending_keys:
                     return
                 # Let the coalescing window elapse so a burst of identical
                 # requests lands on one entry before dispatch.
                 if self._window > 0:
                     self._wakeup.wait(self._window)
+                # Drain the most urgent non-empty level; a batch never
+                # mixes levels, so its pool priority holds for every
+                # entry inside it.
                 batch: List[BatchEntry] = []
-                while self._pending and len(batch) < self._max_batch:
-                    key, entry = self._pending.popitem(last=False)
+                level = next(
+                    (i for i, d in enumerate(self._pending) if d), None
+                )
+                if level is None:
+                    continue
+                pending = self._pending[level]
+                while pending and len(batch) < self._max_batch:
+                    key, entry = pending.popitem(last=False)
+                    del self._pending_keys[key]
                     self._inflight[key] = entry
                     batch.append(entry)
-            self._dispatch(batch)
+            self._dispatch(batch, level)
 
-    def _dispatch(self, batch: List[BatchEntry]) -> None:
+    def _dispatch(self, batch: List[BatchEntry], priority: int) -> None:
         registry = metrics()
         registry.counter("serve.batches").inc()
         if len(batch) > 1:
@@ -243,7 +286,7 @@ class Batcher:
                         )
 
         try:
-            self._pool.submit(run_batch)
+            self._pool.submit(run_batch, priority=priority)
         except ReproError as error:
             _LOG.warning(
                 "batch dispatch rejected %s",

@@ -47,7 +47,42 @@ from repro.serve.supervisor import Supervisor, SupervisorConfig
 
 _LOG = get_logger("serve")
 
-__all__ = ["ChaosConfig", "ChaosReport", "run_chaos"]
+__all__ = [
+    "ChaosConfig",
+    "ChaosReport",
+    "run_chaos",
+    "OverloadConfig",
+    "OverloadReport",
+    "run_overload",
+]
+
+
+def mapped_system(name: str) -> Dict[str, Any]:
+    """A suite inlined with a deterministic round-robin mapping.
+
+    Suites carry no mapping, so one is synthesized the same way on the
+    client and the oracle side — the payload the server analyzes is the
+    payload the oracle analyzes.
+    """
+    from repro.api import load
+    from repro.model.mapping import Mapping
+    from repro.model.serialization import SystemBundle
+    from repro.serve.encoding import bundle_to_payload
+
+    bundle = load(name)
+    processors = [p.name for p in bundle.architecture.processors]
+    tasks = [
+        task.name
+        for graph in bundle.applications.graphs
+        for task in graph.tasks
+    ]
+    mapping = Mapping({
+        task: processors[i % len(processors)]
+        for i, task in enumerate(tasks)
+    })
+    return bundle_to_payload(SystemBundle(
+        bundle.applications, bundle.architecture, mapping, None
+    ))
 
 def build_workload() -> List[Dict[str, Any]]:
     """The request mix clients replay all campaign long.
@@ -58,29 +93,8 @@ def build_workload() -> List[Dict[str, Any]]:
     with a deterministic round-robin mapping — the same payload the
     oracle analyzes directly.
     """
-    from repro.api import load
-    from repro.model.mapping import Mapping
-    from repro.model.serialization import SystemBundle
-    from repro.serve.encoding import bundle_to_payload
-
-    def mapped(name: str) -> Dict[str, Any]:
-        bundle = load(name)
-        processors = [p.name for p in bundle.architecture.processors]
-        tasks = [
-            task.name
-            for graph in bundle.applications.graphs
-            for task in graph.tasks
-        ]
-        mapping = Mapping({
-            task: processors[i % len(processors)]
-            for i, task in enumerate(tasks)
-        })
-        return bundle_to_payload(SystemBundle(
-            bundle.applications, bundle.architecture, mapping, None
-        ))
-
-    cruise = mapped("cruise")
-    synth = mapped("synth-1")
+    cruise = mapped_system("cruise")
+    synth = mapped_system("synth-1")
     return [
         {"system": cruise, "method": "proposed", "granularity": "job"},
         {"system": cruise, "method": "proposed", "granularity": "job",
@@ -589,6 +603,433 @@ def run_chaos(config: ChaosConfig) -> ChaosReport:
         restarted.request_stop()
         restart_thread.join(timeout=config.drain_timeout + 30.0)
 
+    report.finalize()
+    if config.report_path:
+        Path(config.report_path).write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=True)
+        )
+    return report
+
+
+# -- overload campaign -------------------------------------------------
+
+
+#: The five built-in suites every overload campaign covers.
+OVERLOAD_SUITES = ("cruise", "dt-large", "dt-med", "synth-1", "synth-2")
+
+
+class OverloadConfig:
+    """Shape of one overload campaign (``repro chaos --mode overload``).
+
+    A single in-process server (small worker pool, brownout enabled, no
+    quotas) is driven well past capacity by closed-loop clients of all
+    three criticality classes.  Analyze requests cover all five built-in
+    suites and are byte-checked against a direct :func:`repro.api`
+    oracle; best-effort clients additionally pump *uncacheable* ballast
+    (Monte-Carlo campaigns under fresh seeds), so dedup and the schedule
+    cache cannot quietly absorb the overload.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        duration_seconds: float = 20.0,
+        critical_budget_seconds: float = 10.0,
+        report_path: Optional[str] = None,
+        workers: int = 2,
+        queue_size: int = 64,
+        brownout_enter: float = 0.4,
+        brownout_exit: float = 0.1,
+        brownout_dwell: float = 1.0,
+        aging_seconds: float = 2.0,
+        critical_clients: int = 2,
+        standard_clients: int = 4,
+        best_effort_clients: int = 10,
+        ballast_profiles: int = 400,
+        request_timeout: float = 60.0,
+    ):
+        if duration_seconds <= 0:
+            raise ReproError("overload duration must be positive")
+        if critical_budget_seconds <= 0:
+            raise ReproError("critical latency budget must be positive")
+        self.seed = seed
+        self.duration_seconds = duration_seconds
+        self.critical_budget_seconds = critical_budget_seconds
+        self.report_path = report_path
+        self.workers = workers
+        self.queue_size = queue_size
+        self.brownout_enter = brownout_enter
+        self.brownout_exit = brownout_exit
+        self.brownout_dwell = brownout_dwell
+        self.aging_seconds = aging_seconds
+        self.critical_clients = critical_clients
+        self.standard_clients = standard_clients
+        self.best_effort_clients = best_effort_clients
+        self.ballast_profiles = ballast_profiles
+        self.request_timeout = request_timeout
+
+
+class _ClassStats:
+    """Raw per-class observations (guarded by the campaign lock)."""
+
+    def __init__(self):
+        self.sent = 0
+        self.ok = 0
+        self.degraded = 0
+        self.shed = 0            # 503 brownout rejections
+        self.saturated = 0       # 429 pool/quota rejections
+        self.expired = 0         # 504 deadline rejections
+        self.transport = 0
+        self.other = 0
+        self.latencies: List[float] = []
+        self.first_shed: Optional[float] = None
+
+    @staticmethod
+    def _quantile(values: List[float], q: float) -> Optional[float]:
+        if not values:
+            return None
+        ordered = sorted(values)
+        return ordered[min(len(ordered) - 1, int(q * (len(ordered) - 1)))]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "sent": self.sent,
+            "ok": self.ok,
+            "degraded": self.degraded,
+            "shed": self.shed,
+            "saturated": self.saturated,
+            "expired": self.expired,
+            "transport": self.transport,
+            "other": self.other,
+            "p50_seconds": self._quantile(self.latencies, 0.50),
+            "p99_seconds": self._quantile(self.latencies, 0.99),
+            "first_shed_seconds": self.first_shed,
+        }
+
+
+class OverloadReport:
+    """Outcome of one overload campaign; ``ok`` iff every check passed.
+
+    The checks are the paper's rely-guarantee contract mapped onto the
+    serving tier: under sustained overload, critical requests are never
+    shed or degraded and keep their latency budget, best-effort load is
+    shed first, and every degraded response says so.
+    """
+
+    def __init__(self, config: OverloadConfig):
+        self.seed = config.seed
+        self.duration_seconds = config.duration_seconds
+        self.critical_budget_seconds = config.critical_budget_seconds
+        self.classes: Dict[str, _ClassStats] = {
+            "critical": _ClassStats(),
+            "standard": _ClassStats(),
+            "best-effort": _ClassStats(),
+        }
+        #: Analyze responses that differed from the oracle *without*
+        #: carrying ``"degraded": true`` — each one a lie.
+        self.unmarked_mismatches: List[Dict[str, Any]] = []
+        self.max_stage = 0
+        self.drain_clean: Optional[bool] = None
+        self.checks: Dict[str, bool] = {}
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.checks) and all(self.checks.values())
+
+    def finalize(self) -> None:
+        critical = self.classes["critical"]
+        standard = self.classes["standard"]
+        best_effort = self.classes["best-effort"]
+        p99 = _ClassStats._quantile(critical.latencies, 0.99)
+        self.checks = {
+            "served_all_classes": (
+                critical.ok > 0
+                and (standard.ok + standard.degraded) > 0
+                and best_effort.sent > 0
+            ),
+            "brownout_engaged": self.max_stage >= 1,
+            "zero_critical_shed": (
+                critical.shed == 0 and critical.degraded == 0
+            ),
+            "critical_p99_within_budget": (
+                p99 is not None and p99 <= self.critical_budget_seconds
+            ),
+            "best_effort_shed_first": (
+                best_effort.shed > 0
+                and (
+                    standard.first_shed is None
+                    or best_effort.first_shed is not None
+                    and best_effort.first_shed <= standard.first_shed
+                )
+            ),
+            "degraded_truthfully_marked": not self.unmarked_mismatches,
+            "clean_drain": bool(self.drain_clean),
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "mode": "overload",
+            "seed": self.seed,
+            "duration_seconds": self.duration_seconds,
+            "critical_budget_seconds": self.critical_budget_seconds,
+            "classes": {
+                name: stats.to_dict()
+                for name, stats in self.classes.items()
+            },
+            "unmarked_mismatches": self.unmarked_mismatches[:5],
+            "max_brownout_stage": self.max_stage,
+            "drain_clean": self.drain_clean,
+            "checks": self.checks,
+            "ok": self.ok,
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"overload campaign: seed={self.seed} "
+            f"duration={self.duration_seconds:.0f}s "
+            f"critical-budget={self.critical_budget_seconds:g}s",
+            f"  max brownout stage: {self.max_stage}",
+        ]
+        for name in ("critical", "standard", "best-effort"):
+            stats = self.classes[name].to_dict()
+            p99 = stats["p99_seconds"]
+            lines.append(
+                f"  {name:>12}: sent={stats['sent']} ok={stats['ok']} "
+                f"degraded={stats['degraded']} shed={stats['shed']} "
+                f"429={stats['saturated']} 504={stats['expired']} "
+                f"p99={p99:.3f}s" if p99 is not None else
+                f"  {name:>12}: sent={stats['sent']} ok={stats['ok']} "
+                f"degraded={stats['degraded']} shed={stats['shed']} "
+                f"429={stats['saturated']} 504={stats['expired']}"
+            )
+        for name, passed in self.checks.items():
+            lines.append(f"  [{'PASS' if passed else 'FAIL'}] {name}")
+        for mismatch in self.unmarked_mismatches[:5]:
+            lines.append(f"  unmarked mismatch: {mismatch}")
+        lines.append(f"verdict: {'OK' if self.ok else 'FAILED'}")
+        return "\n".join(lines)
+
+
+def _overload_analyze(
+    client: ServeClient,
+    item: Dict[str, Any],
+    expected: bytes,
+    stats: _ClassStats,
+    report: OverloadReport,
+    lock: threading.Lock,
+    started: float,
+    criticality: str,
+) -> None:
+    """One analyze round trip: classify the outcome, verify the bytes."""
+    payload = dict(item)
+    system = payload.pop("system")
+    t0 = time.monotonic()
+    try:
+        body = client.analyze_raw(system, **payload)
+    except ServeError as error:
+        elapsed = time.monotonic() - started
+        with lock:
+            stats.sent += 1
+            if error.status == 503:
+                stats.shed += 1
+                if stats.first_shed is None:
+                    stats.first_shed = round(elapsed, 3)
+            elif error.status == 429:
+                stats.saturated += 1
+            elif error.status == 504:
+                stats.expired += 1
+            elif error.transport:
+                stats.transport += 1
+            else:
+                stats.other += 1
+        return
+    latency = time.monotonic() - t0
+    degraded_body = False
+    if body != expected:
+        try:
+            decoded = json.loads(body)
+        except json.JSONDecodeError:
+            decoded = {}
+        degraded_body = decoded.get("degraded") is True
+    with lock:
+        stats.sent += 1
+        stats.latencies.append(latency)
+        if body == expected:
+            stats.ok += 1
+        elif degraded_body:
+            stats.degraded += 1
+            if criticality == "critical":
+                # A degraded critical response violates the guarantee
+                # even though it is marked; count it where finalize()
+                # checks (zero_critical_shed also covers degraded).
+                pass
+        else:
+            report.unmarked_mismatches.append({
+                "class": criticality,
+                "got_bytes": len(body),
+                "want_bytes": len(expected),
+            })
+
+
+def _overload_client_loop(
+    url: str,
+    config: OverloadConfig,
+    criticality: str,
+    index: int,
+    workload: List[Dict[str, Any]],
+    expected: List[bytes],
+    ballast: Optional[Dict[str, Any]],
+    report: OverloadReport,
+    lock: threading.Lock,
+    stop: threading.Event,
+    started: float,
+) -> None:
+    """One closed-loop client of a fixed criticality class.
+
+    Critical clients run with no retry policy: a shed or failed critical
+    request must land in the report, never be papered over by a retry.
+    Best-effort clients interleave analyze probes with uncacheable
+    simulate ballast — the load that actually saturates the pool.
+    """
+    rng = random.Random(config.seed * 10_000 + hash(criticality) % 997 + index)
+    stats = report.classes[criticality]
+    client = ServeClient(
+        url,
+        timeout=config.request_timeout,
+        retry=None,
+        criticality=criticality,
+        client_id=f"overload-{criticality}-{index}",
+    )
+    try:
+        turn = 0
+        while not stop.is_set():
+            idx = rng.randrange(len(workload))
+            _overload_analyze(
+                client, workload[idx], expected[idx], stats, report,
+                lock, started, criticality,
+            )
+            if ballast is not None:
+                payload = dict(ballast)
+                system = payload.pop("system")
+                payload["seed"] = rng.getrandbits(31)
+                try:
+                    client.simulate_raw(system, **payload)
+                except ServeError as error:
+                    elapsed = time.monotonic() - started
+                    with lock:
+                        stats.sent += 1
+                        if error.status == 503:
+                            stats.shed += 1
+                            if stats.first_shed is None:
+                                stats.first_shed = round(elapsed, 3)
+                        elif error.status == 429:
+                            stats.saturated += 1
+                        elif error.status == 504:
+                            stats.expired += 1
+                        elif error.transport:
+                            stats.transport += 1
+                        else:
+                            stats.other += 1
+                else:
+                    with lock:
+                        stats.sent += 1
+                        stats.ok += 1
+            else:
+                # Keep non-ballast classes from busy-spinning the server
+                # with millisecond analyze hits: a short think time keeps
+                # their request rate realistic while the ballast clients
+                # provide the overload.
+                stop.wait(0.05 + rng.random() * 0.05)
+            turn += 1
+    finally:
+        client.close()
+
+
+def _overload_monitor(
+    url: str,
+    report: OverloadReport,
+    lock: threading.Lock,
+    stop: threading.Event,
+) -> None:
+    """Track the peak brownout stage through the public /metrics API."""
+    client = ServeClient(url, timeout=5.0)
+    try:
+        while not stop.wait(0.2):
+            try:
+                snapshot = client.metrics()
+            except ServeError:
+                continue
+            stage = (snapshot.get("admission") or {}).get("brownout_stage", 0)
+            with lock:
+                report.max_stage = max(report.max_stage, int(stage))
+    finally:
+        client.close()
+
+
+def run_overload(config: OverloadConfig) -> OverloadReport:
+    """Run one overload campaign; returns the report (``report.ok``)."""
+    from repro.serve.app import ReproServer, ServeConfig
+
+    report = OverloadReport(config)
+    lock = threading.Lock()
+
+    workload = [
+        {"system": mapped_system(name), "method": "proposed",
+         "granularity": "job"}
+        for name in OVERLOAD_SUITES
+    ]
+    expected = expected_bodies(workload)
+    ballast = {
+        "system": workload[0]["system"],
+        "profiles": config.ballast_profiles,
+    }
+
+    server = ReproServer(ServeConfig(
+        port=0,
+        workers=config.workers,
+        queue_size=config.queue_size,
+        brownout=True,
+        brownout_enter=config.brownout_enter,
+        brownout_exit=config.brownout_exit,
+        brownout_dwell=config.brownout_dwell,
+        aging_seconds=config.aging_seconds,
+    ))
+    server.start()
+    _LOG.info(
+        "overload campaign up %s",
+        kv(url=server.url, seed=config.seed,
+           duration=config.duration_seconds),
+    )
+    try:
+        stop = threading.Event()
+        started = time.monotonic()
+        threads: List[threading.Thread] = []
+        plan = (
+            [("critical", None)] * config.critical_clients
+            + [("standard", None)] * config.standard_clients
+            + [("best-effort", ballast)] * config.best_effort_clients
+        )
+        for index, (criticality, load) in enumerate(plan):
+            threads.append(threading.Thread(
+                target=_overload_client_loop,
+                args=(server.url, config, criticality, index, workload,
+                      expected, load, report, lock, stop, started),
+                name=f"overload-{criticality}-{index}",
+            ))
+        threads.append(threading.Thread(
+            target=_overload_monitor,
+            args=(server.url, report, lock, stop),
+            name="overload-monitor",
+            daemon=True,
+        ))
+        for thread in threads:
+            thread.start()
+        time.sleep(config.duration_seconds)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=config.request_timeout + 30.0)
+    finally:
+        report.drain_clean = server.drain(timeout=60.0)
     report.finalize()
     if config.report_path:
         Path(config.report_path).write_text(

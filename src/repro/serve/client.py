@@ -43,6 +43,13 @@ from urllib.parse import urlsplit
 from repro.errors import ReproError
 from repro.model.serialization import SystemBundle
 from repro.obs.metrics import metrics
+from repro.serve.admission import (
+    CLASS_HEADER,
+    CLIENT_HEADER,
+    DEADLINE_HEADER,
+    parse_class,
+    parse_client_id,
+)
 from repro.obs.trace import (
     RESPONSE_TRACE_HEADER,
     TRACEPARENT_HEADER,
@@ -51,7 +58,7 @@ from repro.obs.trace import (
     to_traceparent,
 )
 
-__all__ = ["ServeClient", "ServeError", "RetryPolicy"]
+__all__ = ["ServeClient", "ServeError", "RetryPolicy", "DeadlineExhausted"]
 
 SystemSpec = Union[str, Dict[str, Any], SystemBundle]
 
@@ -75,6 +82,16 @@ class ServeError(ReproError):
         #: timeout, mid-response disconnect) — always retryable for this
         #: API because every endpoint is idempotent (see module docs).
         self.transport = transport
+
+
+class DeadlineExhausted(ServeError):
+    """The caller's remaining budget cannot cover another attempt.
+
+    Raised *before* sleeping when a retry backoff (including a server
+    ``Retry-After`` floor) would overshoot the deadline the caller gave
+    this request — failing fast beats blocking past a budget nobody can
+    extend.  Never retried (``transport=False``, no retryable status).
+    """
 
 
 class RetryPolicy:
@@ -151,8 +168,20 @@ class ServeClient:
         base_url: str,
         timeout: float = 600.0,
         retry: Optional[RetryPolicy] = None,
+        criticality: Optional[str] = None,
+        client_id: Optional[str] = None,
     ):
         self.base_url = base_url.rstrip("/")
+        #: Criticality class sent as ``X-Repro-Class`` on every request
+        #: (``None`` sends no header; the server defaults to standard).
+        self.criticality = (
+            parse_class(criticality) if criticality is not None else None
+        )
+        #: Quota identity sent as ``X-Repro-Client`` (``None`` shares
+        #: the server's anonymous bucket).
+        self.client_id = (
+            parse_client_id(client_id) if client_id is not None else None
+        )
         parts = urlsplit(self.base_url)
         if parts.scheme not in ("http", ""):
             raise ReproError(
@@ -239,18 +268,41 @@ class ServeClient:
         path: str,
         payload: Optional[Dict[str, Any]] = None,
         timeout: Optional[float] = None,
+        deadline_seconds: Optional[float] = None,
     ) -> bytes:
         body = (
             json.dumps(payload).encode("utf-8") if payload is not None else None
         )
         timeout = self.timeout if timeout is None else timeout
+        # The deadline is an *overall* budget across every retry: each
+        # attempt recomputes the remaining slice, ships it as
+        # ``X-Repro-Deadline`` (so the server can 504 doomed work at
+        # admission), and caps its socket timeout at the slice.
+        deadline = (
+            time.monotonic() + deadline_seconds
+            if deadline_seconds is not None
+            else None
+        )
         retry = self.retry
         attempts = 1 + (retry.retries if retry is not None else 0)
         last_error: Optional[ServeError] = None
         for attempt in range(attempts):
+            remaining: Optional[float] = None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise DeadlineExhausted(
+                        f"request budget of {deadline_seconds:g}s exhausted "
+                        f"after {attempt} attempt(s)"
+                    ) from last_error
             try:
                 return self._attempt_with_span(
-                    method, path, body, timeout, attempt
+                    method,
+                    path,
+                    body,
+                    timeout if remaining is None else min(timeout, remaining),
+                    attempt,
+                    remaining,
                 )
             except ServeError as error:
                 last_error = error
@@ -258,8 +310,21 @@ class ServeClient:
                     raise
                 if attempt + 1 >= attempts:
                     break
+                wait = retry.delay(attempt, error.retry_after)
+                if deadline is not None and time.monotonic() + wait > deadline:
+                    # Sleeping would outlive the budget (often because the
+                    # server's Retry-After floor exceeds what is left):
+                    # fail fast with a typed error instead of blocking.
+                    left = max(0.0, deadline - time.monotonic())
+                    raise DeadlineExhausted(
+                        f"server backoff of {wait:.2f}s exceeds the "
+                        f"{left:.2f}s of request budget left",
+                        status=error.status,
+                        retry_after=error.retry_after,
+                        error_type=error.error_type,
+                    ) from error
                 metrics().counter("client.retries").inc()
-                time.sleep(retry.delay(attempt, error.retry_after))
+                time.sleep(wait)
         assert last_error is not None
         raise last_error
 
@@ -270,6 +335,7 @@ class ServeClient:
         body: Optional[bytes],
         timeout: float,
         attempt: int,
+        remaining: Optional[float] = None,
     ) -> bytes:
         with trace_span(
             "client.request", method=method, path=path, attempt=attempt
@@ -277,6 +343,12 @@ class ServeClient:
             headers: Dict[str, str] = {}
             if body is not None:
                 headers["Content-Type"] = "application/json"
+            if self.criticality is not None:
+                headers[CLASS_HEADER] = self.criticality
+            if self.client_id is not None:
+                headers[CLIENT_HEADER] = self.client_id
+            if remaining is not None:
+                headers[DEADLINE_HEADER] = f"{remaining:.3f}"
             # Captured *inside* the span, so the server parents its
             # serve.request on this client.request, not on our caller.
             traceparent = to_traceparent(capture_context())
@@ -312,9 +384,11 @@ class ServeClient:
             return data
 
     def _request_json(
-        self, method, path, payload=None, timeout=None
+        self, method, path, payload=None, timeout=None, deadline_seconds=None
     ) -> Dict[str, Any]:
-        return json.loads(self._request(method, path, payload, timeout))
+        return json.loads(
+            self._request(method, path, payload, timeout, deadline_seconds)
+        )
 
     # -- endpoints -------------------------------------------------------
 
@@ -322,13 +396,19 @@ class ServeClient:
         """``POST /v1/analyze``, returning the raw response bytes.
 
         The raw form exists so byte-identity (dedup, facade equality) can
-        be asserted without a decode/re-encode round trip.  A reserved
-        ``request_timeout`` kwarg overrides the client timeout for this
-        request only; everything else goes into the request body.
+        be asserted without a decode/re-encode round trip.  Reserved
+        kwargs: ``request_timeout`` overrides the client timeout for
+        this request only; ``deadline_seconds`` is the overall budget
+        across retries, shipped per attempt as ``X-Repro-Deadline`` (a
+        header, so it never splits the server's dedup digest).
+        Everything else goes into the request body.
         """
         timeout = params.pop("request_timeout", None)
+        deadline = params.pop("deadline_seconds", None)
         payload = {"system": _system_payload(system), **params}
-        return self._request("POST", "/v1/analyze", payload, timeout)
+        return self._request(
+            "POST", "/v1/analyze", payload, timeout, deadline_seconds=deadline
+        )
 
     def analyze(self, system: SystemSpec, **params) -> Dict[str, Any]:
         """``POST /v1/analyze`` decoded to a dict."""
@@ -337,8 +417,11 @@ class ServeClient:
     def simulate_raw(self, system: SystemSpec, **params) -> bytes:
         """``POST /v1/simulate``, returning the raw response bytes."""
         timeout = params.pop("request_timeout", None)
+        deadline = params.pop("deadline_seconds", None)
         payload = {"system": _system_payload(system), **params}
-        return self._request("POST", "/v1/simulate", payload, timeout)
+        return self._request(
+            "POST", "/v1/simulate", payload, timeout, deadline_seconds=deadline
+        )
 
     def simulate(self, system: SystemSpec, **params) -> Dict[str, Any]:
         """``POST /v1/simulate`` decoded to a dict."""
@@ -352,9 +435,12 @@ class ServeClient:
         policy) always coalesce onto one server-side job.
         """
         timeout = params.pop("request_timeout", None)
+        deadline = params.pop("deadline_seconds", None)
         params.setdefault("idempotency_key", f"ck-{uuid.uuid4().hex}")
         payload = {"system": _system_payload(system), **params}
-        return self._request_json("POST", "/v1/explore", payload, timeout)
+        return self._request_json(
+            "POST", "/v1/explore", payload, timeout, deadline_seconds=deadline
+        )
 
     def shard(self, system: SystemSpec, **params) -> Dict[str, Any]:
         """``POST /v1/shard``; returns the 202 job stub.
@@ -367,9 +453,12 @@ class ServeClient:
         generated only when the caller set none.
         """
         timeout = params.pop("request_timeout", None)
+        deadline = params.pop("deadline_seconds", None)
         params.setdefault("idempotency_key", f"ck-{uuid.uuid4().hex}")
         payload = {"system": _system_payload(system), **params}
-        return self._request_json("POST", "/v1/shard", payload, timeout)
+        return self._request_json(
+            "POST", "/v1/shard", payload, timeout, deadline_seconds=deadline
+        )
 
     def job(self, job_id: str) -> Dict[str, Any]:
         """``GET /v1/jobs/<id>``."""

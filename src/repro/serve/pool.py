@@ -1,10 +1,20 @@
-"""Bounded worker pool with backpressure and queue-time deadlines.
+"""Bounded worker pool with strict-priority admission and deadlines.
 
 The service must degrade predictably under overload, not queue without
 bound: admission happens against a fixed-capacity queue, and a full
 queue rejects immediately with a ``Retry-After`` estimate instead of
 letting latency grow unobserved (the standard load-shedding contract of
 an analysis back-end serving many exploration clients).
+
+The queue is **strict-priority** (mirroring the paper's criticality
+classes): level 0 (critical) is always picked before level 1
+(standard) before level 2 (best-effort) — so a critical request's wait
+is bounded by the critical backlog alone, not the total backlog.  An
+**aging floor** keeps lower levels live under bounded load: an item
+that has waited longer than ``aging_seconds`` is served ahead of
+younger higher-priority items, so best-effort work cannot starve
+forever as long as the queue is not permanently saturated with
+critical work.
 
 Deadlines are enforced at the *pickup* boundary: a request whose
 deadline elapsed while it sat in the queue fails with
@@ -19,7 +29,8 @@ import math
 import queue
 import threading
 import time
-from typing import Any, Callable, List, Optional
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import ReproError
 from repro.obs.logging import get_logger, kv
@@ -28,7 +39,19 @@ from repro.obs.trace import span as trace_span
 
 _LOG = get_logger("serve")
 
-__all__ = ["WorkerPool", "WorkItem", "PoolSaturated", "DeadlineExceeded"]
+__all__ = [
+    "WorkerPool",
+    "WorkItem",
+    "PoolSaturated",
+    "DeadlineExceeded",
+    "PRIORITY_LEVELS",
+    "DEFAULT_PRIORITY",
+]
+
+#: Number of strict-priority levels (mirrors the criticality classes:
+#: 0 = critical, 1 = standard, 2 = best-effort).
+PRIORITY_LEVELS = 3
+DEFAULT_PRIORITY = 1
 
 
 class PoolSaturated(ReproError):
@@ -46,9 +69,17 @@ class DeadlineExceeded(ReproError):
 class WorkItem:
     """One admitted unit of work; wait on :meth:`result`."""
 
-    __slots__ = ("_fn", "_deadline", "_event", "_value", "_error", "enqueued")
+    __slots__ = (
+        "_fn", "_deadline", "_event", "_value", "_error", "enqueued",
+        "priority",
+    )
 
-    def __init__(self, fn: Callable[[], Any], deadline: Optional[float]):
+    def __init__(
+        self,
+        fn: Callable[[], Any],
+        deadline: Optional[float],
+        priority: int = DEFAULT_PRIORITY,
+    ):
         self._fn = fn
         #: Absolute monotonic deadline, or ``None``.
         self._deadline = deadline
@@ -56,6 +87,8 @@ class WorkItem:
         self._value: Any = None
         self._error: Optional[BaseException] = None
         self.enqueued = time.monotonic()
+        #: Strict queue level (0 is picked first).
+        self.priority = priority
 
     def _resolve(self, value: Any = None, error: Optional[BaseException] = None):
         self._value = value
@@ -90,6 +123,7 @@ class WorkItem:
         with trace_span(
             "serve.pool_work",
             queue_seconds=round(started - self.enqueued, 6),
+            priority=self.priority,
         ):
             try:
                 value = self._fn()
@@ -107,19 +141,114 @@ class WorkItem:
         )
 
 
-class WorkerPool:
-    """Fixed worker threads draining a bounded admission queue."""
+class _PriorityQueue:
+    """Bounded strict-priority levels with an aging floor.
 
-    def __init__(self, workers: int = 4, queue_size: int = 64):
+    ``get`` normally serves the lowest non-empty level index; an item
+    whose wait exceeds ``aging_seconds`` jumps the strict order — among
+    aged heads, the oldest wins — so starvation is bounded by the aging
+    floor whenever higher-priority load leaves any pickup slots at all.
+    Shutdown sentinels (``None``) are delivered only once every level is
+    empty, so pending work drains before the workers exit.
+    """
+
+    def __init__(self, maxsize: int, aging_seconds: float):
+        self.maxsize = maxsize
+        self.aging_seconds = aging_seconds
+        self._levels: List[deque] = [deque() for _ in range(PRIORITY_LEVELS)]
+        self._sentinels = 0
+        self._size = 0
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+
+    def put_nowait(self, item: Optional[WorkItem]) -> None:
+        with self._not_empty:
+            if item is None:
+                self._sentinels += 1
+            else:
+                if self._size >= self.maxsize:
+                    raise queue.Full
+                priority = getattr(item, "priority", DEFAULT_PRIORITY)
+                level = min(max(priority, 0), PRIORITY_LEVELS - 1)
+                self._levels[level].append(item)
+                self._size += 1
+            self._not_empty.notify()
+
+    def put(self, item: Optional[WorkItem], block: bool = True,
+            timeout: Optional[float] = None) -> None:
+        """`queue.Queue`-shaped alias (tests inject items directly)."""
+        self.put_nowait(item)
+
+    def _pick(self) -> Optional[WorkItem]:
+        """The next item under strict priority + aging (lock held)."""
+        now = time.monotonic()
+        aged: Optional[WorkItem] = None
+        aged_level = -1
+        for level, items in enumerate(self._levels):
+            if not items:
+                continue
+            head = items[0]
+            if (
+                now - head.enqueued > self.aging_seconds
+                and (aged is None or head.enqueued < aged.enqueued)
+            ):
+                aged, aged_level = head, level
+        if aged is not None:
+            self._levels[aged_level].popleft()
+            if aged_level > 0:
+                metrics().counter("serve.pool.aged_promotions").inc()
+            self._size -= 1
+            return aged
+        for items in self._levels:
+            if items:
+                self._size -= 1
+                return items.popleft()
+        return None
+
+    def get(self) -> Optional[WorkItem]:
+        """Block for the next item; ``None`` means shut down."""
+        with self._not_empty:
+            while True:
+                if self._size:
+                    item = self._pick()
+                    if item is not None:
+                        return item
+                if self._sentinels:
+                    self._sentinels -= 1
+                    return None
+                self._not_empty.wait()
+
+    def qsize(self) -> int:
+        with self._lock:
+            return self._size
+
+    def depths(self) -> List[int]:
+        with self._lock:
+            return [len(items) for items in self._levels]
+
+
+class WorkerPool:
+    """Fixed worker threads draining a bounded strict-priority queue."""
+
+    def __init__(
+        self,
+        workers: int = 4,
+        queue_size: int = 64,
+        aging_seconds: float = 5.0,
+    ):
         if workers < 1:
             raise ReproError("pool workers must be >= 1")
         if queue_size < 1:
             raise ReproError("pool queue size must be >= 1")
-        self._queue: "queue.Queue[Optional[WorkItem]]" = queue.Queue(queue_size)
+        if aging_seconds <= 0:
+            raise ReproError("pool aging floor must be positive")
+        self._queue = _PriorityQueue(queue_size, aging_seconds)
         self._workers = workers
         self._closed = False
-        # EWMA of work durations feeding the Retry-After estimate.
+        # EWMAs feeding the Retry-After estimate and the brownout
+        # controller's queue-delay signal.
         self._ewma_seconds = 0.05
+        self._queue_delay_ewma = 0.0
         self._ewma_lock = threading.Lock()
         self._threads: List[threading.Thread] = [
             threading.Thread(
@@ -138,6 +267,10 @@ class WorkerPool:
         """Items currently admitted but not picked up."""
         return self._queue.qsize()
 
+    def class_depths(self) -> Dict[int, int]:
+        """Queued items per priority level (0 = critical)."""
+        return dict(enumerate(self._queue.depths()))
+
     def retry_after(self) -> int:
         """Whole seconds a rejected client should wait before retrying."""
         with self._ewma_lock:
@@ -145,10 +278,25 @@ class WorkerPool:
         backlog = self._queue.qsize()
         return max(1, int(math.ceil(ewma * (backlog + 1) / self._workers)))
 
+    def estimated_delay(self) -> float:
+        """Estimated queue delay in seconds (the brownout signal).
+
+        Combines the EWMA of observed pickup waits with a backlog
+        forecast (``depth * work / workers``): the forecast reacts
+        immediately when the queue grows while every worker is pinned —
+        exactly when pickup observations go stale.
+        """
+        with self._ewma_lock:
+            observed = self._queue_delay_ewma
+            work = self._ewma_seconds
+        forecast = self._queue.qsize() * work / self._workers
+        return max(observed, forecast)
+
     def submit(
         self,
         fn: Callable[[], Any],
         deadline_seconds: Optional[float] = None,
+        priority: int = DEFAULT_PRIORITY,
     ) -> WorkItem:
         """Admit ``fn``; raises :class:`PoolSaturated` when the queue is full."""
         if self._closed:
@@ -158,7 +306,7 @@ class WorkerPool:
             if deadline_seconds is not None
             else None
         )
-        item = WorkItem(fn, deadline)
+        item = WorkItem(fn, deadline, priority=priority)
         try:
             self._queue.put_nowait(item)
         except queue.Full:
@@ -172,8 +320,15 @@ class WorkerPool:
                 f"admission queue full ({self._queue.maxsize} pending)",
                 retry_after=retry,
             ) from None
-        metrics().gauge("serve.queue_depth").set(self._queue.qsize())
+        self._record_depths()
         return item
+
+    def _record_depths(self) -> None:
+        registry = metrics()
+        depths = self._queue.depths()
+        registry.gauge("serve.queue_depth").set(sum(depths))
+        for level, depth in enumerate(depths):
+            registry.gauge(f"serve.queue_depth.p{level}").set(depth)
 
     def _worker_loop(self, index: int) -> None:
         """Self-healing wrapper: a worker that dies is brought back.
@@ -202,7 +357,7 @@ class WorkerPool:
             item = self._queue.get()
             if item is None:
                 return
-            metrics().gauge("serve.queue_depth").set(self._queue.qsize())
+            self._record_depths()
             queued = time.monotonic() - item.enqueued
             metrics().timer("serve.queue_seconds").observe(queued)
             started = time.monotonic()
@@ -210,6 +365,9 @@ class WorkerPool:
             elapsed = time.monotonic() - started
             with self._ewma_lock:
                 self._ewma_seconds += 0.2 * (elapsed - self._ewma_seconds)
+                self._queue_delay_ewma += 0.2 * (
+                    queued - self._queue_delay_ewma
+                )
 
     def shutdown(self) -> None:
         """Stop accepting work and let the workers drain and exit."""
@@ -217,6 +375,6 @@ class WorkerPool:
             return
         self._closed = True
         for _ in self._threads:
-            self._queue.put(None)
+            self._queue.put_nowait(None)
         for thread in self._threads:
             thread.join(timeout=5.0)
